@@ -1,0 +1,64 @@
+"""Ablation: FedX-style exclusive groups in the federated executor.
+
+Consecutive triple patterns answerable by exactly one endpoint ship as one
+subquery. The bench verifies identical answers and measures the request
+reduction on a mixed three-pattern query.
+"""
+
+from conftest import print_report
+
+from repro.evaluation.report import format_table
+from repro.experiments import FigureReport
+from repro.federation import Endpoint, FederatedEngine
+from repro.links import Link, LinkSet
+from repro.rdf import turtle
+from repro.rdf.terms import URIRef
+
+QUERY = """
+PREFIX db: <http://db/>
+PREFIX nyt: <http://nyt/>
+SELECT ?name ?article WHERE {
+  ?p db:award db:mvp .
+  ?p db:name ?name .
+  ?p nyt:topicOf ?article .
+}
+"""
+
+
+def _build():
+    db_lines = ["@prefix db: <http://db/> ."]
+    nyt_lines = ["@prefix nyt: <http://nyt/> ."]
+    links = LinkSet()
+    for i in range(40):
+        db_lines.append(f'db:p{i} db:award db:mvp ; db:name "Player {i}" .')
+        nyt_lines.append(f"nyt:p{i} nyt:topicOf nyt:a{i} .")
+        links.add(Link(URIRef(f"http://db/p{i}"), URIRef(f"http://nyt/p{i}")))
+    return turtle.load("\n".join(db_lines)), turtle.load("\n".join(nyt_lines)), links
+
+
+def _run():
+    dbpedia, nytimes, links = _build()
+    requests = {}
+    answers = {}
+    for grouped in (True, False):
+        db_ep, nyt_ep = Endpoint(dbpedia, "db"), Endpoint(nytimes, "nyt")
+        engine = FederatedEngine([db_ep, nyt_ep], links, group_exclusive=grouped)
+        result = engine.select(QUERY)
+        key = "grouped" if grouped else "per-pattern"
+        requests[key] = db_ep.request_count + nyt_ep.request_count
+        answers[key] = len(result)
+    rows = [
+        ("exclusive groups", answers["grouped"], requests["grouped"]),
+        ("per-pattern joins", answers["per-pattern"], requests["per-pattern"]),
+    ]
+    body = format_table(("execution", "answers", "endpoint requests"), rows)
+    report = FigureReport("Ablation", "Exclusive groups cut federation requests", body)
+    report.results = {"requests": requests, "answers": answers}  # type: ignore[assignment]
+    return report
+
+
+def test_ablation_exclusive_groups(run_once):
+    report = run_once(_run)
+    print_report(report)
+    assert report.results["answers"]["grouped"] == report.results["answers"]["per-pattern"]
+    assert report.results["requests"]["grouped"] < report.results["requests"]["per-pattern"]

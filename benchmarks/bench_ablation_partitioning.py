@@ -1,0 +1,42 @@
+"""Ablation: equal-size partitioning preserves link quality (Section 6.2).
+
+Paper claim: "Equal-size partitioning enables parallelism that significantly
+reduces execution time without sacrificing the quality of candidate links."
+This bench runs the same workload unpartitioned and with 4 partitions and
+compares the final quality.
+"""
+
+from conftest import print_report
+
+from repro.evaluation.report import format_table
+from repro.experiments import FigureReport, run_scenario, scenario
+
+
+def _run():
+    base = scenario("fig3a")
+    single = run_scenario(base.with_changes(key="partition-1"))
+    partitioned = run_scenario(
+        base.with_changes(key="partition-4", n_partitions=4, max_episodes=40)
+    )
+    rows = [
+        ("1 partition", f"{single.final_quality.precision:.3f}",
+         f"{single.final_quality.recall:.3f}", f"{single.final_quality.f_measure:.3f}"),
+        ("4 partitions", f"{partitioned.final_quality.precision:.3f}",
+         f"{partitioned.final_quality.recall:.3f}", f"{partitioned.final_quality.f_measure:.3f}"),
+    ]
+    body = format_table(("configuration", "precision", "recall", "f-measure"), rows)
+    return FigureReport(
+        "Ablation", "Equal-size partitioning preserves quality", body,
+        {"single": single, "partitioned": partitioned},
+    )
+
+
+def test_ablation_partitioning(run_once):
+    report = run_once(_run)
+    print_report(report)
+    single = report.results["single"]
+    partitioned = report.results["partitioned"]
+    assert partitioned.final_quality.f_measure > single.final_quality.f_measure - 0.15, (
+        "partitioning does not sacrifice link quality"
+    )
+    assert partitioned.final_quality.recall > 0.7

@@ -1,0 +1,44 @@
+"""Ablation (beyond the paper): θ sensitivity of the space filter.
+
+Section 6.1 fixes θ = 0.3. This bench sweeps θ and measures the tradeoff:
+a higher θ shrinks the search space (cheaper exploration) but risks cutting
+reachable ground truth (a recall ceiling); a lower θ keeps everything but
+bloats the space with junk pairs.
+"""
+
+from conftest import print_report
+
+from repro.evaluation.report import format_table
+from repro.experiments import FigureReport, get_pair
+from repro.features import FeatureSpace
+
+
+def _run():
+    pair = get_pair("opencyc_nytimes")
+    rows = []
+    stats = {}
+    for theta in (0.3, 0.7, 0.9, 0.97):
+        space = FeatureSpace.build(pair.left, pair.right, theta=theta)
+        reachable = sum(1 for link in pair.ground_truth if link in space)
+        rows.append(
+            (theta, space.size, reachable, f"{100.0 * reachable / len(pair.ground_truth):.1f}%")
+        )
+        stats[theta] = {"size": space.size, "reachable": reachable}
+    body = format_table(
+        ("theta", "space size", "reachable ground truth", "recall ceiling"), rows
+    )
+    report = FigureReport("Ablation", "θ sensitivity of the space filter", body)
+    report.results = {"stats": stats, "truth": len(pair.ground_truth)}  # type: ignore[assignment]
+    return report
+
+
+def test_ablation_theta(run_once):
+    report = run_once(_run)
+    print_report(report)
+    stats = report.results["stats"]
+    sizes = [stats[theta]["size"] for theta in sorted(stats)]
+    assert sizes == sorted(sizes, reverse=True), "higher θ shrinks the space"
+    # the paper's θ=0.3 keeps (nearly) all ground truth reachable
+    assert stats[0.3]["reachable"] >= report.results["truth"] * 0.95
+    # a near-exact-match θ costs reachable ground truth
+    assert stats[0.97]["reachable"] < stats[0.3]["reachable"]

@@ -1,0 +1,33 @@
+"""Figure 10 / Appendix D: step-size sensitivity (0.01 / 0.05 / 0.1).
+
+Paper shape: F-measure varies only slightly across step sizes; a larger
+step discovers correct links slightly faster (recall gap) but costs more
+negative feedback in early episodes, because the wider range sweeps in more
+incorrect links.
+"""
+
+from conftest import print_report
+
+from repro.experiments import figure_10
+
+
+def test_fig10_step_size(run_once):
+    report = run_once(figure_10)
+    print_report(report)
+    results = {float(k): v for k, v in report.results.items()}
+
+    final_f = {step: r.final_quality.f_measure for step, r in results.items()}
+    assert max(final_f.values()) - min(final_f.values()) < 0.25, (
+        "F-measure is not overly sensitive to the step size"
+    )
+    for result in results.values():
+        assert result.final_quality.f_measure > 0.75, "all step sizes converge well"
+
+    # Early negative feedback grows with the step size (paper 10(c)).
+    early_negative = {
+        step: sum(r.tracker.negative_feedback_series()[:3]) / 3
+        for step, r in results.items()
+    }
+    assert early_negative[0.1] > early_negative[0.01], (
+        "a larger step size costs more negative feedback early on"
+    )

@@ -1,0 +1,29 @@
+"""Figure 11 / Appendix D: episode-size sensitivity (100 / 200 / 300;
+paper: 500 / 1000 / 1500, scaled 1:5 with the data).
+
+Paper shape: the F-measures of all episode sizes end close to each other,
+and a larger episode size converges in fewer episodes (each episode carries
+more feedback). Paper: 26 / 14 / 13 episodes for 500 / 1000 / 1500.
+"""
+
+from conftest import print_report
+
+from repro.experiments import figure_11
+
+
+def test_fig11_episode_size(run_once):
+    report = run_once(figure_11)
+    print_report(report)
+    results = {int(k): v for k, v in report.results.items()}
+
+    final_f = {size: r.final_quality.f_measure for size, r in results.items()}
+    assert max(final_f.values()) - min(final_f.values()) < 0.2, (
+        "episode size has only a mild effect on final quality"
+    )
+
+    def episodes_to_stop(result):
+        return result.converged_at if result.converged_at is not None else result.episodes_run + 1
+
+    assert episodes_to_stop(results[300]) <= episodes_to_stop(results[100]), (
+        "larger episodes converge in fewer episodes"
+    )

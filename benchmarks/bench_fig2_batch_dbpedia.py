@@ -1,0 +1,50 @@
+"""Figure 2: batch-mode link quality, DBpedia vs NYTimes/Drugbank/Lexvo.
+
+Paper shapes:
+* 2(a) — initial links precise but low-recall; recall jumps sharply within
+  the first episodes, precision recovers after a dip, F converges high.
+* 2(b) — initial precision < 0.3 with near-perfect recall; ALEX removes the
+  incorrect links, reaching F ≈ 0.99, while recall stays high.
+* 2(c) — both measures start low; recall is repaired within a few episodes
+  and precision follows.
+"""
+
+from conftest import print_report
+
+from repro.experiments import figure_2a, figure_2b, figure_2c
+
+
+def test_fig2a_dbpedia_nytimes(run_once):
+    report = run_once(figure_2a)
+    print_report(report)
+    result = report.results["fig2a"]
+    assert result.initial_quality.precision > 0.8, "linker starts precise"
+    assert result.initial_quality.recall < 0.5, "linker starts with low recall"
+    assert result.final_quality.recall > 0.85, "ALEX repairs recall"
+    assert result.final_quality.f_measure > 0.9, "F converges high"
+    assert result.new_links_found > result.ground_truth_size * 0.4, (
+        "a large share of ground truth is newly discovered (paper: 7568 of 10968)"
+    )
+
+
+def test_fig2b_dbpedia_drugbank(run_once):
+    report = run_once(figure_2b)
+    print_report(report)
+    result = report.results["fig2b"]
+    assert result.initial_quality.precision < 0.3, "starts with low precision"
+    assert result.initial_quality.recall > 0.95, "starts with high recall"
+    assert result.final_quality.f_measure > 0.95, "paper reaches F = 0.99"
+    assert result.final_quality.recall >= result.initial_quality.recall - 0.05, (
+        "recall is preserved while precision is repaired"
+    )
+
+
+def test_fig2c_dbpedia_lexvo(run_once):
+    report = run_once(figure_2c)
+    print_report(report)
+    result = report.results["fig2c"]
+    assert result.initial_quality.precision < 0.5, "starts with low precision"
+    assert result.initial_quality.recall < 0.7, "starts with low recall"
+    assert result.final_quality.f_measure > 0.9, "both measures repaired"
+    recall = result.tracker.recall_series()
+    assert max(recall[:4]) > 0.8, "recall is repaired within the first episodes"

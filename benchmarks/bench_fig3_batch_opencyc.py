@@ -1,0 +1,38 @@
+"""Figure 3: batch-mode link quality, OpenCyc vs NYTimes/Drugbank/Lexvo.
+
+Paper shape: same three starting profiles as Figure 2 (low recall / low
+precision / both low), repaired by ALEX on the smaller OpenCyc-based pairs
+in fewer episodes.
+"""
+
+from conftest import print_report
+
+from repro.experiments import figure_3a, figure_3b, figure_3c
+
+
+def test_fig3a_opencyc_nytimes(run_once):
+    report = run_once(figure_3a)
+    print_report(report)
+    result = report.results["fig3a"]
+    assert result.initial_quality.precision > 0.8
+    assert result.initial_quality.recall < 0.6
+    assert result.final_quality.f_measure > 0.9
+    assert result.final_quality.recall > 0.85
+
+
+def test_fig3b_opencyc_drugbank(run_once):
+    report = run_once(figure_3b)
+    print_report(report)
+    result = report.results["fig3b"]
+    assert result.initial_quality.precision < 0.4
+    assert result.initial_quality.recall > 0.95
+    assert result.final_quality.f_measure > 0.9
+
+
+def test_fig3c_opencyc_lexvo(run_once):
+    report = run_once(figure_3c)
+    print_report(report)
+    result = report.results["fig3c"]
+    assert result.initial_quality.precision < 0.5
+    assert result.initial_quality.recall < 0.7
+    assert result.final_quality.f_measure > 0.9

@@ -1,0 +1,43 @@
+"""Figure 4: specific-domain linking with 10-item feedback episodes.
+
+Paper shape: the small ground truths (SW Dogfood, NBA extracts) are repaired
+with very little feedback; ALEX discovers a substantial number of new links
+on top of the linker's output (paper: 84/51/43/19 new links).
+"""
+
+from conftest import print_report
+
+from repro.experiments import figure_4a, figure_4b, figure_4c, figure_4d
+
+
+def test_fig4a_dbpedia_swdogfood(run_once):
+    report = run_once(figure_4a)
+    print_report(report)
+    result = report.results["fig4a"]
+    assert result.scenario.episode_size == 10, "domain mode uses 10-item episodes"
+    assert result.final_quality.f_measure > 0.8
+    assert result.new_links_found > 0, "new links are discovered"
+
+
+def test_fig4b_opencyc_swdogfood(run_once):
+    report = run_once(figure_4b)
+    print_report(report)
+    result = report.results["fig4b"]
+    assert result.final_quality.f_measure > 0.85
+    assert result.final_quality.recall > result.initial_quality.recall
+
+
+def test_fig4c_dbpedia_nba(run_once):
+    report = run_once(figure_4c)
+    print_report(report)
+    result = report.results["fig4c"]
+    assert result.final_quality.f_measure > 0.8
+    assert result.new_links_found > 0
+
+
+def test_fig4d_opencyc_nba(run_once):
+    report = run_once(figure_4d)
+    print_report(report)
+    result = report.results["fig4d"]
+    assert result.final_quality.f_measure > 0.85
+    assert result.final_quality.recall > result.initial_quality.recall

@@ -1,0 +1,23 @@
+"""Figure 5: search-space filtering.
+
+Paper shape: θ-filtering removes ~95% of the possible links between the
+first DBpedia partition and NYTimes (5a), and the ground truth is a tiny
+fraction of even the filtered space (5b) — ALEX finds needles in that
+haystack.
+"""
+
+from conftest import print_report
+
+from repro.experiments import figure_5
+
+
+def test_fig5_filtering(run_once):
+    report = run_once(figure_5)
+    print_report(report)
+    stats = report.results["stats"]
+    total = stats["total"]
+    filtered = stats["filtered"]
+    truth = stats["truth"]
+    assert filtered < total * 0.1, "filtering removes >90% of the space (paper: 95%)"
+    assert truth < filtered * 0.1, "ground truth is a small fraction of the filtered space"
+    assert truth > 0, "the filtered space still contains the ground truth"

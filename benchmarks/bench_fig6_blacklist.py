@@ -1,0 +1,31 @@
+"""Figure 6: effect of the blacklist.
+
+Paper shape: (a) a modest F-measure gain with the blacklist; (b) a clearly
+lower — and falling — fraction of negative feedback per episode, because a
+rejected link is never proposed to the user again.
+"""
+
+from conftest import print_report
+
+from repro.experiments import figure_6
+
+
+def test_fig6_blacklist(run_once):
+    report = run_once(figure_6)
+    print_report(report)
+    with_blacklist = report.results["with"]
+    without_blacklist = report.results["without"]
+    assert (
+        with_blacklist.final_quality.f_measure
+        >= without_blacklist.final_quality.f_measure
+    ), "the blacklist does not hurt final F"
+
+    neg_with = with_blacklist.tracker.negative_feedback_series()
+    neg_without = without_blacklist.tracker.negative_feedback_series()
+    tail = min(len(neg_with), len(neg_without)) // 2
+    late_with = sum(neg_with[-tail:]) / tail
+    late_without = sum(neg_without[-tail:]) / tail
+    assert late_with < late_without, (
+        "with the blacklist the user sees clearly less negative feedback"
+    )
+    assert neg_with[-1] < neg_with[0], "negative feedback falls over time"

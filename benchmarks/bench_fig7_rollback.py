@@ -1,0 +1,33 @@
+"""Figure 7: effect of rollback.
+
+Paper shape: without rollback, the wrong decisions of early episodes poison
+precision and recovery is slow or absent (their run was still at P ≈ 0.3
+after 100 episodes; some partitions never recover). With rollback, the same
+workload converges in a fraction of the episodes.
+"""
+
+from conftest import print_report
+
+from repro.experiments import figure_7
+
+
+def test_fig7_rollback(run_once):
+    report = run_once(figure_7)
+    print_report(report)
+    with_rollback = report.results["with"]
+    without_rollback = report.results["without"]
+
+    # Rollback converges strictly; without it convergence takes longer or
+    # never happens within the budget.
+    assert with_rollback.converged_at is not None, "rollback converges"
+    if without_rollback.converged_at is not None:
+        assert without_rollback.converged_at > with_rollback.converged_at, (
+            "rollback converges in fewer episodes"
+        )
+
+    # The early-episode precision collapse is visible without rollback.
+    early_without = min(without_rollback.tracker.precision_series()[1:6])
+    assert early_without < 0.3, "early precision collapses without rollback"
+
+    # Partitioned runs without rollback fail to converge (paper 7(c)).
+    assert "never" in report.body, "some partition never converges without rollback"

@@ -1,0 +1,27 @@
+"""Figure 9 / Appendix C: effect of 10% incorrect feedback.
+
+Paper shape: recall is robust to incorrect feedback (the RL exploration
+machinery still finds the links); precision degrades slightly because
+incorrect positive feedback keeps some wrong links alive; the overall
+degradation is small.
+"""
+
+from conftest import print_report
+
+from repro.experiments import figure_9
+
+
+def test_fig9_incorrect_feedback(run_once):
+    report = run_once(figure_9)
+    print_report(report)
+    correct = report.results["correct"]
+    noisy = report.results["noisy"]
+
+    assert noisy.final_quality.recall > 0.7, "recall is robust to incorrect feedback"
+    assert noisy.final_quality.recall >= correct.final_quality.recall - 0.2
+    assert noisy.final_quality.precision <= correct.final_quality.precision, (
+        "precision degrades (slightly) under incorrect feedback"
+    )
+    assert noisy.final_quality.f_measure > 0.7, (
+        "ALEX still produces good links despite 10% incorrect feedback"
+    )

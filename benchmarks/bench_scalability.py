@@ -1,0 +1,81 @@
+"""Beyond the paper: scalability of ALEX with dataset size.
+
+The paper reports wall-clock on one dataset size per pair; this bench sweeps
+the synthetic generator's scale and measures how space construction and
+per-episode cost grow. Expected shape: space size grows roughly linearly in
+entity count (token blocking keeps the pair blow-up in check) and episode
+cost follows the space size.
+"""
+
+import time
+
+from conftest import print_report
+
+from repro.core import AlexConfig, AlexEngine
+from repro.datasets import MULTI_DOMAIN_PROFILES, PairSpec, generate_pair
+from repro.evaluation.report import format_table
+from repro.experiments import FigureReport
+from repro.features import FeatureSpace
+from repro.feedback import FeedbackSession, GroundTruthOracle
+from repro.paris import paris_links
+
+
+def _spec(scale: int) -> PairSpec:
+    return PairSpec(
+        name=f"scale-{scale}",
+        left_name="left",
+        right_name="right",
+        profiles=MULTI_DOMAIN_PROFILES,
+        n_shared=50 * scale,
+        n_left_only=60 * scale,
+        n_right_only=30 * scale,
+        noise_left=0.12,
+        noise_right=0.4,
+        seed=91,
+    )
+
+
+def _run():
+    rows = []
+    stats = {}
+    for scale in (1, 2, 4):
+        pair = generate_pair(_spec(scale))
+        started = time.perf_counter()
+        space = FeatureSpace.build(pair.left, pair.right)
+        build_seconds = time.perf_counter() - started
+
+        initial = paris_links(pair.left, pair.right, 0.88)
+        engine = AlexEngine(space, initial, AlexConfig(episode_size=100, seed=7))
+        session = FeedbackSession(engine, GroundTruthOracle(pair.ground_truth), seed=3)
+        started = time.perf_counter()
+        episodes = session.run(episode_size=100, max_episodes=10)
+        per_episode_ms = 1000.0 * (time.perf_counter() - started) / max(1, episodes)
+
+        entities = sum(1 for _ in pair.left.entities()) + sum(1 for _ in pair.right.entities())
+        rows.append(
+            (scale, entities, space.size, f"{build_seconds:.2f}", f"{per_episode_ms:.1f}")
+        )
+        stats[scale] = {
+            "entities": entities,
+            "space": space.size,
+            "build_seconds": build_seconds,
+            "per_episode_ms": per_episode_ms,
+        }
+    body = format_table(
+        ("scale", "entities", "space size", "space build s", "ms/episode"), rows
+    )
+    report = FigureReport("Beyond-paper", "Scalability with dataset size", body)
+    report.results = {"stats": stats}  # type: ignore[assignment]
+    return report
+
+
+def test_scalability(run_once):
+    report = run_once(_run)
+    print_report(report)
+    stats = report.results["stats"]
+    assert stats[4]["space"] > stats[1]["space"], "the space grows with the data"
+    # token blocking keeps growth below quadratic: 4x entities must produce
+    # clearly fewer than 16x pairs (measured ~11x: n^1.7)
+    growth = stats[4]["space"] / stats[1]["space"]
+    entity_growth = stats[4]["entities"] / stats[1]["entities"]
+    assert growth < entity_growth ** 2 * 0.8, "pair growth is sub-quadratic"

@@ -1,0 +1,19 @@
+"""Table 1: the dataset inventory.
+
+Paper shape: two multi-domain datasets dominate the triple counts; the NBA
+extracts are the smallest; every listed dataset is non-empty.
+"""
+
+from conftest import print_report
+
+from repro.experiments import table_1
+
+
+def test_table1_datasets(run_once):
+    report = run_once(table_1)
+    print_report(report)
+    lines = [line for line in report.body.splitlines()[2:] if line.strip()]
+    assert len(lines) == 8, "Table 1 lists eight datasets"
+    first_dataset = lines[0].split()[0]
+    assert first_dataset in ("dbpedia", "opencyc"), "multi-domain datasets dominate"
+    assert "nba" in lines[-1].split()[0], "NBA extracts are smallest"

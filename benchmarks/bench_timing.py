@@ -1,0 +1,22 @@
+"""Section 7.3: execution time, batch mode vs specific-domain mode.
+
+Paper shape: batch-mode episodes are orders of magnitude more expensive
+than domain-mode episodes (minutes vs ~1.3 s at the paper's scale); at our
+scale both are fast but the batch/domain ratio remains large.
+"""
+
+from conftest import print_report
+
+from repro.experiments import execution_time
+
+
+def test_execution_time(run_once):
+    report = run_once(execution_time)
+    print_report(report)
+    batch = report.results["batch"]
+    domain = report.results["domain"]
+    assert batch.seconds_per_episode > domain.seconds_per_episode, (
+        "batch episodes cost more than domain episodes"
+    )
+    ratio = batch.seconds_per_episode / domain.seconds_per_episode
+    assert ratio > 2, "the batch/domain cost gap is substantial"

@@ -1,0 +1,28 @@
+"""Shared benchmark fixtures.
+
+Every bench regenerates one paper table/figure: it runs the experiment once
+(via ``benchmark.pedantic``) and prints the same rows/series the paper
+reports. Absolute numbers differ from the paper (synthetic data, Python,
+laptop); the shape — who wins, direction of curves, convergence behaviour —
+is asserted where it is stable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run a zero-argument experiment callable exactly once under timing."""
+
+    def runner(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner
+
+
+def print_report(report) -> None:
+    """Print a FigureReport under a visible separator."""
+    print()
+    print(report.render())

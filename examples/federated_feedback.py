@@ -1,0 +1,108 @@
+"""The paper's motivating scenario, end to end.
+
+"Find all New York Times articles about the NBA's MVP of 2013": the answer
+needs DBpedia (who is the MVP?) joined to the New York Times data (articles
+about that person) through an ``owl:sameAs`` link. This example builds the
+two small datasets by hand, runs the federated query, routes the user's
+feedback on *answers* back to the *links* that produced them, and shows ALEX
+discovering a missing link after feedback.
+
+Run with: python examples/federated_feedback.py
+"""
+
+from repro.core import AlexConfig, AlexEngine
+from repro.features import FeatureSpace
+from repro.federation import Endpoint, FederatedEngine
+from repro.feedback import GroundTruthOracle, QueryFeedbackSession
+from repro.links import Link, LinkSet
+from repro.rdf import URIRef, turtle
+
+DBPEDIA_TTL = """
+@prefix db:  <http://dbpedia.org/resource/> .
+@prefix dbo: <http://dbpedia.org/ontology/> .
+
+db:LeBron_James a dbo:BasketballPlayer ;
+    dbo:label "LeBron James" ; dbo:birthYear 1984 ;
+    dbo:award db:NBA_MVP_2013 .
+db:Kevin_Durant a dbo:BasketballPlayer ;
+    dbo:label "Kevin Durant" ; dbo:birthYear 1988 ;
+    dbo:award db:NBA_MVP_2014 .
+db:Stephen_Curry a dbo:BasketballPlayer ;
+    dbo:label "Stephen Curry" ; dbo:birthYear 1988 ;
+    dbo:award db:NBA_MVP_2015 .
+"""
+
+NYTIMES_TTL = """
+@prefix nyt:  <http://data.nytimes.com/> .
+@prefix nytp: <http://data.nytimes.com/elements/> .
+
+nyt:lebron_james_per nytp:name "Lebron James" ; nytp:born 1984 ;
+    nytp:topicOf nyt:article_mvp_finals , nyt:article_heat_return .
+nyt:kevin_durant_per nytp:name "Kevin Durant" ; nytp:born 1988 ;
+    nytp:topicOf nyt:article_okc_season .
+nyt:stephen_curry_per nytp:name "Steph Curry" ; nytp:born 1988 ;
+    nytp:topicOf nyt:article_three_point_record .
+"""
+
+MVP_QUERY = """
+PREFIX db:   <http://dbpedia.org/resource/>
+PREFIX dbo:  <http://dbpedia.org/ontology/>
+PREFIX nytp: <http://data.nytimes.com/elements/>
+SELECT ?player ?article WHERE {
+  ?player dbo:award db:NBA_MVP_2013 .
+  ?player nytp:topicOf ?article .
+}
+"""
+
+
+def main() -> None:
+    dbpedia = turtle.load(DBPEDIA_TTL, name="dbpedia")
+    nytimes = turtle.load(NYTIMES_TTL, name="nytimes")
+
+    db = "http://dbpedia.org/resource/"
+    nyt = "http://data.nytimes.com/"
+    ground_truth = LinkSet(
+        [
+            Link(URIRef(db + "LeBron_James"), URIRef(nyt + "lebron_james_per")),
+            Link(URIRef(db + "Kevin_Durant"), URIRef(nyt + "kevin_durant_per")),
+            Link(URIRef(db + "Stephen_Curry"), URIRef(nyt + "stephen_curry_per")),
+        ]
+    )
+
+    # The automatic linker found only one of the three links.
+    initial = LinkSet([Link(URIRef(db + "Kevin_Durant"), URIRef(nyt + "kevin_durant_per"))])
+
+    # ALEX shares the candidate LinkSet with the federation engine, so new
+    # links become usable by queries the moment they are discovered.
+    space = FeatureSpace.build(dbpedia, nytimes)
+    alex = AlexEngine(space, initial, AlexConfig(episode_size=5, seed=1))
+    federation = FederatedEngine(
+        [Endpoint(dbpedia), Endpoint(nytimes)], links=alex.candidates
+    )
+    session = QueryFeedbackSession(alex, federation, GroundTruthOracle(ground_truth))
+
+    print("query: NYTimes articles about the NBA MVP of 2013")
+    result = federation.select(MVP_QUERY)
+    print(f"  answers before feedback: {len(result)} (the LeBron link is missing)\n")
+
+    # A user asks about Durant's articles and approves the answers; ALEX
+    # interprets that as approval of the Durant link and explores around it.
+    durant_query = MVP_QUERY.replace("NBA_MVP_2013", "NBA_MVP_2014")
+    items = session.submit_query(durant_query)
+    print(f"feedback on the Durant answers: {items} item(s) routed to ALEX")
+    print(f"candidate links now: {len(alex.candidates)}")
+    for link in alex.candidates:
+        marker = "new" if link not in initial else "initial"
+        print(f"  [{marker}] {link}")
+
+    result = federation.select(MVP_QUERY)
+    print(f"\nanswers after feedback: {len(result)}")
+    for row in result:
+        player = row.bindings[next(v for v in result.variables if v.name == "player")]
+        article = row.bindings[next(v for v in result.variables if v.name == "article")]
+        print(f"  {player.local_name} -> {article.local_name} "
+              f"(via {len(row.links_used)} link(s))")
+
+
+if __name__ == "__main__":
+    main()

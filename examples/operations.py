@@ -1,0 +1,65 @@
+"""Operating ALEX across sessions: persistence, introspection, export.
+
+A deployed link-improvement service collects feedback continuously. This
+example shows the operational loop: run some episodes, save the engine
+state to JSON, restart (rebuild the space, reload the state), continue
+learning, inspect what the policy learned, and export the quality curve as
+CSV for external dashboards.
+
+Run with: python examples/operations.py [state.json]
+"""
+
+import sys
+
+from repro.core import (
+    AlexConfig,
+    AlexEngine,
+    load_engine_file,
+    policy_report,
+    save_engine_file,
+)
+from repro.datasets import load_pair
+from repro.evaluation import QualityTracker, tracker_to_csv
+from repro.features import FeatureSpace
+from repro.feedback import FeedbackSession, GroundTruthOracle
+from repro.paris import paris_links
+
+
+def main(state_path: str = "alex_state.json") -> None:
+    pair = load_pair("opencyc_nytimes")
+    space = FeatureSpace.build(pair.left, pair.right)
+    oracle = GroundTruthOracle(pair.ground_truth)
+    tracker = QualityTracker(pair.ground_truth)
+
+    # --- session 1: bootstrap from the automatic linker ----------------- #
+    initial = paris_links(pair.left, pair.right, score_threshold=0.88)
+    engine = AlexEngine(space, initial, AlexConfig(episode_size=150, seed=13))
+    tracker.record_initial(engine.candidates)
+    session = FeedbackSession(engine, oracle, seed=13, on_episode_end=tracker.on_episode_end)
+    session.run(episode_size=150, max_episodes=5)
+    print(f"session 1: {engine.episodes_completed} episodes, "
+          f"quality {tracker.final.quality}")
+
+    save_engine_file(engine, state_path)
+    print(f"state saved to {state_path}\n")
+
+    # --- restart: a new process would rebuild the space and reload ------- #
+    restored = load_engine_file(space, state_path)
+    print(f"restored engine: {restored}")
+    session2 = FeedbackSession(restored, oracle, seed=14, on_episode_end=tracker.on_episode_end)
+    session2.run(episode_size=150, max_episodes=30)
+    print(f"session 2: now {restored.episodes_completed} total episodes, "
+          f"quality {tracker.final.quality}\n")
+
+    # --- what did it learn? --------------------------------------------- #
+    print(policy_report(restored).render())
+
+    # --- export the full curve ------------------------------------------- #
+    csv_text = tracker_to_csv(tracker, label="opencyc_nytimes")
+    print(f"\nCSV export ({len(csv_text.splitlines()) - 1} rows):")
+    print("\n".join(csv_text.splitlines()[:4]))
+    print("...")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "alex_state.json")

@@ -1,0 +1,6 @@
+"""Legacy setup shim: the environment has no `wheel` package, so PEP 660
+editable installs fail; `python setup.py develop` works without it."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,49 @@
+"""repro — a reproduction of "ALEX: Automatic Link Exploration in Linked Data".
+
+Public API tour:
+
+* :mod:`repro.rdf` — RDF terms, graphs, N-Triples/Turtle IO
+* :mod:`repro.sparql` — SPARQL subset over local graphs
+* :mod:`repro.federation` — federated queries with sameAs link provenance
+* :mod:`repro.similarity` / :mod:`repro.features` — similarity functions,
+  feature sets, and the θ-filtered link space
+* :mod:`repro.paris` — the automatic linker producing initial candidates
+* :mod:`repro.core` — the ALEX reinforcement-learning engine
+* :mod:`repro.feedback` — simulated users (oracles, sessions)
+* :mod:`repro.datasets` — synthetic Table 1 dataset pairs
+* :mod:`repro.evaluation` — precision/recall/F tracking
+* :mod:`repro.experiments` — one function per paper table/figure
+"""
+
+from repro.core import AlexConfig, AlexEngine, PartitionedAlex
+from repro.errors import ReproError
+from repro.features import FeatureSpace, build_partitioned_spaces
+from repro.federation import Endpoint, FederatedEngine
+from repro.feedback import FeedbackSession, GroundTruthOracle, NoisyOracle
+from repro.links import Link, LinkSet
+from repro.paris import paris_links
+from repro.rdf import Graph, Literal, Triple, URIRef
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlexConfig",
+    "AlexEngine",
+    "Endpoint",
+    "FeatureSpace",
+    "FederatedEngine",
+    "FeedbackSession",
+    "Graph",
+    "GroundTruthOracle",
+    "Link",
+    "LinkSet",
+    "Literal",
+    "NoisyOracle",
+    "PartitionedAlex",
+    "ReproError",
+    "Triple",
+    "URIRef",
+    "__version__",
+    "build_partitioned_spaces",
+    "paris_links",
+]

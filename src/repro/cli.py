@@ -1,0 +1,248 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro datasets list                      # the Table 1 catalog
+    repro datasets generate KEY --out DIR    # write left/right/truth .nt files
+    repro link LEFT.nt RIGHT.nt [options]    # run the automatic linker
+    repro query DATA.nt 'SELECT ...'         # run SPARQL over a file
+    repro run SCENARIO                       # run one experiment scenario
+    repro figures all | FIGURE               # regenerate paper figures
+
+Every command writes human-readable text to stdout and exits non-zero on
+error, so the tool composes in shell pipelines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Sequence
+
+from repro.errors import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ALEX reproduction toolkit: linking, feedback-driven "
+        "exploration, and the paper's experiments.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    datasets = subparsers.add_parser("datasets", help="dataset catalog operations")
+    datasets_sub = datasets.add_subparsers(dest="datasets_command", required=True)
+    datasets_sub.add_parser("list", help="show the Table 1 catalog")
+    generate = datasets_sub.add_parser("generate", help="generate a pair to .nt files")
+    generate.add_argument("key", help="catalog key, e.g. dbpedia_nytimes")
+    generate.add_argument("--out", default=".", help="output directory")
+    generate.add_argument("--seed", type=int, default=None, help="override the seed")
+
+    link = subparsers.add_parser("link", help="run the PARIS-style automatic linker")
+    link.add_argument("left", help="left dataset (N-Triples)")
+    link.add_argument("right", help="right dataset (N-Triples)")
+    link.add_argument("--threshold", type=float, default=0.9, help="score threshold")
+    link.add_argument(
+        "--all-pairs",
+        action="store_true",
+        help="keep every scored pair above the threshold (no mutual-best assignment)",
+    )
+    link.add_argument("--out", default=None, help="write owl:sameAs links to this file")
+
+    query = subparsers.add_parser("query", help="run a SPARQL query over an N-Triples file")
+    query.add_argument("data", help="dataset (N-Triples)")
+    query.add_argument("sparql", help="the query text")
+
+    describe = subparsers.add_parser("describe", help="print statistics of an N-Triples file")
+    describe.add_argument("data", help="dataset (N-Triples)")
+
+    run = subparsers.add_parser("run", help="run one experiment scenario")
+    run.add_argument("scenario", help="scenario key, e.g. fig2a")
+    run.add_argument("--max-episodes", type=int, default=None)
+    run.add_argument("--csv", default=None, help="export the per-episode curve as CSV")
+
+    figures = subparsers.add_parser("figures", help="regenerate paper figures")
+    figures.add_argument("figure", help="'all', 'table1', or a figure id like fig2a / fig10")
+
+    report = subparsers.add_parser(
+        "report", help="regenerate every table/figure into one Markdown report"
+    )
+    report.add_argument("--out", default="report.md", help="output path")
+    return parser
+
+
+def _cmd_datasets_list() -> int:
+    from repro.datasets import catalog_keys, pair_spec
+
+    from repro.evaluation.report import format_table
+
+    rows = []
+    for key in catalog_keys():
+        spec = pair_spec(key)
+        rows.append(
+            (key, spec.left_name, spec.right_name, spec.n_shared,
+             spec.n_left_only + spec.n_shared, spec.n_right_only + spec.n_shared)
+        )
+    print(format_table(
+        ("pair", "left", "right", "ground truth", "left entities", "right entities"), rows
+    ))
+    return 0
+
+
+def _cmd_datasets_generate(key: str, out_dir: str, seed: int | None) -> int:
+    from repro.datasets import load_pair
+    from repro.rdf import ntriples
+
+    pair = load_pair(key, seed=seed)
+    os.makedirs(out_dir, exist_ok=True)
+    left_path = os.path.join(out_dir, f"{key}_left.nt")
+    right_path = os.path.join(out_dir, f"{key}_right.nt")
+    truth_path = os.path.join(out_dir, f"{key}_truth.nt")
+    ntriples.dump_file(pair.left, left_path)
+    ntriples.dump_file(pair.right, right_path)
+    ntriples.dump_file(pair.ground_truth.to_graph(), truth_path)
+    print(f"wrote {left_path} ({len(pair.left)} triples)")
+    print(f"wrote {right_path} ({len(pair.right)} triples)")
+    print(f"wrote {truth_path} ({len(pair.ground_truth)} links)")
+    return 0
+
+
+def _cmd_link(left_path: str, right_path: str, threshold: float, all_pairs: bool,
+              out_path: str | None) -> int:
+    from repro.paris import paris_links
+    from repro.rdf import ntriples
+
+    left = ntriples.load_file(left_path)
+    right = ntriples.load_file(right_path)
+    links = paris_links(left, right, score_threshold=threshold, mutual_best=not all_pairs)
+    print(f"{len(links)} links above threshold {threshold}")
+    if out_path is not None:
+        ntriples.dump_file(links.to_graph(), out_path)
+        print(f"wrote {out_path}")
+    else:
+        for link in sorted(links, key=lambda l: (l.left.value, l.right.value)):
+            print(f"  {link}  (score {links.score(link):.3f})")
+    return 0
+
+
+def _cmd_query(data_path: str, sparql: str) -> int:
+    from repro.rdf import ntriples
+    from repro.rdf.graph import Graph
+    from repro.sparql import QueryResult, query as run_query
+
+    graph = ntriples.load_file(data_path)
+    result = run_query(graph, sparql)
+    if isinstance(result, bool):
+        print("yes" if result else "no")
+        return 0
+    if isinstance(result, Graph):
+        print(ntriples.serialize(result.triples()), end="")
+        return 0
+    assert isinstance(result, QueryResult)
+    print("\t".join(str(var) for var in result.variables))
+    for row in result.as_tuples():
+        print("\t".join("" if term is None else str(term) for term in row))
+    print(f"({len(result)} rows)", file=sys.stderr)
+    return 0
+
+
+def _cmd_describe(data_path: str) -> int:
+    from repro.rdf import ntriples
+    from repro.rdf.stats import graph_statistics
+
+    graph = ntriples.load_file(data_path)
+    print(graph_statistics(graph).render())
+    return 0
+
+
+def _cmd_run(scenario_key: str, max_episodes: int | None, csv_path: str | None = None) -> int:
+    from repro.evaluation.export import write_csv
+    from repro.evaluation.report import quality_curve_table
+    from repro.experiments import run_scenario, scenario
+
+    spec = scenario(scenario_key)
+    if max_episodes is not None:
+        spec = spec.with_changes(max_episodes=max_episodes)
+    result = run_scenario(spec)
+    if csv_path is not None:
+        write_csv(result.tracker, csv_path, label=scenario_key)
+        print(f"wrote {csv_path}")
+    print(quality_curve_table(result.tracker, title=f"scenario {scenario_key}"))
+    print(f"initial: {result.initial_quality}")
+    print(f"final:   {result.final_quality}")
+    print(
+        f"episodes: {result.episodes_run}, converged at {result.converged_at}, "
+        f"relaxed at {result.relaxed_converged_at}, "
+        f"new links: {result.new_links_found}/{result.ground_truth_size}"
+    )
+    return 0
+
+
+_FIGURES = {
+    "table1": "table_1",
+    "fig2a": "figure_2a", "fig2b": "figure_2b", "fig2c": "figure_2c",
+    "fig3a": "figure_3a", "fig3b": "figure_3b", "fig3c": "figure_3c",
+    "fig4a": "figure_4a", "fig4b": "figure_4b", "fig4c": "figure_4c",
+    "fig4d": "figure_4d",
+    "fig5": "figure_5", "fig6": "figure_6", "fig7": "figure_7",
+    "fig8": "figure_8", "fig9": "figure_9", "fig10": "figure_10",
+    "fig11": "figure_11", "timing": "execution_time",
+}
+
+
+def _cmd_figures(figure: str) -> int:
+    import repro.experiments as experiments
+
+    keys = list(_FIGURES) if figure == "all" else [figure]
+    unknown = [key for key in keys if key not in _FIGURES]
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)}; known: {', '.join(_FIGURES)}",
+              file=sys.stderr)
+        return 2
+    for key in keys:
+        report = getattr(experiments, _FIGURES[key])()
+        print(report.render())
+        print()
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "datasets":
+            if args.datasets_command == "list":
+                return _cmd_datasets_list()
+            return _cmd_datasets_generate(args.key, args.out, args.seed)
+        if args.command == "link":
+            return _cmd_link(args.left, args.right, args.threshold, args.all_pairs, args.out)
+        if args.command == "query":
+            return _cmd_query(args.data, args.sparql)
+        if args.command == "describe":
+            return _cmd_describe(args.data)
+        if args.command == "run":
+            return _cmd_run(args.scenario, args.max_episodes, args.csv)
+        if args.command == "figures":
+            return _cmd_figures(args.figure)
+        if args.command == "report":
+            from repro.experiments.report_md import write_report
+
+            write_report(args.out, progress=lambda heading: print(f"... {heading}"))
+            print(f"wrote {args.out}")
+            return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,43 @@
+"""ALEX core: the reinforcement-learning link explorer (the paper's contribution)."""
+
+from repro.core.config import BATCH_EPISODE_SIZE, DOMAIN_EPISODE_SIZE, AlexConfig
+from repro.core.engine import AlexEngine
+from repro.core.episode import Episode, EpisodeStats
+from repro.core.parallel import PartitionedAlex
+from repro.core.parallel_mp import PartitionOutcome, run_partitions_parallel
+from repro.core.persistence import (
+    dump_engine,
+    load_engine,
+    load_engine_file,
+    save_engine_file,
+)
+from repro.core.policy import EpsilonGreedyPolicy
+from repro.core.provenance import ExplorationLedger
+from repro.core.reporting import PolicyReport, policy_report, q_value_table
+from repro.core.state import ExplorationAction, StateAction, available_actions
+from repro.core.value import ActionValueTable
+
+__all__ = [
+    "ActionValueTable",
+    "AlexConfig",
+    "AlexEngine",
+    "BATCH_EPISODE_SIZE",
+    "DOMAIN_EPISODE_SIZE",
+    "Episode",
+    "EpisodeStats",
+    "EpsilonGreedyPolicy",
+    "ExplorationAction",
+    "ExplorationLedger",
+    "PartitionOutcome",
+    "PartitionedAlex",
+    "PolicyReport",
+    "StateAction",
+    "available_actions",
+    "dump_engine",
+    "load_engine",
+    "load_engine_file",
+    "policy_report",
+    "q_value_table",
+    "run_partitions_parallel",
+    "save_engine_file",
+]

@@ -1,0 +1,97 @@
+"""Link confidence: combining linker scores with feedback evidence.
+
+The published artifact of a link-improvement service is not just a set of
+links but a *scored* set: downstream consumers filter by confidence. A
+link's confidence combines three signals, each available inside the engine:
+
+* the automatic linker's score, when the link came from the initial set;
+* the per-link feedback tally (positives vs. negatives);
+* the provenance pedigree — the best average return among the state-action
+  pairs that generated the link.
+
+Confidence is a Beta-mean over the feedback tally, seeded by the prior from
+the linker score or pedigree: ``(positives + prior_strength * prior) /
+(positives + negatives + prior_strength)``. Unjudged initial links keep
+(roughly) their linker score; repeatedly approved links approach 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.engine import AlexEngine
+from repro.links import Link
+
+#: Weight of the prior relative to one feedback item.
+PRIOR_STRENGTH = 2.0
+
+#: Prior for links with no linker score and no pedigree (explored blindly).
+DEFAULT_PRIOR = 0.5
+
+
+@dataclass(frozen=True)
+class LinkConfidence:
+    """One candidate link with its confidence breakdown."""
+
+    link: Link
+    confidence: float
+    positives: int
+    negatives: int
+    prior: float
+    source: str  # "linker", "explored", or "unknown"
+
+
+def link_prior(engine: AlexEngine, link: Link) -> tuple[float, str]:
+    """The pre-feedback belief in a link and where it comes from."""
+    score = engine.candidates.score(link)
+    if score is not None:
+        return max(0.0, min(1.0, score)), "linker"
+    generators = engine.ledger.generators_of(link)
+    if generators:
+        returns = [
+            engine.values.q(state_action)
+            for state_action in generators
+            if engine.values.q(state_action) is not None
+        ]
+        if returns:
+            best = max(returns)
+            # map average return in [-1, 1] to a prior in [0, 1]
+            return (best + 1.0) / 2.0, "explored"
+        return DEFAULT_PRIOR, "explored"
+    return DEFAULT_PRIOR, "unknown"
+
+
+def link_confidence(engine: AlexEngine, link: Link) -> LinkConfidence:
+    """Confidence of one candidate link."""
+    prior, source = link_prior(engine, link)
+    positives, negatives = engine._tally.get(link, [0, 0])
+    confidence = (positives + PRIOR_STRENGTH * prior) / (
+        positives + negatives + PRIOR_STRENGTH
+    )
+    return LinkConfidence(
+        link=link,
+        confidence=confidence,
+        positives=positives,
+        negatives=negatives,
+        prior=prior,
+        source=source,
+    )
+
+
+def confidence_report(engine: AlexEngine) -> list[LinkConfidence]:
+    """All candidate links, most confident first (ties broken by link)."""
+    report = [link_confidence(engine, link) for link in engine.candidates]
+    report.sort(key=lambda entry: (-entry.confidence, entry.link.left.value, entry.link.right.value))
+    return report
+
+
+def export_confidence_csv(engine: AlexEngine) -> str:
+    """The confidence report as CSV text."""
+    lines = ["left,right,confidence,positives,negatives,prior,source"]
+    for entry in confidence_report(engine):
+        lines.append(
+            f"{entry.link.left.value},{entry.link.right.value},"
+            f"{entry.confidence:.4f},{entry.positives},{entry.negatives},"
+            f"{entry.prior:.4f},{entry.source}"
+        )
+    return "\n".join(lines) + "\n"

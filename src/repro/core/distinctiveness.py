@@ -1,0 +1,79 @@
+"""Feature distinctiveness memory.
+
+Section 4.2's example: exploring around ``(rdf:type, rdf:type)`` returns a
+large number of incorrect links because the feature "has values that do not
+distinguish between entities"; ALEX "can learn that this feature is not
+distinctive and avoid exploring around it in the future". The per-state
+tabular policy alone cannot generalize that lesson across states, so the
+engine also aggregates feedback *per feature key*: features whose generated
+links attract overwhelmingly negative feedback are marked non-distinctive
+and excluded from future exploration, and the per-feature average return
+bootstraps the action choice at states the policy has never improved.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.features.feature_set import FeatureKey
+
+
+class FeatureDistinctiveness:
+    """Cross-state per-feature feedback aggregates."""
+
+    def __init__(self, min_negatives: int, negative_fraction: float):
+        self.min_negatives = min_negatives
+        self.negative_fraction = negative_fraction
+        self._negatives: dict[FeatureKey, int] = defaultdict(int)
+        self._positives: dict[FeatureKey, int] = defaultdict(int)
+        self._return_sum: dict[FeatureKey, float] = defaultdict(float)
+        self._return_count: dict[FeatureKey, int] = defaultdict(int)
+
+    def record(self, feature: FeatureKey, reward: float, positive: bool) -> None:
+        """Attribute one feedback item on a link to the feature that
+        generated the link."""
+        if positive:
+            self._positives[feature] += 1
+        else:
+            self._negatives[feature] += 1
+        self._return_sum[feature] += reward
+        self._return_count[feature] += 1
+
+    def average_return(self, feature: FeatureKey) -> float | None:
+        count = self._return_count.get(feature, 0)
+        if count == 0:
+            return None
+        return self._return_sum[feature] / count
+
+    def is_distinctive(self, feature: FeatureKey) -> bool:
+        """False once the feature's feedback is overwhelmingly negative."""
+        negatives = self._negatives.get(feature, 0)
+        if negatives < self.min_negatives:
+            return True
+        total = negatives + self._positives.get(feature, 0)
+        return negatives / total < self.negative_fraction
+
+    def filter_actions(self, actions: list[FeatureKey]) -> list[FeatureKey]:
+        """Drop non-distinctive features; never returns an empty list when
+        the input was non-empty (if everything is poisoned, learning must
+        still be able to act)."""
+        kept = [action for action in actions if self.is_distinctive(action)]
+        return kept if kept else actions
+
+    def best_known(self, actions: list[FeatureKey]) -> FeatureKey | None:
+        """The action with the highest known cross-state average return —
+        the bootstrap for states the policy has never improved."""
+        best: tuple[float, FeatureKey] | None = None
+        for action in actions:
+            average = self.average_return(action)
+            if average is None:
+                continue
+            if best is None or average > best[0]:
+                best = (average, action)
+        return best[1] if best else None
+
+    def negatives(self, feature: FeatureKey) -> int:
+        return self._negatives.get(feature, 0)
+
+    def positives(self, feature: FeatureKey) -> int:
+        return self._positives.get(feature, 0)

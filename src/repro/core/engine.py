@@ -1,0 +1,264 @@
+"""The ALEX engine: Algorithm 1 with the Section 6 optimizations.
+
+One engine owns one (partition of the) feature space and one candidate link
+set. Feedback items arrive one at a time:
+
+* **positive** — the link is confirmed; the policy picks a feature of the
+  link's state and the engine explores the space around that feature's
+  score, adding the discovered links to the candidate set (recording their
+  provenance for credit assignment and rollback);
+* **negative** — the link is removed (and blacklisted), and every
+  state-action pair that generated it takes a negative return; pairs whose
+  generated links keep attracting negative feedback are rolled back.
+
+Rewards propagate into ``Returns(s, a)`` under the first-visit Monte Carlo
+rule. At each episode boundary the policy is improved to be greedy with
+respect to the current action values, and convergence is measured as the
+change in the candidate link set.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.core.config import AlexConfig
+from repro.core.distinctiveness import FeatureDistinctiveness
+from repro.core.episode import Episode, EpisodeStats
+from repro.core.policy import EpsilonGreedyPolicy
+from repro.core.provenance import ExplorationLedger
+from repro.core.state import StateAction, available_actions
+from repro.core.value import ActionValueTable
+from repro.features.space import FeatureSpace
+from repro.links import Link, LinkSet, change_fraction
+
+
+class AlexEngine:
+    """One ALEX learner over one feature space."""
+
+    def __init__(
+        self,
+        space: FeatureSpace,
+        initial_links: LinkSet | Iterable[Link],
+        config: AlexConfig,
+        name: str = "alex",
+    ):
+        self.space = space
+        self.config = config
+        self.name = name
+        self.candidates = (
+            initial_links.copy() if isinstance(initial_links, LinkSet) else LinkSet(initial_links)
+        )
+        self.candidates.name = name
+        self.policy = EpsilonGreedyPolicy(config.epsilon)
+        self.values = ActionValueTable()
+        self.ledger = ExplorationLedger()
+        self.distinctiveness = FeatureDistinctiveness(
+            config.distinctiveness_min_negatives,
+            config.distinctiveness_negative_fraction,
+        )
+        self.blacklist: set[Link] = set()
+        self.confirmed: set[Link] = set()
+        #: per-link feedback tallies (positives, negatives) — the evidence
+        #: balance that makes ALEX resilient to erroneous feedback: a link
+        #: is removed only when negative evidence outweighs positive.
+        self._tally: dict[Link, list[int]] = {}
+        self.rng = random.Random(config.seed)
+
+        self.episode_history: list[EpisodeStats] = []
+        self.converged_at: int | None = None
+        self.relaxed_converged_at: int | None = None
+        self._episode = Episode(index=1)
+        self._last_snapshot = self.candidates.snapshot()
+        self._unchanged_streak = 0
+
+    # ------------------------------------------------------------------ #
+    # Status
+    # ------------------------------------------------------------------ #
+
+    @property
+    def converged(self) -> bool:
+        """Strict convergence: a whole episode left the candidates unchanged."""
+        return self.converged_at is not None
+
+    @property
+    def stopped(self) -> bool:
+        """Converged or out of episode budget."""
+        return self.converged or len(self.episode_history) >= self.config.max_episodes
+
+    @property
+    def episodes_completed(self) -> int:
+        return len(self.episode_history)
+
+    def owns(self, link: Link) -> bool:
+        """Is this engine responsible for feedback on ``link``?"""
+        return link in self.candidates or link in self.space
+
+    # ------------------------------------------------------------------ #
+    # Feedback processing (policy evaluation)
+    # ------------------------------------------------------------------ #
+
+    def process_feedback(self, link: Link, positive: bool) -> list[Link]:
+        """Apply one feedback item; returns any newly discovered links."""
+        self._episode.record_feedback(positive)
+        self._credit(link, positive)
+        tally = self._tally.setdefault(link, [0, 0])
+        tally[0 if positive else 1] += 1
+        if positive:
+            self.confirmed.add(link)
+            self.blacklist.discard(link)
+            if link not in self.candidates:
+                # A correct link the user vouched for re-enters the set.
+                self.candidates.add(link)
+            for state_action in self.ledger.generators_of(link):
+                self.ledger.record_positive(state_action)
+            return self._explore_from(link)
+        if tally[1] > tally[0]:
+            # Remove only when negative evidence outweighs positive: one
+            # erroneous rejection cannot destroy a repeatedly approved link
+            # (the error resilience claimed in the paper's abstract).
+            self._remove_link(link)
+        return []
+
+    def _credit(self, link: Link, positive: bool) -> None:
+        """First-visit Monte Carlo: on the first visit of ``link`` this
+        episode, its reward flows to every generating state-action pair."""
+        if not self._episode.first_visit(link):
+            return
+        reward = self.config.positive_reward if positive else self.config.negative_reward
+        for state_action in self.ledger.generators_of(link):
+            self.values.record_return(state_action, reward)
+            self.distinctiveness.record(state_action.action, reward, positive)
+
+    def _explore_from(self, state: Link) -> list[Link]:
+        """Take an action at an approved link (Section 4.2)."""
+        feature_set = self.space.feature_set(state)
+        if feature_set is None or not feature_set:
+            return []
+        actions = available_actions(feature_set)
+        if self.config.use_distinctiveness:
+            # Cross-state lesson (Section 4.2): never explore around a
+            # feature known to be non-distinctive.
+            actions = self.distinctiveness.filter_actions(actions)
+        action = self._choose_action(state, actions)
+        self._episode.record_action(state)
+        center = feature_set[action]
+        state_action = StateAction(state, action)
+        discovered: list[Link] = []
+        for candidate in self.space.explore(action, center, self.config.step_size):
+            if candidate in self.blacklist or candidate in self.candidates:
+                continue
+            self.candidates.add(candidate)
+            self.ledger.record(state_action, candidate)
+            discovered.append(candidate)
+        self._episode.stats.links_discovered += len(discovered)
+        return discovered
+
+    def _choose_action(self, state: Link, actions: list) -> "FeatureKey":
+        """π(s): the improved policy when available; for states the policy
+        has never improved, bootstrap ε-greedily from the cross-state
+        per-feature returns rather than purely at random."""
+        if self.policy.greedy_action(state) is not None or not self.config.use_distinctiveness:
+            return self.policy.choose(state, actions, self.rng)
+        bootstrap = self.distinctiveness.best_known(actions)
+        if bootstrap is not None and self.rng.random() < 1.0 - self.config.epsilon:
+            return bootstrap
+        return self.policy.choose(state, actions, self.rng)
+
+    def _remove_link(self, link: Link) -> None:
+        if self.candidates.remove(link):
+            self._episode.stats.links_removed += 1
+        self.confirmed.discard(link)
+        if self.config.use_blacklist:
+            self.blacklist.add(link)
+        for state_action in sorted(
+            self.ledger.generators_of(link),
+            key=lambda sa: (sa.state.left.value, sa.state.right.value,
+                            sa.action[0].value, sa.action[1].value),
+        ):
+            negative_count = self.ledger.record_negative(state_action)
+            if self.config.use_rollback:
+                self._maybe_rollback(state_action, negative_count)
+
+    def _maybe_rollback(self, state_action: StateAction, negative_count: int) -> None:
+        """Undo a state-action pair whose generated links attract mostly
+        negative feedback (Section 6.3). The trigger looks at the feedback
+        *received* on the pair's links — enough negatives, and a negative
+        share of that feedback above the configured fraction. Rolled-back
+        links are NOT blacklisted unless they individually received
+        negative feedback."""
+        if negative_count < self.config.rollback_min_negatives:
+            return
+        if not self.ledger.generated_by(state_action):
+            return
+        if (
+            self.ledger.negative_feedback_fraction(state_action)
+            < self.config.rollback_negative_fraction
+        ):
+            return
+        links = self.ledger.forget_pair(state_action)
+        removed = 0
+        for link in links:
+            if link in self.confirmed:
+                continue
+            if self.candidates.remove(link):
+                removed += 1
+        self._episode.stats.rollbacks += 1
+        self._episode.stats.links_removed += removed
+
+    # ------------------------------------------------------------------ #
+    # Episode boundary (policy improvement)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def current_episode_size(self) -> int:
+        return self._episode.feedback_count
+
+    def episode_full(self) -> bool:
+        return self._episode.feedback_count >= self.config.episode_size
+
+    def end_episode(self) -> EpisodeStats:
+        """Improve the policy at every state acted on this episode and
+        evaluate convergence; starts the next episode."""
+        # deterministic order: set iteration is hash-salted per process
+        for state in sorted(
+            self._episode.acted_states(), key=lambda l: (l.left.value, l.right.value)
+        ):
+            feature_set = self.space.feature_set(state)
+            if feature_set is None:
+                continue
+            actions = available_actions(feature_set)
+            greedy = self.values.greedy_action(state, actions)
+            if greedy is not None:
+                self.policy.improve(state, greedy)
+
+        snapshot = self.candidates.snapshot()
+        stats = self._episode.stats
+        self.episode_history.append(stats)
+        index = len(self.episode_history)
+        if snapshot == self._last_snapshot:
+            self._unchanged_streak += 1
+        else:
+            self._unchanged_streak = 0
+        if (
+            self._unchanged_streak >= self.config.convergence_patience
+            and self.converged_at is None
+        ):
+            self.converged_at = index
+        if (
+            self.relaxed_converged_at is None
+            and change_fraction(self._last_snapshot, snapshot)
+            < self.config.relaxed_change_threshold
+        ):
+            self.relaxed_converged_at = index
+        self._last_snapshot = snapshot
+        self._episode = Episode(index=index + 1)
+        return stats
+
+    def __repr__(self):
+        return (
+            f"<AlexEngine {self.name!r}: {len(self.candidates)} candidates, "
+            f"{self.episodes_completed} episodes"
+            + (", converged" if self.converged else "")
+            + ">"
+        )

@@ -1,0 +1,71 @@
+"""Episode bookkeeping: feedback grouping and first-visit tracking.
+
+An episode is a fixed-size batch of feedback items (Section 4.3: "the final
+time step is when a feedback episode ends"). Within an episode the engine
+must know (a) which links have already been visited — for the first-visit
+Monte Carlo rule — and (b) which states had actions taken — the states whose
+policy entries get improved at the episode boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.links import Link
+
+
+@dataclass
+class EpisodeStats:
+    """Counters reported per finished episode."""
+
+    index: int
+    feedback_count: int = 0
+    positive_count: int = 0
+    negative_count: int = 0
+    links_discovered: int = 0
+    links_removed: int = 0
+    rollbacks: int = 0
+
+    @property
+    def negative_fraction(self) -> float:
+        """Share of feedback that was negative — Figure 6(b)/10(c)'s metric."""
+        if self.feedback_count == 0:
+            return 0.0
+        return self.negative_count / self.feedback_count
+
+
+class Episode:
+    """State of the currently collecting episode."""
+
+    def __init__(self, index: int):
+        self.stats = EpisodeStats(index=index)
+        self._visited: set[Link] = set()
+        self._acted_states: set[Link] = set()
+
+    @property
+    def index(self) -> int:
+        return self.stats.index
+
+    @property
+    def feedback_count(self) -> int:
+        return self.stats.feedback_count
+
+    def first_visit(self, link: Link) -> bool:
+        """Record a visit; True only the first time this episode."""
+        if link in self._visited:
+            return False
+        self._visited.add(link)
+        return True
+
+    def record_action(self, state: Link) -> None:
+        self._acted_states.add(state)
+
+    def acted_states(self) -> set[Link]:
+        return set(self._acted_states)
+
+    def record_feedback(self, positive: bool) -> None:
+        self.stats.feedback_count += 1
+        if positive:
+            self.stats.positive_count += 1
+        else:
+            self.stats.negative_count += 1

@@ -1,0 +1,75 @@
+"""The ε-greedy stochastic policy (Sections 4.4 and 5).
+
+Before the first policy improvement a state has no preferred action and the
+policy chooses uniformly at random (Algorithm 1 line 5, "arbitrary action").
+After improvement, the greedy action carries probability ``1 − ε`` and every
+action (including the greedy one) an additional ``ε / |A(s)|`` — so every
+action keeps probability ≥ ε/|A(s)| > 0, guaranteeing continual exploration,
+which is what makes the Monte Carlo estimates sound (Section 5).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import PolicyError
+from repro.features.feature_set import FeatureKey
+from repro.links import Link
+
+
+class EpsilonGreedyPolicy:
+    """Tabular stochastic policy over (link state → feature action)."""
+
+    def __init__(self, epsilon: float):
+        if not (0.0 < epsilon < 1.0):
+            raise PolicyError(f"epsilon must be in (0, 1), got {epsilon}")
+        self.epsilon = epsilon
+        self._greedy: dict[Link, FeatureKey] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def action_probabilities(
+        self, state: Link, available: list[FeatureKey]
+    ) -> dict[FeatureKey, float]:
+        """π(s, ·) over the available actions; sums to 1."""
+        if not available:
+            return {}
+        greedy = self._greedy.get(state)
+        count = len(available)
+        if greedy is None or greedy not in available:
+            uniform = 1.0 / count
+            return {action: uniform for action in available}
+        base = self.epsilon / count
+        probabilities = {action: base for action in available}
+        probabilities[greedy] += 1.0 - self.epsilon
+        return probabilities
+
+    def choose(
+        self, state: Link, available: list[FeatureKey], rng: random.Random
+    ) -> FeatureKey:
+        """Sample an action according to π(s, ·)."""
+        if not available:
+            raise PolicyError(f"state {state} has no available actions")
+        greedy = self._greedy.get(state)
+        if greedy is None or greedy not in available:
+            return rng.choice(available)
+        if rng.random() < 1.0 - self.epsilon:
+            return greedy
+        return rng.choice(available)
+
+    def improve(self, state: Link, greedy_action: FeatureKey) -> None:
+        """Policy improvement at one state: make ``greedy_action`` the
+        preferred action (Algorithm 1 lines 24-33)."""
+        self._greedy[state] = greedy_action
+
+    def greedy_action(self, state: Link) -> FeatureKey | None:
+        return self._greedy.get(state)
+
+    def states(self) -> list[Link]:
+        return list(self._greedy)
+
+    def __len__(self) -> int:
+        return len(self._greedy)
+
+    def __repr__(self):
+        return f"<EpsilonGreedyPolicy ε={self.epsilon}, {len(self._greedy)} improved states>"

@@ -1,0 +1,79 @@
+"""The exploration ledger: which state-action generated which links.
+
+Both Monte Carlo credit assignment and the rollback optimization need to
+trace a discovered link back to the state-action pair(s) that produced it:
+rewards on the link flow back to ``Returns(s, a)``, and a pair that
+accumulates too much negative feedback gets all its generated links rolled
+back (Section 6.3).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.state import StateAction
+from repro.links import Link
+
+
+class ExplorationLedger:
+    """Bidirectional map between state-action pairs and generated links."""
+
+    def __init__(self):
+        self._generators_of: dict[Link, set[StateAction]] = defaultdict(set)
+        self._generated_by: dict[StateAction, set[Link]] = defaultdict(set)
+        self._negatives: dict[StateAction, int] = defaultdict(int)
+        self._positives: dict[StateAction, int] = defaultdict(int)
+
+    def record(self, state_action: StateAction, link: Link) -> None:
+        self._generators_of[link].add(state_action)
+        self._generated_by[state_action].add(link)
+
+    def generators_of(self, link: Link) -> set[StateAction]:
+        """State-action pairs that led to ``link`` (empty for initial
+        candidates, which no action produced)."""
+        return set(self._generators_of.get(link, ()))
+
+    def generated_by(self, state_action: StateAction) -> set[Link]:
+        return set(self._generated_by.get(state_action, ()))
+
+    def record_negative(self, state_action: StateAction) -> int:
+        """Bump and return the negative-feedback count of a pair."""
+        self._negatives[state_action] += 1
+        return self._negatives[state_action]
+
+    def record_positive(self, state_action: StateAction) -> int:
+        """Bump and return the positive-feedback count of a pair."""
+        self._positives[state_action] += 1
+        return self._positives[state_action]
+
+    def negatives(self, state_action: StateAction) -> int:
+        return self._negatives.get(state_action, 0)
+
+    def positives(self, state_action: StateAction) -> int:
+        return self._positives.get(state_action, 0)
+
+    def negative_feedback_fraction(self, state_action: StateAction) -> float:
+        """Share of feedback on this pair's generated links that was
+        negative — the rollback trigger signal."""
+        negatives = self._negatives.get(state_action, 0)
+        positives = self._positives.get(state_action, 0)
+        total = negatives + positives
+        if total == 0:
+            return 0.0
+        return negatives / total
+
+    def forget_pair(self, state_action: StateAction) -> set[Link]:
+        """Drop a rolled-back pair's ledger entries; returns its links."""
+        links = self._generated_by.pop(state_action, set())
+        for link in links:
+            generators = self._generators_of.get(link)
+            if generators is not None:
+                generators.discard(state_action)
+                if not generators:
+                    del self._generators_of[link]
+        self._negatives.pop(state_action, None)
+        self._positives.pop(state_action, None)
+        return links
+
+    def __len__(self) -> int:
+        return len(self._generated_by)

@@ -1,0 +1,61 @@
+"""First-visit Monte Carlo action-value estimation (Section 4.4.1).
+
+``Returns(s, a)`` accumulates the rewards observed after taking action *a*
+at state *s*; ``Q(s, a)`` is their running average. Per the first-visit
+rule, a reward observed on a discovered link is credited to the generating
+state-action pairs only on the link's *first* visit within the current
+episode; re-visits in later episodes count as new first visits.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.state import StateAction
+from repro.features.feature_set import FeatureKey
+from repro.links import Link
+
+
+class ActionValueTable:
+    """Tabular Q(s, a) backed by per-pair return lists."""
+
+    def __init__(self):
+        self._returns: dict[StateAction, list[float]] = defaultdict(list)
+        self._q: dict[StateAction, float] = {}
+
+    def record_return(self, state_action: StateAction, reward: float) -> None:
+        """Append a reward to Returns(s, a) and refresh Q(s, a) = AVG."""
+        returns = self._returns[state_action]
+        returns.append(reward)
+        self._q[state_action] = sum(returns) / len(returns)
+
+    def q(self, state_action: StateAction) -> float | None:
+        """Q(s, a), or None when the pair has never received a return
+        (the paper's "undefined" initialization, Algorithm 1 line 4)."""
+        return self._q.get(state_action)
+
+    def returns(self, state_action: StateAction) -> list[float]:
+        return list(self._returns.get(state_action, ()))
+
+    def greedy_action(self, state: Link, available: list[FeatureKey]) -> FeatureKey | None:
+        """argmax_a Q(s, a) over ``available``; None when no action of this
+        state has a defined value yet. Ties break deterministically by
+        feature key so runs are reproducible."""
+        best: tuple[float, FeatureKey] | None = None
+        for action in available:
+            value = self._q.get(StateAction(state, action))
+            if value is None:
+                continue
+            candidate = (value, action)
+            if best is None or value > best[0] or (
+                value == best[0]
+                and (action[0].value, action[1].value) < (best[1][0].value, best[1][1].value)
+            ):
+                best = candidate
+        return best[1] if best else None
+
+    def known_pairs(self) -> list[StateAction]:
+        return list(self._q)
+
+    def __len__(self) -> int:
+        return len(self._q)

@@ -1,0 +1,50 @@
+"""Synthetic dataset pairs (Table 1 catalog) and external loaders."""
+
+from repro.datasets.bundle import load_bundle, save_bundle
+from repro.datasets.catalog import (
+    DatasetStats,
+    catalog_keys,
+    load_pair,
+    pair_spec,
+    table1_stats,
+)
+from repro.datasets.generator import DatasetPair, PairSpec, generate_pair
+from repro.datasets.loaders import load_pair_from_files
+from repro.datasets.schema import (
+    AttributeSpec,
+    DomainProfile,
+    DRUG_PROFILE,
+    LANGUAGE_PROFILE,
+    MULTI_DOMAIN_PROFILES,
+    NBA_PROFILE,
+    ORGANIZATION_PROFILE,
+    PERSON_PROFILE,
+    PLACE_PROFILE,
+    PUBLICATION_PROFILE,
+    ValueKind,
+)
+
+__all__ = [
+    "AttributeSpec",
+    "DatasetPair",
+    "DatasetStats",
+    "DomainProfile",
+    "DRUG_PROFILE",
+    "LANGUAGE_PROFILE",
+    "MULTI_DOMAIN_PROFILES",
+    "NBA_PROFILE",
+    "ORGANIZATION_PROFILE",
+    "PERSON_PROFILE",
+    "PLACE_PROFILE",
+    "PUBLICATION_PROFILE",
+    "PairSpec",
+    "ValueKind",
+    "catalog_keys",
+    "load_bundle",
+    "save_bundle",
+    "generate_pair",
+    "load_pair",
+    "load_pair_from_files",
+    "pair_spec",
+    "table1_stats",
+]

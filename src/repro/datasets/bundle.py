@@ -1,0 +1,95 @@
+"""Dataset-pair bundles: a directory layout for saving and reloading pairs.
+
+A bundle directory holds everything an experiment needs::
+
+    <dir>/left.nt           the left dataset
+    <dir>/right.nt          the right dataset
+    <dir>/ground_truth.nt   owl:sameAs links
+    <dir>/pair.json         names and generation metadata
+
+Bundles decouple generation from experimentation: generate once (seeded),
+archive, and share; ``load_bundle`` reconstitutes the exact
+:class:`~repro.datasets.generator.DatasetPair`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.datasets.generator import DatasetPair, PairSpec
+from repro.datasets.schema import PERSON_PROFILE
+from repro.errors import DatasetError
+from repro.links import LinkSet
+from repro.rdf import ntriples
+from repro.rdf.namespaces import Namespace
+
+_LEFT_FILE = "left.nt"
+_RIGHT_FILE = "right.nt"
+_TRUTH_FILE = "ground_truth.nt"
+_META_FILE = "pair.json"
+
+
+def save_bundle(pair: DatasetPair, directory: str) -> None:
+    """Write ``pair`` into ``directory`` (created if needed)."""
+    os.makedirs(directory, exist_ok=True)
+    ntriples.dump_file(pair.left, os.path.join(directory, _LEFT_FILE))
+    ntriples.dump_file(pair.right, os.path.join(directory, _RIGHT_FILE))
+    ntriples.dump_file(pair.ground_truth.to_graph(), os.path.join(directory, _TRUTH_FILE))
+    metadata = {
+        "format": 1,
+        "name": pair.spec.name,
+        "left_name": pair.spec.left_name,
+        "right_name": pair.spec.right_name,
+        "n_shared": pair.spec.n_shared,
+        "n_left_only": pair.spec.n_left_only,
+        "n_right_only": pair.spec.n_right_only,
+        "noise_left": pair.spec.noise_left,
+        "noise_right": pair.spec.noise_right,
+        "seed": pair.spec.seed,
+        "left_ontology": pair.left_ontology.base if pair.left_ontology else None,
+        "right_ontology": pair.right_ontology.base if pair.right_ontology else None,
+    }
+    with open(os.path.join(directory, _META_FILE), "w", encoding="utf-8") as handle:
+        json.dump(metadata, handle, indent=1, sort_keys=True)
+
+
+def load_bundle(directory: str) -> DatasetPair:
+    """Read a bundle written by :func:`save_bundle`."""
+    meta_path = os.path.join(directory, _META_FILE)
+    if not os.path.exists(meta_path):
+        raise DatasetError(f"not a dataset bundle (missing {_META_FILE}): {directory!r}")
+    with open(meta_path, encoding="utf-8") as handle:
+        metadata = json.load(handle)
+    if metadata.get("format") != 1:
+        raise DatasetError(f"unsupported bundle format: {metadata.get('format')!r}")
+
+    left = ntriples.load_file(os.path.join(directory, _LEFT_FILE), name=metadata["left_name"])
+    right = ntriples.load_file(
+        os.path.join(directory, _RIGHT_FILE), name=metadata["right_name"]
+    )
+    truth_graph = ntriples.load_file(os.path.join(directory, _TRUTH_FILE))
+    ground_truth = LinkSet.from_graph(truth_graph, name=f"{metadata['name']}-ground-truth")
+    if not ground_truth:
+        raise DatasetError(f"bundle ground truth is empty: {directory!r}")
+
+    spec = PairSpec(
+        name=metadata["name"],
+        left_name=metadata["left_name"],
+        right_name=metadata["right_name"],
+        profiles=(PERSON_PROFILE,),  # informational: the data is already materialized
+        n_shared=metadata["n_shared"],
+        n_left_only=metadata["n_left_only"],
+        n_right_only=metadata["n_right_only"],
+        noise_left=metadata["noise_left"],
+        noise_right=metadata["noise_right"],
+        seed=metadata["seed"],
+    )
+    return DatasetPair(
+        spec=spec,
+        left=left,
+        right=right,
+        ground_truth=ground_truth,
+        left_ontology=Namespace(metadata["left_ontology"]) if metadata.get("left_ontology") else None,
+        right_ontology=Namespace(metadata["right_ontology"]) if metadata.get("right_ontology") else None,
+    )

@@ -1,0 +1,267 @@
+"""Synthetic paired-dataset generator with known ground truth.
+
+This is the stand-in for the paper's LOD dumps (see DESIGN.md §
+"Substitutions"). From one seeded *world* of canonical entities it derives
+two RDF datasets that describe overlapping subsets of that world through
+different schemas, different namespaces, and independently noisy values —
+plus *distractor* entities unique to each side, half of which are
+near-duplicates of real entities (the confusable mass that makes linking
+hard and gives ALEX incorrect links to learn from).
+
+Properties deliberately reproduced:
+
+* correct pairs have high-but-not-exact feature scores (noise spreads the
+  name-similarity of true pairs over ~[0.75, 1.0], so threshold linkers
+  miss some and range exploration finds them);
+* shared *pool* values (cities, teams) make some features non-identifying,
+  so the choice of exploration feature matters — the learning problem;
+* ``rdf:type`` is constant per kind, creating the paper's example of a
+  worthless exploration feature;
+* identifying codes give PARIS high-precision evidence on the pairs where
+  both sides kept the code.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass, field
+
+from repro.datasets.schema import AttributeSpec, DomainProfile, ValueKind
+from repro.datasets.vocab import (
+    coin_code,
+    coin_name,
+    coin_person_name,
+    coin_phrase,
+    coin_word,
+    heavy_mutation,
+    perturb_name,
+    perturb_year,
+    typo,
+)
+from repro.errors import DatasetError
+from repro.links import Link, LinkSet
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import RDF_TYPE, Namespace
+from repro.rdf.terms import Literal, URIRef, XSD_INTEGER
+from repro.rdf.triples import Triple
+
+
+@dataclass(frozen=True)
+class PairSpec:
+    """Recipe for one dataset pair."""
+
+    name: str
+    left_name: str
+    right_name: str
+    profiles: tuple[DomainProfile, ...]
+    n_shared: int
+    n_left_only: int
+    n_right_only: int
+    noise_left: float = 0.1
+    noise_right: float = 0.3
+    distractor_fraction: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.n_shared < 1:
+            raise DatasetError(f"n_shared must be >= 1, got {self.n_shared}")
+        if not self.profiles:
+            raise DatasetError("at least one profile is required")
+        for noise in (self.noise_left, self.noise_right):
+            if not (0.0 <= noise <= 1.0):
+                raise DatasetError(f"noise must be in [0, 1], got {noise}")
+
+
+@dataclass
+class DatasetPair:
+    """A generated pair: two graphs plus the ground-truth links."""
+
+    spec: PairSpec
+    left: Graph
+    right: Graph
+    ground_truth: LinkSet
+    left_ontology: Namespace = field(default=None)  # type: ignore[assignment]
+    right_ontology: Namespace = field(default=None)  # type: ignore[assignment]
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+@dataclass
+class _WorldEntity:
+    """One canonical individual with its attribute values."""
+
+    index: int
+    profile: DomainProfile
+    values: dict[str, object]
+
+
+_SLUG_RE = re.compile(r"[^A-Za-z0-9]+")
+
+
+def _slug(text: str, index: int) -> str:
+    cleaned = _SLUG_RE.sub("_", text).strip("_") or "entity"
+    return f"{cleaned}_{index}"
+
+
+class _PairGenerator:
+    def __init__(self, spec: PairSpec):
+        self.spec = spec
+        self.rng = random.Random(spec.seed)
+        #: shared value pools so phrase attributes repeat across entities
+        #: (non-identifying features). Pools scale with the world so a pool
+        #: value is shared by a handful of entities — enough to make the
+        #: feature non-identifying, not so many that the θ-filtered space
+        #: drowns in coincidental pairs.
+        pool_size = max(10, spec.n_shared // 3)
+        self._phrase_pools: dict[str, list[str]] = {}
+        self._pool_size = pool_size
+        self._word_pool = [coin_word(self.rng, 2) for _ in range(pool_size)]
+
+    # -- canonical world -------------------------------------------------- #
+
+    def _phrase_pool(self, key: str) -> list[str]:
+        pool = self._phrase_pools.get(key)
+        if pool is None:
+            pool = [coin_phrase(self.rng, self.rng.choice((2, 2, 3))) for _ in range(self._pool_size)]
+            self._phrase_pools[key] = pool
+        return pool
+
+    def _canonical_value(self, spec: AttributeSpec):
+        kind = spec.kind
+        if kind is ValueKind.PERSON_NAME:
+            return coin_person_name(self.rng)
+        if kind is ValueKind.PHRASE:
+            if spec.key == "name":
+                return coin_phrase(self.rng, self.rng.choice((2, 3)))
+            return self.rng.choice(self._phrase_pool(spec.key))
+        if kind is ValueKind.WORD:
+            if spec.key == "name":
+                return coin_word(self.rng, self.rng.choice((2, 3))).capitalize()
+            return self.rng.choice(self._word_pool)
+        if kind is ValueKind.YEAR:
+            return self.rng.randrange(1900, 2015)
+        if kind is ValueKind.CODE:
+            return coin_code(self.rng)
+        if kind is ValueKind.CATEGORY:
+            return self.rng.choice(spec.categories)
+        raise DatasetError(f"unknown value kind: {kind}")
+
+    def _make_world(self, count: int, start_index: int = 0) -> list[_WorldEntity]:
+        world = []
+        profiles = self.spec.profiles
+        for offset in range(count):
+            profile = profiles[offset % len(profiles)]
+            values = {spec.key: self._canonical_value(spec) for spec in profile.attributes}
+            world.append(_WorldEntity(start_index + offset, profile, values))
+        return world
+
+    def _make_distractors(self, count: int, base_world: list[_WorldEntity], start_index: int) -> list[_WorldEntity]:
+        """Side-only entities: a mix of mutated near-duplicates and fresh
+        randoms, per ``distractor_fraction``."""
+        out = []
+        for offset in range(count):
+            index = start_index + offset
+            if base_world and self.rng.random() < self.spec.distractor_fraction:
+                template = self.rng.choice(base_world)
+                values = dict(template.values)
+                for spec in template.profile.attributes:
+                    value = values[spec.key]
+                    if isinstance(value, str) and spec.kind in (
+                        ValueKind.PERSON_NAME, ValueKind.PHRASE, ValueKind.WORD
+                    ):
+                        values[spec.key] = heavy_mutation(self.rng, value)
+                    elif spec.kind is ValueKind.YEAR:
+                        values[spec.key] = value + self.rng.randrange(-15, 16)  # type: ignore[operator]
+                    elif spec.kind is ValueKind.CODE:
+                        values[spec.key] = coin_code(self.rng)
+                out.append(_WorldEntity(index, template.profile, values))
+            else:
+                profile = self.rng.choice(self.spec.profiles)
+                values = {spec.key: self._canonical_value(spec) for spec in profile.attributes}
+                out.append(_WorldEntity(index, profile, values))
+        return out
+
+    # -- rendering one side ------------------------------------------------- #
+
+    def _noisy_value(self, spec: AttributeSpec, value, noise: float):
+        if isinstance(value, int) and spec.kind is ValueKind.YEAR:
+            return perturb_year(self.rng, value, noise)
+        if spec.kind is ValueKind.CODE:
+            if self.rng.random() < noise * 0.2:
+                return typo(self.rng, str(value), edits=1)
+            return value
+        if spec.kind is ValueKind.CATEGORY:
+            if self.rng.random() < noise * 0.3:
+                return self.rng.choice(spec.categories)
+            return value
+        if isinstance(value, str):
+            return perturb_name(self.rng, value, noise)
+        return value
+
+    def _render(
+        self,
+        world: list[_WorldEntity],
+        side: str,
+        dataset_name: str,
+        noise: float,
+    ) -> tuple[Graph, dict[int, URIRef]]:
+        resource_ns = Namespace(f"http://{dataset_name}.example.org/resource/")
+        ontology_ns = Namespace(f"http://{dataset_name}.example.org/ontology/")
+        graph = Graph(name=dataset_name)
+        uris: dict[int, URIRef] = {}
+        for entity in world:
+            display = str(entity.values.get("name", f"entity {entity.index}"))
+            uri = resource_ns.term(_slug(display, entity.index))
+            uris[entity.index] = uri
+            type_name = (
+                entity.profile.type_left if side == "left" else entity.profile.type_right
+            )
+            graph.add(Triple(uri, RDF_TYPE, ontology_ns.term(type_name)))
+            for spec in entity.profile.attributes:
+                presence = spec.presence_left if side == "left" else spec.presence_right
+                if self.rng.random() > presence:
+                    continue
+                predicate_name = spec.left_name if side == "left" else spec.right_name
+                value = self._noisy_value(spec, entity.values[spec.key], noise)
+                if isinstance(value, int):
+                    literal = Literal(str(value), datatype=XSD_INTEGER)
+                else:
+                    literal = Literal(str(value))
+                graph.add(Triple(uri, ontology_ns.term(predicate_name), literal))
+        return graph, uris
+
+    # -- assembly ---------------------------------------------------------- #
+
+    def generate(self) -> DatasetPair:
+        spec = self.spec
+        shared = self._make_world(spec.n_shared)
+        left_only = self._make_distractors(spec.n_left_only, shared, start_index=spec.n_shared)
+        right_only = self._make_distractors(
+            spec.n_right_only, shared, start_index=spec.n_shared + spec.n_left_only
+        )
+        left_graph, left_uris = self._render(
+            shared + left_only, "left", spec.left_name, spec.noise_left
+        )
+        right_graph, right_uris = self._render(
+            shared + right_only, "right", spec.right_name, spec.noise_right
+        )
+        ground_truth = LinkSet(name=f"{spec.name}-ground-truth")
+        for entity in shared:
+            ground_truth.add(Link(left_uris[entity.index], right_uris[entity.index]))
+        pair = DatasetPair(
+            spec=spec,
+            left=left_graph,
+            right=right_graph,
+            ground_truth=ground_truth,
+            left_ontology=Namespace(f"http://{spec.left_name}.example.org/ontology/"),
+            right_ontology=Namespace(f"http://{spec.right_name}.example.org/ontology/"),
+        )
+        return pair
+
+
+def generate_pair(spec: PairSpec) -> DatasetPair:
+    """Generate a dataset pair from a spec; fully determined by the seed."""
+    return _PairGenerator(spec).generate()

@@ -1,0 +1,160 @@
+"""Schema profiles for synthetic dataset pairs.
+
+A :class:`DomainProfile` describes the attributes of one entity *kind*
+(person, drug, language, …) and — crucially for ALEX — how each side of a
+dataset pair names the corresponding predicate. Predicate-name divergence is
+what forces the feature space to contain *pairs* of predicates rather than
+identical ones, mirroring the semantic heterogeneity of real LOD datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class ValueKind(Enum):
+    """How values of an attribute are generated and perturbed."""
+
+    PERSON_NAME = "person_name"   # 'First Last' coined names
+    PHRASE = "phrase"             # multi-word titles (orgs, venues, places)
+    WORD = "word"                 # single coined word (drug names, languages)
+    YEAR = "year"                 # calendar year
+    CODE = "code"                 # identifying alphanumeric code
+    CATEGORY = "category"         # small closed vocabulary (positions, types)
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """One canonical attribute and its per-side predicate names."""
+
+    key: str                      # canonical id within the profile
+    kind: ValueKind
+    left_name: str                # predicate local name in the left dataset
+    right_name: str               # predicate local name in the right dataset
+    presence_left: float = 0.95   # probability the left side materializes it
+    presence_right: float = 0.95
+    categories: tuple[str, ...] = ()   # for CATEGORY kinds
+    identifying: bool = False     # codes that uniquely identify the entity
+
+
+@dataclass(frozen=True)
+class DomainProfile:
+    """The attribute schema of one entity kind."""
+
+    name: str
+    attributes: tuple[AttributeSpec, ...]
+    type_left: str = "Thing"      # rdf:type local name per side
+    type_right: str = "Thing"
+
+    def attribute(self, key: str) -> AttributeSpec:
+        for spec in self.attributes:
+            if spec.key == key:
+                return spec
+        raise KeyError(key)
+
+
+# --------------------------------------------------------------------- #
+# Profiles used by the Table 1 catalog
+# --------------------------------------------------------------------- #
+
+PERSON_PROFILE = DomainProfile(
+    name="person",
+    type_left="Person",
+    type_right="PersonConcept",
+    attributes=(
+        AttributeSpec("name", ValueKind.PERSON_NAME, "label", "name", 1.0, 1.0),
+        AttributeSpec("birth", ValueKind.YEAR, "birthYear", "yearOfBirth", 0.9, 0.85),
+        AttributeSpec("city", ValueKind.PHRASE, "birthPlace", "placeOfBirth", 0.8, 0.7),
+        AttributeSpec(
+            "occupation", ValueKind.CATEGORY, "occupation", "profession", 0.85, 0.8,
+            categories=("athlete", "politician", "artist", "scientist", "executive", "author"),
+        ),
+    ),
+)
+
+ORGANIZATION_PROFILE = DomainProfile(
+    name="organization",
+    type_left="Organisation",
+    type_right="OrganizationConcept",
+    attributes=(
+        AttributeSpec("name", ValueKind.PHRASE, "label", "orgName", 1.0, 1.0),
+        AttributeSpec("founded", ValueKind.YEAR, "foundingYear", "established", 0.8, 0.75),
+        AttributeSpec("city", ValueKind.PHRASE, "headquarter", "location", 0.8, 0.8),
+        AttributeSpec(
+            "sector", ValueKind.CATEGORY, "industry", "sector", 0.8, 0.75,
+            categories=("media", "technology", "education", "finance", "health", "energy"),
+        ),
+    ),
+)
+
+PLACE_PROFILE = DomainProfile(
+    name="place",
+    type_left="Place",
+    type_right="GeoConcept",
+    attributes=(
+        AttributeSpec("name", ValueKind.PHRASE, "label", "placeName", 1.0, 1.0),
+        AttributeSpec("country", ValueKind.WORD, "country", "inCountry", 0.9, 0.85),
+        AttributeSpec("population", ValueKind.YEAR, "population", "inhabitants", 0.6, 0.5),
+    ),
+)
+
+DRUG_PROFILE = DomainProfile(
+    name="drug",
+    type_left="Drug",
+    type_right="ChemicalCompound",
+    attributes=(
+        AttributeSpec("name", ValueKind.WORD, "label", "genericName", 1.0, 1.0),
+        AttributeSpec("code", ValueKind.CODE, "drugbankId", "registryNumber", 0.9, 0.9, identifying=True),
+        AttributeSpec("approved", ValueKind.YEAR, "approvalYear", "yearApproved", 0.7, 0.7),
+        AttributeSpec(
+            "group", ValueKind.CATEGORY, "drugGroup", "category", 0.85, 0.85,
+            categories=("approved", "experimental", "withdrawn", "illicit", "nutraceutical"),
+        ),
+    ),
+)
+
+LANGUAGE_PROFILE = DomainProfile(
+    name="language",
+    type_left="Language",
+    type_right="HumanLanguage",
+    attributes=(
+        AttributeSpec("name", ValueKind.WORD, "label", "languageName", 1.0, 1.0),
+        AttributeSpec("iso", ValueKind.CODE, "iso639", "langCode", 0.55, 0.5, identifying=True),
+        AttributeSpec(
+            "family", ValueKind.CATEGORY, "languageFamily", "family", 0.8, 0.75,
+            categories=("indo-european", "sino-tibetan", "afro-asiatic", "austronesian",
+                        "niger-congo", "dravidian", "uralic", "turkic"),
+        ),
+        AttributeSpec("speakers", ValueKind.YEAR, "speakers", "speakerCount", 0.5, 0.45),
+    ),
+)
+
+PUBLICATION_PROFILE = DomainProfile(
+    name="publication",
+    type_left="Institution",
+    type_right="AcademicBody",
+    attributes=(
+        AttributeSpec("name", ValueKind.PHRASE, "label", "institutionName", 1.0, 1.0),
+        AttributeSpec("city", ValueKind.PHRASE, "city", "basedIn", 0.85, 0.8),
+        AttributeSpec("founded", ValueKind.YEAR, "foundingYear", "established", 0.7, 0.65),
+    ),
+)
+
+NBA_PROFILE = DomainProfile(
+    name="nba_player",
+    type_left="BasketballPlayer",
+    type_right="AthleteConcept",
+    attributes=(
+        AttributeSpec("name", ValueKind.PERSON_NAME, "label", "playerName", 1.0, 1.0),
+        AttributeSpec("birth", ValueKind.YEAR, "birthYear", "yearOfBirth", 0.95, 0.9),
+        AttributeSpec("team", ValueKind.PHRASE, "team", "playsFor", 0.9, 0.85),
+        AttributeSpec(
+            "position", ValueKind.CATEGORY, "position", "courtPosition", 0.9, 0.85,
+            categories=("guard", "forward", "center", "point-guard", "shooting-guard"),
+        ),
+    ),
+)
+
+#: Profile mix for the multi-domain datasets (DBpedia, OpenCyc).
+MULTI_DOMAIN_PROFILES = (PERSON_PROFILE, ORGANIZATION_PROFILE, PLACE_PROFILE)

@@ -1,0 +1,142 @@
+"""Seeded vocabulary and noise generators for synthetic RDF datasets.
+
+Names are coined from syllables so every run gets a large, collision-light
+vocabulary without shipping word lists, while still producing the token
+overlap structure (shared first names, shared name stems) that makes entity
+matching realistically ambiguous. Noise functions perturb values the way two
+independently curated knowledge bases disagree: typos, abbreviations,
+dropped or reordered tokens, format drift.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+
+_ONSETS = [
+    "b", "br", "c", "ch", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k",
+    "kr", "l", "m", "n", "p", "pr", "r", "s", "sh", "st", "t", "tr", "v", "w", "z",
+]
+_VOWELS = ["a", "e", "i", "o", "u", "ai", "ea", "ou"]
+_CODAS = ["", "n", "r", "s", "l", "m", "t", "k", "nd", "rn", "st"]
+
+
+def coin_word(rng: random.Random, syllables: int = 2) -> str:
+    """A pronounceable coined word with the given syllable count."""
+    parts = []
+    for _ in range(syllables):
+        parts.append(rng.choice(_ONSETS) + rng.choice(_VOWELS) + rng.choice(_CODAS))
+    return "".join(parts)
+
+
+def coin_name(rng: random.Random) -> str:
+    """A capitalized coined proper name, 2-3 syllables."""
+    return coin_word(rng, rng.choice((2, 2, 3))).capitalize()
+
+
+def coin_person_name(rng: random.Random) -> str:
+    """A 'First Last' person name."""
+    return f"{coin_name(rng)} {coin_name(rng)}"
+
+
+def coin_code(rng: random.Random, length: int = 7) -> str:
+    """An identifier-ish alphanumeric code (e.g. a drug registry number)."""
+    alphabet = string.ascii_uppercase + string.digits
+    return "".join(rng.choice(alphabet) for _ in range(length))
+
+
+def coin_phrase(rng: random.Random, words: int = 3) -> str:
+    """A multi-word title-case phrase (organization/venue names)."""
+    return " ".join(coin_name(rng) for _ in range(words))
+
+
+# --------------------------------------------------------------------- #
+# Noise
+# --------------------------------------------------------------------- #
+
+
+def typo(rng: random.Random, text: str, edits: int = 1) -> str:
+    """Apply ``edits`` random character-level edits (swap/drop/replace)."""
+    chars = list(text)
+    for _ in range(edits):
+        if len(chars) < 2:
+            break
+        position = rng.randrange(len(chars) - 1)
+        operation = rng.random()
+        if operation < 0.34:
+            chars[position], chars[position + 1] = chars[position + 1], chars[position]
+        elif operation < 0.67:
+            del chars[position]
+        else:
+            chars[position] = rng.choice(string.ascii_lowercase)
+    return "".join(chars)
+
+
+def abbreviate_token(rng: random.Random, text: str) -> str:
+    """Abbreviate one token to its initial ('Kevin Durant' → 'K. Durant')."""
+    tokens = text.split()
+    if len(tokens) < 2:
+        return text
+    position = rng.randrange(len(tokens))
+    tokens[position] = tokens[position][0].upper() + "."
+    return " ".join(tokens)
+
+
+def drop_token(rng: random.Random, text: str) -> str:
+    """Drop one token of a multi-token value."""
+    tokens = text.split()
+    if len(tokens) < 2:
+        return text
+    del tokens[rng.randrange(len(tokens))]
+    return " ".join(tokens)
+
+
+def reorder_tokens(rng: random.Random, text: str) -> str:
+    """Swap two tokens ('James LeBron' style inversions)."""
+    tokens = text.split()
+    if len(tokens) < 2:
+        return text
+    i = rng.randrange(len(tokens) - 1)
+    tokens[i], tokens[i + 1] = tokens[i + 1], tokens[i]
+    return " ".join(tokens)
+
+
+def perturb_name(rng: random.Random, text: str, strength: float) -> str:
+    """Apply name-style noise scaled by ``strength`` in [0, 1].
+
+    At low strength the result is a near-duplicate (one typo); higher
+    strengths mix in abbreviation, token dropping, and reordering — the
+    kinds of differences seen between, e.g., DBpedia and NYTimes labels
+    for the same person.
+    """
+    result = text
+    if rng.random() < strength:
+        result = typo(rng, result, edits=1 + (rng.random() < strength))
+    if rng.random() < strength * 0.6:
+        result = abbreviate_token(rng, result)
+    if rng.random() < strength * 0.4:
+        result = reorder_tokens(rng, result)
+    if rng.random() < strength * 0.3:
+        result = drop_token(rng, result)
+    return result if result.strip() else text
+
+
+def perturb_year(rng: random.Random, year: int, strength: float) -> int:
+    """Off-by-a-little year noise (transcription slips)."""
+    if rng.random() < strength * 0.5:
+        return year + rng.choice((-2, -1, 1, 2))
+    return year
+
+
+def heavy_mutation(rng: random.Random, text: str) -> str:
+    """A strong mutation used to coin *distractor* names that share tokens
+    with a real name but denote someone else ('LeBron Jameson')."""
+    tokens = text.split()
+    if tokens and rng.random() < 0.7:
+        position = rng.randrange(len(tokens))
+        if rng.random() < 0.5:
+            tokens[position] = tokens[position] + coin_word(rng, 1)
+        else:
+            tokens[position] = coin_name(rng)
+        return " ".join(tokens)
+    return typo(rng, text, edits=3)

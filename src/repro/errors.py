@@ -1,0 +1,74 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch one base type. Subsystems raise the most specific subclass available.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class RDFError(ReproError):
+    """Base class for errors in the RDF substrate."""
+
+
+class TermError(RDFError):
+    """An RDF term was constructed or used incorrectly."""
+
+
+class ParseError(RDFError):
+    """A serialization (N-Triples, Turtle, SPARQL) failed to parse.
+
+    Carries the line/column of the failure when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}" + (f", column {column}" if column is not None else "")
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class QueryError(ReproError):
+    """Base class for SPARQL query errors."""
+
+
+class QuerySyntaxError(QueryError, ParseError):
+    """The SPARQL query text is malformed."""
+
+
+class QueryEvaluationError(QueryError):
+    """A well-formed query could not be evaluated (e.g. bad FILTER types)."""
+
+
+class FederationError(ReproError):
+    """A federated query could not be planned or executed."""
+
+
+class SimilarityError(ReproError):
+    """A similarity function was applied to unsupported operands."""
+
+
+class FeatureSpaceError(ReproError):
+    """The feature space was queried or built inconsistently."""
+
+
+class LinkingError(ReproError):
+    """An automatic linking algorithm (e.g. PARIS) failed."""
+
+
+class PolicyError(ReproError):
+    """The reinforcement-learning policy was used inconsistently."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated or loaded."""

@@ -1,0 +1,60 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper's figures plot;
+these helpers keep the formatting consistent across all benches.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.evaluation.tracker import QualityTracker
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """A fixed-width text table with a separator under the header."""
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in text_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def quality_curve_table(tracker: QualityTracker, title: str = "") -> str:
+    """The per-episode P/R/F table behind Figures 2-4, 7-9."""
+    rows = [
+        (record.episode, record.precision, record.recall, record.f_measure)
+        for record in tracker.records
+    ]
+    return format_table(("episode", "precision", "recall", "f-measure"), rows, title)
+
+
+def series_table(
+    x_label: str,
+    x_values: Sequence,
+    series: dict[str, Sequence[float]],
+    title: str = "",
+) -> str:
+    """Multiple named series against a shared x-axis (Figures 6, 10, 11)."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for index, x_value in enumerate(x_values):
+        row = [x_value]
+        for values in series.values():
+            row.append(values[index] if index < len(values) else "")
+        rows.append(row)
+    return format_table(headers, rows, title)

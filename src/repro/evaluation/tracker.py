@@ -1,0 +1,106 @@
+"""Per-episode quality tracking — the data behind every figure.
+
+A :class:`QualityTracker` hooks into a
+:class:`~repro.feedback.session.FeedbackSession` episode callback and records
+the quality of the candidate links after each policy-evaluation /
+policy-improvement iteration, exactly as the paper measures ("we perform
+this comparison after each episode of feedback"). Episode 0 is the initial
+(pre-feedback) state, matching the x-axes of Figures 2-4 and 7-11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.episode import EpisodeStats
+from repro.evaluation.metrics import Quality, evaluate_links
+from repro.links import Link, LinkSet
+
+
+@dataclass
+class EpisodeRecord:
+    """One row of a quality curve."""
+
+    episode: int
+    quality: Quality
+    negative_fraction: float = 0.0
+    links_discovered: int = 0
+    links_removed: int = 0
+    rollbacks: int = 0
+
+    @property
+    def precision(self) -> float:
+        """Precision of this episode's candidate links."""
+        return self.quality.precision
+
+    @property
+    def recall(self) -> float:
+        """Recall of this episode's candidate links."""
+        return self.quality.recall
+
+    @property
+    def f_measure(self) -> float:
+        """F-measure of this episode's candidate links."""
+        return self.quality.f_measure
+
+
+class QualityTracker:
+    """Records one :class:`EpisodeRecord` per episode boundary."""
+
+    def __init__(self, ground_truth: LinkSet | Iterable[Link]):
+        self.ground_truth = (
+            ground_truth if isinstance(ground_truth, LinkSet) else LinkSet(ground_truth)
+        )
+        self.records: list[EpisodeRecord] = []
+
+    def record_initial(self, candidates: LinkSet | Iterable[Link]) -> EpisodeRecord:
+        """Record the episode-0 (pre-feedback) quality."""
+        record = EpisodeRecord(episode=0, quality=evaluate_links(candidates, self.ground_truth))
+        self.records.append(record)
+        return record
+
+    def on_episode_end(self, stats: EpisodeStats, candidates: LinkSet) -> EpisodeRecord:
+        """Session callback: evaluate quality after an episode."""
+        record = EpisodeRecord(
+            episode=stats.index,
+            quality=evaluate_links(candidates, self.ground_truth),
+            negative_fraction=stats.negative_fraction,
+            links_discovered=stats.links_discovered,
+            links_removed=stats.links_removed,
+            rollbacks=stats.rollbacks,
+        )
+        self.records.append(record)
+        return record
+
+    # -- series accessors (figure y-axes) ------------------------------- #
+
+    def episodes(self) -> list[int]:
+        """The x-axis: episode indices including episode 0."""
+        return [record.episode for record in self.records]
+
+    def precision_series(self) -> list[float]:
+        """Per-episode precision values."""
+        return [record.precision for record in self.records]
+
+    def recall_series(self) -> list[float]:
+        """Per-episode recall values."""
+        return [record.recall for record in self.records]
+
+    def f_measure_series(self) -> list[float]:
+        """Per-episode F-measure values."""
+        return [record.f_measure for record in self.records]
+
+    def negative_feedback_series(self) -> list[float]:
+        """Percent of negative feedback per episode (skips episode 0)."""
+        return [100.0 * record.negative_fraction for record in self.records if record.episode > 0]
+
+    @property
+    def final(self) -> EpisodeRecord:
+        """The most recent episode record."""
+        if not self.records:
+            raise ValueError("tracker has no records yet")
+        return self.records[-1]
+
+    def __len__(self) -> int:
+        return len(self.records)

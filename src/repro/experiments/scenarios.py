@@ -1,0 +1,90 @@
+"""The scenario catalog: one spec per quality figure of the paper.
+
+Thresholds were calibrated (see DESIGN.md §2 and EXPERIMENTS.md) so the
+*initial* candidate quality of each scenario matches the paper's starting
+conditions: Figure 2(a) high precision / low recall, Figure 2(b) low
+precision / high recall, Figure 2(c) both low, and so on. Episode sizes are
+scaled 1:5 with the datasets (paper batch mode: 1000 items; ours: 100-200).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import LinkerSpec, ScenarioSpec
+
+#: The strict high-precision linker (paper: PARIS at 0.95).
+_STRICT = LinkerSpec(score_threshold=0.88, mutual_best=True, iterations=4)
+
+#: The permissive linker: every scored pair above a low bar (low precision).
+_PERMISSIVE = LinkerSpec(score_threshold=0.1, mutual_best=False, iterations=3)
+
+#: A deliberately weak linker: one fixpoint iteration, fuzzy evidence —
+#: produces the both-low starting condition of Figure 2(c).
+_WEAK = LinkerSpec(score_threshold=0.55, mutual_best=False, iterations=1, evidence_tau=0.6)
+
+SCENARIOS: dict[str, ScenarioSpec] = {
+    # -- Figure 2: batch mode with DBpedia ------------------------------ #
+    "fig2a": ScenarioSpec(
+        key="fig2a", pair_key="dbpedia_nytimes", linker=_STRICT,
+        episode_size=200, max_episodes=30,
+    ),
+    "fig2b": ScenarioSpec(
+        key="fig2b", pair_key="dbpedia_drugbank", linker=_PERMISSIVE,
+        episode_size=150, max_episodes=30,
+    ),
+    "fig2c": ScenarioSpec(
+        key="fig2c", pair_key="dbpedia_lexvo", linker=_WEAK,
+        episode_size=150, max_episodes=30,
+    ),
+    # -- Figure 3: batch mode with OpenCyc ------------------------------- #
+    "fig3a": ScenarioSpec(
+        key="fig3a", pair_key="opencyc_nytimes", linker=_STRICT,
+        episode_size=150, max_episodes=30,
+    ),
+    "fig3b": ScenarioSpec(
+        key="fig3b", pair_key="opencyc_drugbank", linker=_PERMISSIVE,
+        episode_size=100, max_episodes=30,
+    ),
+    "fig3c": ScenarioSpec(
+        key="fig3c", pair_key="opencyc_lexvo", linker=_WEAK,
+        episode_size=100, max_episodes=30,
+    ),
+    # -- Figure 4: specific domains (episode size 10) --------------------- #
+    # Rollback triggers are scaled down with the episode size: at 10
+    # feedback items per episode, waiting for 5 negatives on one
+    # state-action means junk lingers for many episodes.
+    "fig4a": ScenarioSpec(
+        key="fig4a", pair_key="dbpedia_swdogfood",
+        linker=LinkerSpec(score_threshold=0.7),
+        episode_size=10, max_episodes=60, rollback_min_negatives=4,
+        convergence_patience=2,
+    ),
+    "fig4b": ScenarioSpec(
+        key="fig4b", pair_key="opencyc_swdogfood",
+        linker=LinkerSpec(score_threshold=0.7),
+        episode_size=10, max_episodes=60, rollback_min_negatives=3,
+        convergence_patience=3,
+    ),
+    "fig4c": ScenarioSpec(
+        key="fig4c", pair_key="dbpedia_nba_nytimes", linker=LinkerSpec(score_threshold=0.8),
+        episode_size=10, max_episodes=60, rollback_min_negatives=3,
+        convergence_patience=3,
+    ),
+    "fig4d": ScenarioSpec(
+        key="fig4d", pair_key="opencyc_nba_nytimes", linker=LinkerSpec(score_threshold=0.8),
+        episode_size=10, max_episodes=60, rollback_min_negatives=3,
+        convergence_patience=3,
+    ),
+    # -- Figure 8 / Appendix B: the two multi-domain datasets -------------- #
+    "fig8": ScenarioSpec(
+        key="fig8", pair_key="dbpedia_opencyc", linker=_STRICT,
+        episode_size=400, max_episodes=60,
+    ),
+}
+
+
+def scenario(key: str) -> ScenarioSpec:
+    try:
+        return SCENARIOS[key]
+    except KeyError:
+        known = ", ".join(SCENARIOS)
+        raise KeyError(f"unknown scenario {key!r}; known: {known}") from None

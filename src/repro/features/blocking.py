@@ -1,0 +1,74 @@
+"""Token blocking: cheap candidate-pair generation.
+
+Computing a feature set for every pair of entities is O(|D1|·|D2|) similarity
+matrices — exactly the cost Section 6.1 filters against. Before filtering by
+θ we avoid even *touching* most pairs with standard token blocking: entities
+whose literal values share no alphanumeric token are extremely unlikely to
+produce any feature ≥ θ on string attributes, so only token-sharing pairs are
+scored. Numeric-only matches can be missed by pure token blocking, so tokens
+of numeric lexical forms are included too (a shared year links the block).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from repro.rdf.entity import Entity
+from repro.rdf.terms import Literal, URIRef
+from repro.similarity.strings import tokens
+
+#: Tokens appearing in more than this fraction of one side's entities are
+#: considered stop-tokens and ignored (they would pair everything with
+#: everything, defeating the block).
+DEFAULT_STOP_FRACTION = 0.25
+
+
+def entity_tokens(entity: Entity) -> set[str]:
+    """All blocking tokens of an entity: tokens of literal lexical forms
+    plus tokens of its URI local name."""
+    out: set[str] = set(tokens(entity.uri.local_name if isinstance(entity.uri, URIRef) else ""))
+    for _, obj in entity.pairs():
+        if isinstance(obj, Literal):
+            out.update(tokens(obj.lexical))
+        elif isinstance(obj, URIRef):
+            out.update(tokens(obj.local_name))
+    return out
+
+
+class TokenBlocker:
+    """Inverted token index over one dataset's entities."""
+
+    def __init__(self, entities: Iterable[Entity], stop_fraction: float = DEFAULT_STOP_FRACTION):
+        self.entities = list(entities)
+        index: dict[str, list[int]] = defaultdict(list)
+        for position, entity in enumerate(self.entities):
+            for token in entity_tokens(entity):
+                index[token].append(position)
+        cutoff = max(2, int(stop_fraction * max(1, len(self.entities))))
+        self._index = {
+            token: positions for token, positions in index.items() if len(positions) <= cutoff
+        }
+
+    def candidates(self, entity: Entity) -> list[Entity]:
+        """Entities sharing at least one non-stop token with ``entity``."""
+        seen: set[int] = set()
+        for token in entity_tokens(entity):
+            for position in self._index.get(token, ()):
+                seen.add(position)
+        return [self.entities[position] for position in sorted(seen)]
+
+    def __len__(self) -> int:
+        return len(self.entities)
+
+
+def blocked_pairs(
+    left_entities: Iterable[Entity],
+    right_entities: Iterable[Entity],
+    stop_fraction: float = DEFAULT_STOP_FRACTION,
+) -> Iterator[tuple[Entity, Entity]]:
+    """Yield candidate (left, right) pairs that share a blocking token."""
+    blocker = TokenBlocker(right_entities, stop_fraction)
+    for left in left_entities:
+        for right in blocker.candidates(left):
+            yield left, right

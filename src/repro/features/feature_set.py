@@ -1,0 +1,129 @@
+"""Feature sets: the state representation of Section 4.1.
+
+A *feature* is a pair of predicates ``(p1, p2)`` — one from each dataset —
+and its *value* is the similarity score of the corresponding attribute
+values. The *state feature set* of a link keeps, for every predicate of the
+entity with more attributes, its best-matching predicate on the other side
+(the "maximum value for each row … or each column" rule), after discarding
+scores below the threshold θ.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.errors import FeatureSpaceError
+from repro.rdf.entity import Entity
+from repro.rdf.terms import URIRef
+from repro.similarity.generic import best_object_similarity
+
+#: A feature key: (predicate from dataset 1, predicate from dataset 2).
+FeatureKey = tuple[URIRef, URIRef]
+
+#: Default feature-score threshold θ (paper Section 6.1).
+DEFAULT_THETA = 0.3
+
+
+class FeatureSet(Mapping[FeatureKey, float]):
+    """An immutable mapping from feature keys to similarity scores in (0, 1]."""
+
+    __slots__ = ("_features", "_hash")
+
+    def __init__(self, features: Mapping[FeatureKey, float]):
+        for key, score in features.items():
+            if not (0.0 <= score <= 1.0):
+                raise FeatureSpaceError(f"feature score out of range for {key}: {score}")
+        self._features = dict(features)
+        self._hash: int | None = None
+
+    def __reduce__(self):  # slots + lazy hash need explicit pickling
+        return (FeatureSet, (self._features,))
+
+    def __getitem__(self, key: FeatureKey) -> float:
+        return self._features[key]
+
+    def __iter__(self) -> Iterator[FeatureKey]:
+        return iter(self._features)
+
+    def __len__(self) -> int:
+        return len(self._features)
+
+    def keys_sorted(self) -> list[FeatureKey]:
+        """Feature keys in deterministic order (for reproducible policies)."""
+        return sorted(self._features, key=lambda k: (k[0].value, k[1].value))
+
+    def best_feature(self) -> FeatureKey | None:
+        """The highest-scoring feature, ties broken deterministically."""
+        if not self._features:
+            return None
+        return max(
+            self._features,
+            key=lambda k: (self._features[k], k[0].value, k[1].value),
+        )
+
+    def __hash__(self):
+        if self._hash is None:
+            self._hash = hash(frozenset(self._features.items()))
+        return self._hash
+
+    def __eq__(self, other):
+        if not isinstance(other, FeatureSet):
+            return NotImplemented
+        return self._features == other._features
+
+    def __repr__(self):
+        parts = ", ".join(
+            f"({k[0].local_name},{k[1].local_name})={v:.2f}"
+            for k, v in sorted(self._features.items(), key=lambda kv: -kv[1])
+        )
+        return f"FeatureSet({parts})"
+
+
+def similarity_matrix(entity1: Entity, entity2: Entity, theta: float = DEFAULT_THETA) -> dict[FeatureKey, float]:
+    """All predicate-pair scores ≥ θ between two entities.
+
+    An element is ``((p1, p2), score)`` with ``score = sim(o1, o2)`` taken as
+    the best pairing of the attributes' (possibly multiple) objects.
+    """
+    matrix: dict[FeatureKey, float] = {}
+    for p1, objects1 in entity1.attributes.items():
+        for p2, objects2 in entity2.attributes.items():
+            score = best_object_similarity(objects1, objects2)
+            if score >= theta:
+                matrix[(p1, p2)] = score
+    return matrix
+
+
+def build_feature_set(
+    entity1: Entity, entity2: Entity, theta: float = DEFAULT_THETA
+) -> FeatureSet | None:
+    """State feature set of the pair (entity1, entity2), or None when empty.
+
+    Follows the paper's rule: with *n* predicates on the first entity and
+    *m* on the second, keep the maximum per row (each ``p1``) when n > m,
+    else the maximum per column (each ``p2``). Pairs with no feature
+    passing θ are dropped from the space entirely (Section 6.1).
+    """
+    matrix = similarity_matrix(entity1, entity2, theta)
+    if not matrix:
+        return None
+    reduced: dict[FeatureKey, float] = {}
+    if entity1.arity > entity2.arity:
+        best_for_row: dict[URIRef, FeatureKey] = {}
+        for (p1, p2), score in matrix.items():
+            current = best_for_row.get(p1)
+            if current is None or score > matrix[current] or (
+                score == matrix[current] and (p2.value < current[1].value)
+            ):
+                best_for_row[p1] = (p1, p2)
+        reduced = {key: matrix[key] for key in best_for_row.values()}
+    else:
+        best_for_col: dict[URIRef, FeatureKey] = {}
+        for (p1, p2), score in matrix.items():
+            current = best_for_col.get(p2)
+            if current is None or score > matrix[current] or (
+                score == matrix[current] and (p1.value < current[0].value)
+            ):
+                best_for_col[p2] = (p1, p2)
+        reduced = {key: matrix[key] for key in best_for_col.values()}
+    return FeatureSet(reduced)

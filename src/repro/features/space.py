@@ -1,0 +1,199 @@
+"""The θ-filtered space of potential links with per-feature range indexes.
+
+This is the environment ALEX explores (Sections 4.2 and 6.1). The space maps
+every surviving entity pair to its feature set, and keeps for each feature
+key a score-sorted index so an exploration action — "all links whose feature
+``(p1, p2)`` scores within ``[v−δ, v+δ]``" — is two binary searches plus a
+slice, independent of the space size.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import FeatureSpaceError
+from repro.features.blocking import blocked_pairs
+from repro.features.feature_set import DEFAULT_THETA, FeatureKey, FeatureSet, build_feature_set
+from repro.links import Link
+from repro.rdf.entity import Entity, entities_of
+from repro.rdf.graph import Graph
+from repro.rdf.terms import URIRef
+
+
+class FeatureSpace:
+    """All candidate pairs that pass θ, with fast per-feature range queries."""
+
+    def __init__(self, theta: float = DEFAULT_THETA):
+        if not (0.0 <= theta <= 1.0):
+            raise FeatureSpaceError(f"theta must be in [0,1], got {theta}")
+        self.theta = theta
+        self._feature_sets: dict[Link, FeatureSet] = {}
+        #: per-feature sorted lists of (score, link); parallel score arrays
+        #: for bisect.
+        self._index: dict[FeatureKey, list[tuple[float, Link]]] = {}
+        self._scores_only: dict[FeatureKey, list[float]] = {}
+        self._total_pairs_considered = 0
+        self._frozen = False
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(
+        cls,
+        left: Graph | Iterable[Entity],
+        right: Graph | Iterable[Entity],
+        theta: float = DEFAULT_THETA,
+        use_blocking: bool = True,
+    ) -> "FeatureSpace":
+        """Build the space between two datasets.
+
+        ``use_blocking=False`` scores *every* pair (the naive quadratic
+        construction of Section 6.1, kept for the filtering experiment and
+        the blocking ablation).
+        """
+        left_entities = list(entities_of(left) if isinstance(left, Graph) else left)
+        right_entities = list(entities_of(right) if isinstance(right, Graph) else right)
+        space = cls(theta)
+        if use_blocking:
+            pairs: Iterable[tuple[Entity, Entity]] = blocked_pairs(left_entities, right_entities)
+        else:
+            pairs = (
+                (l, r) for l in left_entities for r in right_entities
+            )
+        for left_entity, right_entity in pairs:
+            space.add_pair(left_entity, right_entity)
+        space._total_pairs_considered = len(left_entities) * len(right_entities)
+        space.freeze()
+        return space
+
+    def add_pair(self, left_entity: Entity, right_entity: Entity) -> FeatureSet | None:
+        """Score one pair and admit it when any feature passes θ."""
+        if self._frozen:
+            raise FeatureSpaceError("cannot add pairs to a frozen FeatureSpace")
+        if not isinstance(left_entity.uri, URIRef) or not isinstance(right_entity.uri, URIRef):
+            return None
+        link = Link(left_entity.uri, right_entity.uri)
+        if link in self._feature_sets:
+            return self._feature_sets[link]
+        feature_set = build_feature_set(left_entity, right_entity, self.theta)
+        if feature_set is None:
+            return None
+        self._feature_sets[link] = feature_set
+        for key, score in feature_set.items():
+            self._index.setdefault(key, []).append((score, link))
+        return feature_set
+
+    def freeze(self) -> None:
+        """Sort the range indexes; the space becomes read-only."""
+        for key, entries in self._index.items():
+            entries.sort(key=lambda entry: (entry[0], entry[1].left.value, entry[1].right.value))
+            self._scores_only[key] = [score for score, _ in entries]
+        self._frozen = True
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def feature_set(self, link: Link) -> FeatureSet | None:
+        """The feature set of a link, or None when the pair is not in the
+        (filtered) space."""
+        return self._feature_sets.get(link)
+
+    def explore(self, key: FeatureKey, center: float, step: float) -> list[Link]:
+        """All links whose ``key`` feature scores within ``[center−step,
+        center+step]`` — the action of Section 4.2."""
+        if not self._frozen:
+            raise FeatureSpaceError("freeze() the space before exploring")
+        entries = self._index.get(key)
+        if not entries:
+            return []
+        scores = self._scores_only[key]
+        low = bisect.bisect_left(scores, center - step)
+        high = bisect.bisect_right(scores, center + step)
+        return [link for _, link in entries[low:high]]
+
+    def feature_keys(self) -> list[FeatureKey]:
+        return sorted(self._index, key=lambda k: (k[0].value, k[1].value))
+
+    def links(self) -> Iterator[Link]:
+        return iter(self._feature_sets)
+
+    def links_of_left(self, left: URIRef) -> list[Link]:
+        return [link for link in self._feature_sets if link.left == left]
+
+    @property
+    def size(self) -> int:
+        """Number of pairs surviving the θ filter."""
+        return len(self._feature_sets)
+
+    @property
+    def total_pairs_considered(self) -> int:
+        """|D1| × |D2| — the unfiltered space size (Figure 5a baseline)."""
+        return self._total_pairs_considered
+
+    def __contains__(self, link: Link) -> bool:
+        return link in self._feature_sets
+
+    def __len__(self) -> int:
+        return len(self._feature_sets)
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def save(self, path: str) -> None:
+        """Write the (frozen) space to a file; loading skips the rebuild.
+
+        Space construction dominates pipeline start-up on larger datasets;
+        a deployment builds once and reloads across restarts (the engine
+        state has its own JSON persistence in :mod:`repro.core.persistence`).
+        """
+        import pickle
+
+        if not self._frozen:
+            raise FeatureSpaceError("freeze() the space before saving")
+        with open(path, "wb") as handle:
+            pickle.dump({"format": 1, "space": self}, handle)
+
+    @classmethod
+    def load(cls, path: str) -> "FeatureSpace":
+        """Read a space written by :meth:`save`."""
+        import pickle
+
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        if not isinstance(payload, dict) or payload.get("format") != 1:
+            raise FeatureSpaceError(f"unrecognized feature-space file: {path!r}")
+        space = payload["space"]
+        if not isinstance(space, cls):
+            raise FeatureSpaceError(f"file does not contain a FeatureSpace: {path!r}")
+        return space
+
+    def __repr__(self):
+        return (
+            f"<FeatureSpace θ={self.theta}: {len(self._feature_sets)} pairs, "
+            f"{len(self._index)} feature keys>"
+        )
+
+
+def merge_spaces(spaces: Iterable[FeatureSpace]) -> FeatureSpace:
+    """Union of partition spaces (used to report whole-dataset metrics)."""
+    spaces = list(spaces)
+    if not spaces:
+        raise FeatureSpaceError("cannot merge zero spaces")
+    theta = spaces[0].theta
+    merged = FeatureSpace(theta)
+    for space in spaces:
+        if space.theta != theta:
+            raise FeatureSpaceError("cannot merge spaces with different theta")
+        for link, feature_set in space._feature_sets.items():
+            if link not in merged._feature_sets:
+                merged._feature_sets[link] = feature_set
+                for key, score in feature_set.items():
+                    merged._index.setdefault(key, []).append((score, link))
+    merged._total_pairs_considered = sum(s.total_pairs_considered for s in spaces)
+    merged.freeze()
+    return merged

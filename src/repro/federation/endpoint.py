@@ -1,0 +1,86 @@
+"""A SPARQL endpoint abstraction over a local graph.
+
+In the paper's architecture each RDF dataset sits behind its own SPARQL
+endpoint and a federated engine (FedX) spans them. Here an
+:class:`Endpoint` simulates a remote endpoint: all access goes through the
+query-shaped interface (pattern matching, ASK probes), request counters
+record traffic, and the set of predicates served is exposed for
+source selection exactly like FedX's ASK-based source pruning.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Term
+from repro.rdf.triples import Triple
+from repro.sparql.ast import SelectQuery, TriplePattern, Var
+from repro.sparql.eval import QueryResult, Solution, evaluate_select, match_pattern
+from repro.sparql.parser import parse_query
+
+
+class Endpoint:
+    """One federation member: a named dataset with request accounting."""
+
+    def __init__(self, graph: Graph, name: str | None = None):
+        self.graph = graph
+        self.name = name if name is not None else (graph.name or "endpoint")
+        self.request_count = 0
+        self._predicates: frozenset[Term] | None = None
+
+    # -- capability probing (source selection) ----------------------------- #
+
+    @property
+    def predicates(self) -> frozenset[Term]:
+        """The predicates this endpoint serves (cached)."""
+        if self._predicates is None:
+            self._predicates = frozenset(self.graph.predicates())
+        return self._predicates
+
+    def invalidate_capabilities(self) -> None:
+        """Drop the predicate cache after graph mutation."""
+        self._predicates = None
+
+    def can_answer(self, pattern: TriplePattern) -> bool:
+        """ASK-style probe: could this endpoint match ``pattern`` at all?"""
+        self.request_count += 1
+        if not isinstance(pattern.predicate, Var):
+            return pattern.predicate in self.predicates
+        return len(self.graph) > 0
+
+    # -- query interface ------------------------------------------------------ #
+
+    def match(self, pattern: TriplePattern, solutions: list[Solution]) -> Iterator[Solution]:
+        """Bound-join entry point: extend ``solutions`` with local matches."""
+        self.request_count += 1
+        yield from match_pattern(self.graph, pattern, solutions)
+
+    def match_group(
+        self, patterns: list[TriplePattern], solutions: list[Solution]
+    ) -> Iterator[Solution]:
+        """Evaluate several patterns as ONE subquery (an exclusive group).
+
+        The whole conjunction joins locally and costs a single request —
+        FedX's exclusive-group optimization.
+        """
+        self.request_count += 1
+        streams: Iterator[Solution] = iter(solutions)
+        for pattern in patterns:
+            streams = match_pattern(self.graph, pattern, streams)
+        yield from streams
+
+    def select(self, query_text: str) -> QueryResult:
+        """Run a full SELECT locally (used by examples and tests)."""
+        self.request_count += 1
+        parsed = parse_query(query_text)
+        if not isinstance(parsed, SelectQuery):
+            raise TypeError("Endpoint.select requires a SELECT query")
+        return evaluate_select(self.graph, parsed)
+
+    def contains(self, triple: Triple) -> bool:
+        self.request_count += 1
+        return triple in self.graph
+
+    def __repr__(self):
+        return f"<Endpoint {self.name!r} ({len(self.graph)} triples)>"

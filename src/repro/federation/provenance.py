@@ -1,0 +1,69 @@
+"""Provenance of federated answers: which links produced which rows.
+
+The crux of ALEX's feedback loop (paper Section 3.2): when a user approves or
+rejects a *query answer*, the system must translate that into feedback on the
+*links* that produced the answer. :class:`ProvenancedSolution` pairs a
+solution with the set of links it traversed, and :class:`FederatedResult`
+exposes rows together with their provenance so a UI (or our feedback
+simulator) can route per-answer feedback to per-link feedback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.links import Link
+from repro.rdf.terms import Term
+from repro.sparql.ast import Var
+from repro.sparql.eval import Solution
+
+
+@dataclass
+class ProvenancedSolution:
+    """One solution plus the sameAs links used to derive it."""
+
+    bindings: Solution
+    links_used: frozenset[Link] = frozenset()
+
+    def extend(self, bindings: Solution, extra_links: frozenset[Link] = frozenset()) -> "ProvenancedSolution":
+        return ProvenancedSolution(bindings, self.links_used | extra_links)
+
+    def get(self, var: Var) -> Term | None:
+        return self.bindings.get(var)
+
+
+class FederatedResult:
+    """Rows of a federated SELECT, each carrying its link provenance."""
+
+    def __init__(self, variables: list[Var], rows: list[ProvenancedSolution]):
+        self.variables = variables
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[ProvenancedSolution]:
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def as_tuples(self) -> list[tuple]:
+        return [tuple(row.bindings.get(v) for v in self.variables) for row in self.rows]
+
+    def links_used(self) -> frozenset[Link]:
+        """Union of links used across all rows."""
+        out: frozenset[Link] = frozenset()
+        for row in self.rows:
+            out |= row.links_used
+        return out
+
+    def cross_dataset_rows(self) -> list[ProvenancedSolution]:
+        """Rows whose derivation crossed a link — the ones eligible for
+        link feedback in ALEX."""
+        return [row for row in self.rows if row.links_used]
+
+    def __repr__(self):
+        crossed = sum(1 for row in self.rows if row.links_used)
+        return f"<FederatedResult {len(self.rows)} rows ({crossed} link-derived)>"

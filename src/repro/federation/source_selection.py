@@ -1,0 +1,70 @@
+"""Per-pattern source selection, in the style of FedX.
+
+Before execution, the planner asks each endpoint whether it could match each
+triple pattern (predicate-membership probe, mirroring FedX's cached ASK
+queries). Patterns answerable by exactly one endpoint are *exclusive* and can
+be grouped; patterns answerable by several must be evaluated against each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FederationError
+from repro.federation.endpoint import Endpoint
+from repro.sparql.ast import BGP, TriplePattern
+
+
+@dataclass(frozen=True)
+class SourceAssignment:
+    """Which endpoints are relevant for one triple pattern."""
+
+    pattern: TriplePattern
+    endpoints: tuple[Endpoint, ...]
+
+    @property
+    def exclusive(self) -> bool:
+        return len(self.endpoints) == 1
+
+
+def select_sources(bgp: BGP, endpoints: list[Endpoint]) -> list[SourceAssignment]:
+    """Assign relevant endpoints to every pattern of ``bgp``.
+
+    Raises :class:`FederationError` when a pattern matches no endpoint at
+    all — such a query can only ever return the empty result, and surfacing
+    it loudly catches schema typos early.
+    """
+    if not endpoints:
+        raise FederationError("no endpoints registered")
+    assignments: list[SourceAssignment] = []
+    for pattern in bgp.patterns:
+        relevant = tuple(ep for ep in endpoints if ep.can_answer(pattern))
+        if not relevant:
+            raise FederationError(f"no endpoint can answer pattern: {pattern}")
+        assignments.append(SourceAssignment(pattern, relevant))
+    return assignments
+
+
+def exclusive_groups(assignments: list[SourceAssignment]) -> list[list[SourceAssignment]]:
+    """Group *consecutive* exclusive patterns with the same single source.
+
+    FedX ships exclusive groups to their endpoint as one subquery; we keep
+    the same grouping to minimize round trips (visible in request counters).
+    """
+    groups: list[list[SourceAssignment]] = []
+    current: list[SourceAssignment] = []
+    for assignment in assignments:
+        if (
+            assignment.exclusive
+            and current
+            and current[-1].exclusive
+            and current[-1].endpoints[0] is assignment.endpoints[0]
+        ):
+            current.append(assignment)
+        else:
+            if current:
+                groups.append(current)
+            current = [assignment]
+    if current:
+        groups.append(current)
+    return groups

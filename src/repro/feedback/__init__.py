@@ -1,0 +1,18 @@
+"""Simulated user feedback: oracles and sessions driving ALEX."""
+
+from repro.feedback.crowd import MajorityVoteOracle
+from repro.feedback.oracle import FeedbackOracle, GroundTruthOracle, NoisyOracle
+from repro.feedback.session import FeedbackSession, QueryFeedbackSession
+from repro.feedback.workload import QueryWorkloadGenerator, WorkloadQuery, WorkloadSession
+
+__all__ = [
+    "FeedbackOracle",
+    "FeedbackSession",
+    "GroundTruthOracle",
+    "MajorityVoteOracle",
+    "NoisyOracle",
+    "QueryFeedbackSession",
+    "QueryWorkloadGenerator",
+    "WorkloadQuery",
+    "WorkloadSession",
+]

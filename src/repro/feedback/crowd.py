@@ -1,0 +1,78 @@
+"""Crowd feedback: aggregating judgements from several imperfect users.
+
+The paper (Section 6.3) suggests refining feedback "obtained from a large
+number of users (e.g., using techniques from [16])" — McCann et al.'s
+community-based matching. :class:`MajorityVoteOracle` simulates that setup:
+``panel_size`` users with independent error rates judge each link, and the
+majority verdict wins. With odd panels and error rates below 0.5 the
+aggregate error rate drops exponentially with the panel size (Condorcet),
+which :mod:`benchmarks.bench_crowd_feedback` measures against ALEX quality.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.errors import ConfigError
+from repro.feedback.oracle import FeedbackOracle
+from repro.links import Link
+
+
+class MajorityVoteOracle:
+    """A panel of noisy users; the majority verdict is returned.
+
+    ``error_rates`` gives each panelist's probability of judging wrongly;
+    passing a single float replicates it across ``panel_size`` users.
+    """
+
+    def __init__(
+        self,
+        inner: FeedbackOracle,
+        panel_size: int = 3,
+        error_rates: float | Sequence[float] = 0.1,
+        seed: int = 0,
+    ):
+        if panel_size < 1 or panel_size % 2 == 0:
+            raise ConfigError(f"panel_size must be a positive odd number, got {panel_size}")
+        if isinstance(error_rates, (int, float)):
+            rates = [float(error_rates)] * panel_size
+        else:
+            rates = [float(rate) for rate in error_rates]
+        if len(rates) != panel_size:
+            raise ConfigError(
+                f"need {panel_size} error rates, got {len(rates)}"
+            )
+        for rate in rates:
+            if not (0.0 <= rate < 0.5):
+                raise ConfigError(
+                    f"per-user error rates must be in [0, 0.5) for majority "
+                    f"voting to help, got {rate}"
+                )
+        self.inner = inner
+        self.error_rates = rates
+        self.rng = random.Random(seed)
+        self.votes_cast = 0
+
+    def judge(self, link: Link) -> bool:
+        truth = self.inner.judge(link)
+        approvals = 0
+        for rate in self.error_rates:
+            vote = truth if self.rng.random() >= rate else not truth
+            self.votes_cast += 1
+            if vote:
+                approvals += 1
+        return approvals * 2 > len(self.error_rates)
+
+    def effective_error_rate(self, samples: int = 10000, seed: int = 1) -> float:
+        """Monte-Carlo estimate of the panel's aggregate error rate."""
+        rng = random.Random(seed)
+        errors = 0
+        for _ in range(samples):
+            approvals = 0
+            for rate in self.error_rates:
+                if rng.random() >= rate:
+                    approvals += 1
+            if approvals * 2 <= len(self.error_rates):
+                errors += 1
+        return errors / samples

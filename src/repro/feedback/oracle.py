@@ -1,0 +1,55 @@
+"""Feedback oracles: simulated users judging links.
+
+The paper's evaluation generates feedback by sampling a random candidate
+link and comparing it against the ground truth (Section 7.1, "Generating
+Feedback"); Appendix C studies a 10%-incorrect variant. Both oracles live
+here. In a deployment these would be real users approving/rejecting
+federated query answers — see :mod:`repro.feedback.session` for the
+query-level route.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Protocol
+
+from repro.errors import ConfigError
+from repro.links import Link, LinkSet
+
+
+class FeedbackOracle(Protocol):
+    """Anything that can judge a link."""
+
+    def judge(self, link: Link) -> bool:
+        """True = approve (link is correct), False = reject."""
+        ...
+
+
+class GroundTruthOracle:
+    """Judges links by exact membership in the ground-truth link set."""
+
+    def __init__(self, ground_truth: LinkSet | Iterable[Link]):
+        self.ground_truth = (
+            ground_truth if isinstance(ground_truth, LinkSet) else LinkSet(ground_truth)
+        )
+
+    def judge(self, link: Link) -> bool:
+        return link in self.ground_truth
+
+
+class NoisyOracle:
+    """Wraps an oracle and flips each judgement with probability
+    ``error_rate`` (Appendix C uses 0.1)."""
+
+    def __init__(self, inner: FeedbackOracle, error_rate: float, seed: int = 0):
+        if not (0.0 <= error_rate < 1.0):
+            raise ConfigError(f"error_rate must be in [0, 1), got {error_rate}")
+        self.inner = inner
+        self.error_rate = error_rate
+        self.rng = random.Random(seed)
+
+    def judge(self, link: Link) -> bool:
+        verdict = self.inner.judge(link)
+        if self.rng.random() < self.error_rate:
+            return not verdict
+        return verdict

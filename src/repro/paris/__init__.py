@@ -1,0 +1,13 @@
+"""Simplified PARIS: probabilistic instance alignment for initial links."""
+
+from repro.paris.align import DEFAULT_EVIDENCE_TAU, ParisAligner, paris_links
+from repro.paris.model import RelationStatistics, ValueIndex, literal_key
+
+__all__ = [
+    "DEFAULT_EVIDENCE_TAU",
+    "ParisAligner",
+    "RelationStatistics",
+    "ValueIndex",
+    "literal_key",
+    "paris_links",
+]

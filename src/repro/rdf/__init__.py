@@ -1,0 +1,48 @@
+"""RDF substrate: terms, triples, graphs, namespaces, and serializations."""
+
+from repro.rdf.dataset import Dataset, Quad
+from repro.rdf.entity import Entity, entities_of
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import (
+    DC,
+    FOAF,
+    OWL,
+    OWL_SAMEAS,
+    RDF,
+    RDF_TYPE,
+    RDFS,
+    RDFS_LABEL,
+    SKOS,
+    Namespace,
+    NamespaceManager,
+)
+from repro.rdf.stats import GraphStatistics, graph_statistics
+from repro.rdf.terms import BNode, Literal, Term, URIRef, infer_literal
+from repro.rdf.triples import Triple
+
+__all__ = [
+    "BNode",
+    "DC",
+    "Dataset",
+    "Entity",
+    "FOAF",
+    "Graph",
+    "GraphStatistics",
+    "Literal",
+    "Namespace",
+    "NamespaceManager",
+    "OWL",
+    "Quad",
+    "OWL_SAMEAS",
+    "RDF",
+    "RDF_TYPE",
+    "RDFS",
+    "RDFS_LABEL",
+    "SKOS",
+    "Term",
+    "Triple",
+    "URIRef",
+    "entities_of",
+    "graph_statistics",
+    "infer_literal",
+]

@@ -1,0 +1,124 @@
+"""RDF datasets: a default graph plus named graphs.
+
+An RDF *dataset* groups several graphs under one roof — exactly the shape of
+a federation snapshot: each member dataset is a named graph, and the
+candidate ``owl:sameAs`` links can live in the default graph. Together with
+:mod:`repro.rdf.nquads` this lets one file round-trip an entire linking
+setup, and :meth:`Dataset.as_endpoints` turns the named graphs straight
+into federation endpoints.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, NamedTuple
+
+from repro.errors import RDFError
+from repro.rdf.graph import Graph
+from repro.rdf.terms import URIRef
+from repro.rdf.triples import Object, Predicate, Subject, Triple
+
+
+class Quad(NamedTuple):
+    """A triple plus the graph it belongs to (None = default graph)."""
+
+    subject: Subject
+    predicate: Predicate
+    object: Object
+    graph_name: URIRef | None = None
+
+    @property
+    def triple(self) -> Triple:
+        return Triple(self.subject, self.predicate, self.object)
+
+
+class Dataset:
+    """A collection of graphs addressable by name."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.default = Graph(name="default")
+        self._named: dict[URIRef, Graph] = {}
+
+    # -- graph management ------------------------------------------------ #
+
+    def graph(self, name: URIRef | None = None) -> Graph:
+        """The graph with ``name`` (created on first access); None = default."""
+        if name is None:
+            return self.default
+        if not isinstance(name, URIRef):
+            raise RDFError(f"graph names must be URIRefs, got {type(name).__name__}")
+        graph = self._named.get(name)
+        if graph is None:
+            graph = Graph(name=name.value)
+            self._named[name] = graph
+        return graph
+
+    def graph_names(self) -> list[URIRef]:
+        return sorted(self._named, key=lambda n: n.value)
+
+    def has_graph(self, name: URIRef) -> bool:
+        return name in self._named
+
+    def remove_graph(self, name: URIRef) -> bool:
+        """Drop a named graph entirely; returns True when it existed."""
+        return self._named.pop(name, None) is not None
+
+    # -- quad interface --------------------------------------------------- #
+
+    def add(self, quad: Quad) -> bool:
+        return self.graph(quad.graph_name).add(quad.triple)
+
+    def add_all(self, quads: Iterable[Quad]) -> int:
+        return sum(1 for quad in quads if self.add(quad))
+
+    def remove(self, quad: Quad) -> bool:
+        if quad.graph_name is not None and quad.graph_name not in self._named:
+            return False
+        return self.graph(quad.graph_name).remove(quad.triple)
+
+    def quads(
+        self,
+        subject: Subject | None = None,
+        predicate: Predicate | None = None,
+        object: Object | None = None,
+        graph_name: URIRef | None = None,
+    ) -> Iterator[Quad]:
+        """All quads matching the pattern; ``graph_name=None`` spans every
+        graph (including the default)."""
+        if graph_name is not None:
+            graph = self._named.get(graph_name)
+            if graph is None:
+                return
+            for triple in graph.triples(subject, predicate, object):
+                yield Quad(*triple, graph_name)
+            return
+        for triple in self.default.triples(subject, predicate, object):
+            yield Quad(*triple, None)
+        for name in self.graph_names():
+            for triple in self._named[name].triples(subject, predicate, object):
+                yield Quad(*triple, name)
+
+    def union(self) -> Graph:
+        """One merged graph over the default and all named graphs."""
+        merged = self.default.copy(name=f"{self.name or 'dataset'}-union")
+        for graph in self._named.values():
+            merged.add_all(graph.triples())
+        return merged
+
+    # -- federation tie-in --------------------------------------------------- #
+
+    def as_endpoints(self):
+        """One federation :class:`~repro.federation.endpoint.Endpoint` per
+        named graph — a dataset file becomes a federation in one call."""
+        from repro.federation.endpoint import Endpoint
+
+        return [Endpoint(self._named[name], name.value) for name in self.graph_names()]
+
+    def __len__(self) -> int:
+        return len(self.default) + sum(len(graph) for graph in self._named.values())
+
+    def __repr__(self):
+        return (
+            f"<Dataset {self.name!r}: default {len(self.default)} triples, "
+            f"{len(self._named)} named graphs, {len(self)} total>"
+        )

@@ -1,0 +1,93 @@
+"""Entity views: the attribute-centric reading of an RDF subject.
+
+The paper represents an entity as a set of attributes — (predicate, object)
+pairs (Section 4.1). :class:`Entity` wraps one subject of a
+:class:`~repro.rdf.graph.Graph` and exposes exactly that view, which is what
+the similarity matrix and feature-set builders consume.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Literal, URIRef
+from repro.rdf.triples import Object, Predicate, Subject
+
+
+class Entity:
+    """A snapshot of one subject's attributes.
+
+    ``attributes`` maps each predicate to the tuple of its objects. The
+    snapshot is taken at construction; later graph mutation does not affect
+    an existing view (deliberate: feature sets must be stable within an
+    episode).
+    """
+
+    __slots__ = ("uri", "attributes")
+
+    def __init__(self, uri: Subject, attributes: Mapping[Predicate, tuple[Object, ...]]):
+        self.uri = uri
+        self.attributes = dict(attributes)
+
+    @classmethod
+    def from_graph(cls, graph: Graph, uri: Subject) -> "Entity":
+        """Materialize the attribute view of ``uri`` from ``graph``."""
+        attrs: dict[Predicate, list[Object]] = {}
+        for pred, obj in graph.predicate_objects(uri):
+            attrs.setdefault(pred, []).append(obj)
+        return cls(uri, {p: tuple(sorted(objs, key=_object_sort_key)) for p, objs in attrs.items()})
+
+    @property
+    def predicates(self) -> tuple[Predicate, ...]:
+        return tuple(self.attributes.keys())
+
+    @property
+    def arity(self) -> int:
+        """Number of distinct predicates (the *n*/*m* of Section 4.1)."""
+        return len(self.attributes)
+
+    def objects(self, predicate: Predicate) -> tuple[Object, ...]:
+        return self.attributes.get(predicate, ())
+
+    def literal_values(self, predicate: Predicate) -> tuple[Literal, ...]:
+        return tuple(o for o in self.objects(predicate) if isinstance(o, Literal))
+
+    def pairs(self) -> Iterator[tuple[Predicate, Object]]:
+        for pred, objs in self.attributes.items():
+            for obj in objs:
+                yield pred, obj
+
+    def __contains__(self, predicate: Predicate) -> bool:
+        return predicate in self.attributes
+
+    def __len__(self) -> int:
+        return sum(len(objs) for objs in self.attributes.values())
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Entity)
+            and self.uri == other.uri
+            and self.attributes == other.attributes
+        )
+
+    def __hash__(self):
+        return hash(("Entity", self.uri))
+
+    def __repr__(self):
+        return f"<Entity {self.uri} with {self.arity} predicates>"
+
+
+def _object_sort_key(obj: Object) -> tuple[int, str]:
+    """Deterministic ordering across mixed term types."""
+    if isinstance(obj, URIRef):
+        return (0, obj.value)
+    if isinstance(obj, Literal):
+        return (1, obj.lexical)
+    return (2, str(obj))
+
+
+def entities_of(graph: Graph) -> Iterator[Entity]:
+    """Yield the attribute view of every subject in ``graph``."""
+    for uri in graph.entities():
+        yield Entity.from_graph(graph, uri)

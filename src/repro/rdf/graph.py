@@ -1,0 +1,258 @@
+"""An in-memory, indexed RDF triple store.
+
+:class:`Graph` maintains three nested-dict indexes (SPO, POS, OSP) so any
+triple pattern — with any combination of bound and wildcard positions — is
+answered by direct index lookups rather than scans. This is the substrate
+under the SPARQL evaluator, the federation endpoints, PARIS, and the feature
+space builder.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from repro.errors import RDFError
+from repro.rdf.terms import BNode, Literal, Term, URIRef
+from repro.rdf.triples import Object, Predicate, Subject, Triple
+
+
+class Graph:
+    """A set of RDF triples with full pattern-match indexing.
+
+    The three indexes cover all eight bound/unbound pattern shapes:
+
+    ========  ==========================
+    pattern   served by
+    ========  ==========================
+    s p o     SPO (membership probe)
+    s p ?     SPO
+    s ? o     SPO then filter on o
+    s ? ?     SPO
+    ? p o     POS
+    ? p ?     POS
+    ? ? o     OSP
+    ? ? ?     iterate SPO
+    ========  ==========================
+    """
+
+    def __init__(self, name: str = "", triples: Iterable[Triple] | None = None):
+        self.name = name
+        self._spo: dict[Subject, dict[Predicate, set[Object]]] = defaultdict(
+            lambda: defaultdict(set)
+        )
+        self._pos: dict[Predicate, dict[Object, set[Subject]]] = defaultdict(
+            lambda: defaultdict(set)
+        )
+        self._osp: dict[Object, dict[Subject, set[Predicate]]] = defaultdict(
+            lambda: defaultdict(set)
+        )
+        self._size = 0
+        if triples is not None:
+            self.add_all(triples)
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def add(self, triple: Triple) -> bool:
+        """Add a triple. Returns True if the triple was new."""
+        s, p, o = Triple.create(*triple)
+        if o in self._spo[s][p]:
+            return False
+        self._spo[s][p].add(o)
+        self._pos[p][o].add(s)
+        self._osp[o][s].add(p)
+        self._size += 1
+        return True
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Add many triples; returns how many were new."""
+        return sum(1 for t in triples if self.add(t))
+
+    def remove(self, triple: Triple) -> bool:
+        """Remove a triple. Returns True if it was present."""
+        s, p, o = triple
+        if s not in self._spo or p not in self._spo[s] or o not in self._spo[s][p]:
+            return False
+        self._spo[s][p].discard(o)
+        if not self._spo[s][p]:
+            del self._spo[s][p]
+            if not self._spo[s]:
+                del self._spo[s]
+        self._pos[p][o].discard(s)
+        if not self._pos[p][o]:
+            del self._pos[p][o]
+            if not self._pos[p]:
+                del self._pos[p]
+        self._osp[o][s].discard(p)
+        if not self._osp[o][s]:
+            del self._osp[o][s]
+            if not self._osp[o]:
+                del self._osp[o]
+        self._size -= 1
+        return True
+
+    def clear(self) -> None:
+        self._spo.clear()
+        self._pos.clear()
+        self._osp.clear()
+        self._size = 0
+
+    # ------------------------------------------------------------------ #
+    # Pattern matching
+    # ------------------------------------------------------------------ #
+
+    def triples(
+        self,
+        subject: Subject | None = None,
+        predicate: Predicate | None = None,
+        object: Object | None = None,
+    ) -> Iterator[Triple]:
+        """Yield all triples matching the pattern; ``None`` is a wildcard."""
+        s, p, o = subject, predicate, object
+        if s is not None:
+            by_pred = self._spo.get(s)
+            if by_pred is None:
+                return
+            if p is not None:
+                objects = by_pred.get(p)
+                if objects is None:
+                    return
+                if o is not None:
+                    if o in objects:
+                        yield Triple(s, p, o)
+                    return
+                for obj in objects:
+                    yield Triple(s, p, obj)
+                return
+            for pred, objects in by_pred.items():
+                if o is not None:
+                    if o in objects:
+                        yield Triple(s, pred, o)
+                else:
+                    for obj in objects:
+                        yield Triple(s, pred, obj)
+            return
+        if p is not None:
+            by_obj = self._pos.get(p)
+            if by_obj is None:
+                return
+            if o is not None:
+                for subj in by_obj.get(o, ()):
+                    yield Triple(subj, p, o)
+                return
+            for obj, subjects in by_obj.items():
+                for subj in subjects:
+                    yield Triple(subj, p, obj)
+            return
+        if o is not None:
+            by_subj = self._osp.get(o)
+            if by_subj is None:
+                return
+            for subj, preds in by_subj.items():
+                for pred in preds:
+                    yield Triple(subj, pred, o)
+            return
+        for subj, by_pred in self._spo.items():
+            for pred, objects in by_pred.items():
+                for obj in objects:
+                    yield Triple(subj, pred, obj)
+
+    def count(
+        self,
+        subject: Subject | None = None,
+        predicate: Predicate | None = None,
+        object: Object | None = None,
+    ) -> int:
+        """Count matches without materializing triples where possible."""
+        if subject is None and predicate is None and object is None:
+            return self._size
+        if subject is not None and predicate is not None and object is None:
+            return len(self._spo.get(subject, {}).get(predicate, ()))
+        if predicate is not None and subject is None and object is None:
+            by_obj = self._pos.get(predicate, {})
+            return sum(len(subjects) for subjects in by_obj.values())
+        return sum(1 for _ in self.triples(subject, predicate, object))
+
+    # ------------------------------------------------------------------ #
+    # Convenience accessors
+    # ------------------------------------------------------------------ #
+
+    def subjects(self, predicate: Predicate | None = None, object: Object | None = None) -> Iterator[Subject]:
+        if predicate is not None and object is not None:
+            yield from self._pos.get(predicate, {}).get(object, ())
+            return
+        seen: set[Subject] = set()
+        for triple in self.triples(None, predicate, object):
+            if triple.subject not in seen:
+                seen.add(triple.subject)
+                yield triple.subject
+
+    def predicates(self, subject: Subject | None = None, object: Object | None = None) -> Iterator[Predicate]:
+        if subject is None and object is None:
+            yield from self._pos.keys()
+            return
+        seen: set[Predicate] = set()
+        for triple in self.triples(subject, None, object):
+            if triple.predicate not in seen:
+                seen.add(triple.predicate)
+                yield triple.predicate
+
+    def objects(self, subject: Subject | None = None, predicate: Predicate | None = None) -> Iterator[Object]:
+        if subject is not None and predicate is not None:
+            yield from self._spo.get(subject, {}).get(predicate, ())
+            return
+        seen: set[Object] = set()
+        for triple in self.triples(subject, predicate, None):
+            if triple.object not in seen:
+                seen.add(triple.object)
+                yield triple.object
+
+    def value(self, subject: Subject, predicate: Predicate) -> Object | None:
+        """One arbitrary object for (subject, predicate), or None."""
+        for obj in self._spo.get(subject, {}).get(predicate, ()):
+            return obj
+        return None
+
+    def predicate_objects(self, subject: Subject) -> Iterator[tuple[Predicate, Object]]:
+        """All (predicate, object) pairs for a subject — the entity's attributes."""
+        for pred, objects in self._spo.get(subject, {}).items():
+            for obj in objects:
+                yield pred, obj
+
+    def entities(self) -> Iterator[Subject]:
+        """All distinct subjects in the graph."""
+        yield from self._spo.keys()
+
+    # ------------------------------------------------------------------ #
+    # Set-like protocol
+    # ------------------------------------------------------------------ #
+
+    def __contains__(self, triple: Triple) -> bool:
+        s, p, o = triple
+        return o in self._spo.get(s, {}).get(p, ())
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Triple]:
+        return self.triples()
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def copy(self, name: str | None = None) -> "Graph":
+        return Graph(name=name if name is not None else self.name, triples=self.triples())
+
+    def __or__(self, other: "Graph") -> "Graph":
+        """Union of two graphs as a new graph."""
+        if not isinstance(other, Graph):
+            raise RDFError("can only union Graph with Graph")
+        merged = self.copy()
+        merged.add_all(other.triples())
+        return merged
+
+    def __repr__(self):
+        label = f" {self.name!r}" if self.name else ""
+        return f"<Graph{label} with {self._size} triples>"

@@ -1,0 +1,136 @@
+"""Namespace handling and well-known vocabularies.
+
+A :class:`Namespace` mints :class:`~repro.rdf.terms.URIRef` terms via
+attribute or item access (``FOAF.name`` or ``FOAF["name"]``); a
+:class:`NamespaceManager` maps prefixes to namespaces for CURIE expansion and
+compaction in the Turtle and SPARQL front ends.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import RDFError
+from repro.rdf.terms import URIRef
+
+
+class Namespace:
+    """A URI prefix that mints terms: ``Namespace("http://x/")["name"]``."""
+
+    __slots__ = ("_base",)
+
+    def __init__(self, base: str):
+        if not base:
+            raise RDFError("namespace base must not be empty")
+        self._base = base
+
+    @property
+    def base(self) -> str:
+        return self._base
+
+    def term(self, name: str) -> URIRef:
+        return URIRef(self._base + name)
+
+    def __getitem__(self, name: str) -> URIRef:
+        return self.term(name)
+
+    def __getattr__(self, name: str) -> URIRef:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return self.term(name)
+
+    def __contains__(self, uri: URIRef | str) -> bool:
+        value = uri.value if isinstance(uri, URIRef) else uri
+        return value.startswith(self._base)
+
+    def __eq__(self, other):
+        return isinstance(other, Namespace) and self._base == other._base
+
+    def __hash__(self):
+        return hash(("Namespace", self._base))
+
+    def __repr__(self):
+        return f"Namespace({self._base!r})"
+
+
+# Well-known vocabularies used throughout the library.
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+XSD_NS = Namespace("http://www.w3.org/2001/XMLSchema#")
+FOAF = Namespace("http://xmlns.com/foaf/0.1/")
+DC = Namespace("http://purl.org/dc/elements/1.1/")
+SKOS = Namespace("http://www.w3.org/2004/02/skos/core#")
+
+#: The link predicate at the heart of the paper.
+OWL_SAMEAS = OWL.sameAs
+RDF_TYPE = RDF.type
+RDFS_LABEL = RDFS.label
+
+_DEFAULT_BINDINGS = {
+    "rdf": RDF,
+    "rdfs": RDFS,
+    "owl": OWL,
+    "xsd": XSD_NS,
+    "foaf": FOAF,
+    "dc": DC,
+    "skos": SKOS,
+}
+
+
+class NamespaceManager:
+    """Bidirectional prefix ↔ namespace registry.
+
+    Expansion (``expand("foaf:name")``) is exact; compaction
+    (``compact(uri)``) picks the longest matching namespace base.
+    """
+
+    def __init__(self, include_defaults: bool = True):
+        self._by_prefix: dict[str, Namespace] = {}
+        if include_defaults:
+            for prefix, namespace in _DEFAULT_BINDINGS.items():
+                self.bind(prefix, namespace)
+
+    def bind(self, prefix: str, namespace: Namespace | str) -> None:
+        """Register ``prefix`` for ``namespace``, replacing any prior binding."""
+        if isinstance(namespace, str):
+            namespace = Namespace(namespace)
+        self._by_prefix[prefix] = namespace
+
+    def namespace(self, prefix: str) -> Namespace:
+        try:
+            return self._by_prefix[prefix]
+        except KeyError:
+            raise RDFError(f"unbound prefix: {prefix!r}") from None
+
+    def expand(self, curie: str) -> URIRef:
+        """Expand a CURIE such as ``foaf:name`` to a full URIRef."""
+        if ":" not in curie:
+            raise RDFError(f"not a CURIE (missing colon): {curie!r}")
+        prefix, local = curie.split(":", 1)
+        return self.namespace(prefix).term(local)
+
+    def compact(self, uri: URIRef) -> str | None:
+        """Return ``prefix:local`` for ``uri``, or None when no prefix matches."""
+        best: tuple[int, str, str] | None = None
+        for prefix, namespace in self._by_prefix.items():
+            base = namespace.base
+            if uri.value.startswith(base) and len(uri.value) > len(base):
+                local = uri.value[len(base):]
+                # Locals containing separators would not round-trip.
+                if "/" in local or "#" in local:
+                    continue
+                if best is None or len(base) > best[0]:
+                    best = (len(base), prefix, local)
+        if best is None:
+            return None
+        return f"{best[1]}:{best[2]}"
+
+    def bindings(self) -> Iterator[tuple[str, Namespace]]:
+        return iter(sorted(self._by_prefix.items()))
+
+    def __contains__(self, prefix: str) -> bool:
+        return prefix in self._by_prefix
+
+    def __len__(self) -> int:
+        return len(self._by_prefix)

@@ -1,0 +1,80 @@
+"""N-Quads parsing and serialization.
+
+N-Quads is N-Triples with an optional fourth term naming the graph. One
+file can therefore carry a whole federation snapshot: the member datasets as
+named graphs and the candidate links in the default graph.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import IO, Iterable, Iterator
+
+from repro.rdf.dataset import Dataset, Quad
+from repro.rdf.ntriples import _LineScanner
+from repro.rdf.terms import URIRef
+
+
+def parse_line(line: str, line_no: int = 1) -> Quad | None:
+    """Parse one N-Quads line; returns None for blank/comment lines."""
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    scanner = _LineScanner(stripped, line_no)
+    subject = scanner.read_subject()
+    scanner.skip_ws()
+    predicate = scanner.read_uri()
+    scanner.skip_ws()
+    obj = scanner.read_object()
+    scanner.skip_ws()
+    graph_name: URIRef | None = None
+    if scanner.peek() == "<":
+        graph_name = scanner.read_uri()
+        scanner.skip_ws()
+    scanner.expect(".")
+    scanner.skip_ws()
+    if not scanner.at_end():
+        raise scanner.error("trailing characters after '.'")
+    return Quad(subject, predicate, obj, graph_name)
+
+
+def parse(source: str | IO[str]) -> Iterator[Quad]:
+    """Parse N-Quads text or a stream, yielding quads."""
+    stream = io.StringIO(source) if isinstance(source, str) else source
+    for line_no, line in enumerate(stream, start=1):
+        quad = parse_line(line, line_no)
+        if quad is not None:
+            yield quad
+
+
+def load(source: str | IO[str], name: str = "") -> Dataset:
+    """Parse N-Quads into a fresh :class:`~repro.rdf.dataset.Dataset`."""
+    dataset = Dataset(name=name)
+    dataset.add_all(parse(source))
+    return dataset
+
+
+def load_file(path: str, name: str = "") -> Dataset:
+    with open(path, encoding="utf-8") as handle:
+        return load(handle, name=name or path)
+
+
+def serialize(quads: Iterable[Quad], sort: bool = True) -> str:
+    """Render quads as N-Quads text (sorted for deterministic output)."""
+    lines = []
+    for quad in quads:
+        graph_part = f" {quad.graph_name.n3()}" if quad.graph_name is not None else ""
+        lines.append(
+            f"{quad.subject.n3()} {quad.predicate.n3()} {quad.object.n3()}{graph_part} ."
+        )
+    if sort:
+        lines.sort()
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def dump_file(dataset: Dataset, path: str) -> int:
+    """Write a dataset to ``path``; returns the number of quads written."""
+    text = serialize(dataset.quads())
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return len(dataset)

@@ -1,0 +1,190 @@
+"""N-Triples parsing and serialization.
+
+Implements the line-oriented N-Triples format: one triple per line, full
+URIs, quoted literals with ``\\``-escapes, optional datatype or language
+tag, ``_:`` blank nodes, ``#`` comments.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from typing import IO, Iterable, Iterator
+
+from repro.errors import ParseError
+from repro.rdf.graph import Graph
+from repro.rdf.terms import BNode, Literal, URIRef
+from repro.rdf.triples import Triple
+
+_UNESCAPES = {
+    "\\\\": "\\",
+    '\\"': '"',
+    "\\n": "\n",
+    "\\r": "\r",
+    "\\t": "\t",
+}
+
+_UNESCAPE_RE = re.compile(r'\\[\\"nrt]|\\u[0-9a-fA-F]{4}|\\U[0-9a-fA-F]{8}')
+
+
+def _unescape(text: str) -> str:
+    def replace(match: re.Match) -> str:
+        token = match.group(0)
+        if token in _UNESCAPES:
+            return _UNESCAPES[token]
+        return chr(int(token[2:], 16))
+
+    return _UNESCAPE_RE.sub(replace, text)
+
+
+class _LineScanner:
+    """Cursor over one N-Triples line."""
+
+    def __init__(self, text: str, line_no: int):
+        self.text = text
+        self.pos = 0
+        self.line_no = line_no
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, line=self.line_no, column=self.pos + 1)
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in " \t":
+            self.pos += 1
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def expect(self, char: str) -> None:
+        if self.peek() != char:
+            raise self.error(f"expected {char!r}, found {self.peek()!r}")
+        self.pos += 1
+
+    def read_uri(self) -> URIRef:
+        self.expect("<")
+        end = self.text.find(">", self.pos)
+        if end == -1:
+            raise self.error("unterminated URI")
+        value = self.text[self.pos:end]
+        self.pos = end + 1
+        try:
+            return URIRef(_unescape(value))
+        except Exception as exc:
+            raise self.error(str(exc)) from exc
+
+    def read_bnode(self) -> BNode:
+        self.expect("_")
+        self.expect(":")
+        start = self.pos
+        while self.pos < len(self.text) and (self.text[self.pos].isalnum() or self.text[self.pos] == "_"):
+            self.pos += 1
+        if self.pos == start:
+            raise self.error("empty blank node label")
+        return BNode(self.text[start:self.pos])
+
+    def read_literal(self) -> Literal:
+        self.expect('"')
+        chunks: list[str] = []
+        while True:
+            if self.at_end():
+                raise self.error("unterminated literal")
+            char = self.text[self.pos]
+            if char == "\\":
+                if self.pos + 1 >= len(self.text):
+                    raise self.error("dangling escape")
+                chunks.append(self.text[self.pos:self.pos + 2])
+                self.pos += 2
+                continue
+            if char == '"':
+                self.pos += 1
+                break
+            chunks.append(char)
+            self.pos += 1
+        lexical = _unescape("".join(chunks))
+        if self.peek() == "@":
+            self.pos += 1
+            start = self.pos
+            while self.pos < len(self.text) and (self.text[self.pos].isalnum() or self.text[self.pos] == "-"):
+                self.pos += 1
+            if self.pos == start:
+                raise self.error("empty language tag")
+            return Literal(lexical, language=self.text[start:self.pos])
+        if self.text[self.pos:self.pos + 2] == "^^":
+            self.pos += 2
+            datatype = self.read_uri()
+            return Literal(lexical, datatype=datatype.value)
+        return Literal(lexical)
+
+    def read_subject(self):
+        if self.peek() == "<":
+            return self.read_uri()
+        if self.peek() == "_":
+            return self.read_bnode()
+        raise self.error(f"expected subject, found {self.peek()!r}")
+
+    def read_object(self):
+        char = self.peek()
+        if char == "<":
+            return self.read_uri()
+        if char == "_":
+            return self.read_bnode()
+        if char == '"':
+            return self.read_literal()
+        raise self.error(f"expected object, found {char!r}")
+
+
+def parse_line(line: str, line_no: int = 1) -> Triple | None:
+    """Parse one N-Triples line; returns None for blank/comment lines."""
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    scanner = _LineScanner(stripped, line_no)
+    subject = scanner.read_subject()
+    scanner.skip_ws()
+    predicate = scanner.read_uri()
+    scanner.skip_ws()
+    obj = scanner.read_object()
+    scanner.skip_ws()
+    scanner.expect(".")
+    scanner.skip_ws()
+    if not scanner.at_end():
+        raise scanner.error("trailing characters after '.'")
+    return Triple.create(subject, predicate, obj)
+
+
+def parse(source: str | IO[str]) -> Iterator[Triple]:
+    """Parse N-Triples text or a text stream, yielding triples."""
+    stream = io.StringIO(source) if isinstance(source, str) else source
+    for line_no, line in enumerate(stream, start=1):
+        triple = parse_line(line, line_no)
+        if triple is not None:
+            yield triple
+
+
+def load(source: str | IO[str], name: str = "") -> Graph:
+    """Parse N-Triples into a fresh :class:`Graph`."""
+    return Graph(name=name, triples=parse(source))
+
+
+def load_file(path: str, name: str = "") -> Graph:
+    with open(path, encoding="utf-8") as handle:
+        return load(handle, name=name or path)
+
+
+def serialize(triples: Iterable[Triple], sort: bool = True) -> str:
+    """Render triples as N-Triples text (sorted for deterministic output)."""
+    lines = [triple.n3() for triple in triples]
+    if sort:
+        lines.sort()
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def dump_file(graph: Graph, path: str) -> int:
+    """Write a graph to ``path``; returns the number of triples written."""
+    text = serialize(graph.triples())
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return len(graph)

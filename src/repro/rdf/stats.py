@@ -1,0 +1,75 @@
+"""Descriptive statistics for RDF graphs.
+
+Used by the CLI's ``describe`` command, by documentation tables, and for
+eyeballing synthetic datasets against the real ones they stand in for.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.rdf.graph import Graph
+from repro.rdf.terms import BNode, Literal, URIRef
+
+
+@dataclass
+class GraphStatistics:
+    """A snapshot of a graph's shape."""
+
+    name: str
+    triple_count: int
+    entity_count: int
+    predicate_count: int
+    literal_object_count: int
+    uri_object_count: int
+    bnode_count: int
+    predicate_histogram: list[tuple[str, int]] = field(default_factory=list)
+
+    @property
+    def average_out_degree(self) -> float:
+        if self.entity_count == 0:
+            return 0.0
+        return self.triple_count / self.entity_count
+
+    def render(self) -> str:
+        lines = [
+            f"graph {self.name!r}:",
+            f"  triples:    {self.triple_count}",
+            f"  entities:   {self.entity_count} (avg out-degree {self.average_out_degree:.1f})",
+            f"  predicates: {self.predicate_count}",
+            f"  objects:    {self.literal_object_count} literals, "
+            f"{self.uri_object_count} URIs, {self.bnode_count} blank nodes",
+            "  top predicates:",
+        ]
+        for label, count in self.predicate_histogram[:8]:
+            lines.append(f"    {count:6d}  {label}")
+        return "\n".join(lines)
+
+
+def graph_statistics(graph: Graph, top_predicates: int = 20) -> GraphStatistics:
+    """Compute :class:`GraphStatistics` in one pass over the graph."""
+    predicate_counts: Counter[str] = Counter()
+    literal_objects = 0
+    uri_objects = 0
+    bnodes = 0
+    for triple in graph.triples():
+        predicate_counts[triple.predicate.value] += 1
+        if isinstance(triple.object, Literal):
+            literal_objects += 1
+        elif isinstance(triple.object, URIRef):
+            uri_objects += 1
+        else:
+            bnodes += 1
+        if isinstance(triple.subject, BNode):
+            bnodes += 1
+    return GraphStatistics(
+        name=graph.name or "unnamed",
+        triple_count=len(graph),
+        entity_count=sum(1 for _ in graph.entities()),
+        predicate_count=len(predicate_counts),
+        literal_object_count=literal_objects,
+        uri_object_count=uri_objects,
+        bnode_count=bnodes,
+        predicate_histogram=predicate_counts.most_common(top_predicates),
+    )

@@ -1,0 +1,43 @@
+"""The RDF triple: an immutable (subject, predicate, object) statement."""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Union
+
+from repro.errors import TermError
+from repro.rdf.terms import BNode, Literal, Term, URIRef
+
+Subject = Union[URIRef, BNode]
+Predicate = URIRef
+Object = Union[URIRef, BNode, Literal]
+
+
+class Triple(NamedTuple):
+    """One RDF statement.
+
+    ``subject`` is a URI or blank node, ``predicate`` is always a URI, and
+    ``object`` may be any term. Construction validates term positions so a
+    malformed triple can never enter a :class:`~repro.rdf.graph.Graph`.
+    """
+
+    subject: Subject
+    predicate: Predicate
+    object: Object
+
+    @classmethod
+    def create(cls, subject: Subject, predicate: Predicate, object: Object) -> "Triple":
+        """Validating constructor; prefer this over the bare tuple call."""
+        if not isinstance(subject, (URIRef, BNode)):
+            raise TermError(f"triple subject must be URIRef or BNode, got {type(subject).__name__}")
+        if not isinstance(predicate, URIRef):
+            raise TermError(f"triple predicate must be URIRef, got {type(predicate).__name__}")
+        if not isinstance(object, Term):
+            raise TermError(f"triple object must be an RDF term, got {type(object).__name__}")
+        return cls(subject, predicate, object)
+
+    def n3(self) -> str:
+        """Render in N-Triples syntax, including the terminating dot."""
+        return f"{self.subject.n3()} {self.predicate.n3()} {self.object.n3()} ."
+
+    def __repr__(self):
+        return f"Triple({self.subject!r}, {self.predicate!r}, {self.object!r})"

@@ -1,0 +1,318 @@
+"""A practical Turtle subset: parser and serializer.
+
+Supported syntax — enough for hand-authored fixtures and readable dumps:
+
+* ``@prefix p: <uri> .`` declarations and CURIEs (``foaf:name``)
+* ``a`` as shorthand for ``rdf:type``
+* predicate lists with ``;`` and object lists with ``,``
+* quoted literals with language tags and ``^^`` datatypes
+* numeric, boolean shorthand literals
+* ``#`` comments and blank nodes (``_:x``)
+* anonymous blank nodes ``[ p o ; … ]`` and collections ``( a b c )``
+  (expanded to rdf:first/rdf:rest lists)
+
+Not supported (raises :class:`~repro.errors.ParseError`): multi-line
+``\"\"\"`` literals and ``@base``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from repro.errors import ParseError
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import RDF, NamespaceManager
+from repro.rdf.terms import BNode, Literal, URIRef, XSD_BOOLEAN, XSD_DECIMAL, XSD_DOUBLE, XSD_INTEGER
+from repro.rdf.triples import Triple
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>\#[^\n]*)
+  | (?P<uri><[^<>"{}|^`\\\s]*>)
+  | (?P<literal>"(?:[^"\\]|\\.)*")
+  | (?P<prefix_decl>@prefix\b)
+  | (?P<langtag>@[a-zA-Z]+(?:-[a-zA-Z0-9]+)*)
+  | (?P<dtsep>\^\^)
+  | (?P<bnode>_:[A-Za-z0-9_]+)
+  | (?P<boolean>\b(?:true|false)\b)
+  | (?P<double>[+-]?(?:\d+\.\d*|\.\d+)(?:[eE][+-]?\d+)?|[+-]?\d+[eE][+-]?\d+)
+  | (?P<integer>[+-]?\d+)
+  | (?P<curie>[A-Za-z][\w.-]*:[\w.-]*|:[\w.-]+)
+  | (?P<a_kw>\ba\b)
+  | (?P<punct>[;,.\[\]()])
+  | (?P<ws>\s+)
+  | (?P<bad>.)
+    """,
+    re.VERBOSE,
+)
+
+_UNESCAPES = {"\\\\": "\\", '\\"': '"', "\\n": "\n", "\\r": "\r", "\\t": "\t"}
+_UNESCAPE_RE = re.compile(r'\\[\\"nrt]|\\u[0-9a-fA-F]{4}')
+
+
+def _unescape(text: str) -> str:
+    def repl(match: re.Match) -> str:
+        token = match.group(0)
+        return _UNESCAPES.get(token, chr(int(token[2:], 16)) if len(token) > 2 else token)
+
+    return _UNESCAPE_RE.sub(repl, text)
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind: str, text: str, line: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self):
+        return f"_Token({self.kind}, {self.text!r})"
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    line = 1
+    for match in _TOKEN_RE.finditer(text):
+        kind = match.lastgroup
+        value = match.group(0)
+        if kind == "ws":
+            line += value.count("\n")
+            continue
+        if kind == "comment":
+            continue
+        if kind == "bad":
+            raise ParseError(f"unexpected character {value!r}", line=line)
+        tokens.append(_Token(kind, value, line))
+    return tokens
+
+
+class _TurtleParser:
+    def __init__(self, text: str, manager: NamespaceManager | None = None):
+        self.tokens = _tokenize(text)
+        self.pos = 0
+        self.manager = manager or NamespaceManager()
+
+    # -- token helpers -------------------------------------------------- #
+
+    def _peek(self) -> _Token | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self.pos += 1
+        return token
+
+    def _expect_punct(self, char: str) -> None:
+        token = self._next()
+        if token.kind != "punct" or token.text != char:
+            raise ParseError(f"expected {char!r}, found {token.text!r}", line=token.line)
+
+    # -- grammar -------------------------------------------------------- #
+
+    def parse(self) -> Iterator[Triple]:
+        while self._peek() is not None:
+            token = self._peek()
+            if token.kind == "prefix_decl":
+                self._parse_prefix()
+            else:
+                yield from self._parse_statement()
+
+    def _parse_prefix(self) -> None:
+        self._next()  # @prefix
+        name_token = self._next()
+        if name_token.kind != "curie" or not name_token.text.endswith(":"):
+            raise ParseError(
+                f"expected 'prefix:' after @prefix, found {name_token.text!r}",
+                line=name_token.line,
+            )
+        prefix = name_token.text[:-1]
+        uri_token = self._next()
+        if uri_token.kind != "uri":
+            raise ParseError("expected <uri> in @prefix", line=uri_token.line)
+        self.manager.bind(prefix, uri_token.text[1:-1])
+        self._expect_punct(".")
+
+    def _parse_statement(self) -> Iterator[Triple]:
+        self._pending: list[Triple] = []
+        subject = self._parse_term(position="subject")
+        self._parse_predicate_object_list(subject, terminator=".")
+        token = self._next()
+        if token.kind != "punct" or token.text != ".":
+            raise ParseError(f"expected '.', found {token.text!r}", line=token.line)
+        yield from self._pending
+
+    def _parse_predicate_object_list(self, subject, terminator: str) -> None:
+        """``p o (, o)* (; p o ...)*`` — triples accumulate in _pending."""
+        while True:
+            predicate = self._parse_term(position="predicate")
+            while True:
+                obj = self._parse_term(position="object")
+                self._pending.append(Triple.create(subject, predicate, obj))
+                nxt = self._peek()
+                if nxt is not None and nxt.kind == "punct" and nxt.text == ",":
+                    self._next()
+                    continue
+                break
+            nxt = self._peek()
+            if nxt is not None and nxt.kind == "punct" and nxt.text == ";":
+                self._next()
+                after = self._peek()
+                # allow a trailing ';' before the terminator
+                if after is not None and after.kind == "punct" and after.text == terminator:
+                    return
+                continue
+            return
+
+    def _parse_bnode_property_list(self) -> BNode:
+        """``[ p o ; ... ]`` — mints a blank node carrying the properties."""
+        node = BNode()
+        nxt = self._peek()
+        if nxt is not None and nxt.kind == "punct" and nxt.text == "]":
+            self._next()
+            return node
+        self._parse_predicate_object_list(node, terminator="]")
+        token = self._next()
+        if token.kind != "punct" or token.text != "]":
+            raise ParseError(f"expected ']', found {token.text!r}", line=token.line)
+        return node
+
+    def _parse_collection(self):
+        """``( item* )`` — an rdf:first/rdf:rest list; empty is rdf:nil."""
+        items = []
+        while True:
+            nxt = self._peek()
+            if nxt is None:
+                raise ParseError("unterminated collection (missing ')')")
+            if nxt.kind == "punct" and nxt.text == ")":
+                self._next()
+                break
+            items.append(self._parse_term(position="object"))
+        if not items:
+            return RDF.nil
+        head = BNode()
+        node = head
+        for index, item in enumerate(items):
+            self._pending.append(Triple.create(node, RDF.first, item))
+            if index + 1 < len(items):
+                rest = BNode()
+                self._pending.append(Triple.create(node, RDF.rest, rest))
+                node = rest
+            else:
+                self._pending.append(Triple.create(node, RDF.rest, RDF.nil))
+        return head
+
+    def _parse_term(self, position: str):
+        nxt = self._peek()
+        if nxt is not None and nxt.kind == "punct" and nxt.text in "[(":
+            if position == "predicate":
+                raise ParseError("blank node lists cannot be predicates", line=nxt.line)
+            self._next()
+            if nxt.text == "[":
+                return self._parse_bnode_property_list()
+            return self._parse_collection()
+        token = self._next()
+        if token.kind == "uri":
+            return URIRef(_unescape(token.text[1:-1]))
+        if token.kind == "curie":
+            curie = token.text
+            if curie.startswith(":"):
+                curie = "" + curie  # default prefix form ':name'
+                try:
+                    return self.manager.namespace("").term(curie[1:])
+                except Exception:
+                    raise ParseError(f"default prefix unbound for {token.text!r}", line=token.line)
+            try:
+                return self.manager.expand(curie)
+            except Exception as exc:
+                raise ParseError(str(exc), line=token.line) from exc
+        if token.kind == "a_kw":
+            if position != "predicate":
+                raise ParseError("'a' is only valid as a predicate", line=token.line)
+            return RDF.type
+        if position == "predicate":
+            raise ParseError(f"invalid predicate {token.text!r}", line=token.line)
+        if token.kind == "bnode":
+            return BNode(token.text[2:])
+        if position == "subject":
+            # literals (quoted, numeric, boolean shorthand) cannot be subjects
+            raise ParseError(f"invalid subject {token.text!r}", line=token.line)
+        if token.kind == "literal":
+            lexical = _unescape(token.text[1:-1])
+            nxt = self._peek()
+            if nxt is not None and nxt.kind == "langtag":
+                self._next()
+                return Literal(lexical, language=nxt.text[1:])
+            if nxt is not None and nxt.kind == "dtsep":
+                self._next()
+                dt_token = self._next()
+                if dt_token.kind == "uri":
+                    return Literal(lexical, datatype=dt_token.text[1:-1])
+                if dt_token.kind == "curie":
+                    return Literal(lexical, datatype=self.manager.expand(dt_token.text).value)
+                raise ParseError("expected datatype after ^^", line=dt_token.line)
+            return Literal(lexical)
+        if token.kind == "integer":
+            return Literal(token.text, datatype=XSD_INTEGER)
+        if token.kind == "double":
+            return Literal(token.text, datatype=XSD_DOUBLE)
+        if token.kind == "boolean":
+            return Literal(token.text, datatype=XSD_BOOLEAN)
+        raise ParseError(f"unexpected token {token.text!r} as {position}", line=token.line)
+
+
+def parse(text: str, manager: NamespaceManager | None = None) -> Iterator[Triple]:
+    """Parse Turtle text, yielding triples."""
+    yield from _TurtleParser(text, manager).parse()
+
+
+def load(text: str, name: str = "", manager: NamespaceManager | None = None) -> Graph:
+    """Parse Turtle text into a fresh :class:`Graph`."""
+    return Graph(name=name, triples=parse(text, manager))
+
+
+def serialize(graph: Graph, manager: NamespaceManager | None = None) -> str:
+    """Render a graph as Turtle, grouping by subject with ``;`` / ``,``."""
+    manager = manager or NamespaceManager()
+
+    def term_text(term) -> str:
+        if isinstance(term, URIRef):
+            if term == RDF.type:
+                return "a"
+            compact = manager.compact(term)
+            return compact if compact is not None else term.n3()
+        return term.n3()
+
+    used_prefixes: set[str] = set()
+
+    def note_prefix(text: str) -> str:
+        if ":" in text and not text.startswith(("<", '"', "_")) and text != "a":
+            used_prefixes.add(text.split(":", 1)[0])
+        return text
+
+    body_lines: list[str] = []
+    for subject in sorted(graph.entities(), key=lambda s: str(s)):
+        pred_parts: list[str] = []
+        by_pred = sorted(
+            {p for p, _ in graph.predicate_objects(subject)}, key=lambda p: p.value
+        )
+        for pred in by_pred:
+            objects = sorted(graph.objects(subject, pred), key=lambda o: o.n3())
+            objs_text = ", ".join(note_prefix(term_text(o)) for o in objects)
+            pred_parts.append(f"{note_prefix(term_text(pred))} {objs_text}")
+        subject_text = note_prefix(term_text(subject)) if isinstance(subject, URIRef) else subject.n3()
+        body_lines.append(subject_text + " " + " ;\n    ".join(pred_parts) + " .")
+
+    header = [
+        f"@prefix {prefix}: <{manager.namespace(prefix).base}> ."
+        for prefix in sorted(used_prefixes)
+        if prefix in manager
+    ]
+    sections = []
+    if header:
+        sections.append("\n".join(header))
+    sections.append("\n\n".join(body_lines))
+    return "\n\n".join(sections) + "\n"

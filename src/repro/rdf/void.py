@@ -1,0 +1,77 @@
+"""VoID dataset descriptions.
+
+VoID (Vocabulary of Interlinked Datasets) is the W3C vocabulary LOD
+publishers use to describe datasets and linksets. A deployment of this
+library would publish its improved ``owl:sameAs`` links together with a
+VoID description; :func:`void_description` generates one for any graph and
+:func:`void_linkset` for a link set between two datasets.
+"""
+
+from __future__ import annotations
+
+from repro.links import LinkSet
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import Namespace, OWL_SAMEAS, RDF_TYPE
+from repro.rdf.stats import graph_statistics
+from repro.rdf.terms import Literal, URIRef, XSD_INTEGER
+from repro.rdf.triples import Triple
+
+VOID = Namespace("http://rdfs.org/ns/void#")
+DCTERMS = Namespace("http://purl.org/dc/terms/")
+
+
+def void_description(graph: Graph, dataset_uri: str) -> Graph:
+    """A VoID description of ``graph``: triple/entity/property counts."""
+    stats = graph_statistics(graph)
+    subject = URIRef(dataset_uri)
+    description = Graph(name=f"void:{graph.name}")
+    description.add(Triple(subject, RDF_TYPE, VOID.Dataset))
+    if graph.name:
+        description.add(Triple(subject, DCTERMS.title, Literal(graph.name)))
+    description.add(
+        Triple(subject, VOID.triples, Literal(str(stats.triple_count), datatype=XSD_INTEGER))
+    )
+    description.add(
+        Triple(
+            subject,
+            VOID.distinctSubjects,
+            Literal(str(stats.entity_count), datatype=XSD_INTEGER),
+        )
+    )
+    description.add(
+        Triple(subject, VOID.properties, Literal(str(stats.predicate_count), datatype=XSD_INTEGER))
+    )
+    return description
+
+
+def void_linkset(
+    links: LinkSet,
+    linkset_uri: str,
+    source_dataset_uri: str,
+    target_dataset_uri: str,
+) -> Graph:
+    """A VoID Linkset description of a set of ``owl:sameAs`` links."""
+    subject = URIRef(linkset_uri)
+    description = Graph(name=f"void:{links.name or 'linkset'}")
+    description.add(Triple(subject, RDF_TYPE, VOID.Linkset))
+    description.add(Triple(subject, VOID.linkPredicate, OWL_SAMEAS))
+    description.add(Triple(subject, VOID.subjectsTarget, URIRef(source_dataset_uri)))
+    description.add(Triple(subject, VOID.objectsTarget, URIRef(target_dataset_uri)))
+    description.add(
+        Triple(subject, VOID.triples, Literal(str(len(links)), datatype=XSD_INTEGER))
+    )
+    return description
+
+
+def export_with_void(
+    links: LinkSet,
+    base_uri: str,
+    source_dataset_uri: str,
+    target_dataset_uri: str,
+) -> Graph:
+    """The full publishable artifact: sameAs triples + their VoID metadata."""
+    graph = links.to_graph()
+    metadata = void_linkset(
+        links, base_uri.rstrip("/") + "/linkset", source_dataset_uri, target_dataset_uri
+    )
+    return graph | metadata

@@ -1,0 +1,48 @@
+"""Type-aware similarity functions in [0, 1] for RDF attribute values."""
+
+from repro.similarity.generic import (
+    best_object_similarity,
+    literal_similarity,
+    object_similarity,
+    uri_similarity,
+)
+from repro.similarity.numbers import (
+    boolean_similarity,
+    date_similarity,
+    numeric_similarity,
+    year_similarity,
+)
+from repro.similarity.strings import (
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    normalize,
+    string_similarity,
+    token_jaccard_similarity,
+    tokens,
+    trigram_dice_similarity,
+)
+from repro.similarity.vectors import TfIdfModel, soft_token_similarity
+
+__all__ = [
+    "TfIdfModel",
+    "best_object_similarity",
+    "soft_token_similarity",
+    "boolean_similarity",
+    "date_similarity",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "levenshtein_distance",
+    "levenshtein_similarity",
+    "literal_similarity",
+    "normalize",
+    "numeric_similarity",
+    "object_similarity",
+    "string_similarity",
+    "token_jaccard_similarity",
+    "tokens",
+    "trigram_dice_similarity",
+    "uri_similarity",
+    "year_similarity",
+]

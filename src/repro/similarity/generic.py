@@ -1,0 +1,94 @@
+"""The generic, type-aware similarity function of Section 4.1.
+
+The paper: "ALEX uses a generic similarity function that depends on the type
+of the attributes to be compared (string, integer, float, date, etc.)".
+:func:`object_similarity` dispatches on the Python types obtained from the
+literals' XSD datatypes; mixed types fall back to string comparison of the
+lexical forms, and URI objects compare by local name (two entities pointing
+at the "same" resource under different namespaces still score high).
+"""
+
+from __future__ import annotations
+
+from datetime import date, datetime
+
+from repro.rdf.terms import Literal, Term, URIRef
+from repro.similarity.numbers import (
+    boolean_similarity,
+    date_similarity,
+    numeric_similarity,
+    year_similarity,
+)
+from repro.similarity.strings import string_similarity
+
+
+def literal_similarity(a: Literal, b: Literal) -> float:
+    """Similarity of two literals using their typed Python values."""
+    value_a, value_b = a.to_python(), b.to_python()
+    if isinstance(value_a, bool) and isinstance(value_b, bool):
+        return boolean_similarity(value_a, value_b)
+    if isinstance(value_a, (int, float)) and isinstance(value_b, (int, float)):
+        # Calendar years get absolute-scale treatment.
+        if _looks_like_year(value_a) and _looks_like_year(value_b):
+            return year_similarity(int(value_a), int(value_b))
+        return numeric_similarity(float(value_a), float(value_b))
+    if isinstance(value_a, (date, datetime)) and isinstance(value_b, (date, datetime)):
+        return date_similarity(value_a, value_b)
+    return string_similarity(a.lexical, b.lexical)
+
+
+def uri_similarity(a: URIRef, b: URIRef) -> float:
+    """URI objects compare by exact match, else local-name string score."""
+    if a == b:
+        return 1.0
+    return string_similarity(_humanize(a.local_name), _humanize(b.local_name))
+
+
+def object_similarity(a: Term, b: Term) -> float:
+    """The generic score in [0,1] between two RDF object terms."""
+    if isinstance(a, Literal) and isinstance(b, Literal):
+        return literal_similarity(a, b)
+    if isinstance(a, URIRef) and isinstance(b, URIRef):
+        return uri_similarity(a, b)
+    # Literal vs URI: compare lexical form against humanized local name.
+    if isinstance(a, Literal) and isinstance(b, URIRef):
+        return string_similarity(a.lexical, _humanize(b.local_name))
+    if isinstance(a, URIRef) and isinstance(b, Literal):
+        return string_similarity(_humanize(a.local_name), b.lexical)
+    return 0.0
+
+
+def best_object_similarity(objects_a, objects_b) -> float:
+    """Max pairwise similarity between two object collections.
+
+    Multi-valued attributes (e.g. several labels) count as similar when
+    their best pairing is similar.
+    """
+    best = 0.0
+    for obj_a in objects_a:
+        for obj_b in objects_b:
+            score = object_similarity(obj_a, obj_b)
+            if score > best:
+                best = score
+                if best >= 1.0:
+                    return 1.0
+    return best
+
+
+def _looks_like_year(value) -> bool:
+    return isinstance(value, int) and 1000 <= value <= 2999
+
+
+def _humanize(local_name: str) -> str:
+    """Turn ``LeBron_James`` / ``lebronJames`` into space-separated words."""
+    spaced = local_name.replace("_", " ").replace("-", " ")
+    out: list[str] = []
+    for index, char in enumerate(spaced):
+        if (
+            char.isupper()
+            and index > 0
+            and spaced[index - 1].islower()
+        ):
+            out.append(" ")
+        out.append(char)
+    return "".join(out)

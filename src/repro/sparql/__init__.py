@@ -1,0 +1,43 @@
+"""A practical SPARQL subset: parser and evaluator over local graphs."""
+
+from repro.sparql.aggregates import Aggregate
+from repro.sparql.ast import (
+    AskQuery,
+    BGP,
+    ConstructQuery,
+    Filter,
+    GroupGraphPattern,
+    OptionalPattern,
+    SelectQuery,
+    TriplePattern,
+    UnionPattern,
+    Var,
+)
+from repro.sparql.eval import (
+    QueryResult,
+    evaluate_ask,
+    evaluate_construct,
+    evaluate_select,
+    query,
+)
+from repro.sparql.parser import parse_query
+
+__all__ = [
+    "Aggregate",
+    "AskQuery",
+    "BGP",
+    "ConstructQuery",
+    "Filter",
+    "GroupGraphPattern",
+    "OptionalPattern",
+    "QueryResult",
+    "SelectQuery",
+    "TriplePattern",
+    "UnionPattern",
+    "Var",
+    "evaluate_ask",
+    "evaluate_construct",
+    "evaluate_select",
+    "parse_query",
+    "query",
+]

@@ -1,0 +1,132 @@
+"""Aggregation for the SPARQL subset: GROUP BY + COUNT/SUM/AVG/MIN/MAX/SAMPLE.
+
+The evaluator groups solutions by the GROUP BY keys and computes each
+projected aggregate per group. Used by the examples to report link/answer
+statistics, and by anyone adopting the library as a small SPARQL engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryEvaluationError
+from repro.rdf.terms import Literal, Term, XSD_DOUBLE, XSD_INTEGER
+from repro.sparql.ast import Var
+
+#: A solution mapping (kept structural here to avoid a circular import with
+#: repro.sparql.eval, which imports the parser, which imports this module).
+Solution = dict[Var, Term]
+
+AGGREGATE_NAMES = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX", "SAMPLE"})
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """One projected aggregate: ``(COUNT(DISTINCT ?x) AS ?n)``.
+
+    ``var`` is None for ``COUNT(*)``.
+    """
+
+    function: str  # upper-cased member of AGGREGATE_NAMES
+    var: Var | None
+    alias: Var
+    distinct: bool = False
+
+    def __post_init__(self):
+        if self.function not in AGGREGATE_NAMES:
+            raise QueryEvaluationError(f"unknown aggregate {self.function}")
+        if self.var is None and self.function != "COUNT":
+            raise QueryEvaluationError(f"{self.function} requires a variable argument")
+
+
+def _numeric_value(term: Term) -> float:
+    if isinstance(term, Literal):
+        value = term.to_python()
+        if isinstance(value, bool):
+            raise QueryEvaluationError("cannot aggregate booleans numerically")
+        if isinstance(value, (int, float)):
+            return float(value)
+    raise QueryEvaluationError(f"non-numeric value in numeric aggregate: {term!r}")
+
+
+def _group_values(solutions: list[Solution], var: Var, distinct: bool) -> list[Term]:
+    values = [sol[var] for sol in solutions if var in sol]
+    if distinct:
+        seen: set[Term] = set()
+        unique = []
+        for value in values:
+            if value not in seen:
+                seen.add(value)
+                unique.append(value)
+        return unique
+    return values
+
+
+def evaluate_aggregate(aggregate: Aggregate, solutions: list[Solution]) -> Term | None:
+    """Compute one aggregate over a group of solutions.
+
+    Returns None (an unbound result) for empty-input MIN/MAX/AVG/SUM/SAMPLE,
+    matching SPARQL's error-as-unbound behaviour; COUNT of nothing is 0.
+    """
+    if aggregate.function == "COUNT":
+        if aggregate.var is None:
+            count = len(solutions)
+        else:
+            count = len(_group_values(solutions, aggregate.var, aggregate.distinct))
+        return Literal(str(count), datatype=XSD_INTEGER)
+
+    values = _group_values(solutions, aggregate.var, aggregate.distinct)
+    if not values:
+        return None
+    if aggregate.function == "SAMPLE":
+        return values[0]
+    if aggregate.function in ("MIN", "MAX"):
+        keyed = sorted(values, key=_order_key)
+        return keyed[0] if aggregate.function == "MIN" else keyed[-1]
+    numbers = [_numeric_value(value) for value in values]
+    if aggregate.function == "SUM":
+        return _number_literal(sum(numbers))
+    if aggregate.function == "AVG":
+        return _number_literal(sum(numbers) / len(numbers))
+    raise QueryEvaluationError(f"unhandled aggregate {aggregate.function}")
+
+
+def _number_literal(value: float) -> Literal:
+    if float(value).is_integer():
+        return Literal(str(int(value)), datatype=XSD_INTEGER)
+    return Literal(repr(value), datatype=XSD_DOUBLE)
+
+
+def _order_key(term: Term):
+    if isinstance(term, Literal):
+        python = term.to_python()
+        if isinstance(python, (int, float)) and not isinstance(python, bool):
+            return (0, float(python), "")
+        return (1, 0.0, str(python))
+    return (2, 0.0, str(term))
+
+
+def group_solutions(
+    solutions: list[Solution], group_by: list[Var]
+) -> list[tuple[Solution, list[Solution]]]:
+    """Partition solutions by their GROUP BY key bindings.
+
+    Returns (key bindings, member solutions) pairs in first-seen order.
+    With an empty ``group_by`` the whole input forms one group (the implicit
+    group of an aggregate-only SELECT).
+    """
+    if not group_by:
+        return [({}, solutions)]
+    groups: dict[tuple, tuple[Solution, list[Solution]]] = {}
+    order: list[tuple] = []
+    for solution in solutions:
+        key = tuple(
+            solution.get(var).n3() if solution.get(var) is not None else None
+            for var in group_by
+        )
+        if key not in groups:
+            bindings = {var: solution[var] for var in group_by if var in solution}
+            groups[key] = (bindings, [])
+            order.append(key)
+        groups[key][1].append(solution)
+    return [groups[key] for key in order]

@@ -1,0 +1,254 @@
+"""Abstract syntax for the SPARQL subset.
+
+The parser produces these nodes; the evaluator walks them. Expression nodes
+(`Expr` subclasses) form the FILTER / ORDER BY expression language.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.rdf.terms import Literal, Term, URIRef
+
+
+@dataclass(frozen=True)
+class Var:
+    """A SPARQL variable, e.g. ``?name`` (stored without the ``?``)."""
+
+    name: str
+
+    def __str__(self):
+        return f"?{self.name}"
+
+
+#: A pattern position: either a concrete term or a variable.
+PatternTerm = Union[Term, Var]
+
+
+@dataclass(frozen=True)
+class TriplePattern:
+    """One triple pattern in a basic graph pattern."""
+
+    subject: PatternTerm
+    predicate: PatternTerm
+    object: PatternTerm
+
+    def variables(self) -> set[Var]:
+        return {t for t in (self.subject, self.predicate, self.object) if isinstance(t, Var)}
+
+    def __str__(self):
+        def render(t) -> str:
+            # variables and property-path expressions render via str();
+            # concrete terms via N-Triples syntax
+            return t.n3() if isinstance(t, Term) else str(t)
+
+        return f"{render(self.subject)} {render(self.predicate)} {render(self.object)} ."
+
+
+# --------------------------------------------------------------------- #
+# Expressions
+# --------------------------------------------------------------------- #
+
+
+class Expr:
+    """Base class for FILTER expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class TermExpr(Expr):
+    """A constant RDF term in an expression."""
+
+    term: Term
+
+
+@dataclass(frozen=True)
+class VarExpr(Expr):
+    """A variable reference in an expression."""
+
+    var: Var
+
+
+@dataclass(frozen=True)
+class Comparison(Expr):
+    """``left OP right`` where OP ∈ {=, !=, <, <=, >, >=}."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class BooleanOp(Expr):
+    """``left && right`` or ``left || right``."""
+
+    op: str  # "&&" or "||"
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expr):
+    """Built-in call: REGEX, STR, LANG, DATATYPE, BOUND, CONTAINS, STRSTARTS."""
+
+    name: str  # upper-cased
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class ExistsExpr(Expr):
+    """``EXISTS { … }`` / ``NOT EXISTS { … }`` in a FILTER.
+
+    True when the group pattern, evaluated with the current solution's
+    bindings, has at least one match (negated for NOT EXISTS).
+    """
+
+    pattern: "GroupGraphPattern"
+    negated: bool = False
+
+    def __hash__(self):  # GroupGraphPattern is unhashable; identity is fine
+        return id(self)
+
+
+# --------------------------------------------------------------------- #
+# Graph patterns
+# --------------------------------------------------------------------- #
+
+
+class GraphPattern:
+    """Base class for WHERE-clause pattern nodes."""
+
+    __slots__ = ()
+
+
+@dataclass
+class BGP(GraphPattern):
+    """A basic graph pattern: a conjunctive list of triple patterns."""
+
+    patterns: list[TriplePattern] = field(default_factory=list)
+
+    def variables(self) -> set[Var]:
+        out: set[Var] = set()
+        for pattern in self.patterns:
+            out |= pattern.variables()
+        return out
+
+
+@dataclass
+class Filter(GraphPattern):
+    expression: Expr
+
+
+@dataclass
+class Bind(GraphPattern):
+    """``BIND(expr AS ?var)`` — extends each solution with a computed value."""
+
+    expression: Expr
+    var: Var
+
+
+@dataclass
+class ValuesClause(GraphPattern):
+    """``VALUES (?a ?b) { (t1 t2) ... }`` — inline solution data.
+
+    ``rows`` holds one tuple per row; None marks UNDEF positions.
+    """
+
+    variables: list[Var]
+    rows: list[tuple]
+
+
+@dataclass
+class OptionalPattern(GraphPattern):
+    pattern: "GroupGraphPattern"
+
+
+@dataclass
+class UnionPattern(GraphPattern):
+    alternatives: list["GroupGraphPattern"]
+
+
+@dataclass
+class GroupGraphPattern(GraphPattern):
+    """A ``{ … }`` group: ordered child patterns evaluated left to right,
+    with FILTERs applied over the whole group's solutions."""
+
+    children: list[GraphPattern] = field(default_factory=list)
+
+    def variables(self) -> set[Var]:
+        out: set[Var] = set()
+        for child in self.children:
+            if isinstance(child, BGP):
+                out |= child.variables()
+            elif isinstance(child, GroupGraphPattern):
+                out |= child.variables()
+            elif isinstance(child, OptionalPattern):
+                out |= child.pattern.variables()
+            elif isinstance(child, UnionPattern):
+                for alt in child.alternatives:
+                    out |= alt.variables()
+        return out
+
+
+@dataclass(frozen=True)
+class OrderCondition:
+    expression: Expr
+    descending: bool = False
+
+
+@dataclass
+class SelectQuery:
+    """A parsed SELECT query.
+
+    ``aggregates`` holds projected aggregates (``(COUNT(?x) AS ?n)``) and
+    ``group_by`` the grouping keys; ``projection_order`` preserves the order
+    variables and aggregate aliases appeared in the SELECT list.
+    """
+
+    variables: list[Var]  # empty means SELECT * (when no aggregates either)
+    where: GroupGraphPattern
+    distinct: bool = False
+    order_by: list[OrderCondition] = field(default_factory=list)
+    limit: int | None = None
+    offset: int = 0
+    aggregates: list = field(default_factory=list)  # list[Aggregate]
+    group_by: list[Var] = field(default_factory=list)
+    projection_order: list[Var] = field(default_factory=list)
+
+    @property
+    def is_star(self) -> bool:
+        return not self.variables and not self.aggregates
+
+    @property
+    def is_aggregated(self) -> bool:
+        return bool(self.aggregates) or bool(self.group_by)
+
+    def projected(self) -> list[Var]:
+        """The variables to project: explicit list or all WHERE variables."""
+        if self.projection_order:
+            return self.projection_order
+        if self.variables:
+            return self.variables
+        return sorted(self.where.variables(), key=lambda v: v.name)
+
+
+@dataclass
+class AskQuery:
+    """A parsed ASK query."""
+
+    where: GroupGraphPattern
+
+
+@dataclass
+class ConstructQuery:
+    """A parsed CONSTRUCT query: a triple template instantiated per solution."""
+
+    template: list[TriplePattern]
+    where: GroupGraphPattern

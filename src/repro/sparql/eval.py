@@ -1,0 +1,568 @@
+"""Evaluation of the SPARQL subset against a :class:`~repro.rdf.graph.Graph`.
+
+Solutions are immutable-by-convention dicts mapping :class:`Var` to RDF
+terms. BGPs evaluate by left-to-right index nested-loop joins, substituting
+bindings into each successive pattern — simple, predictable, and fast enough
+on the indexed store for this library's scale.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Iterable, Iterator
+
+from repro.errors import QueryEvaluationError
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Literal, Term, URIRef, XSD_BOOLEAN
+from repro.sparql.ast import (
+    AskQuery,
+    BGP,
+    Bind,
+    BooleanOp,
+    Comparison,
+    ExistsExpr,
+    Expr,
+    Filter,
+    FunctionCall,
+    GroupGraphPattern,
+    Not,
+    OptionalPattern,
+    OrderCondition,
+    PatternTerm,
+    SelectQuery,
+    TermExpr,
+    TriplePattern,
+    UnionPattern,
+    ValuesClause,
+    Var,
+    VarExpr,
+)
+from repro.sparql.parser import parse_query
+
+Solution = dict[Var, Term]
+
+#: Sentinel raised internally when a FILTER expression has an error —
+#: per SPARQL semantics an erroring FILTER eliminates the solution.
+class _ExpressionError(Exception):
+    pass
+
+
+# --------------------------------------------------------------------- #
+# Pattern matching
+# --------------------------------------------------------------------- #
+
+
+def _resolve(term: PatternTerm, solution: Solution) -> Term | None:
+    """Concrete term for a pattern position under ``solution`` (None = free)."""
+    if isinstance(term, Var):
+        return solution.get(term)
+    return term
+
+
+def match_pattern(
+    graph: Graph, pattern: TriplePattern, solutions: Iterable[Solution]
+) -> Iterator[Solution]:
+    """Extend each incoming solution with all graph matches of ``pattern``."""
+    from repro.sparql.paths import PathExpr, eval_path
+
+    if isinstance(pattern.predicate, PathExpr):
+        for solution in solutions:
+            s = _resolve(pattern.subject, solution)
+            o = _resolve(pattern.object, solution)
+            for source, target in eval_path(graph, pattern.predicate, s, o):
+                extended = dict(solution)
+                ok = True
+                for position, value in ((pattern.subject, source), (pattern.object, target)):
+                    if isinstance(position, Var):
+                        bound = extended.get(position)
+                        if bound is None:
+                            extended[position] = value
+                        elif bound != value:
+                            ok = False
+                            break
+                if ok:
+                    yield extended
+        return
+    for solution in solutions:
+        s = _resolve(pattern.subject, solution)
+        p = _resolve(pattern.predicate, solution)
+        o = _resolve(pattern.object, solution)
+        for triple in graph.triples(s, p, o):
+            extended = dict(solution)
+            ok = True
+            for position, value in (
+                (pattern.subject, triple.subject),
+                (pattern.predicate, triple.predicate),
+                (pattern.object, triple.object),
+            ):
+                if isinstance(position, Var):
+                    bound = extended.get(position)
+                    if bound is None:
+                        extended[position] = value
+                    elif bound != value:
+                        ok = False
+                        break
+            if ok:
+                yield extended
+
+
+def eval_bgp(
+    graph: Graph, bgp: BGP, solutions: Iterable[Solution], optimize: bool = True
+) -> Iterator[Solution]:
+    if optimize and len(bgp.patterns) > 1:
+        from repro.sparql.optimizer import reorder_bgp
+
+        bgp = reorder_bgp(graph, bgp)
+    streams: Iterator[Solution] = iter(solutions)
+    for pattern in bgp.patterns:
+        streams = match_pattern(graph, pattern, streams)
+    return streams
+
+
+def _join_compatible(left: Solution, right: Solution) -> Solution | None:
+    """Merge two solutions; None when they disagree on a shared variable."""
+    merged = dict(left)
+    for var, value in right.items():
+        bound = merged.get(var)
+        if bound is None:
+            merged[var] = value
+        elif bound != value:
+            return None
+    return merged
+
+
+def eval_group(
+    graph: Graph, group: GroupGraphPattern, solutions: Iterable[Solution] | None = None
+) -> list[Solution]:
+    """Evaluate a group pattern, returning materialized solutions."""
+    current: list[Solution] = list(solutions) if solutions is not None else [{}]
+    filters: list[Expr] = []
+    for child in group.children:
+        if isinstance(child, BGP):
+            current = list(eval_bgp(graph, child, current))
+        elif isinstance(child, Filter):
+            filters.append(child.expression)
+        elif isinstance(child, GroupGraphPattern):
+            current = eval_group(graph, child, current)
+        elif isinstance(child, OptionalPattern):
+            next_solutions: list[Solution] = []
+            for solution in current:
+                extensions = eval_group(graph, child.pattern, [solution])
+                if extensions:
+                    next_solutions.extend(extensions)
+                else:
+                    next_solutions.append(solution)
+            current = next_solutions
+        elif isinstance(child, UnionPattern):
+            next_solutions = []
+            for solution in current:
+                for alternative in child.alternatives:
+                    next_solutions.extend(eval_group(graph, alternative, [solution]))
+            current = next_solutions
+        elif isinstance(child, Bind):
+            next_solutions = []
+            for solution in current:
+                if child.var in solution:
+                    raise QueryEvaluationError(
+                        f"BIND would rebind already-bound variable {child.var}"
+                    )
+                extended = dict(solution)
+                try:
+                    value = eval_expression(child.expression, solution, graph)
+                except _ExpressionError:
+                    value = None  # an erroring BIND leaves the var unbound
+                if value is not None:
+                    extended[child.var] = _as_term(value)
+                next_solutions.append(extended)
+            current = next_solutions
+        elif isinstance(child, ValuesClause):
+            next_solutions = []
+            for solution in current:
+                for row in child.rows:
+                    row_solution = {
+                        var: term
+                        for var, term in zip(child.variables, row)
+                        if term is not None
+                    }
+                    merged = _join_compatible(solution, row_solution)
+                    if merged is not None:
+                        next_solutions.append(merged)
+            current = next_solutions
+        else:
+            raise QueryEvaluationError(f"unknown pattern node: {type(child).__name__}")
+    if filters:
+        current = [
+            solution
+            for solution in current
+            if all(_filter_passes(expr, solution, graph) for expr in filters)
+        ]
+    return current
+
+
+def _as_term(value) -> Term:
+    """Lower a Python expression result to an RDF term for BIND."""
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, bool):
+        return Literal("true" if value else "false", datatype=XSD_BOOLEAN)
+    if isinstance(value, int):
+        return Literal(str(value), datatype="http://www.w3.org/2001/XMLSchema#integer")
+    if isinstance(value, float):
+        return Literal(repr(value), datatype="http://www.w3.org/2001/XMLSchema#double")
+    if isinstance(value, str):
+        return Literal(value)
+    raise QueryEvaluationError(f"cannot convert {type(value).__name__} to an RDF term")
+
+
+def _filter_passes(expr: Expr, solution: Solution, graph: Graph | None = None) -> bool:
+    try:
+        return _effective_boolean(eval_expression(expr, solution, graph))
+    except _ExpressionError:
+        return False
+
+
+# --------------------------------------------------------------------- #
+# Expressions
+# --------------------------------------------------------------------- #
+
+
+def eval_expression(expr: Expr, solution: Solution, graph: Graph | None = None):
+    """Evaluate a FILTER expression to a Python value or RDF term.
+
+    ``graph`` is required only for EXISTS / NOT EXISTS, which re-evaluate a
+    group pattern under the current bindings.
+    """
+    if isinstance(expr, TermExpr):
+        return expr.term
+    if isinstance(expr, VarExpr):
+        value = solution.get(expr.var)
+        if value is None:
+            raise _ExpressionError(f"unbound variable {expr.var}")
+        return value
+    if isinstance(expr, Not):
+        return not _effective_boolean(eval_expression(expr.operand, solution, graph))
+    if isinstance(expr, BooleanOp):
+        left = _effective_boolean(eval_expression(expr.left, solution, graph))
+        if expr.op == "&&":
+            return left and _effective_boolean(eval_expression(expr.right, solution, graph))
+        return left or _effective_boolean(eval_expression(expr.right, solution, graph))
+    if isinstance(expr, Comparison):
+        return _compare(
+            expr.op,
+            eval_expression(expr.left, solution, graph),
+            eval_expression(expr.right, solution, graph),
+        )
+    if isinstance(expr, FunctionCall):
+        return _call_function(expr, solution)
+    if isinstance(expr, ExistsExpr):
+        if graph is None:
+            raise QueryEvaluationError(
+                "EXISTS/NOT EXISTS requires local graph evaluation"
+            )
+        matched = bool(eval_group(graph, expr.pattern, [dict(solution)]))
+        return (not matched) if expr.negated else matched
+    raise QueryEvaluationError(f"unknown expression node: {type(expr).__name__}")
+
+
+def _effective_boolean(value) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, Literal):
+        python = value.to_python()
+        if isinstance(python, bool):
+            return python
+        if isinstance(python, (int, float)):
+            return python != 0
+        return bool(value.lexical)
+    if isinstance(value, (int, float)):
+        return value != 0
+    if isinstance(value, str):
+        return bool(value)
+    raise _ExpressionError(f"no effective boolean value for {value!r}")
+
+
+def _comparable(value):
+    """Lower RDF terms to comparable Python values."""
+    if isinstance(value, Literal):
+        return value.to_python()
+    if isinstance(value, URIRef):
+        return value.value
+    return value
+
+
+def _compare(op: str, left, right) -> bool:
+    # Term equality for =/!= when both are terms of the same kind.
+    if op in ("=", "!="):
+        if isinstance(left, Term) and isinstance(right, Term) and type(left) is type(right):
+            equal = left == right
+            if not equal and isinstance(left, Literal) and isinstance(right, Literal):
+                lp, rp = left.to_python(), right.to_python()
+                if isinstance(lp, (int, float)) and isinstance(rp, (int, float)):
+                    equal = lp == rp
+            return equal if op == "=" else not equal
+    left_value, right_value = _comparable(left), _comparable(right)
+    try:
+        if op == "=":
+            return left_value == right_value
+        if op == "!=":
+            return left_value != right_value
+        if op == "<":
+            return left_value < right_value
+        if op == "<=":
+            return left_value <= right_value
+        if op == ">":
+            return left_value > right_value
+        if op == ">=":
+            return left_value >= right_value
+    except TypeError as exc:
+        raise _ExpressionError(str(exc)) from exc
+    raise QueryEvaluationError(f"unknown comparison operator {op!r}")
+
+
+def _string_of(value) -> str:
+    if isinstance(value, Literal):
+        return value.lexical
+    if isinstance(value, URIRef):
+        return value.value
+    if isinstance(value, str):
+        return value
+    raise _ExpressionError(f"not a string-valued argument: {value!r}")
+
+
+def _call_function(expr: FunctionCall, solution: Solution):
+    name = expr.name
+    if name == "BOUND":
+        if len(expr.args) != 1 or not isinstance(expr.args[0], VarExpr):
+            raise QueryEvaluationError("BOUND takes exactly one variable")
+        return expr.args[0].var in solution
+
+    args = [eval_expression(arg, solution) for arg in expr.args]
+    if name == "STR":
+        _require_arity(name, args, 1)
+        return _string_of(args[0])
+    if name == "LANG":
+        _require_arity(name, args, 1)
+        if isinstance(args[0], Literal):
+            return args[0].language or ""
+        raise _ExpressionError("LANG requires a literal")
+    if name == "DATATYPE":
+        _require_arity(name, args, 1)
+        if isinstance(args[0], Literal):
+            return URIRef(args[0].datatype) if args[0].datatype else URIRef(
+                "http://www.w3.org/2001/XMLSchema#string"
+            )
+        raise _ExpressionError("DATATYPE requires a literal")
+    if name == "REGEX":
+        if len(args) not in (2, 3):
+            raise QueryEvaluationError("REGEX takes 2 or 3 arguments")
+        flags = 0
+        if len(args) == 3 and "i" in _string_of(args[2]):
+            flags = re.IGNORECASE
+        try:
+            return re.search(_string_of(args[1]), _string_of(args[0]), flags) is not None
+        except re.error as exc:
+            raise _ExpressionError(f"bad REGEX pattern: {exc}") from exc
+    if name == "CONTAINS":
+        _require_arity(name, args, 2)
+        return _string_of(args[1]) in _string_of(args[0])
+    if name == "STRSTARTS":
+        _require_arity(name, args, 2)
+        return _string_of(args[0]).startswith(_string_of(args[1]))
+    if name == "STRENDS":
+        _require_arity(name, args, 2)
+        return _string_of(args[0]).endswith(_string_of(args[1]))
+    if name == "STRLEN":
+        _require_arity(name, args, 1)
+        return len(_string_of(args[0]))
+    if name == "UCASE":
+        _require_arity(name, args, 1)
+        return _string_of(args[0]).upper()
+    if name == "LCASE":
+        _require_arity(name, args, 1)
+        return _string_of(args[0]).lower()
+    if name == "LANGMATCHES":
+        _require_arity(name, args, 2)
+        tag = _string_of(args[0]).lower()
+        pattern = _string_of(args[1]).lower()
+        if pattern == "*":
+            return bool(tag)
+        return tag == pattern or tag.startswith(pattern + "-")
+    if name == "ABS":
+        _require_arity(name, args, 1)
+        value = _comparable(args[0])
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return abs(value)
+        raise _ExpressionError("ABS requires a numeric argument")
+    if name in ("ISURI", "ISIRI"):
+        _require_arity(name, args, 1)
+        return isinstance(args[0], URIRef)
+    if name == "ISLITERAL":
+        _require_arity(name, args, 1)
+        return isinstance(args[0], Literal)
+    if name == "ISBLANK":
+        _require_arity(name, args, 1)
+        from repro.rdf.terms import BNode
+
+        return isinstance(args[0], BNode)
+    if name == "ISNUMERIC":
+        _require_arity(name, args, 1)
+        if not isinstance(args[0], Literal):
+            return False
+        value = args[0].to_python()
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    raise QueryEvaluationError(f"unknown function {name}")
+
+
+def _require_arity(name: str, args: list, count: int) -> None:
+    if len(args) != count:
+        raise QueryEvaluationError(f"{name} takes exactly {count} argument(s)")
+
+
+# --------------------------------------------------------------------- #
+# Query results
+# --------------------------------------------------------------------- #
+
+
+class QueryResult:
+    """Result of a SELECT: ordered rows of projected bindings."""
+
+    def __init__(self, variables: list[Var], rows: list[Solution]):
+        self.variables = variables
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Solution]:
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def column(self, var: Var | str) -> list[Term | None]:
+        """All values of one variable, in row order."""
+        if isinstance(var, str):
+            var = Var(var.lstrip("?"))
+        return [row.get(var) for row in self.rows]
+
+    def as_tuples(self) -> list[tuple]:
+        """Rows as tuples in the projected variable order."""
+        return [tuple(row.get(v) for v in self.variables) for row in self.rows]
+
+    def __repr__(self):
+        return f"<QueryResult {len(self.rows)} rows x {len(self.variables)} vars>"
+
+
+def _order_key_for(value) -> tuple:
+    """Total order across None < literals/numbers < strings < URIs."""
+    if value is None:
+        return (0, "", "")
+    if isinstance(value, Literal):
+        python = value.to_python()
+        if isinstance(python, bool):
+            return (1, "", str(python))
+        if isinstance(python, (int, float)):
+            return (2, "", f"{float(python):040.10f}")
+        return (3, "", str(python))
+    if isinstance(value, URIRef):
+        return (4, "", value.value)
+    return (5, "", str(value))
+
+
+def evaluate_select(graph: Graph, query: SelectQuery) -> QueryResult:
+    solutions = eval_group(graph, query.where)
+    projected = query.projected()
+
+    if query.is_aggregated:
+        rows = _aggregate_rows(query, solutions)
+    else:
+        rows = [{var: sol[var] for var in projected if var in sol} for sol in solutions]
+    if query.distinct:
+        seen: set[tuple] = set()
+        unique: list[Solution] = []
+        for row in rows:
+            key = tuple(sorted(((v.name, t.n3()) for v, t in row.items())))
+            if key not in seen:
+                seen.add(key)
+                unique.append(row)
+        rows = unique
+    for condition in reversed(query.order_by):
+        def key(row: Solution, cond: OrderCondition = condition):
+            try:
+                value = eval_expression(cond.expression, row)
+            except _ExpressionError:
+                value = None
+            return _order_key_for(value)
+
+        rows.sort(key=key, reverse=condition.descending)
+    if query.offset:
+        rows = rows[query.offset:]
+    if query.limit is not None:
+        rows = rows[: query.limit]
+    return QueryResult(projected, rows)
+
+
+def _aggregate_rows(query: SelectQuery, solutions: list[Solution]) -> list[Solution]:
+    """GROUP BY + aggregate evaluation: one output row per group."""
+    from repro.sparql.aggregates import evaluate_aggregate, group_solutions
+
+    rows: list[Solution] = []
+    for key_bindings, members in group_solutions(solutions, query.group_by):
+        row = dict(key_bindings)
+        for aggregate in query.aggregates:
+            value = evaluate_aggregate(aggregate, members)
+            if value is not None:
+                row[aggregate.alias] = value
+        rows.append(row)
+    return rows
+
+
+def evaluate_ask(graph: Graph, query: AskQuery) -> bool:
+    return bool(eval_group(graph, query.where))
+
+
+def evaluate_construct(graph: Graph, query) -> Graph:
+    """Instantiate the CONSTRUCT template once per solution.
+
+    Template triples with an unbound variable, or whose instantiation would
+    be ill-typed (e.g. a literal in subject position), are skipped for that
+    solution — SPARQL's standard behaviour.
+    """
+    from repro.rdf.terms import Literal as _Literal
+    from repro.rdf.triples import Triple
+
+    out = Graph(name="constructed")
+    solutions = eval_group(graph, query.where)
+    for solution in solutions:
+        for pattern in query.template:
+            terms = []
+            ok = True
+            for position in (pattern.subject, pattern.predicate, pattern.object):
+                term = solution.get(position) if isinstance(position, Var) else position
+                if term is None:
+                    ok = False
+                    break
+                terms.append(term)
+            if not ok:
+                continue
+            subject, predicate, obj = terms
+            if isinstance(subject, _Literal) or not isinstance(predicate, URIRef):
+                continue
+            out.add(Triple(subject, predicate, obj))
+    return out
+
+
+def query(graph: Graph, text: str) -> "QueryResult | bool | Graph":
+    """Parse and evaluate SPARQL ``text`` against ``graph``.
+
+    Returns a :class:`QueryResult` for SELECT, a bool for ASK, or a
+    :class:`~repro.rdf.graph.Graph` for CONSTRUCT.
+    """
+    from repro.sparql.ast import ConstructQuery
+
+    parsed = parse_query(text)
+    if isinstance(parsed, SelectQuery):
+        return evaluate_select(graph, parsed)
+    if isinstance(parsed, ConstructQuery):
+        return evaluate_construct(graph, parsed)
+    return evaluate_ask(graph, parsed)

@@ -1,0 +1,675 @@
+"""Recursive-descent parser for the SPARQL subset.
+
+Grammar (informally)::
+
+    Query        := Prologue (SelectQuery | AskQuery)
+    Prologue     := ("PREFIX" PNAME ":" IRIREF)*
+    SelectQuery  := "SELECT" "DISTINCT"? (Var+ | "*") "WHERE"? Group Modifiers
+    AskQuery     := "ASK" Group
+    Group        := "{" (TriplesBlock | Filter | Optional | Union | Group)* "}"
+    Filter       := "FILTER" "(" Expression ")"
+    Optional     := "OPTIONAL" Group
+    Union        := Group ("UNION" Group)+
+    Modifiers    := ("ORDER" "BY" OrderCond+)? ("LIMIT" INT)? ("OFFSET" INT)?
+
+Expressions support ``|| && ! = != < <= > >=`` and the built-ins REGEX, STR,
+LANG, DATATYPE, BOUND, CONTAINS, STRSTARTS.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import QuerySyntaxError
+from repro.rdf.namespaces import RDF, NamespaceManager
+from repro.rdf.terms import Literal, URIRef, XSD_BOOLEAN, XSD_DOUBLE, XSD_INTEGER
+from repro.sparql.aggregates import AGGREGATE_NAMES, Aggregate
+from repro.sparql.paths import (
+    AlternativePath,
+    InversePath,
+    PathExpr,
+    PredicatePath,
+    RepeatPath,
+    SequencePath,
+)
+from repro.sparql.ast import (
+    AskQuery,
+    BGP,
+    Bind,
+    BooleanOp,
+    Comparison,
+    ConstructQuery,
+    ExistsExpr,
+    Expr,
+    Filter,
+    FunctionCall,
+    GroupGraphPattern,
+    Not,
+    OptionalPattern,
+    OrderCondition,
+    SelectQuery,
+    TermExpr,
+    TriplePattern,
+    UnionPattern,
+    ValuesClause,
+    Var,
+    VarExpr,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>\#[^\n]*)
+  | (?P<iri><[^<>"{}|^`\\\s]*>)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<var>\?[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<double>[+-]?(?:\d+\.\d*|\.\d+)(?:[eE][+-]?\d+)?)
+  | (?P<integer>[+-]?\d+)
+  | (?P<op><=|>=|!=|\|\||&&|[=<>!])
+  | (?P<dtsep>\^\^)
+  | (?P<pathop>[/^|+])
+  | (?P<punct>[{}().,;*?])
+  | (?P<langtag>@[a-zA-Z]+(?:-[a-zA-Z0-9]+)*)
+  | (?P<name>[A-Za-z_][\w.-]*:?[\w.-]*)
+  | (?P<ws>\s+)
+  | (?P<bad>.)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "SELECT", "ASK", "CONSTRUCT", "WHERE", "DISTINCT", "PREFIX", "FILTER",
+    "OPTIONAL", "UNION", "ORDER", "GROUP", "BY", "AS", "ASC", "DESC",
+    "LIMIT", "OFFSET", "A", "TRUE", "FALSE", "EXISTS", "NOT", "BIND",
+    "VALUES", "UNDEF",
+}
+
+_FUNCTIONS = {
+    "REGEX", "STR", "LANG", "DATATYPE", "BOUND", "CONTAINS", "STRSTARTS",
+    "STRENDS", "STRLEN", "UCASE", "LCASE", "LANGMATCHES", "ABS",
+    "ISURI", "ISIRI", "ISLITERAL", "ISBLANK", "ISNUMERIC",
+}
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind: str, text: str, line: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    line = 1
+    for match in _TOKEN_RE.finditer(text):
+        kind = match.lastgroup
+        value = match.group(0)
+        if kind == "ws":
+            line += value.count("\n")
+            continue
+        if kind == "comment":
+            continue
+        if kind == "bad":
+            raise QuerySyntaxError(f"unexpected character {value!r}", line=line)
+        tokens.append(_Token(kind, value, line))
+    return tokens
+
+
+def _unescape(text: str) -> str:
+    return (
+        text.replace('\\"', '"')
+        .replace("\\n", "\n")
+        .replace("\\t", "\t")
+        .replace("\\r", "\r")
+        .replace("\\\\", "\\")
+    )
+
+
+class Parser:
+    """Parses one SELECT or ASK query."""
+
+    def __init__(self, text: str, manager: NamespaceManager | None = None):
+        self.tokens = _tokenize(text)
+        self.pos = 0
+        self.manager = manager or NamespaceManager()
+
+    # -- token machinery ------------------------------------------------ #
+
+    def _peek(self) -> _Token | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise QuerySyntaxError("unexpected end of query")
+        self.pos += 1
+        return token
+
+    def _at_keyword(self, *words: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == "name" and token.text.upper() in words
+
+    def _eat_keyword(self, word: str) -> None:
+        token = self._next()
+        if token.kind != "name" or token.text.upper() != word:
+            raise QuerySyntaxError(f"expected {word}, found {token.text!r}", line=token.line)
+
+    def _at_punct(self, char: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == "punct" and token.text == char
+
+    def _eat_punct(self, char: str) -> None:
+        token = self._next()
+        if token.kind != "punct" or token.text != char:
+            raise QuerySyntaxError(f"expected {char!r}, found {token.text!r}", line=token.line)
+
+    # -- entry points ---------------------------------------------------- #
+
+    def parse(self) -> SelectQuery | AskQuery | ConstructQuery:
+        self._parse_prologue()
+        if self._at_keyword("SELECT"):
+            query = self._parse_select()
+        elif self._at_keyword("ASK"):
+            query = self._parse_ask()
+        elif self._at_keyword("CONSTRUCT"):
+            query = self._parse_construct()
+        else:
+            token = self._peek()
+            found = token.text if token else "<eof>"
+            raise QuerySyntaxError(f"expected SELECT, ASK, or CONSTRUCT, found {found!r}")
+        if self._peek() is not None:
+            raise QuerySyntaxError(
+                f"trailing tokens after query: {self._peek().text!r}", line=self._peek().line
+            )
+        return query
+
+    def _parse_prologue(self) -> None:
+        while self._at_keyword("PREFIX"):
+            self._next()
+            name = self._next()
+            if name.kind != "name" or not name.text.endswith(":"):
+                raise QuerySyntaxError("expected 'prefix:' after PREFIX", line=name.line)
+            iri = self._next()
+            if iri.kind != "iri":
+                raise QuerySyntaxError("expected <iri> in PREFIX", line=iri.line)
+            self.manager.bind(name.text[:-1], iri.text[1:-1])
+
+    def _parse_select(self) -> SelectQuery:
+        self._eat_keyword("SELECT")
+        distinct = False
+        if self._at_keyword("DISTINCT"):
+            self._next()
+            distinct = True
+        variables: list[Var] = []
+        aggregates: list[Aggregate] = []
+        projection_order: list[Var] = []
+        if self._at_punct("*"):
+            self._next()
+        else:
+            while True:
+                token = self._peek()
+                if token is not None and token.kind == "var":
+                    var = Var(self._next().text[1:])
+                    variables.append(var)
+                    projection_order.append(var)
+                elif token is not None and token.kind == "punct" and token.text == "(":
+                    aggregate = self._parse_aggregate_projection()
+                    aggregates.append(aggregate)
+                    projection_order.append(aggregate.alias)
+                else:
+                    break
+            if not variables and not aggregates:
+                raise QuerySyntaxError("SELECT requires '*' or at least one projection")
+        if self._at_keyword("WHERE"):
+            self._next()
+        where = self._parse_group()
+        group_by: list[Var] = []
+        if self._at_keyword("GROUP"):
+            self._next()
+            self._eat_keyword("BY")
+            while self._peek() is not None and self._peek().kind == "var":
+                group_by.append(Var(self._next().text[1:]))
+            if not group_by:
+                raise QuerySyntaxError("GROUP BY requires at least one variable")
+        order_by: list[OrderCondition] = []
+        limit: int | None = None
+        offset = 0
+        if self._at_keyword("ORDER"):
+            self._next()
+            self._eat_keyword("BY")
+            order_by = self._parse_order_conditions()
+        if self._at_keyword("LIMIT"):
+            self._next()
+            limit = self._parse_int()
+        if self._at_keyword("OFFSET"):
+            self._next()
+            offset = self._parse_int()
+        if aggregates and variables and not group_by:
+            raise QuerySyntaxError(
+                "mixing plain variables with aggregates requires GROUP BY"
+            )
+        return SelectQuery(
+            variables=variables,
+            where=where,
+            distinct=distinct,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+            aggregates=aggregates,
+            group_by=group_by,
+            projection_order=projection_order,
+        )
+
+    def _parse_aggregate_projection(self) -> Aggregate:
+        """``( FUNC ( DISTINCT? ?var | * ) AS ?alias )``."""
+        self._eat_punct("(")
+        name_token = self._next()
+        if name_token.kind != "name" or name_token.text.upper() not in AGGREGATE_NAMES:
+            raise QuerySyntaxError(
+                f"expected aggregate function, found {name_token.text!r}",
+                line=name_token.line,
+            )
+        function = name_token.text.upper()
+        self._eat_punct("(")
+        distinct = False
+        if self._at_keyword("DISTINCT"):
+            self._next()
+            distinct = True
+        var: Var | None = None
+        if self._at_punct("*"):
+            self._next()
+        else:
+            var_token = self._next()
+            if var_token.kind != "var":
+                raise QuerySyntaxError(
+                    f"expected variable or '*' in {function}", line=var_token.line
+                )
+            var = Var(var_token.text[1:])
+        self._eat_punct(")")
+        self._eat_keyword("AS")
+        alias_token = self._next()
+        if alias_token.kind != "var":
+            raise QuerySyntaxError("expected alias variable after AS", line=alias_token.line)
+        self._eat_punct(")")
+        return Aggregate(function=function, var=var, alias=Var(alias_token.text[1:]), distinct=distinct)
+
+    def _parse_ask(self) -> AskQuery:
+        self._eat_keyword("ASK")
+        if self._at_keyword("WHERE"):
+            self._next()
+        return AskQuery(where=self._parse_group())
+
+    def _parse_construct(self) -> ConstructQuery:
+        self._eat_keyword("CONSTRUCT")
+        template_group = self._parse_group()
+        template: list[TriplePattern] = []
+        for child in template_group.children:
+            if not isinstance(child, BGP):
+                raise QuerySyntaxError("CONSTRUCT template must contain only triples")
+            template.extend(child.patterns)
+        if not template:
+            raise QuerySyntaxError("CONSTRUCT template must not be empty")
+        self._eat_keyword("WHERE")
+        return ConstructQuery(template=template, where=self._parse_group())
+
+    def _parse_int(self) -> int:
+        token = self._next()
+        if token.kind != "integer":
+            raise QuerySyntaxError(f"expected integer, found {token.text!r}", line=token.line)
+        return int(token.text)
+
+    def _parse_order_conditions(self) -> list[OrderCondition]:
+        conditions: list[OrderCondition] = []
+        while True:
+            if self._at_keyword("ASC", "DESC"):
+                descending = self._next().text.upper() == "DESC"
+                self._eat_punct("(")
+                expr = self._parse_expression()
+                self._eat_punct(")")
+                conditions.append(OrderCondition(expr, descending))
+            elif self._peek() is not None and self._peek().kind == "var":
+                conditions.append(OrderCondition(VarExpr(Var(self._next().text[1:]))))
+            else:
+                break
+        if not conditions:
+            raise QuerySyntaxError("ORDER BY requires at least one condition")
+        return conditions
+
+    # -- graph patterns --------------------------------------------------- #
+
+    def _parse_group(self) -> GroupGraphPattern:
+        self._eat_punct("{")
+        group = GroupGraphPattern()
+        current_bgp: BGP | None = None
+
+        def flush() -> None:
+            nonlocal current_bgp
+            if current_bgp is not None and current_bgp.patterns:
+                group.children.append(current_bgp)
+            current_bgp = None
+
+        while not self._at_punct("}"):
+            if self._peek() is None:
+                raise QuerySyntaxError("unterminated group pattern (missing '}')")
+            if self._at_keyword("FILTER"):
+                flush()
+                self._next()
+                self._eat_punct("(")
+                expr = self._parse_expression()
+                self._eat_punct(")")
+                group.children.append(Filter(expr))
+            elif self._at_keyword("BIND"):
+                flush()
+                self._next()
+                self._eat_punct("(")
+                expr = self._parse_expression()
+                self._eat_keyword("AS")
+                var_token = self._next()
+                if var_token.kind != "var":
+                    raise QuerySyntaxError(
+                        "expected variable after AS in BIND", line=var_token.line
+                    )
+                self._eat_punct(")")
+                group.children.append(Bind(expr, Var(var_token.text[1:])))
+            elif self._at_keyword("VALUES"):
+                flush()
+                group.children.append(self._parse_values())
+            elif self._at_keyword("OPTIONAL"):
+                flush()
+                self._next()
+                group.children.append(OptionalPattern(self._parse_group()))
+            elif self._at_punct("{"):
+                flush()
+                first = self._parse_group()
+                alternatives = [first]
+                while self._at_keyword("UNION"):
+                    self._next()
+                    alternatives.append(self._parse_group())
+                if len(alternatives) > 1:
+                    group.children.append(UnionPattern(alternatives))
+                else:
+                    group.children.append(first)
+            else:
+                if current_bgp is None:
+                    current_bgp = BGP()
+                self._parse_triples_into(current_bgp)
+        flush()
+        self._eat_punct("}")
+        return group
+
+    def _at_pathop(self, char: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == "pathop" and token.text == char
+
+    def _parse_predicate_or_path(self):
+        """A predicate position: a variable, or a property-path expression
+        (a single-IRI path collapses back to a plain URIRef)."""
+        token = self._peek()
+        if token is not None and token.kind == "var":
+            self._next()
+            return Var(token.text[1:])
+        path = self._parse_path_alternative()
+        if isinstance(path, PredicatePath):
+            return path.predicate
+        return path
+
+    def _parse_path_alternative(self) -> PathExpr:
+        options = [self._parse_path_sequence()]
+        while self._at_pathop("|"):
+            self._next()
+            options.append(self._parse_path_sequence())
+        if len(options) == 1:
+            return options[0]
+        return AlternativePath(tuple(options))
+
+    def _parse_path_sequence(self) -> PathExpr:
+        steps = [self._parse_path_elt()]
+        while self._at_pathop("/"):
+            self._next()
+            steps.append(self._parse_path_elt())
+        if len(steps) == 1:
+            return steps[0]
+        return SequencePath(tuple(steps))
+
+    def _parse_path_elt(self) -> PathExpr:
+        inverse = False
+        if self._at_pathop("^"):
+            self._next()
+            inverse = True
+        path = self._parse_path_primary()
+        if self._at_pathop("+"):
+            self._next()
+            path = RepeatPath(path, min_hops=1)
+        elif self._at_punct("*"):
+            self._next()
+            path = RepeatPath(path, min_hops=0)
+        elif self._at_punct("?"):
+            self._next()
+            path = RepeatPath(path, min_hops=0, max_one=True)
+        if inverse:
+            path = InversePath(path)
+        return path
+
+    def _parse_path_primary(self) -> PathExpr:
+        token = self._peek()
+        if token is None:
+            raise QuerySyntaxError("unexpected end of query in property path")
+        if token.kind == "punct" and token.text == "(":
+            self._next()
+            inner = self._parse_path_alternative()
+            self._eat_punct(")")
+            return inner
+        if token.kind == "iri":
+            self._next()
+            return PredicatePath(URIRef(_unescape(token.text[1:-1])))
+        if token.kind == "name":
+            if token.text.upper() == "A":
+                self._next()
+                return PredicatePath(RDF.type)
+            if ":" in token.text:
+                self._next()
+                try:
+                    return PredicatePath(self.manager.expand(token.text))
+                except Exception as exc:
+                    raise QuerySyntaxError(str(exc), line=token.line) from exc
+        raise QuerySyntaxError(
+            f"invalid property path element {token.text!r}", line=token.line
+        )
+
+    def _parse_values(self) -> ValuesClause:
+        """``VALUES ?v { t1 t2 }`` or ``VALUES (?a ?b) { (t1 t2) ... }``."""
+        self._eat_keyword("VALUES")
+        variables: list[Var] = []
+        token = self._peek()
+        multi = token is not None and token.kind == "punct" and token.text == "("
+        if multi:
+            self._next()
+            while self._peek() is not None and self._peek().kind == "var":
+                variables.append(Var(self._next().text[1:]))
+            self._eat_punct(")")
+        else:
+            var_token = self._next()
+            if var_token.kind != "var":
+                raise QuerySyntaxError("expected variable after VALUES", line=var_token.line)
+            variables.append(Var(var_token.text[1:]))
+        if not variables:
+            raise QuerySyntaxError("VALUES requires at least one variable")
+        self._eat_punct("{")
+        rows: list[tuple] = []
+        while not self._at_punct("}"):
+            if self._peek() is None:
+                raise QuerySyntaxError("unterminated VALUES block")
+            if multi:
+                self._eat_punct("(")
+                row = []
+                for _ in variables:
+                    row.append(self._parse_values_term())
+                self._eat_punct(")")
+                rows.append(tuple(row))
+            else:
+                rows.append((self._parse_values_term(),))
+        self._eat_punct("}")
+        return ValuesClause(variables, rows)
+
+    def _parse_values_term(self):
+        """A concrete term or UNDEF inside a VALUES block."""
+        if self._at_keyword("UNDEF"):
+            self._next()
+            return None
+        return self._parse_pattern_term(position="object")
+
+    def _parse_triples_into(self, bgp: BGP) -> None:
+        subject = self._parse_pattern_term(position="subject")
+        while True:
+            predicate = self._parse_predicate_or_path()
+            while True:
+                obj = self._parse_pattern_term(position="object")
+                bgp.patterns.append(TriplePattern(subject, predicate, obj))
+                if self._at_punct(","):
+                    self._next()
+                    continue
+                break
+            if self._at_punct(";"):
+                self._next()
+                if self._at_punct(".") or self._at_punct("}"):
+                    break
+                continue
+            break
+        if self._at_punct("."):
+            self._next()
+
+    def _parse_pattern_term(self, position: str):
+        token = self._next()
+        if token.kind == "var":
+            return Var(token.text[1:])
+        if token.kind == "iri":
+            return URIRef(_unescape(token.text[1:-1]))
+        if token.kind == "name":
+            upper = token.text.upper()
+            if upper == "A" and position == "predicate":
+                return RDF.type
+            if upper in ("TRUE", "FALSE") and position == "object":
+                return Literal(token.text.lower(), datatype=XSD_BOOLEAN)
+            if ":" in token.text:
+                try:
+                    return self.manager.expand(token.text)
+                except Exception as exc:
+                    raise QuerySyntaxError(str(exc), line=token.line) from exc
+            raise QuerySyntaxError(f"unexpected name {token.text!r}", line=token.line)
+        if position == "predicate":
+            raise QuerySyntaxError(f"invalid predicate {token.text!r}", line=token.line)
+        if token.kind == "string":
+            lexical = _unescape(token.text[1:-1])
+            nxt = self._peek()
+            if nxt is not None and nxt.kind == "langtag":
+                self._next()
+                return Literal(lexical, language=nxt.text[1:])
+            if nxt is not None and nxt.kind == "dtsep":
+                self._next()
+                dt = self._next()
+                if dt.kind == "iri":
+                    return Literal(lexical, datatype=dt.text[1:-1])
+                if dt.kind == "name" and ":" in dt.text:
+                    return Literal(lexical, datatype=self.manager.expand(dt.text).value)
+                raise QuerySyntaxError("expected datatype after ^^", line=dt.line)
+            return Literal(lexical)
+        if token.kind == "integer":
+            return Literal(token.text, datatype=XSD_INTEGER)
+        if token.kind == "double":
+            return Literal(token.text, datatype=XSD_DOUBLE)
+        raise QuerySyntaxError(f"unexpected token {token.text!r} as {position}", line=token.line)
+
+    # -- expressions ------------------------------------------------------ #
+
+    def _parse_expression(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self._peek() is not None and self._peek().kind == "op" and self._peek().text == "||":
+            self._next()
+            left = BooleanOp("||", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_relational()
+        while self._peek() is not None and self._peek().kind == "op" and self._peek().text == "&&":
+            self._next()
+            left = BooleanOp("&&", left, self._parse_relational())
+        return left
+
+    def _parse_relational(self) -> Expr:
+        left = self._parse_unary()
+        token = self._peek()
+        if token is not None and token.kind == "op" and token.text in ("=", "!=", "<", "<=", ">", ">="):
+            self._next()
+            right = self._parse_unary()
+            return Comparison(token.text, left, right)
+        return left
+
+    def _parse_unary(self) -> Expr:
+        token = self._peek()
+        if token is not None and token.kind == "op" and token.text == "!":
+            self._next()
+            return Not(self._parse_unary())
+        if self._at_keyword("EXISTS"):
+            self._next()
+            return ExistsExpr(self._parse_group(), negated=False)
+        if self._at_keyword("NOT"):
+            self._next()
+            self._eat_keyword("EXISTS")
+            return ExistsExpr(self._parse_group(), negated=True)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self._next()
+        if token.kind == "punct" and token.text == "(":
+            expr = self._parse_expression()
+            self._eat_punct(")")
+            return expr
+        if token.kind == "var":
+            return VarExpr(Var(token.text[1:]))
+        if token.kind == "iri":
+            return TermExpr(URIRef(_unescape(token.text[1:-1])))
+        if token.kind == "string":
+            lexical = _unescape(token.text[1:-1])
+            nxt = self._peek()
+            if nxt is not None and nxt.kind == "langtag":
+                self._next()
+                return TermExpr(Literal(lexical, language=nxt.text[1:]))
+            if nxt is not None and nxt.kind == "dtsep":
+                self._next()
+                dt = self._next()
+                if dt.kind == "iri":
+                    return TermExpr(Literal(lexical, datatype=dt.text[1:-1]))
+                if dt.kind == "name" and ":" in dt.text:
+                    return TermExpr(Literal(lexical, datatype=self.manager.expand(dt.text).value))
+                raise QuerySyntaxError("expected datatype after ^^", line=dt.line)
+            return TermExpr(Literal(lexical))
+        if token.kind == "integer":
+            return TermExpr(Literal(token.text, datatype=XSD_INTEGER))
+        if token.kind == "double":
+            return TermExpr(Literal(token.text, datatype=XSD_DOUBLE))
+        if token.kind == "name":
+            upper = token.text.upper()
+            if upper in ("TRUE", "FALSE"):
+                return TermExpr(Literal(upper.lower(), datatype=XSD_BOOLEAN))
+            if upper in _FUNCTIONS:
+                self._eat_punct("(")
+                args: list[Expr] = []
+                if not self._at_punct(")"):
+                    args.append(self._parse_expression())
+                    while self._at_punct(","):
+                        self._next()
+                        args.append(self._parse_expression())
+                self._eat_punct(")")
+                return FunctionCall(upper, tuple(args))
+            if ":" in token.text:
+                return TermExpr(self.manager.expand(token.text))
+        raise QuerySyntaxError(f"unexpected token in expression: {token.text!r}", line=token.line)
+
+
+def parse_query(text: str, manager: NamespaceManager | None = None) -> SelectQuery | AskQuery:
+    """Parse SPARQL text into an AST (SELECT or ASK)."""
+    return Parser(text, manager).parse()

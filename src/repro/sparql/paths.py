@@ -1,0 +1,196 @@
+"""SPARQL 1.1 property paths (subset) and their evaluation.
+
+Supported path syntax: ``iri``, ``^path`` (inverse), ``path/path``
+(sequence), ``path|path`` (alternative), ``path*``, ``path+``, ``path?``,
+and grouping ``(path)``. Negated property sets are not supported.
+
+Evaluation yields (subject, object) node pairs. The closure operators use
+breadth-first expansion with a visited set, so cyclic graphs terminate.
+Zero-length paths (from ``*``/``?``) relate each graph node to itself; with
+both endpoints unbound the node universe is every subject or non-literal
+object in the graph (literals cannot be path subjects).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Literal, Term, URIRef
+
+
+class PathExpr:
+    """Base class for property-path expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class PredicatePath(PathExpr):
+    """A single predicate step."""
+
+    predicate: URIRef
+
+    def __str__(self):
+        return self.predicate.n3()
+
+
+@dataclass(frozen=True)
+class InversePath(PathExpr):
+    """``^path`` — traverse backwards."""
+
+    path: PathExpr
+
+    def __str__(self):
+        return f"^{self.path}"
+
+
+@dataclass(frozen=True)
+class SequencePath(PathExpr):
+    """``a/b`` — b applied to the targets of a."""
+
+    steps: tuple[PathExpr, ...]
+
+    def __str__(self):
+        return "/".join(str(step) for step in self.steps)
+
+
+@dataclass(frozen=True)
+class AlternativePath(PathExpr):
+    """``a|b`` — union of both paths' pairs."""
+
+    options: tuple[PathExpr, ...]
+
+    def __str__(self):
+        return "|".join(str(option) for option in self.options)
+
+
+@dataclass(frozen=True)
+class RepeatPath(PathExpr):
+    """``path*`` (min_hops=0), ``path+`` (1), or ``path?`` (0, at most 1)."""
+
+    path: PathExpr
+    min_hops: int  # 0 or 1
+    max_one: bool = False  # True only for '?'
+
+    def __str__(self):
+        symbol = "?" if self.max_one else ("*" if self.min_hops == 0 else "+")
+        return f"{self.path}{symbol}"
+
+
+# --------------------------------------------------------------------- #
+# Evaluation
+# --------------------------------------------------------------------- #
+
+
+def _graph_nodes(graph: Graph) -> Iterator[Term]:
+    """Every term that can start a path: subjects plus non-literal objects."""
+    seen: set[Term] = set()
+    for triple in graph.triples():
+        if triple.subject not in seen:
+            seen.add(triple.subject)
+            yield triple.subject
+        if not isinstance(triple.object, Literal) and triple.object not in seen:
+            seen.add(triple.object)
+            yield triple.object
+
+
+def _step(graph: Graph, path: PathExpr, node: Term) -> Iterator[Term]:
+    """All targets reachable from ``node`` via one application of ``path``."""
+    if isinstance(node, Literal) and not isinstance(path, InversePath):
+        return
+    if isinstance(path, PredicatePath):
+        yield from graph.objects(node, path.predicate)
+    elif isinstance(path, InversePath):
+        for source, _ in _eval_path_to(graph, path.path, node):
+            yield source
+    elif isinstance(path, SequencePath):
+        frontier = [node]
+        for part in path.steps:
+            next_frontier: list[Term] = []
+            seen: set[Term] = set()
+            for current in frontier:
+                for target in _step(graph, part, current):
+                    if target not in seen:
+                        seen.add(target)
+                        next_frontier.append(target)
+            frontier = next_frontier
+            if not frontier:
+                return
+        yield from frontier
+    elif isinstance(path, AlternativePath):
+        seen = set()
+        for option in path.options:
+            for target in _step(graph, option, node):
+                if target not in seen:
+                    seen.add(target)
+                    yield target
+    elif isinstance(path, RepeatPath):
+        yield from _closure_from(graph, path, node)
+    else:
+        raise TypeError(f"unknown path node {type(path).__name__}")
+
+
+def _closure_from(graph: Graph, path: RepeatPath, node: Term) -> Iterator[Term]:
+    """Targets of ``path{*,+,?}`` starting at ``node``."""
+    if path.min_hops == 0:
+        yield node
+    if path.max_one:  # '?': at most one application
+        for target in _step(graph, path.path, node):
+            if target != node or path.min_hops > 0:
+                yield target
+        return
+    visited: set[Term] = set()
+    queue: deque[Term] = deque(_step(graph, path.path, node))
+    while queue:
+        current = queue.popleft()
+        if current in visited:
+            continue
+        visited.add(current)
+        # the zero-hop self was already yielded above for '*'; a start node
+        # reached again over a cycle still counts for '+'
+        if not (path.min_hops == 0 and current == node):
+            yield current
+        for target in _step(graph, path.path, current):
+            if target not in visited:
+                queue.append(target)
+
+
+def _eval_path_to(graph: Graph, path: PathExpr, target: Term) -> Iterator[tuple[Term, Term]]:
+    """All (source, target) pairs of ``path`` ending at ``target``."""
+    if isinstance(path, PredicatePath):
+        for subject in graph.subjects(predicate=path.predicate, object=target):
+            yield subject, target
+        return
+    # generic fallback: enumerate sources
+    for source in _graph_nodes(graph):
+        for reached in _step(graph, path, source):
+            if reached == target:
+                yield source, target
+                break
+
+
+def eval_path(
+    graph: Graph,
+    path: PathExpr,
+    subject: Term | None,
+    object: Term | None,
+) -> Iterator[tuple[Term, Term]]:
+    """All (subject, object) pairs related by ``path``, honouring bound ends."""
+    if subject is not None:
+        for target in _step(graph, path, subject):
+            if object is None or target == object:
+                yield subject, target
+        return
+    if object is not None:
+        seen: set[Term] = set()
+        for source, _ in _eval_path_to(graph, path, object):
+            if source not in seen:
+                seen.add(source)
+                yield source, object
+        return
+    for source in _graph_nodes(graph):
+        for target in _step(graph, path, source):
+            yield source, target

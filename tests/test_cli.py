@@ -1,0 +1,121 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestDatasets:
+    def test_list(self, capsys):
+        code, out, _ = run_cli(capsys, "datasets", "list")
+        assert code == 0
+        assert "dbpedia_nytimes" in out
+        assert "ground truth" in out
+
+    def test_generate(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys, "datasets", "generate", "opencyc_nba_nytimes", "--out", str(tmp_path)
+        )
+        assert code == 0
+        files = os.listdir(tmp_path)
+        assert {
+            "opencyc_nba_nytimes_left.nt",
+            "opencyc_nba_nytimes_right.nt",
+            "opencyc_nba_nytimes_truth.nt",
+        } <= set(files)
+
+    def test_generate_unknown_key(self, capsys, tmp_path):
+        code, _, err = run_cli(capsys, "datasets", "generate", "nope", "--out", str(tmp_path))
+        assert code == 1
+        assert "unknown dataset pair" in err
+
+
+class TestLinkAndQuery:
+    @pytest.fixture()
+    def generated(self, capsys, tmp_path):
+        run_cli(capsys, "datasets", "generate", "opencyc_nba_nytimes", "--out", str(tmp_path))
+        return (
+            str(tmp_path / "opencyc_nba_nytimes_left.nt"),
+            str(tmp_path / "opencyc_nba_nytimes_right.nt"),
+        )
+
+    def test_link_prints_links(self, capsys, generated):
+        left, right = generated
+        code, out, _ = run_cli(capsys, "link", left, right, "--threshold", "0.8")
+        assert code == 0
+        assert "links above threshold" in out
+        assert "sameAs" in out
+
+    def test_link_writes_file(self, capsys, generated, tmp_path):
+        left, right = generated
+        out_file = str(tmp_path / "links.nt")
+        code, out, _ = run_cli(capsys, "link", left, right, "--out", out_file)
+        assert code == 0
+        assert os.path.exists(out_file)
+
+    def test_link_missing_file(self, capsys):
+        code, _, err = run_cli(capsys, "link", "/nope/a.nt", "/nope/b.nt")
+        assert code == 1
+        assert "error" in err
+
+    def test_query_select(self, capsys, generated):
+        left, _ = generated
+        code, out, _ = run_cli(
+            capsys, "query", left, "SELECT ?s WHERE { ?s ?p ?o } LIMIT 3"
+        )
+        assert code == 0
+        assert out.startswith("?s")
+        assert len(out.strip().splitlines()) == 4  # header + 3 rows
+
+    def test_query_ask(self, capsys, generated):
+        left, _ = generated
+        code, out, _ = run_cli(capsys, "query", left, "ASK { ?s ?p ?o }")
+        assert code == 0
+        assert out.strip() == "yes"
+
+    def test_query_construct(self, capsys, generated):
+        left, _ = generated
+        code, out, _ = run_cli(
+            capsys, "query", left,
+            "CONSTRUCT { ?s <http://x/p> ?o } WHERE { ?s <http://x/none> ?o }",
+        )
+        assert code == 0
+        assert out == ""
+
+    def test_query_aggregate(self, capsys, generated):
+        left, _ = generated
+        code, out, _ = run_cli(
+            capsys, "query", left, "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }"
+        )
+        assert code == 0
+        assert int(out.strip().splitlines()[1]) > 0
+
+
+class TestRunAndFigures:
+    def test_run_scenario(self, capsys):
+        code, out, _ = run_cli(capsys, "run", "fig4d", "--max-episodes", "5")
+        assert code == 0
+        assert "scenario fig4d" in out
+        assert "episodes:" in out
+
+    def test_run_unknown_scenario(self, capsys):
+        code, _, err = run_cli(capsys, "run", "nope")
+        assert code == 1
+
+    def test_figures_single(self, capsys):
+        code, out, _ = run_cli(capsys, "figures", "table1")
+        assert code == 0
+        assert "Table 1" in out
+
+    def test_figures_unknown(self, capsys):
+        code, _, err = run_cli(capsys, "figures", "fig99")
+        assert code == 2
+        assert "unknown figure" in err

@@ -1,0 +1,115 @@
+"""Tests for link confidence reporting and VoID descriptions."""
+
+import pytest
+
+from repro.core import AlexConfig, AlexEngine
+from repro.core.confidence import (
+    confidence_report,
+    export_confidence_csv,
+    link_confidence,
+)
+from repro.features import FeatureSpace
+from repro.feedback import FeedbackSession, GroundTruthOracle
+from repro.links import Link, LinkSet
+from repro.rdf.entity import Entity
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import OWL_SAMEAS
+from repro.rdf.terms import Literal, URIRef
+from repro.rdf.void import VOID, export_with_void, void_description, void_linkset
+
+LEFT_NAME = URIRef("http://a/ont/name")
+RIGHT_NAME = URIRef("http://b/ont/name")
+
+
+def link(i: int, j: int) -> Link:
+    return Link(URIRef(f"http://a/res/e{i}"), URIRef(f"http://b/res/e{j}"))
+
+
+@pytest.fixture()
+def engine():
+    names = ["Alpha Jones", "Bravo Smith", "Carol Kent", "Delta Reed", "Echo Moss"]
+    space = FeatureSpace(theta=0.3)
+    for i, left_name in enumerate(names):
+        left = Entity(URIRef(f"http://a/res/e{i}"), {LEFT_NAME: (Literal(left_name),)})
+        for j, right_name in enumerate(names):
+            right = Entity(URIRef(f"http://b/res/e{j}"), {RIGHT_NAME: (Literal(right_name),)})
+            space.add_pair(left, right)
+    space.freeze()
+    initial = LinkSet()
+    initial.add(link(0, 0), score=0.93)
+    engine = AlexEngine(space, initial, AlexConfig(episode_size=15, seed=4))
+    truth = LinkSet([link(i, i) for i in range(5)])
+    session = FeedbackSession(engine, GroundTruthOracle(truth), seed=4)
+    session.run(episode_size=15, max_episodes=6)
+    return engine
+
+
+class TestLinkConfidence:
+    def test_approved_links_score_high(self, engine):
+        report = confidence_report(engine)
+        approved = [entry for entry in report if entry.positives > 0]
+        assert approved
+        for entry in approved:
+            assert entry.confidence > 0.6
+
+    def test_report_sorted_desc(self, engine):
+        report = confidence_report(engine)
+        confidences = [entry.confidence for entry in report]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_linker_prior_used(self, engine):
+        entry = link_confidence(engine, link(0, 0))
+        assert entry.source == "linker"
+        assert entry.prior == pytest.approx(0.93)
+
+    def test_unjudged_linker_link_keeps_score(self):
+        space = FeatureSpace(theta=0.3)
+        space.freeze()
+        initial = LinkSet()
+        initial.add(link(9, 9), score=0.8)
+        engine = AlexEngine(space, initial, AlexConfig(episode_size=5))
+        entry = link_confidence(engine, link(9, 9))
+        assert entry.confidence == pytest.approx(0.8)
+        assert entry.positives == 0
+
+    def test_csv_export(self, engine):
+        text = export_confidence_csv(engine)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("left,right,confidence")
+        assert len(lines) == len(engine.candidates) + 1
+
+
+class TestVoid:
+    @pytest.fixture()
+    def graph(self):
+        g = Graph(name="testset")
+        from repro.rdf.triples import Triple
+
+        g.add(Triple(URIRef("http://x/a"), URIRef("http://x/p"), Literal("v")))
+        g.add(Triple(URIRef("http://x/b"), URIRef("http://x/q"), URIRef("http://x/a")))
+        return g
+
+    def test_dataset_description(self, graph):
+        description = void_description(graph, "http://example.org/ds")
+        subject = URIRef("http://example.org/ds")
+        assert description.value(subject, VOID.triples) == Literal(
+            "2", datatype="http://www.w3.org/2001/XMLSchema#integer"
+        )
+        assert description.value(subject, VOID.properties).lexical == "2"
+
+    def test_linkset_description(self):
+        links = LinkSet([link(0, 0), link(1, 1)], name="mylinks")
+        description = void_linkset(
+            links, "http://example.org/ls", "http://example.org/a", "http://example.org/b"
+        )
+        subject = URIRef("http://example.org/ls")
+        assert description.value(subject, VOID.linkPredicate) == OWL_SAMEAS
+        assert description.value(subject, VOID.triples).lexical == "2"
+
+    def test_export_with_void_combines(self):
+        links = LinkSet([link(0, 0)])
+        combined = export_with_void(
+            links, "http://example.org", "http://example.org/a", "http://example.org/b"
+        )
+        assert combined.count(predicate=OWL_SAMEAS) == 1
+        assert combined.count(predicate=VOID.linkPredicate) == 1

@@ -1,0 +1,298 @@
+"""Unit tests for the ALEX engine: exploration, credit, blacklist, rollback,
+convergence, and the distinctiveness memory."""
+
+import pytest
+
+from repro.core import AlexConfig, AlexEngine, StateAction
+from repro.core.distinctiveness import FeatureDistinctiveness
+from repro.features import FeatureSpace
+from repro.links import Link, LinkSet
+from repro.rdf.entity import Entity
+from repro.rdf.terms import Literal, URIRef
+
+LEFT_NAME = URIRef("http://a/ont/name")
+RIGHT_NAME = URIRef("http://b/ont/name")
+NAME_KEY = (LEFT_NAME, RIGHT_NAME)
+
+
+def left_entity(index: int, name: str) -> Entity:
+    return Entity(URIRef(f"http://a/res/e{index}"), {LEFT_NAME: (Literal(name),)})
+
+
+def right_entity(index: int, name: str) -> Entity:
+    return Entity(URIRef(f"http://b/res/e{index}"), {RIGHT_NAME: (Literal(name),)})
+
+
+def link(i: int, j: int) -> Link:
+    return Link(URIRef(f"http://a/res/e{i}"), URIRef(f"http://b/res/e{j}"))
+
+
+@pytest.fixture()
+def space() -> FeatureSpace:
+    """Five left and five right entities; pair (i, i) has name similarity 1.0
+    and cross pairs share the surname token, giving mid-range scores. All
+    exploration happens along the single (name, name) feature."""
+    space = FeatureSpace(theta=0.3)
+    names = ["Alpha Jones", "Bravo Jones", "Carol Jones", "Delta Jones", "Echo Jones"]
+    lefts = [left_entity(i, name) for i, name in enumerate(names)]
+    rights = [right_entity(i, name) for i, name in enumerate(names)]
+    for left in lefts:
+        for right in rights:
+            space.add_pair(left, right)
+    space.freeze()
+    return space
+
+
+def config(**overrides) -> AlexConfig:
+    defaults = dict(episode_size=10, seed=1)
+    defaults.update(overrides)
+    return AlexConfig(**defaults)
+
+
+class TestExploration:
+    def test_positive_feedback_discovers_similar_links(self, space):
+        engine = AlexEngine(space, LinkSet([link(0, 0)]), config())
+        discovered = engine.process_feedback(link(0, 0), positive=True)
+        # the identity pairs all have (name, name) score 1.0, so exploring
+        # around 1.0 finds the other correct links
+        assert set(discovered) >= {link(i, i) for i in range(1, 5)}
+        assert all(l in engine.candidates for l in discovered)
+
+    def test_discovered_links_have_provenance(self, space):
+        engine = AlexEngine(space, LinkSet([link(0, 0)]), config())
+        discovered = engine.process_feedback(link(0, 0), positive=True)
+        for found in discovered:
+            generators = engine.ledger.generators_of(found)
+            assert StateAction(link(0, 0), NAME_KEY) in generators
+
+    def test_positive_feedback_on_unknown_link_readds_it(self, space):
+        engine = AlexEngine(space, LinkSet(), config())
+        engine.process_feedback(link(2, 2), positive=True)
+        assert link(2, 2) in engine.candidates
+
+    def test_exploration_skips_existing_candidates(self, space):
+        initial = LinkSet([link(i, i) for i in range(5)])
+        engine = AlexEngine(space, initial, config())
+        discovered = engine.process_feedback(link(0, 0), positive=True)
+        assert discovered == []
+
+    def test_link_outside_space_triggers_no_exploration(self, space):
+        stray = Link(URIRef("http://a/res/zz"), URIRef("http://b/res/zz"))
+        engine = AlexEngine(space, LinkSet([stray]), config())
+        assert engine.process_feedback(stray, positive=True) == []
+
+
+class TestNegativeFeedback:
+    def test_negative_removes_and_blacklists(self, space):
+        engine = AlexEngine(space, LinkSet([link(0, 1)]), config())
+        engine.process_feedback(link(0, 1), positive=False)
+        assert link(0, 1) not in engine.candidates
+        assert link(0, 1) in engine.blacklist
+
+    def test_blacklisted_links_never_rediscovered(self, space):
+        engine = AlexEngine(space, LinkSet([link(0, 0), link(1, 1)]), config())
+        engine.process_feedback(link(0, 1), positive=False)
+        discovered = engine.process_feedback(link(0, 0), positive=True)
+        assert link(0, 1) not in discovered
+
+    def test_blacklist_disabled(self, space):
+        engine = AlexEngine(space, LinkSet([link(0, 1)]), config(use_blacklist=False))
+        engine.process_feedback(link(0, 1), positive=False)
+        assert link(0, 1) not in engine.blacklist
+
+    def test_evidence_tally_protects_approved_links(self, space):
+        engine = AlexEngine(space, LinkSet([link(0, 0)]), config())
+        engine.process_feedback(link(0, 0), positive=True)
+        engine.process_feedback(link(0, 0), positive=True)
+        # one (erroneous) rejection does not outweigh two approvals
+        engine.process_feedback(link(0, 0), positive=False)
+        assert link(0, 0) in engine.candidates
+
+    def test_majority_negative_removes(self, space):
+        engine = AlexEngine(space, LinkSet([link(0, 0)]), config())
+        engine.process_feedback(link(0, 0), positive=True)
+        engine.process_feedback(link(0, 0), positive=False)
+        engine.process_feedback(link(0, 0), positive=False)
+        assert link(0, 0) not in engine.candidates
+
+
+class TestCreditAssignment:
+    def test_first_visit_credit_flows_to_generator(self, space):
+        engine = AlexEngine(space, LinkSet([link(0, 0)]), config())
+        discovered = engine.process_feedback(link(0, 0), positive=True)
+        target = discovered[0]
+        engine.process_feedback(target, positive=True)
+        sa = StateAction(link(0, 0), NAME_KEY)
+        assert engine.values.q(sa) == pytest.approx(1.0)
+
+    def test_second_visit_in_episode_not_credited(self, space):
+        engine = AlexEngine(space, LinkSet([link(0, 0)]), config())
+        discovered = engine.process_feedback(link(0, 0), positive=True)
+        target = discovered[0]
+        engine.process_feedback(target, positive=True)
+        engine.process_feedback(target, positive=True)  # second visit
+        sa = StateAction(link(0, 0), NAME_KEY)
+        assert len(engine.values.returns(sa)) == 1
+
+    def test_new_episode_is_new_first_visit(self, space):
+        engine = AlexEngine(space, LinkSet([link(0, 0)]), config())
+        discovered = engine.process_feedback(link(0, 0), positive=True)
+        target = discovered[0]
+        engine.process_feedback(target, positive=True)
+        engine.end_episode()
+        engine.process_feedback(target, positive=True)
+        sa = StateAction(link(0, 0), NAME_KEY)
+        assert len(engine.values.returns(sa)) == 2
+
+    def test_negative_reward_credited(self, space):
+        engine = AlexEngine(space, LinkSet([link(0, 0)]), config())
+        discovered = engine.process_feedback(link(0, 0), positive=True)
+        engine.process_feedback(discovered[0], positive=False)
+        sa = StateAction(link(0, 0), NAME_KEY)
+        assert engine.values.q(sa) == pytest.approx(-1.0)
+
+
+class TestRollback:
+    def make_engine(self, space, **overrides):
+        settings = dict(
+            episode_size=50,
+            rollback_min_negatives=2,
+            rollback_negative_fraction=0.6,
+            seed=1,
+        )
+        settings.update(overrides)
+        return AlexEngine(space, LinkSet([link(0, 0)]), AlexConfig(**settings))
+
+    def test_rollback_removes_generated_links(self, space):
+        engine = self.make_engine(space)
+        discovered = engine.process_feedback(link(0, 0), positive=True)
+        # reject enough of the discovered links to trip the rollback
+        engine.process_feedback(discovered[0], positive=False)
+        engine.process_feedback(discovered[1], positive=False)
+        for remaining in discovered[2:]:
+            assert remaining not in engine.candidates
+
+    def test_rolled_back_links_not_blacklisted(self, space):
+        engine = self.make_engine(space)
+        discovered = engine.process_feedback(link(0, 0), positive=True)
+        engine.process_feedback(discovered[0], positive=False)
+        engine.process_feedback(discovered[1], positive=False)
+        for remaining in discovered[2:]:
+            assert remaining not in engine.blacklist
+
+    def test_rollback_spares_confirmed_links(self, space):
+        engine = self.make_engine(space)
+        discovered = engine.process_feedback(link(0, 0), positive=True)
+        saved = discovered[-1]
+        engine.process_feedback(saved, positive=True)  # confirm
+        engine.process_feedback(discovered[0], positive=False)
+        engine.process_feedback(discovered[1], positive=False)
+        assert saved in engine.candidates
+
+    def test_rollback_disabled(self, space):
+        engine = self.make_engine(space, use_rollback=False)
+        discovered = engine.process_feedback(link(0, 0), positive=True)
+        engine.process_feedback(discovered[0], positive=False)
+        engine.process_feedback(discovered[1], positive=False)
+        assert discovered[-1] in engine.candidates
+
+    def test_rollback_counted_in_stats(self, space):
+        engine = self.make_engine(space)
+        discovered = engine.process_feedback(link(0, 0), positive=True)
+        engine.process_feedback(discovered[0], positive=False)
+        engine.process_feedback(discovered[1], positive=False)
+        stats = engine.end_episode()
+        assert stats.rollbacks == 1
+
+
+class TestEpisodesAndConvergence:
+    def test_policy_improved_at_episode_end(self, space):
+        engine = AlexEngine(space, LinkSet([link(0, 0)]), config())
+        discovered = engine.process_feedback(link(0, 0), positive=True)
+        engine.process_feedback(discovered[0], positive=True)
+        engine.end_episode()
+        assert engine.policy.greedy_action(link(0, 0)) == NAME_KEY
+
+    def test_unchanged_episode_converges(self, space):
+        engine = AlexEngine(space, LinkSet([link(0, 1)]), config())
+        engine.end_episode()  # nothing happened
+        assert engine.converged
+        assert engine.converged_at == 1
+
+    def test_patience_delays_convergence(self, space):
+        engine = AlexEngine(space, LinkSet([link(0, 1)]), config(convergence_patience=2))
+        engine.end_episode()
+        assert not engine.converged
+        engine.end_episode()
+        assert engine.converged_at == 2
+
+    def test_change_resets_patience(self, space):
+        engine = AlexEngine(space, LinkSet([link(0, 0)]), config(convergence_patience=2))
+        engine.end_episode()  # unchanged (streak 1)
+        engine.process_feedback(link(0, 0), positive=True)  # discovers links
+        engine.end_episode()  # changed (streak 0)
+        assert not engine.converged
+
+    def test_relaxed_convergence_threshold(self, space):
+        initial = LinkSet([link(i, i) for i in range(5)] + [link(0, 1), link(1, 0)])
+        engine = AlexEngine(space, initial, config())
+        # removing 1 of 7 links is ~14% change: above the 5% threshold
+        engine.process_feedback(link(0, 1), positive=False)
+        engine.end_episode()
+        assert engine.relaxed_converged_at is None
+
+    def test_stopped_at_max_episodes(self, space):
+        engine = AlexEngine(space, LinkSet([link(0, 0)]), config(max_episodes=2))
+        engine.process_feedback(link(0, 0), positive=True)
+        engine.end_episode()
+        engine.process_feedback(link(0, 1), positive=False)
+        engine.end_episode()
+        assert engine.stopped
+
+    def test_episode_full(self, space):
+        engine = AlexEngine(space, LinkSet([link(0, 0)]), config(episode_size=2))
+        assert not engine.episode_full()
+        engine.process_feedback(link(0, 0), positive=True)
+        engine.process_feedback(link(0, 0), positive=True)
+        assert engine.episode_full()
+
+    def test_owns(self, space):
+        engine = AlexEngine(space, LinkSet([link(0, 0)]), config())
+        assert engine.owns(link(0, 0))
+        assert engine.owns(link(3, 3))  # in space
+        assert not engine.owns(Link(URIRef("http://a/res/zz"), URIRef("http://b/res/zz")))
+
+
+class TestDistinctiveness:
+    def test_poisoned_feature_filtered(self):
+        memory = FeatureDistinctiveness(min_negatives=3, negative_fraction=0.6)
+        bad = NAME_KEY
+        good = (URIRef("http://a/ont/x"), URIRef("http://b/ont/y"))
+        for _ in range(5):
+            memory.record(bad, -1.0, positive=False)
+        memory.record(good, 1.0, positive=True)
+        assert memory.is_distinctive(bad) is False
+        assert memory.filter_actions([bad, good]) == [good]
+
+    def test_filter_never_empties(self):
+        memory = FeatureDistinctiveness(min_negatives=1, negative_fraction=0.1)
+        memory.record(NAME_KEY, -1.0, positive=False)
+        assert memory.filter_actions([NAME_KEY]) == [NAME_KEY]
+
+    def test_best_known(self):
+        memory = FeatureDistinctiveness(min_negatives=3, negative_fraction=0.6)
+        a = (URIRef("http://a/ont/a"), URIRef("http://b/ont/a"))
+        b = (URIRef("http://a/ont/b"), URIRef("http://b/ont/b"))
+        memory.record(a, 1.0, positive=True)
+        memory.record(b, -1.0, positive=False)
+        assert memory.best_known([a, b]) == a
+        assert memory.best_known([]) is None
+
+    def test_positive_feedback_keeps_feature_distinctive(self):
+        memory = FeatureDistinctiveness(min_negatives=3, negative_fraction=0.8)
+        for _ in range(3):
+            memory.record(NAME_KEY, -1.0, positive=False)
+        for _ in range(2):
+            memory.record(NAME_KEY, 1.0, positive=True)
+        # 3 of 5 = 60% negative, below the 80% bar
+        assert memory.is_distinctive(NAME_KEY) is True

@@ -1,0 +1,111 @@
+"""Tests for engine state save/load."""
+
+import json
+
+import pytest
+
+from repro.core import AlexConfig, AlexEngine
+from repro.core.persistence import (
+    dump_engine,
+    load_engine,
+    load_engine_file,
+    save_engine_file,
+)
+from repro.errors import ConfigError
+from repro.features import FeatureSpace
+from repro.feedback import FeedbackSession, GroundTruthOracle
+from repro.links import Link, LinkSet
+from repro.rdf.entity import Entity
+from repro.rdf.terms import Literal, URIRef
+
+LEFT_NAME = URIRef("http://a/ont/name")
+RIGHT_NAME = URIRef("http://b/ont/name")
+
+
+def link(i: int, j: int) -> Link:
+    return Link(URIRef(f"http://a/res/e{i}"), URIRef(f"http://b/res/e{j}"))
+
+
+@pytest.fixture()
+def space() -> FeatureSpace:
+    space = FeatureSpace(theta=0.3)
+    for i in range(5):
+        left = Entity(URIRef(f"http://a/res/e{i}"), {LEFT_NAME: (Literal(f"Name{i} Jones"),)})
+        for j in range(5):
+            right = Entity(
+                URIRef(f"http://b/res/e{j}"), {RIGHT_NAME: (Literal(f"Name{j} Jones"),)}
+            )
+            space.add_pair(left, right)
+    space.freeze()
+    return space
+
+
+@pytest.fixture()
+def trained_engine(space) -> AlexEngine:
+    truth = LinkSet([link(i, i) for i in range(5)])
+    engine = AlexEngine(space, LinkSet([link(0, 0)]), AlexConfig(episode_size=15, seed=3))
+    session = FeedbackSession(engine, GroundTruthOracle(truth), seed=3)
+    session.run(episode_size=15, max_episodes=6)
+    return engine
+
+
+class TestRoundTrip:
+    def test_candidates_preserved(self, space, trained_engine):
+        restored = load_engine(space, dump_engine(trained_engine))
+        assert restored.candidates.snapshot() == trained_engine.candidates.snapshot()
+
+    def test_blacklist_and_confirmed_preserved(self, space, trained_engine):
+        restored = load_engine(space, dump_engine(trained_engine))
+        assert restored.blacklist == trained_engine.blacklist
+        assert restored.confirmed == trained_engine.confirmed
+
+    def test_policy_preserved(self, space, trained_engine):
+        restored = load_engine(space, dump_engine(trained_engine))
+        for state in trained_engine.policy.states():
+            assert restored.policy.greedy_action(state) == trained_engine.policy.greedy_action(state)
+
+    def test_q_values_preserved(self, space, trained_engine):
+        restored = load_engine(space, dump_engine(trained_engine))
+        for state_action in trained_engine.values.known_pairs():
+            assert restored.values.q(state_action) == pytest.approx(
+                trained_engine.values.q(state_action)
+            )
+
+    def test_episode_counters_preserved(self, space, trained_engine):
+        restored = load_engine(space, dump_engine(trained_engine))
+        assert restored.episodes_completed == trained_engine.episodes_completed
+        assert restored.converged_at == trained_engine.converged_at
+
+    def test_restored_engine_keeps_learning(self, space, trained_engine):
+        truth = LinkSet([link(i, i) for i in range(5)])
+        restored = load_engine(space, dump_engine(trained_engine))
+        session = FeedbackSession(restored, GroundTruthOracle(truth), seed=4)
+        session.run_episode(15)
+        assert restored.episodes_completed == trained_engine.episodes_completed + 1
+
+    def test_file_round_trip(self, space, trained_engine, tmp_path):
+        path = str(tmp_path / "engine.json")
+        save_engine_file(trained_engine, path)
+        restored = load_engine_file(space, path)
+        assert restored.candidates.snapshot() == trained_engine.candidates.snapshot()
+        # the file is real JSON
+        with open(path) as handle:
+            assert json.load(handle)["format_version"] == 1
+
+    def test_scores_preserved(self, space):
+        candidates = LinkSet()
+        candidates.add(link(0, 0), score=0.93)
+        engine = AlexEngine(space, candidates, AlexConfig(episode_size=5))
+        restored = load_engine(space, dump_engine(engine))
+        assert restored.candidates.score(link(0, 0)) == 0.93
+
+    def test_unknown_version_rejected(self, space, trained_engine):
+        state = dump_engine(trained_engine)
+        state["format_version"] = 99
+        with pytest.raises(ConfigError):
+            load_engine(space, state)
+
+    def test_dump_is_deterministic(self, space, trained_engine):
+        first = json.dumps(dump_engine(trained_engine), sort_keys=True)
+        second = json.dumps(dump_engine(trained_engine), sort_keys=True)
+        assert first == second

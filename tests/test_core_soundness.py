@@ -1,0 +1,138 @@
+"""Empirical checks of the Section 5 soundness properties.
+
+The paper proves (1) policy improvement yields a policy at least as good as
+the previous one, and (2) the property holds for ε-greedy policies. These
+tests verify the operational versions of those claims on a real run:
+
+* at every improvement, the chosen greedy action maximizes the current Q
+  (Equation 7);
+* Q(s, π_{k+1}(s)) ≥ Q(s, π_k(s)) at improvement time (Equation 8);
+* the ε-greedy distribution always keeps π(s,a) ≥ ε/|A(s)| for every action
+  (the continual-exploration requirement of Section 4.4.1);
+* across a full run, later episodes collect a lower share of negative
+  feedback than early ones (the learning actually pays off).
+"""
+
+import pytest
+
+from repro.core import AlexConfig, AlexEngine, available_actions
+from repro.core.state import StateAction
+from repro.features import FeatureSpace
+from repro.feedback import FeedbackSession, GroundTruthOracle
+from repro.links import Link, LinkSet
+from repro.rdf.entity import Entity
+from repro.rdf.terms import Literal, URIRef
+
+LEFT_NAME = URIRef("http://a/ont/name")
+RIGHT_NAME = URIRef("http://b/ont/name")
+LEFT_KIND = URIRef("http://a/ont/kind")
+RIGHT_KIND = URIRef("http://b/ont/kind")
+
+
+def link(i: int, j: int) -> Link:
+    return Link(URIRef(f"http://a/res/e{i}"), URIRef(f"http://b/res/e{j}"))
+
+
+def build_space(n: int = 8) -> FeatureSpace:
+    names = ["Alpha Jones", "Bravo Smith", "Carol Kent", "Delta Reed",
+             "Echo Moss", "Foxtrot Hale", "Golf Pryce", "Hotel Varn"]
+    space = FeatureSpace(theta=0.3)
+    for i in range(n):
+        left = Entity(
+            URIRef(f"http://a/res/e{i}"),
+            {LEFT_NAME: (Literal(names[i]),), LEFT_KIND: (Literal("thing"),)},
+        )
+        for j in range(n):
+            right = Entity(
+                URIRef(f"http://b/res/e{j}"),
+                {RIGHT_NAME: (Literal(names[j]),), RIGHT_KIND: (Literal("thing"),)},
+            )
+            space.add_pair(left, right)
+    space.freeze()
+    return space
+
+
+class ImprovementAudit:
+    """Wraps a policy to record every improvement against the value table."""
+
+    def __init__(self, engine: AlexEngine):
+        self.engine = engine
+        self.violations: list[str] = []
+        self.improvements = 0
+        original_improve = engine.policy.improve
+
+        def audited_improve(state, greedy_action):
+            feature_set = engine.space.feature_set(state)
+            actions = available_actions(feature_set) if feature_set else []
+            q_new = engine.values.q(StateAction(state, greedy_action))
+            # (1) the new greedy action maximizes Q over defined actions
+            for action in actions:
+                q_other = engine.values.q(StateAction(state, action))
+                if q_other is not None and q_new is not None and q_other > q_new + 1e-9:
+                    self.violations.append(
+                        f"argmax violated at {state}: {action} has higher Q"
+                    )
+            # (2) monotone against the previous greedy choice (Equation 8)
+            previous = engine.policy.greedy_action(state)
+            if previous is not None and q_new is not None:
+                q_previous = engine.values.q(StateAction(state, previous))
+                if q_previous is not None and q_new < q_previous - 1e-9:
+                    self.violations.append(
+                        f"improvement not monotone at {state}"
+                    )
+            self.improvements += 1
+            return original_improve(state, greedy_action)
+
+        engine.policy.improve = audited_improve  # type: ignore[method-assign]
+
+
+@pytest.fixture()
+def run():
+    space = build_space()
+    truth = LinkSet([link(i, i) for i in range(8)])
+    engine = AlexEngine(
+        space, LinkSet([link(0, 0)]),
+        AlexConfig(episode_size=10, seed=11, rollback_min_negatives=3,
+                   convergence_patience=3),
+    )
+    audit = ImprovementAudit(engine)
+    session = FeedbackSession(engine, GroundTruthOracle(truth), seed=11)
+    session.run(episode_size=10, max_episodes=30)
+    return engine, audit
+
+
+class TestSoundness:
+    def test_improvements_happened(self, run):
+        _, audit = run
+        assert audit.improvements > 0, "the audit must observe improvements"
+
+    def test_greedy_choice_is_argmax(self, run):
+        _, audit = run
+        assert audit.violations == []
+
+    def test_epsilon_greedy_keeps_exploration(self, run):
+        engine, _ = run
+        for state in engine.policy.states():
+            feature_set = engine.space.feature_set(state)
+            if feature_set is None:
+                continue
+            actions = available_actions(feature_set)
+            probabilities = engine.policy.action_probabilities(state, actions)
+            floor = engine.config.epsilon / len(actions)
+            for probability in probabilities.values():
+                assert probability >= floor - 1e-12
+
+    def test_learning_reduces_negative_feedback(self, run):
+        """Once bad exploration has been experienced (the peak of negative
+        feedback), learning drives the negative share back down."""
+        engine, _ = run
+        history = engine.episode_history
+        assert len(history) >= 4
+        fractions = [stats.negative_fraction for stats in history]
+        peak = max(fractions)
+        assert peak > 0.0, "the run must have explored some wrong links"
+        late = fractions[-1]
+        assert late < peak, (
+            f"negative feedback should fall after its peak "
+            f"(peak {peak:.2f} -> final {late:.2f})"
+        )

@@ -1,0 +1,65 @@
+"""Tests for loading external dataset pairs from N-Triples files."""
+
+import pytest
+
+from repro.datasets import load_pair_from_files
+from repro.errors import DatasetError
+
+LEFT_NT = """\
+<http://a/lebron> <http://a/ont/name> "LeBron James" .
+<http://a/durant> <http://a/ont/name> "Kevin Durant" .
+"""
+
+RIGHT_NT = """\
+<http://b/lj> <http://b/ont/label> "Lebron James" .
+<http://b/kd> <http://b/ont/label> "Kevin Durant" .
+"""
+
+TRUTH_NT = """\
+<http://a/lebron> <http://www.w3.org/2002/07/owl#sameAs> <http://b/lj> .
+<http://a/durant> <http://www.w3.org/2002/07/owl#sameAs> <http://b/kd> .
+"""
+
+
+@pytest.fixture()
+def files(tmp_path):
+    left = tmp_path / "left.nt"
+    right = tmp_path / "right.nt"
+    truth = tmp_path / "truth.nt"
+    left.write_text(LEFT_NT)
+    right.write_text(RIGHT_NT)
+    truth.write_text(TRUTH_NT)
+    return str(left), str(right), str(truth)
+
+
+class TestLoadPairFromFiles:
+    def test_loads_all_parts(self, files):
+        pair = load_pair_from_files(*files, name="nba")
+        assert len(pair.left) == 2
+        assert len(pair.right) == 2
+        assert len(pair.ground_truth) == 2
+        assert pair.name == "nba"
+
+    def test_empty_ground_truth_rejected(self, files, tmp_path):
+        empty = tmp_path / "empty.nt"
+        empty.write_text("<http://a/x> <http://a/p> <http://a/y> .\n")
+        with pytest.raises(DatasetError):
+            load_pair_from_files(files[0], files[1], str(empty))
+
+    def test_reversed_orientation_detected(self, files, tmp_path):
+        reversed_truth = tmp_path / "reversed.nt"
+        reversed_truth.write_text(
+            '<http://b/lj> <http://www.w3.org/2002/07/owl#sameAs> <http://a/lebron> .\n'
+        )
+        with pytest.raises(DatasetError):
+            load_pair_from_files(files[0], files[1], str(reversed_truth))
+
+    def test_pipeline_runs_on_loaded_pair(self, files):
+        from repro.features import FeatureSpace
+        from repro.paris import paris_links
+
+        pair = load_pair_from_files(*files)
+        space = FeatureSpace.build(pair.left, pair.right)
+        links = paris_links(pair.left, pair.right, score_threshold=0.5)
+        assert space.size >= 2
+        assert len(links) >= 1

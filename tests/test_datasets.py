@@ -1,0 +1,203 @@
+"""Unit tests for the synthetic dataset generator and catalog."""
+
+import random
+
+import pytest
+
+from repro.datasets import (
+    DRUG_PROFILE,
+    PERSON_PROFILE,
+    PairSpec,
+    catalog_keys,
+    generate_pair,
+    load_pair,
+    pair_spec,
+    table1_stats,
+)
+from repro.datasets.vocab import (
+    abbreviate_token,
+    coin_code,
+    coin_person_name,
+    coin_word,
+    drop_token,
+    heavy_mutation,
+    perturb_name,
+    perturb_year,
+    reorder_tokens,
+    typo,
+)
+from repro.errors import DatasetError
+from repro.rdf.namespaces import RDF_TYPE
+
+
+def small_spec(**overrides) -> PairSpec:
+    defaults = dict(
+        name="test_pair",
+        left_name="left",
+        right_name="right",
+        profiles=(PERSON_PROFILE,),
+        n_shared=20,
+        n_left_only=10,
+        n_right_only=5,
+        seed=3,
+    )
+    defaults.update(overrides)
+    return PairSpec(**defaults)
+
+
+class TestVocab:
+    def test_coin_word_deterministic(self):
+        assert coin_word(random.Random(1)) == coin_word(random.Random(1))
+
+    def test_coin_person_name_shape(self):
+        name = coin_person_name(random.Random(2))
+        assert len(name.split()) == 2
+        assert name[0].isupper()
+
+    def test_coin_code_length(self):
+        assert len(coin_code(random.Random(3), length=7)) == 7
+
+    def test_typo_changes_text(self):
+        rng = random.Random(4)
+        assert typo(rng, "lebron james", edits=2) != "lebron james"
+
+    def test_typo_short_string_safe(self):
+        assert typo(random.Random(0), "a") == "a"
+
+    def test_abbreviate_token(self):
+        out = abbreviate_token(random.Random(5), "Kevin Durant")
+        assert "." in out
+
+    def test_token_edits_preserve_other_tokens(self):
+        rng = random.Random(6)
+        dropped = drop_token(rng, "one two three")
+        assert len(dropped.split()) == 2
+        reordered = reorder_tokens(rng, "alpha beta")
+        assert set(reordered.split()) == {"alpha", "beta"}
+
+    def test_single_token_edits_noop(self):
+        rng = random.Random(0)
+        assert drop_token(rng, "single") == "single"
+        assert reorder_tokens(rng, "single") == "single"
+        assert abbreviate_token(rng, "single") == "single"
+
+    def test_perturb_name_zero_strength_identity(self):
+        assert perturb_name(random.Random(0), "LeBron James", 0.0) == "LeBron James"
+
+    def test_perturb_name_never_empty(self):
+        rng = random.Random(7)
+        for _ in range(100):
+            assert perturb_name(rng, "ab cd", 1.0).strip()
+
+    def test_perturb_year_zero_strength(self):
+        assert perturb_year(random.Random(0), 1984, 0.0) == 1984
+
+    def test_heavy_mutation_differs(self):
+        rng = random.Random(8)
+        assert heavy_mutation(rng, "LeBron James") != "LeBron James"
+
+
+class TestGenerator:
+    def test_ground_truth_size(self):
+        pair = generate_pair(small_spec())
+        assert len(pair.ground_truth) == 20
+
+    def test_entity_counts(self):
+        pair = generate_pair(small_spec())
+        assert sum(1 for _ in pair.left.entities()) == 30
+        assert sum(1 for _ in pair.right.entities()) == 25
+
+    def test_deterministic_by_seed(self):
+        a = generate_pair(small_spec())
+        b = generate_pair(small_spec())
+        assert set(a.left.triples()) == set(b.left.triples())
+        assert a.ground_truth == b.ground_truth
+
+    def test_different_seed_different_data(self):
+        a = generate_pair(small_spec(seed=1))
+        b = generate_pair(small_spec(seed=2))
+        assert set(a.left.triples()) != set(b.left.triples())
+
+    def test_every_entity_typed(self):
+        pair = generate_pair(small_spec())
+        for graph in (pair.left, pair.right):
+            for entity in graph.entities():
+                assert graph.value(entity, RDF_TYPE) is not None
+
+    def test_schemas_differ_between_sides(self):
+        pair = generate_pair(small_spec())
+        left_predicates = {p.value for p in pair.left.predicates()}
+        right_predicates = {p.value for p in pair.right.predicates()}
+        assert left_predicates != right_predicates
+
+    def test_ground_truth_points_into_graphs(self):
+        pair = generate_pair(small_spec())
+        left_entities = set(pair.left.entities())
+        right_entities = set(pair.right.entities())
+        for gt_link in pair.ground_truth:
+            assert gt_link.left in left_entities
+            assert gt_link.right in right_entities
+
+    def test_noise_increases_divergence(self):
+        from repro.features import build_feature_set
+        from repro.rdf.entity import Entity
+
+        def average_name_score(noise: float) -> float:
+            pair = generate_pair(small_spec(noise_left=0.0, noise_right=noise, seed=5))
+            scores = []
+            for gt_link in pair.ground_truth:
+                left = Entity.from_graph(pair.left, gt_link.left)
+                right = Entity.from_graph(pair.right, gt_link.right)
+                fs = build_feature_set(left, right, theta=0.0)
+                if fs:
+                    scores.append(max(fs.values()))
+            return sum(scores) / len(scores)
+
+        assert average_name_score(0.8) < average_name_score(0.05)
+
+    def test_invalid_specs(self):
+        with pytest.raises(DatasetError):
+            small_spec(n_shared=0)
+        with pytest.raises(DatasetError):
+            small_spec(noise_left=1.5)
+        with pytest.raises(DatasetError):
+            small_spec(profiles=())
+
+
+class TestCatalog:
+    def test_all_keys_have_specs(self):
+        for key in catalog_keys():
+            spec = pair_spec(key)
+            assert spec.name == key
+
+    def test_unknown_key(self):
+        with pytest.raises(DatasetError):
+            pair_spec("nope")
+
+    def test_load_pair_smallest(self):
+        pair = load_pair("opencyc_nba_nytimes")
+        assert len(pair.ground_truth) == 20
+        assert len(pair.left) > 0 and len(pair.right) > 0
+
+    def test_seed_override(self):
+        default = load_pair("opencyc_nba_nytimes")
+        reseeded = load_pair("opencyc_nba_nytimes", seed=999)
+        assert set(default.left.triples()) != set(reseeded.left.triples())
+
+    def test_table1_ordering(self):
+        stats = table1_stats()
+        assert stats[0].dataset in ("dbpedia", "opencyc")
+        triples = [s.triples for s in stats]
+        assert triples == sorted(triples, reverse=True)
+        assert len(stats) == 8
+
+
+class TestDrugProfile:
+    def test_identifying_code_attribute(self):
+        codes = [a for a in DRUG_PROFILE.attributes if a.identifying]
+        assert codes and codes[0].kind.value == "code"
+
+    def test_attribute_lookup(self):
+        assert DRUG_PROFILE.attribute("name").left_name == "label"
+        with pytest.raises(KeyError):
+            DRUG_PROFILE.attribute("nope")

@@ -1,0 +1,115 @@
+"""Unit tests for metrics, the quality tracker, and report rendering."""
+
+import pytest
+
+from repro.core.episode import EpisodeStats
+from repro.evaluation import (
+    QualityTracker,
+    evaluate_links,
+    format_table,
+    new_correct_links,
+    quality_curve_table,
+    series_table,
+)
+from repro.links import Link, LinkSet
+from repro.rdf.terms import URIRef
+
+
+def link(i: int, j: int) -> Link:
+    return Link(URIRef(f"http://a/e{i}"), URIRef(f"http://b/e{j}"))
+
+
+class TestMetrics:
+    def test_perfect(self):
+        truth = LinkSet([link(0, 0), link(1, 1)])
+        quality = evaluate_links(truth, truth)
+        assert quality.precision == 1.0
+        assert quality.recall == 1.0
+        assert quality.f_measure == 1.0
+
+    def test_partial(self):
+        candidates = LinkSet([link(0, 0), link(0, 1)])
+        truth = LinkSet([link(0, 0), link(1, 1)])
+        quality = evaluate_links(candidates, truth)
+        assert quality.precision == 0.5
+        assert quality.recall == 0.5
+        assert quality.f_measure == pytest.approx(0.5)
+
+    def test_empty_candidates(self):
+        quality = evaluate_links(LinkSet(), LinkSet([link(0, 0)]))
+        assert quality.precision == 0.0
+        assert quality.recall == 0.0
+        assert quality.f_measure == 0.0
+
+    def test_empty_ground_truth(self):
+        quality = evaluate_links(LinkSet([link(0, 0)]), LinkSet())
+        assert quality.recall == 0.0
+
+    def test_counts_exposed(self):
+        quality = evaluate_links(LinkSet([link(0, 0), link(0, 1)]), LinkSet([link(0, 0)]))
+        assert quality.true_positives == 1
+        assert quality.candidate_count == 2
+        assert quality.ground_truth_count == 1
+
+    def test_accepts_plain_iterables(self):
+        quality = evaluate_links([link(0, 0)], [link(0, 0), link(1, 1)])
+        assert quality.recall == 0.5
+
+    def test_new_correct_links(self):
+        initial = [link(0, 0)]
+        final = [link(0, 0), link(1, 1), link(2, 9)]
+        truth = [link(0, 0), link(1, 1), link(2, 2)]
+        assert new_correct_links(initial, final, truth) == {link(1, 1)}
+
+
+class TestTracker:
+    def test_record_initial_is_episode_zero(self):
+        tracker = QualityTracker([link(0, 0)])
+        record = tracker.record_initial([link(0, 0)])
+        assert record.episode == 0
+        assert record.f_measure == 1.0
+
+    def test_on_episode_end(self):
+        tracker = QualityTracker([link(0, 0), link(1, 1)])
+        stats = EpisodeStats(index=1, feedback_count=10, positive_count=7, negative_count=3)
+        record = tracker.on_episode_end(stats, LinkSet([link(0, 0)]))
+        assert record.episode == 1
+        assert record.recall == 0.5
+        assert record.negative_fraction == pytest.approx(0.3)
+
+    def test_series_accessors(self):
+        tracker = QualityTracker([link(0, 0)])
+        tracker.record_initial([])
+        tracker.on_episode_end(
+            EpisodeStats(index=1, feedback_count=4, positive_count=2, negative_count=2),
+            LinkSet([link(0, 0)]),
+        )
+        assert tracker.episodes() == [0, 1]
+        assert tracker.precision_series() == [0.0, 1.0]
+        assert tracker.negative_feedback_series() == [50.0]
+
+    def test_final_requires_records(self):
+        with pytest.raises(ValueError):
+            QualityTracker([]).final
+
+
+class TestReports:
+    def test_format_table_alignment(self):
+        text = format_table(("a", "long header"), [(1, 2.5), (10, 0.123456)])
+        lines = text.splitlines()
+        assert "long header" in lines[0]
+        assert "0.123" in text  # floats formatted to 3 places
+
+    def test_format_table_title(self):
+        text = format_table(("x",), [(1,)], title="My title")
+        assert text.startswith("My title")
+
+    def test_quality_curve_table(self):
+        tracker = QualityTracker([link(0, 0)])
+        tracker.record_initial([link(0, 0)])
+        text = quality_curve_table(tracker)
+        assert "precision" in text and "1.000" in text
+
+    def test_series_table_pads_missing(self):
+        text = series_table("x", [1, 2], {"s": [0.5]})
+        assert text.count("\n") == 3

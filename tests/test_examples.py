@@ -1,0 +1,50 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are user-facing documentation; a broken example is a broken
+promise. Each runs in a subprocess with a temp working directory so file
+outputs don't pollute the repository.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name: str, tmp_path, *args: str) -> subprocess.CompletedProcess:
+    script = os.path.abspath(os.path.join(EXAMPLES_DIR, name))
+    return subprocess.run(
+        [sys.executable, script, *args],
+        cwd=str(tmp_path),
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+@pytest.mark.parametrize(
+    "script,expected",
+    [
+        ("quickstart.py", "final:"),
+        ("federated_feedback.py", "answers after feedback: 2"),
+        ("nba_domain.py", "greedy feature choices"),
+        ("batch_linking_pipeline.py", "owl:sameAs triples"),
+        ("operations.py", "policy report"),
+        ("custom_linker.py", "after"),
+    ],
+)
+def test_example_runs(script, expected, tmp_path):
+    result = run_example(script, tmp_path)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert expected in result.stdout
+
+
+def test_batch_pipeline_writes_links_file(tmp_path):
+    result = run_example("batch_linking_pipeline.py", tmp_path, "out.nt")
+    assert result.returncode == 0, result.stderr[-2000:]
+    out_file = tmp_path / "out.nt"
+    assert out_file.exists()
+    assert "sameAs" in out_file.read_text()

@@ -1,0 +1,84 @@
+"""Tests for the experiment harness (specs, caching, a fast scenario run)."""
+
+import pytest
+
+from repro.experiments import (
+    SCENARIOS,
+    LinkerSpec,
+    ScenarioSpec,
+    clear_caches,
+    get_initial_links,
+    get_pair,
+    get_spaces,
+    run_scenario,
+    scenario,
+)
+
+
+class TestScenarioCatalog:
+    def test_all_figures_covered(self):
+        expected = {
+            "fig2a", "fig2b", "fig2c", "fig3a", "fig3b", "fig3c",
+            "fig4a", "fig4b", "fig4c", "fig4d", "fig8",
+        }
+        assert expected == set(SCENARIOS)
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError):
+            scenario("nope")
+
+    def test_domain_scenarios_use_small_episodes(self):
+        for key in ("fig4a", "fig4b", "fig4c", "fig4d"):
+            assert scenario(key).episode_size == 10
+
+    def test_config_round_trip(self):
+        spec = scenario("fig2a")
+        config = spec.config()
+        assert config.episode_size == spec.episode_size
+        assert config.step_size == spec.step_size
+
+    def test_with_changes_does_not_mutate(self):
+        spec = scenario("fig2a")
+        changed = spec.with_changes(step_size=0.01)
+        assert changed.step_size == 0.01
+        assert spec.step_size == 0.05
+
+
+class TestCaches:
+    def test_pair_cache_returns_same_object(self):
+        a = get_pair("opencyc_nba_nytimes")
+        b = get_pair("opencyc_nba_nytimes")
+        assert a is b
+
+    def test_initial_links_returns_copies(self):
+        linker = LinkerSpec(score_threshold=0.8)
+        a = get_initial_links("opencyc_nba_nytimes", linker)
+        b = get_initial_links("opencyc_nba_nytimes", linker)
+        assert a == b and a is not b
+        a.add(next(iter(b)).reversed())
+        assert a != get_initial_links("opencyc_nba_nytimes", linker)
+
+    def test_spaces_cached_by_key(self):
+        a = get_spaces("opencyc_nba_nytimes", 0.3, 1)
+        b = get_spaces("opencyc_nba_nytimes", 0.3, 1)
+        assert a is b
+
+    def test_clear_caches(self):
+        a = get_pair("opencyc_nba_nytimes")
+        clear_caches()
+        assert get_pair("opencyc_nba_nytimes") is not a
+
+
+class TestRunScenario:
+    def test_smallest_scenario_runs(self):
+        result = run_scenario(scenario("fig4d").with_changes(max_episodes=15))
+        assert result.episodes_run <= 15
+        assert 0.0 <= result.final_quality.f_measure <= 1.0
+        assert len(result.tracker.records) == result.episodes_run + 1
+        assert result.ground_truth_size == 20
+
+    def test_deterministic(self):
+        spec = scenario("fig4d").with_changes(max_episodes=8)
+        first = run_scenario(spec)
+        second = run_scenario(spec)
+        assert first.tracker.f_measure_series() == second.tracker.f_measure_series()

@@ -1,0 +1,219 @@
+"""Unit and integration tests for the federation layer."""
+
+import pytest
+
+from repro.errors import FederationError
+from repro.federation import (
+    Endpoint,
+    FederatedEngine,
+    exclusive_groups,
+    select_sources,
+)
+from repro.links import Link, LinkSet
+from repro.rdf import turtle
+from repro.rdf.terms import URIRef
+from repro.sparql.ast import BGP, TriplePattern, Var
+from repro.sparql.parser import parse_query
+
+DB = "http://db/"
+NYT = "http://nyt/"
+
+
+@pytest.fixture()
+def dbpedia():
+    return turtle.load(
+        """
+        @prefix db: <http://db/> .
+        db:lebron db:award db:mvp2013 ; db:name "LeBron James" .
+        db:durant db:award db:mvp2014 ; db:name "Kevin Durant" .
+        """,
+        name="dbpedia",
+    )
+
+
+@pytest.fixture()
+def nytimes():
+    return turtle.load(
+        """
+        @prefix nyt: <http://nyt/> .
+        nyt:lebron nyt:topicOf nyt:a1 , nyt:a2 .
+        nyt:durant nyt:topicOf nyt:a3 .
+        """,
+        name="nytimes",
+    )
+
+
+@pytest.fixture()
+def links():
+    return LinkSet(
+        [
+            Link(URIRef(DB + "lebron"), URIRef(NYT + "lebron")),
+            Link(URIRef(DB + "durant"), URIRef(NYT + "durant")),
+        ]
+    )
+
+
+@pytest.fixture()
+def engine(dbpedia, nytimes, links):
+    return FederatedEngine([Endpoint(dbpedia), Endpoint(nytimes)], links)
+
+
+class TestEndpoint:
+    def test_predicates_cached(self, dbpedia):
+        endpoint = Endpoint(dbpedia)
+        assert URIRef(DB + "award") in endpoint.predicates
+        assert endpoint.predicates is endpoint.predicates  # cached object
+
+    def test_can_answer_by_predicate(self, dbpedia):
+        endpoint = Endpoint(dbpedia)
+        yes = TriplePattern(Var("s"), URIRef(DB + "award"), Var("o"))
+        no = TriplePattern(Var("s"), URIRef(NYT + "topicOf"), Var("o"))
+        assert endpoint.can_answer(yes) is True
+        assert endpoint.can_answer(no) is False
+
+    def test_can_answer_variable_predicate(self, dbpedia):
+        endpoint = Endpoint(dbpedia)
+        assert endpoint.can_answer(TriplePattern(Var("s"), Var("p"), Var("o"))) is True
+
+    def test_request_counting(self, dbpedia):
+        endpoint = Endpoint(dbpedia)
+        before = endpoint.request_count
+        endpoint.select("SELECT ?s WHERE { ?s <http://db/award> ?o }")
+        assert endpoint.request_count == before + 1
+
+    def test_invalidate_capabilities(self, dbpedia):
+        endpoint = Endpoint(dbpedia)
+        _ = endpoint.predicates
+        from repro.rdf.triples import Triple
+
+        dbpedia.add(Triple(URIRef(DB + "x"), URIRef(DB + "newpred"), URIRef(DB + "y")))
+        endpoint.invalidate_capabilities()
+        assert URIRef(DB + "newpred") in endpoint.predicates
+
+
+class TestSourceSelection:
+    def test_each_pattern_assigned(self, dbpedia, nytimes):
+        endpoints = [Endpoint(dbpedia), Endpoint(nytimes)]
+        bgp = BGP(
+            [
+                TriplePattern(Var("p"), URIRef(DB + "award"), Var("a")),
+                TriplePattern(Var("p"), URIRef(NYT + "topicOf"), Var("t")),
+            ]
+        )
+        assignments = select_sources(bgp, endpoints)
+        assert assignments[0].endpoints[0].name == "dbpedia"
+        assert assignments[1].endpoints[0].name == "nytimes"
+        assert all(a.exclusive for a in assignments)
+
+    def test_unanswerable_pattern_raises(self, dbpedia):
+        bgp = BGP([TriplePattern(Var("s"), URIRef("http://other/p"), Var("o"))])
+        with pytest.raises(FederationError):
+            select_sources(bgp, [Endpoint(dbpedia)])
+
+    def test_no_endpoints_raises(self):
+        with pytest.raises(FederationError):
+            select_sources(BGP([]), [])
+
+    def test_exclusive_groups(self, dbpedia, nytimes):
+        endpoints = [Endpoint(dbpedia), Endpoint(nytimes)]
+        bgp = BGP(
+            [
+                TriplePattern(Var("p"), URIRef(DB + "award"), Var("a")),
+                TriplePattern(Var("p"), URIRef(DB + "name"), Var("n")),
+                TriplePattern(Var("p"), URIRef(NYT + "topicOf"), Var("t")),
+            ]
+        )
+        groups = exclusive_groups(select_sources(bgp, endpoints))
+        assert [len(group) for group in groups] == [2, 1]
+
+
+class TestFederatedExecution:
+    def test_cross_dataset_join_via_links(self, engine):
+        result = engine.select(
+            """
+            PREFIX db: <http://db/>
+            PREFIX nyt: <http://nyt/>
+            SELECT ?player ?article WHERE {
+              ?player db:award db:mvp2013 .
+              ?player nyt:topicOf ?article .
+            }
+            """
+        )
+        assert len(result) == 2
+        assert all(row.links_used for row in result)
+        assert result.links_used() == frozenset(
+            {Link(URIRef(DB + "lebron"), URIRef(NYT + "lebron"))}
+        )
+
+    def test_no_links_no_answers(self, dbpedia, nytimes):
+        engine = FederatedEngine([Endpoint(dbpedia), Endpoint(nytimes)], LinkSet())
+        result = engine.select(
+            """
+            PREFIX db: <http://db/>
+            PREFIX nyt: <http://nyt/>
+            SELECT ?a WHERE { ?p db:award db:mvp2013 . ?p nyt:topicOf ?a . }
+            """
+        )
+        assert len(result) == 0
+
+    def test_single_source_query_has_no_provenance(self, engine):
+        result = engine.select(
+            "PREFIX db: <http://db/> SELECT ?p WHERE { ?p db:award db:mvp2013 }"
+        )
+        assert len(result) == 1
+        assert not result.rows[0].links_used
+        assert result.cross_dataset_rows() == []
+
+    def test_filter_applies(self, engine):
+        result = engine.select(
+            """
+            PREFIX db: <http://db/>
+            PREFIX nyt: <http://nyt/>
+            SELECT ?n ?a WHERE {
+              ?p db:name ?n . ?p nyt:topicOf ?a .
+              FILTER (CONTAINS(?n, "Durant"))
+            }
+            """
+        )
+        assert len(result) == 1
+
+    def test_distinct_and_limit(self, engine):
+        result = engine.select(
+            """
+            PREFIX db: <http://db/>
+            PREFIX nyt: <http://nyt/>
+            SELECT DISTINCT ?p WHERE { ?p db:name ?n . ?p nyt:topicOf ?a . } LIMIT 1
+            """
+        )
+        assert len(result) == 1
+
+    def test_order_by(self, engine):
+        result = engine.select(
+            "PREFIX db: <http://db/> SELECT ?n WHERE { ?p db:name ?n } ORDER BY ?n"
+        )
+        names = [str(row.bindings[Var("n")]) for row in result]
+        assert names == sorted(names)
+
+    def test_unsupported_pattern_raises(self, engine):
+        with pytest.raises(FederationError):
+            engine.select(
+                "PREFIX db: <http://db/> SELECT ?p WHERE { OPTIONAL { ?p db:name ?n } }"
+            )
+
+    def test_ask_rejected(self, engine):
+        with pytest.raises(FederationError):
+            engine.select("ASK { <http://db/lebron> <http://db/name> ?n }")
+
+    def test_empty_where_rejected(self, engine):
+        with pytest.raises(FederationError):
+            engine.select("SELECT ?p WHERE { }")
+
+    def test_needs_endpoints(self, links):
+        with pytest.raises(FederationError):
+            FederatedEngine([], links)
+
+    def test_execute_parsed_query(self, engine):
+        parsed = parse_query(
+            "PREFIX db: <http://db/> SELECT ?n WHERE { ?p db:name ?n }"
+        )
+        assert len(engine.execute(parsed)) == 2

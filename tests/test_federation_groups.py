@@ -1,0 +1,150 @@
+"""Tests for exclusive-group execution in the federated engine."""
+
+import pytest
+
+from repro.federation import Endpoint, FederatedEngine
+from repro.links import Link, LinkSet
+from repro.rdf import turtle
+from repro.rdf.terms import URIRef
+
+DB = "http://db/"
+NYT = "http://nyt/"
+
+QUERY = """
+PREFIX db: <http://db/>
+PREFIX nyt: <http://nyt/>
+SELECT ?player ?name ?article WHERE {
+  ?player db:award db:mvp2013 .
+  ?player db:name ?name .
+  ?player nyt:topicOf ?article .
+}
+"""
+
+
+@pytest.fixture()
+def graphs():
+    dbpedia = turtle.load(
+        """
+        @prefix db: <http://db/> .
+        db:lebron db:award db:mvp2013 ; db:name "LeBron James" .
+        db:durant db:award db:mvp2014 ; db:name "Kevin Durant" .
+        """,
+        name="dbpedia",
+    )
+    nytimes = turtle.load(
+        """
+        @prefix nyt: <http://nyt/> .
+        nyt:lebron nyt:topicOf nyt:a1 , nyt:a2 .
+        """,
+        name="nytimes",
+    )
+    return dbpedia, nytimes
+
+
+@pytest.fixture()
+def links():
+    return LinkSet([Link(URIRef(DB + "lebron"), URIRef(NYT + "lebron"))])
+
+
+def run(graphs, links, group_exclusive: bool):
+    dbpedia, nytimes = graphs
+    db_endpoint, nyt_endpoint = Endpoint(dbpedia), Endpoint(nytimes)
+    engine = FederatedEngine([db_endpoint, nyt_endpoint], links, group_exclusive=group_exclusive)
+    result = engine.select(QUERY)
+    return result, db_endpoint, nyt_endpoint
+
+
+class TestExclusiveGroups:
+    def test_same_answers_with_and_without_grouping(self, graphs, links):
+        grouped, _, _ = run(graphs, links, True)
+        ungrouped, _, _ = run(graphs, links, False)
+
+        def normalize(result):
+            return sorted(
+                tuple(sorted((v.name, t.n3()) for v, t in row.bindings.items()))
+                for row in result
+            )
+
+        assert normalize(grouped) == normalize(ungrouped)
+        assert len(grouped) == 2
+
+    def test_provenance_preserved_with_grouping(self, graphs, links):
+        grouped, _, _ = run(graphs, links, True)
+        assert all(row.links_used for row in grouped)
+        assert grouped.links_used() == frozenset(
+            {Link(URIRef(DB + "lebron"), URIRef(NYT + "lebron"))}
+        )
+
+    def test_grouping_reduces_requests(self, graphs, links):
+        _, db_grouped, _ = run(graphs, links, True)
+        _, db_ungrouped, _ = run(graphs, links, False)
+        # the two db patterns ship as one subquery when grouped
+        assert db_grouped.request_count < db_ungrouped.request_count
+
+    def test_group_with_sameas_entry_binding(self, graphs, links):
+        """A group whose bound entry term needs counterpart substitution."""
+        dbpedia, nytimes = graphs
+        engine = FederatedEngine([Endpoint(dbpedia), Endpoint(nytimes)], links)
+        result = engine.select(
+            """
+            PREFIX db: <http://db/>
+            PREFIX nyt: <http://nyt/>
+            SELECT ?name ?article WHERE {
+              ?p nyt:topicOf ?article .
+              ?p db:name ?name .
+              ?p db:award db:mvp2013 .
+            }
+            """
+        )
+        assert len(result) == 2
+        assert all(row.links_used for row in result)
+
+    def test_match_group_counts_one_request(self, graphs):
+        dbpedia, _ = graphs
+        endpoint = Endpoint(dbpedia)
+        from repro.sparql.ast import TriplePattern, Var
+
+        patterns = [
+            TriplePattern(Var("p"), URIRef(DB + "award"), URIRef(DB + "mvp2013")),
+            TriplePattern(Var("p"), URIRef(DB + "name"), Var("n")),
+        ]
+        before = endpoint.request_count
+        rows = list(endpoint.match_group(patterns, [{}]))
+        assert endpoint.request_count == before + 1
+        assert len(rows) == 1
+
+
+class TestFederatedAggregates:
+    def test_group_by_count_with_provenance(self, graphs, links):
+        dbpedia, nytimes = graphs
+        engine = FederatedEngine([Endpoint(dbpedia), Endpoint(nytimes)], links)
+        result = engine.select(
+            """
+            PREFIX db: <http://db/>
+            PREFIX nyt: <http://nyt/>
+            SELECT ?name (COUNT(?a) AS ?articles) WHERE {
+              ?p db:name ?name . ?p nyt:topicOf ?a .
+            } GROUP BY ?name
+            """
+        )
+        assert len(result) == 1  # only lebron is linked
+        row = result.rows[0]
+        from repro.sparql.ast import Var
+
+        assert str(row.bindings[Var("articles")]) == "2"
+        assert row.links_used, "aggregate rows keep their link provenance"
+
+    def test_implicit_group_count(self, graphs, links):
+        dbpedia, nytimes = graphs
+        engine = FederatedEngine([Endpoint(dbpedia), Endpoint(nytimes)], links)
+        result = engine.select(
+            """
+            PREFIX db: <http://db/>
+            PREFIX nyt: <http://nyt/>
+            SELECT (COUNT(*) AS ?n) WHERE { ?p db:name ?x . ?p nyt:topicOf ?a . }
+            """
+        )
+        from repro.sparql.ast import Var
+
+        assert len(result) == 1
+        assert str(result.rows[0].bindings[Var("n")]) == "2"

@@ -1,0 +1,120 @@
+"""Unit tests for feedback oracles and sessions."""
+
+import pytest
+
+from repro.core import AlexConfig, AlexEngine
+from repro.errors import ConfigError
+from repro.evaluation import QualityTracker
+from repro.features import FeatureSpace
+from repro.feedback import FeedbackSession, GroundTruthOracle, NoisyOracle
+from repro.links import Link, LinkSet
+from repro.rdf.entity import Entity
+from repro.rdf.terms import Literal, URIRef
+
+LEFT_NAME = URIRef("http://a/ont/name")
+RIGHT_NAME = URIRef("http://b/ont/name")
+
+
+def link(i: int, j: int) -> Link:
+    return Link(URIRef(f"http://a/res/e{i}"), URIRef(f"http://b/res/e{j}"))
+
+
+@pytest.fixture()
+def space() -> FeatureSpace:
+    space = FeatureSpace(theta=0.3)
+    for i in range(4):
+        left = Entity(URIRef(f"http://a/res/e{i}"), {LEFT_NAME: (Literal(f"Name{i} Jones"),)})
+        for j in range(4):
+            right = Entity(
+                URIRef(f"http://b/res/e{j}"), {RIGHT_NAME: (Literal(f"Name{j} Jones"),)}
+            )
+            space.add_pair(left, right)
+    space.freeze()
+    return space
+
+
+@pytest.fixture()
+def ground_truth() -> LinkSet:
+    return LinkSet([link(i, i) for i in range(4)])
+
+
+class TestOracles:
+    def test_ground_truth_oracle(self, ground_truth):
+        oracle = GroundTruthOracle(ground_truth)
+        assert oracle.judge(link(0, 0)) is True
+        assert oracle.judge(link(0, 1)) is False
+
+    def test_noisy_oracle_flips_at_rate(self, ground_truth):
+        oracle = NoisyOracle(GroundTruthOracle(ground_truth), error_rate=0.3, seed=0)
+        verdicts = [oracle.judge(link(0, 0)) for _ in range(2000)]
+        flip_rate = verdicts.count(False) / len(verdicts)
+        assert 0.25 < flip_rate < 0.35
+
+    def test_noisy_oracle_zero_error(self, ground_truth):
+        oracle = NoisyOracle(GroundTruthOracle(ground_truth), error_rate=0.0)
+        assert all(oracle.judge(link(1, 1)) for _ in range(50))
+
+    def test_invalid_error_rate(self, ground_truth):
+        with pytest.raises(ConfigError):
+            NoisyOracle(GroundTruthOracle(ground_truth), error_rate=1.0)
+
+    def test_noisy_oracle_deterministic_by_seed(self, ground_truth):
+        a = NoisyOracle(GroundTruthOracle(ground_truth), error_rate=0.5, seed=9)
+        b = NoisyOracle(GroundTruthOracle(ground_truth), error_rate=0.5, seed=9)
+        assert [a.judge(link(0, 0)) for _ in range(20)] == [
+            b.judge(link(0, 0)) for _ in range(20)
+        ]
+
+
+class TestFeedbackSession:
+    def test_session_improves_links(self, space, ground_truth):
+        engine = AlexEngine(space, LinkSet([link(0, 0), link(0, 1)]), AlexConfig(episode_size=20, seed=2))
+        tracker = QualityTracker(ground_truth)
+        tracker.record_initial(engine.candidates)
+        session = FeedbackSession(
+            engine, GroundTruthOracle(ground_truth), seed=2,
+            on_episode_end=tracker.on_episode_end,
+        )
+        session.run(episode_size=20, max_episodes=10)
+        assert tracker.final.f_measure > tracker.records[0].f_measure
+        assert tracker.final.quality.recall == 1.0
+
+    def test_episode_size_validated(self, space, ground_truth):
+        engine = AlexEngine(space, LinkSet([link(0, 0)]), AlexConfig(episode_size=5))
+        session = FeedbackSession(engine, GroundTruthOracle(ground_truth))
+        with pytest.raises(ConfigError):
+            session.run_episode(0)
+
+    def test_total_feedback_counted(self, space, ground_truth):
+        engine = AlexEngine(space, LinkSet([link(0, 0)]), AlexConfig(episode_size=5, seed=1))
+        session = FeedbackSession(engine, GroundTruthOracle(ground_truth), seed=1)
+        session.run_episode(5)
+        assert session.total_feedback == 5
+
+    def test_empty_candidates_end_quietly(self, space, ground_truth):
+        engine = AlexEngine(space, LinkSet(), AlexConfig(episode_size=5))
+        session = FeedbackSession(engine, GroundTruthOracle(ground_truth))
+        stats = session.run_episode(5)
+        assert stats.feedback_count == 0
+
+    def test_deterministic_given_seeds(self, space, ground_truth):
+        def run():
+            engine = AlexEngine(
+                space, LinkSet([link(0, 0), link(1, 2)]), AlexConfig(episode_size=15, seed=4)
+            )
+            session = FeedbackSession(engine, GroundTruthOracle(ground_truth), seed=4)
+            session.run(episode_size=15, max_episodes=8)
+            return engine.candidates.snapshot()
+
+        assert run() == run()
+
+    def test_callback_invoked_per_episode(self, space, ground_truth):
+        engine = AlexEngine(space, LinkSet([link(0, 0)]), AlexConfig(episode_size=5, seed=1))
+        calls = []
+        session = FeedbackSession(
+            engine, GroundTruthOracle(ground_truth), seed=1,
+            on_episode_end=lambda stats, candidates: calls.append(stats.index),
+        )
+        session.run_episode(5)
+        session.run_episode(5)
+        assert calls == [1, 2]

@@ -1,0 +1,115 @@
+"""Integration tests: the full pipeline on generated data, and the
+query-feedback loop through the federation engine."""
+
+import pytest
+
+from repro.core import AlexConfig, AlexEngine, PartitionedAlex
+from repro.datasets import PERSON_PROFILE, PairSpec, generate_pair
+from repro.evaluation import QualityTracker, evaluate_links
+from repro.features import FeatureSpace, build_partitioned_spaces
+from repro.federation import Endpoint, FederatedEngine
+from repro.feedback import (
+    FeedbackSession,
+    GroundTruthOracle,
+    NoisyOracle,
+    QueryFeedbackSession,
+)
+from repro.paris import paris_links
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return generate_pair(
+        PairSpec(
+            name="integration",
+            left_name="left",
+            right_name="right",
+            profiles=(PERSON_PROFILE,),
+            n_shared=40,
+            n_left_only=30,
+            n_right_only=15,
+            noise_left=0.1,
+            noise_right=0.3,
+            seed=17,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def space(pair):
+    return FeatureSpace.build(pair.left, pair.right)
+
+
+class TestFullPipeline:
+    def test_paris_to_alex_improves_quality(self, pair, space):
+        initial = paris_links(pair.left, pair.right, score_threshold=0.8)
+        initial_quality = evaluate_links(initial, pair.ground_truth)
+
+        engine = AlexEngine(space, initial, AlexConfig(episode_size=40, seed=9,
+                                                       rollback_min_negatives=3))
+        tracker = QualityTracker(pair.ground_truth)
+        tracker.record_initial(engine.candidates)
+        session = FeedbackSession(
+            engine, GroundTruthOracle(pair.ground_truth), seed=9,
+            on_episode_end=tracker.on_episode_end,
+        )
+        session.run(episode_size=40, max_episodes=30)
+
+        final_quality = tracker.final.quality
+        assert final_quality.f_measure > initial_quality.f_measure
+        assert final_quality.recall > initial_quality.recall
+        assert final_quality.f_measure > 0.85
+
+    def test_partitioned_run_matches_quality(self, pair):
+        spaces = build_partitioned_spaces(pair.left, pair.right, 3)
+        initial = paris_links(pair.left, pair.right, score_threshold=0.8)
+        alex = PartitionedAlex(spaces, initial, AlexConfig(episode_size=40, seed=9,
+                                                           rollback_min_negatives=3))
+        session = FeedbackSession(alex, GroundTruthOracle(pair.ground_truth), seed=9)
+        session.run(episode_size=40, max_episodes=30)
+        quality = evaluate_links(alex.candidates, pair.ground_truth)
+        assert quality.f_measure > 0.8
+
+    def test_noisy_feedback_degrades_gracefully(self, pair, space):
+        initial = paris_links(pair.left, pair.right, score_threshold=0.8)
+
+        def run(error_rate: float) -> float:
+            engine = AlexEngine(space, initial.copy(), AlexConfig(episode_size=40, seed=9,
+                                                                  rollback_min_negatives=3))
+            oracle = GroundTruthOracle(pair.ground_truth)
+            if error_rate:
+                oracle = NoisyOracle(oracle, error_rate, seed=5)
+            session = FeedbackSession(engine, oracle, seed=9)
+            session.run(episode_size=40, max_episodes=20)
+            return evaluate_links(engine.candidates, pair.ground_truth).f_measure
+
+        clean = run(0.0)
+        noisy = run(0.1)
+        assert noisy > 0.6, "still produces good links under 10% noise"
+        assert noisy <= clean + 0.05, "noise does not help"
+
+
+class TestQueryFeedbackLoop:
+    def test_feedback_through_federated_answers(self, pair, space):
+        # Use ground-truth links as the federation's link set so the query
+        # produces answers, and let feedback flow back to ALEX.
+        gt_link = next(iter(pair.ground_truth))
+        engine = AlexEngine(space, [gt_link], AlexConfig(episode_size=10, seed=1))
+        federation = FederatedEngine(
+            [Endpoint(pair.left), Endpoint(pair.right)], links=engine.candidates
+        )
+        session = QueryFeedbackSession(engine, federation, GroundTruthOracle(pair.ground_truth))
+
+        left_ont = pair.left_ontology
+        right_ont = pair.right_ontology
+        query = f"""
+            SELECT ?p ?name ?other WHERE {{
+              ?p <{left_ont.base}label> ?name .
+              ?p <{right_ont.base}name> ?other .
+            }}
+        """
+        items = session.submit_query(query)
+        assert items >= 1, "cross-dataset answers produced feedback"
+        assert session.answers_judged >= 1
+        # positive feedback on the ground-truth link triggered exploration
+        assert len(engine.candidates) >= 1

@@ -1,0 +1,119 @@
+"""Unit tests for Link and LinkSet."""
+
+import pytest
+
+from repro.links import Link, LinkSet, change_fraction
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import OWL_SAMEAS
+from repro.rdf.terms import URIRef
+from repro.rdf.triples import Triple
+
+
+def link(a: str, b: str) -> Link:
+    return Link(URIRef(f"http://a/{a}"), URIRef(f"http://b/{b}"))
+
+
+class TestLink:
+    def test_reversed(self):
+        l = link("x", "y")
+        assert l.reversed() == Link(l.right, l.left)
+
+    def test_n3(self):
+        assert "sameAs" in link("x", "y").n3()
+
+
+class TestLinkSet:
+    def test_add_and_contains(self):
+        links = LinkSet()
+        assert links.add(link("x", "y")) is True
+        assert links.add(link("x", "y")) is False
+        assert link("x", "y") in links
+        assert len(links) == 1
+
+    def test_scores(self):
+        links = LinkSet()
+        links.add(link("x", "y"), score=0.9)
+        assert links.score(link("x", "y")) == 0.9
+        assert links.score(link("a", "b")) is None
+        assert links.score(link("a", "b"), default=0.0) == 0.0
+
+    def test_remove(self):
+        links = LinkSet([link("x", "y")])
+        assert links.remove(link("x", "y")) is True
+        assert links.remove(link("x", "y")) is False
+        assert not links
+        assert links.by_left(URIRef("http://a/x")) == frozenset()
+
+    def test_by_left_right(self):
+        links = LinkSet([link("x", "y"), link("x", "z")])
+        assert links.by_left(URIRef("http://a/x")) == {
+            URIRef("http://b/y"),
+            URIRef("http://b/z"),
+        }
+        assert links.by_right(URIRef("http://b/y")) == {URIRef("http://a/x")}
+
+    def test_counterparts_both_sides(self):
+        links = LinkSet([link("x", "y")])
+        assert links.counterparts(URIRef("http://a/x")) == {URIRef("http://b/y")}
+        assert links.counterparts(URIRef("http://b/y")) == {URIRef("http://a/x")}
+
+    def test_links_of(self):
+        links = LinkSet([link("x", "y"), link("z", "y")])
+        assert set(links.links_of(URIRef("http://b/y"))) == {link("x", "y"), link("z", "y")}
+
+    def test_filter_by_score_drops_unscored(self):
+        links = LinkSet()
+        links.add(link("a", "b"), score=0.9)
+        links.add(link("c", "d"), score=0.5)
+        links.add(link("e", "f"))  # unscored
+        kept = links.filter_by_score(0.8)
+        assert set(kept) == {link("a", "b")}
+
+    def test_copy_independent(self):
+        links = LinkSet([link("x", "y")])
+        clone = links.copy()
+        clone.add(link("a", "b"))
+        assert len(links) == 1 and len(clone) == 2
+
+    def test_snapshot_frozen(self):
+        links = LinkSet([link("x", "y")])
+        snap = links.snapshot()
+        links.add(link("a", "b"))
+        assert snap == frozenset({link("x", "y")})
+
+    def test_graph_round_trip(self):
+        links = LinkSet([link("x", "y"), link("a", "b")])
+        graph = links.to_graph()
+        assert len(graph) == 2
+        back = LinkSet.from_graph(graph)
+        assert back == links
+
+    def test_from_graph_ignores_other_predicates(self):
+        graph = Graph()
+        graph.add(Triple(URIRef("http://a/x"), OWL_SAMEAS, URIRef("http://b/y")))
+        graph.add(Triple(URIRef("http://a/x"), URIRef("http://p/other"), URIRef("http://b/z")))
+        assert len(LinkSet.from_graph(graph)) == 1
+
+    def test_update(self):
+        links = LinkSet([link("x", "y")])
+        added = links.update([link("x", "y"), link("a", "b")])
+        assert added == 1
+
+
+class TestChangeFraction:
+    def test_no_change(self):
+        snap = frozenset({link("x", "y")})
+        assert change_fraction(snap, snap) == 0.0
+
+    def test_all_changed(self):
+        before = frozenset({link("x", "y")})
+        after = frozenset({link("a", "b")})
+        assert change_fraction(before, after) == 2.0  # one removed + one added
+
+    def test_empty_before(self):
+        assert change_fraction(frozenset(), frozenset({link("x", "y")})) == 1.0
+
+    def test_five_percent_rule(self):
+        before = frozenset(link(f"x{i}", f"y{i}") for i in range(100))
+        after = frozenset(set(before) | {link("new", "one")})
+        assert change_fraction(before, after) == pytest.approx(0.01)

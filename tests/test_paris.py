@@ -1,0 +1,111 @@
+"""Unit tests for the simplified PARIS aligner."""
+
+import pytest
+
+from repro.errors import LinkingError
+from repro.links import Link
+from repro.paris import ParisAligner, RelationStatistics, ValueIndex, paris_links
+from repro.rdf import turtle
+from repro.rdf.terms import Literal, URIRef
+
+
+@pytest.fixture()
+def left():
+    return turtle.load(
+        """
+        @prefix r: <http://a/res/> .
+        @prefix o: <http://a/ont/> .
+        r:lebron o:name "LeBron James" ; o:code "LJ23" ; o:kind "player" .
+        r:durant o:name "Kevin Durant" ; o:code "KD35" ; o:kind "player" .
+        r:curry  o:name "Stephen Curry" ; o:code "SC30" ; o:kind "player" .
+        """
+    )
+
+
+@pytest.fixture()
+def right():
+    return turtle.load(
+        """
+        @prefix r: <http://b/res/> .
+        @prefix o: <http://b/ont/> .
+        r:lj o:label "Lebron James" ; o:registry "LJ23" ; o:category "player" .
+        r:kd o:label "Kevin Durant" ; o:registry "KD35" ; o:category "player" .
+        r:sc o:label "Steph Curry" ; o:registry "SC30" ; o:category "player" .
+        """
+    )
+
+
+class TestRelationStatistics:
+    def test_functionality_single_valued(self, left):
+        stats = RelationStatistics(left)
+        assert stats.functionality(URIRef("http://a/ont/name")) == 1.0
+
+    def test_inverse_functionality_identifying(self, left):
+        stats = RelationStatistics(left)
+        # codes are unique -> fully inverse functional
+        assert stats.inverse_functionality(URIRef("http://a/ont/code")) == 1.0
+        # 'kind' is shared by all three -> 1/3
+        assert stats.inverse_functionality(URIRef("http://a/ont/kind")) == pytest.approx(1 / 3)
+
+    def test_unknown_relation(self, left):
+        stats = RelationStatistics(left)
+        assert stats.functionality(URIRef("http://a/ont/none")) == 0.0
+
+
+class TestValueIndex:
+    def test_carriers(self, left):
+        index = ValueIndex(left)
+        carriers = index.carriers(Literal("lebron james"))
+        assert len(carriers) == 1
+        assert carriers[0][0] == URIRef("http://a/res/lebron")
+
+    def test_normalization(self, left):
+        index = ValueIndex(left)
+        assert index.carriers(Literal("LEBRON   JAMES"))
+
+
+class TestAligner:
+    def test_finds_correct_links(self, left, right):
+        scored = ParisAligner(left, right).run()
+        expected = {
+            Link(URIRef("http://a/res/lebron"), URIRef("http://b/res/lj")),
+            Link(URIRef("http://a/res/durant"), URIRef("http://b/res/kd")),
+            Link(URIRef("http://a/res/curry"), URIRef("http://b/res/sc")),
+        }
+        assert expected <= set(scored)
+        for link in expected:
+            assert scored.score(link) > 0.8
+
+    def test_mutual_best_is_one_to_one(self, left, right):
+        scored = ParisAligner(left, right).run(mutual_best=True)
+        lefts = [link.left for link in scored]
+        rights = [link.right for link in scored]
+        assert len(lefts) == len(set(lefts))
+        assert len(rights) == len(set(rights))
+
+    def test_all_candidates_superset_of_assignment(self, left, right):
+        mutual = set(ParisAligner(left, right).run(mutual_best=True))
+        everything = set(ParisAligner(left, right).run(mutual_best=False))
+        assert mutual <= everything
+
+    def test_relation_alignment_learned(self, left, right):
+        aligner = ParisAligner(left, right)
+        aligner.run()
+        alignment = aligner.relation_alignment()
+        name_pair = (URIRef("http://a/ont/name"), URIRef("http://b/ont/label"))
+        assert alignment.get(name_pair, 0.0) > 0.5
+
+    def test_invalid_iterations(self, left, right):
+        with pytest.raises(LinkingError):
+            ParisAligner(left, right, iterations=0)
+
+    def test_empty_graphs(self):
+        empty = turtle.load("")
+        assert len(ParisAligner(empty, empty).run()) == 0
+
+    def test_paris_links_threshold(self, left, right):
+        strict = paris_links(left, right, score_threshold=0.95)
+        loose = paris_links(left, right, score_threshold=0.1, mutual_best=False)
+        assert len(strict) <= len(loose)
+        for link in strict:
+            assert link in loose

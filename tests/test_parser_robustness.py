@@ -1,0 +1,78 @@
+"""Robustness fuzzing: malformed input must fail with *library* errors.
+
+A production parser never leaks bare ``IndexError``/``AttributeError`` to
+callers; every malformed query or document must raise the documented
+:class:`~repro.errors.ParseError`/:class:`~repro.errors.QuerySyntaxError`
+(or parse successfully). Hypothesis supplies the garbage.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParseError, QueryError
+from repro.rdf import ntriples, turtle
+from repro.sparql.parser import parse_query
+
+# Garbage biased toward the languages' own alphabets so fragments get deep
+# enough to stress interesting parser states.
+sparql_tokens = st.sampled_from(
+    ["SELECT", "WHERE", "FILTER", "{", "}", "(", ")", "?x", "?y", "<http://x/p>",
+     '"text"', "|", "/", "^", "*", "+", ".", ";", ",", "a", "UNION", "OPTIONAL",
+     "ORDER", "BY", "LIMIT", "5", "&&", "=", "PREFIX", "ex:", "BIND", "AS",
+     "VALUES", "UNDEF", "EXISTS", "NOT", "COUNT", "GROUP"]
+)
+sparql_garbage = st.lists(sparql_tokens, max_size=25).map(" ".join)
+
+turtle_tokens = st.sampled_from(
+    ["@prefix", "ex:", "<http://x/a>", '"text"', "a", ".", ";", ",", "[", "]",
+     "(", ")", "1984", "2.5", "true", "_:b1", "@en", "^^", "ex:p"]
+)
+turtle_garbage = st.lists(turtle_tokens, max_size=25).map(" ".join)
+
+line_garbage = st.text(max_size=80)
+
+
+class TestSparqlParserRobustness:
+    @given(sparql_garbage)
+    @settings(max_examples=300, deadline=None)
+    def test_token_soup_never_crashes(self, text):
+        try:
+            parse_query(text)
+        except QueryError:
+            pass  # the documented failure mode
+
+    @given(line_garbage)
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_text_never_crashes(self, text):
+        try:
+            parse_query(text)
+        except QueryError:
+            pass
+
+
+class TestTurtleParserRobustness:
+    @given(turtle_garbage)
+    @settings(max_examples=300, deadline=None)
+    def test_token_soup_never_crashes(self, text):
+        try:
+            list(turtle.parse(text))
+        except ParseError:
+            pass
+
+    @given(line_garbage)
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_text_never_crashes(self, text):
+        try:
+            list(turtle.parse(text))
+        except ParseError:
+            pass
+
+
+class TestNTriplesParserRobustness:
+    @given(line_garbage)
+    @settings(max_examples=300, deadline=None)
+    def test_arbitrary_lines_never_crash(self, text):
+        try:
+            ntriples.parse_line(text)
+        except ParseError:
+            pass

@@ -1,0 +1,131 @@
+"""Property-based tests for core invariants: link sets, policy
+distributions, metrics, and the feature space range index."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ActionValueTable, EpsilonGreedyPolicy, StateAction
+from repro.evaluation import evaluate_links
+from repro.features import FeatureSpace
+from repro.links import Link, LinkSet, change_fraction
+from repro.rdf.entity import Entity
+from repro.rdf.terms import Literal, URIRef
+
+link_indices = st.tuples(st.integers(0, 15), st.integers(0, 15))
+
+
+def make_link(pair: tuple[int, int]) -> Link:
+    return Link(URIRef(f"http://a/e{pair[0]}"), URIRef(f"http://b/e{pair[1]}"))
+
+
+links = st.builds(make_link, link_indices)
+link_lists = st.lists(links, max_size=30)
+
+
+class TestLinkSetProperties:
+    @given(link_lists)
+    def test_size_matches_distinct(self, items):
+        assert len(LinkSet(items)) == len(set(items))
+
+    @given(link_lists)
+    def test_indexes_consistent(self, items):
+        linkset = LinkSet(items)
+        for item in linkset:
+            assert item.right in linkset.by_left(item.left)
+            assert item.left in linkset.by_right(item.right)
+
+    @given(link_lists)
+    def test_add_remove_inverse(self, items):
+        linkset = LinkSet(items)
+        for item in set(items):
+            assert linkset.remove(item)
+        assert len(linkset) == 0
+        assert not linkset._by_left and not linkset._by_right
+
+    @given(link_lists, link_lists)
+    def test_change_fraction_zero_iff_equal(self, a, b):
+        before, after = frozenset(a), frozenset(b)
+        fraction = change_fraction(before, after)
+        assert fraction >= 0.0
+        assert (fraction == 0.0) == (before == after)
+
+
+class TestMetricsProperties:
+    @given(link_lists, link_lists)
+    def test_quality_bounds(self, candidates, truth):
+        quality = evaluate_links(candidates, truth)
+        assert 0.0 <= quality.precision <= 1.0
+        assert 0.0 <= quality.recall <= 1.0
+        assert 0.0 <= quality.f_measure <= 1.0
+        lower = min(quality.precision, quality.recall) - 1e-9
+        upper = max(quality.precision, quality.recall) + 1e-9
+        assert lower <= quality.f_measure <= upper or quality.f_measure == 0.0
+
+    @given(link_lists)
+    def test_perfect_candidates(self, truth):
+        if not truth:
+            return
+        quality = evaluate_links(truth, truth)
+        assert quality.precision == quality.recall == 1.0
+
+
+FEATURE_KEYS = [
+    (URIRef(f"http://a/ont/p{i}"), URIRef(f"http://b/ont/q{i}")) for i in range(4)
+]
+
+
+class TestPolicyProperties:
+    @given(
+        st.integers(0, 3),
+        st.floats(min_value=0.01, max_value=0.99),
+        st.lists(st.sampled_from(FEATURE_KEYS), min_size=1, max_size=4, unique=True),
+    )
+    def test_probabilities_sum_to_one(self, greedy_index, epsilon, actions):
+        policy = EpsilonGreedyPolicy(epsilon)
+        state = make_link((0, 0))
+        policy.improve(state, FEATURE_KEYS[greedy_index])
+        probabilities = policy.action_probabilities(state, actions)
+        assert abs(sum(probabilities.values()) - 1.0) < 1e-9
+        assert all(p > 0.0 for p in probabilities.values())
+
+    @given(st.lists(st.floats(-1, 1), min_size=1, max_size=30))
+    def test_q_is_mean_of_returns(self, rewards):
+        table = ActionValueTable()
+        sa = StateAction(make_link((0, 0)), FEATURE_KEYS[0])
+        for reward in rewards:
+            table.record_return(sa, reward)
+        assert abs(table.q(sa) - sum(rewards) / len(rewards)) < 1e-9
+
+
+class TestFeatureSpaceProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 9), st.floats(0.3, 1.0)),
+            min_size=1,
+            max_size=20,
+            unique_by=lambda pair: pair[0],
+        ),
+        st.floats(0.0, 1.0),
+        st.floats(0.01, 0.3),
+    )
+    @settings(max_examples=60)
+    def test_explore_returns_exactly_the_range(self, scored_entities, center, step):
+        """The range index answer must equal a brute-force scan."""
+        left_pred = URIRef("http://a/ont/name")
+        right_pred = URIRef("http://b/ont/name")
+        space = FeatureSpace(theta=0.0)
+        # Build pairs with controlled feature scores via identical/different
+        # literals is hard; instead drive add via internal structures the
+        # public way: one left entity per score, right fixed.
+        expected = set()
+        for index, score in scored_entities:
+            link_obj = Link(URIRef(f"http://a/res/e{index}"), URIRef("http://b/res/fixed"))
+            from repro.features.feature_set import FeatureSet
+
+            space._feature_sets[link_obj] = FeatureSet({(left_pred, right_pred): score})
+            space._index.setdefault((left_pred, right_pred), []).append((score, link_obj))
+            if center - step <= score <= center + step:
+                expected.add(link_obj)
+        space.freeze()
+        hits = set(space.explore((left_pred, right_pred), center, step))
+        assert hits == expected

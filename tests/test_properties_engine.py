@@ -1,0 +1,112 @@
+"""Property-based tests for ALEX engine invariants under arbitrary feedback."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AlexConfig, AlexEngine
+from repro.features import FeatureSpace
+from repro.links import Link, LinkSet
+from repro.rdf.entity import Entity
+from repro.rdf.terms import Literal, URIRef
+
+LEFT_NAME = URIRef("http://a/ont/name")
+RIGHT_NAME = URIRef("http://b/ont/name")
+
+N = 6
+
+
+def _make_space() -> FeatureSpace:
+    space = FeatureSpace(theta=0.3)
+    for i in range(N):
+        left = Entity(URIRef(f"http://a/res/e{i}"), {LEFT_NAME: (Literal(f"Name{i} Jones"),)})
+        for j in range(N):
+            right = Entity(
+                URIRef(f"http://b/res/e{j}"), {RIGHT_NAME: (Literal(f"Name{j} Jones"),)}
+            )
+            space.add_pair(left, right)
+    space.freeze()
+    return space
+
+
+_SPACE = _make_space()
+_ALL_LINKS = sorted(_SPACE.links(), key=lambda l: (l.left.value, l.right.value))
+
+# A feedback script: (link index, verdict, end_episode_after?)
+feedback_items = st.tuples(
+    st.integers(0, len(_ALL_LINKS) - 1), st.booleans(), st.booleans()
+)
+feedback_scripts = st.lists(feedback_items, max_size=60)
+
+
+def _run_script(script, **config_overrides) -> AlexEngine:
+    settings_dict = dict(episode_size=10, seed=1, rollback_min_negatives=2,
+                         rollback_negative_fraction=0.5)
+    settings_dict.update(config_overrides)
+    engine = AlexEngine(_SPACE, LinkSet([_ALL_LINKS[0]]), AlexConfig(**settings_dict))
+    for index, positive, end_episode in script:
+        engine.process_feedback(_ALL_LINKS[index], positive)
+        if end_episode:
+            engine.end_episode()
+    return engine
+
+
+class TestEngineInvariants:
+    @given(feedback_scripts)
+    @settings(max_examples=60, deadline=None)
+    def test_candidates_and_blacklist_disjoint(self, script):
+        engine = _run_script(script)
+        assert not (set(engine.candidates) & engine.blacklist)
+
+    @given(feedback_scripts)
+    @settings(max_examples=60, deadline=None)
+    def test_confirmed_links_are_candidates(self, script):
+        engine = _run_script(script)
+        # every confirmed link either remained a candidate or was later
+        # negatively outvoted (then it must not be confirmed anymore)
+        for link in engine.confirmed:
+            assert link in engine.candidates
+
+    @given(feedback_scripts)
+    @settings(max_examples=60, deadline=None)
+    def test_candidates_stay_within_space_or_initial(self, script):
+        engine = _run_script(script)
+        for link in engine.candidates:
+            assert link in _SPACE or link == _ALL_LINKS[0]
+
+    @given(feedback_scripts)
+    @settings(max_examples=60, deadline=None)
+    def test_q_values_bounded_by_rewards(self, script):
+        engine = _run_script(script)
+        for state_action in engine.values.known_pairs():
+            q = engine.values.q(state_action)
+            assert -1.0 <= q <= 1.0
+
+    @given(feedback_scripts)
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic_replay(self, script):
+        first = _run_script(script)
+        second = _run_script(script)
+        assert first.candidates.snapshot() == second.candidates.snapshot()
+        assert first.blacklist == second.blacklist
+
+    @given(feedback_scripts)
+    @settings(max_examples=40, deadline=None)
+    def test_episode_history_consistent(self, script):
+        engine = _run_script(script)
+        boundaries = sum(1 for _, _, end in script if end)
+        assert engine.episodes_completed == boundaries
+        total_feedback = sum(stats.feedback_count for stats in engine.episode_history)
+        total_feedback += engine.current_episode_size
+        assert total_feedback == len(script)
+
+    @given(feedback_scripts)
+    @settings(max_examples=40, deadline=None)
+    def test_persistence_round_trip_any_state(self, script):
+        from repro.core.persistence import dump_engine, load_engine
+
+        engine = _run_script(script)
+        engine.end_episode()  # persistence restores at episode boundaries
+        restored = load_engine(_SPACE, dump_engine(engine))
+        assert restored.candidates.snapshot() == engine.candidates.snapshot()
+        assert restored.blacklist == engine.blacklist
+        assert restored.episodes_completed == engine.episodes_completed

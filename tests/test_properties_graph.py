@@ -1,0 +1,76 @@
+"""Property-based tests for the graph store and N-Triples round-trips."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf import ntriples
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Literal, URIRef
+from repro.rdf.triples import Triple
+
+local = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")), min_size=1, max_size=8
+)
+uris = st.builds(lambda name: URIRef("http://x/" + name), local)
+literal_text = st.text(max_size=20).filter(lambda s: "\x00" not in s)
+literals = st.one_of(
+    st.builds(Literal, literal_text),
+    st.builds(Literal, st.integers(-10**6, 10**6)),
+    st.builds(Literal, st.booleans()),
+)
+objects = st.one_of(uris, literals)
+triples = st.builds(Triple, uris, uris, objects)
+triple_lists = st.lists(triples, max_size=40)
+
+
+class TestGraphProperties:
+    @given(triple_lists)
+    def test_size_equals_distinct_triples(self, items):
+        graph = Graph(triples=items)
+        assert len(graph) == len(set(items))
+
+    @given(triple_lists)
+    def test_indexes_agree_on_membership(self, items):
+        graph = Graph(triples=items)
+        for t in items:
+            assert t in graph
+            assert t in set(graph.triples(subject=t.subject))
+            assert t in set(graph.triples(predicate=t.predicate))
+            assert t in set(graph.triples(object=t.object))
+
+    @given(triple_lists)
+    def test_add_then_remove_restores_empty(self, items):
+        graph = Graph()
+        for t in items:
+            graph.add(t)
+        for t in set(items):
+            assert graph.remove(t)
+        assert len(graph) == 0
+        assert list(graph.triples()) == []
+
+    @given(triple_lists, triple_lists)
+    @settings(max_examples=30)
+    def test_union_is_set_union(self, a, b):
+        union = Graph(triples=a) | Graph(triples=b)
+        assert set(union.triples()) == set(a) | set(b)
+
+    @given(triple_lists)
+    def test_copy_equals_original(self, items):
+        graph = Graph(triples=items)
+        assert set(graph.copy().triples()) == set(graph.triples())
+
+    @given(triple_lists)
+    @settings(max_examples=50)
+    def test_ntriples_round_trip(self, items):
+        graph = Graph(triples=items)
+        text = ntriples.serialize(graph.triples())
+        back = ntriples.load(text)
+        assert set(back.triples()) == set(graph.triples())
+
+    @given(triple_lists)
+    def test_count_consistent_with_iteration(self, items):
+        graph = Graph(triples=items)
+        for t in items[:5]:
+            assert graph.count(predicate=t.predicate) == len(
+                list(graph.triples(predicate=t.predicate))
+            )

@@ -1,0 +1,97 @@
+"""Property-based tests for the similarity layer (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.similarity import (
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    numeric_similarity,
+    string_similarity,
+    token_jaccard_similarity,
+    trigram_dice_similarity,
+    year_similarity,
+)
+
+text = st.text(max_size=30)
+word = st.text(alphabet=st.characters(whitelist_categories=("Ll", "Lu")), min_size=1, max_size=15)
+finite = st.floats(allow_nan=False, allow_infinity=False, width=32)
+
+
+class TestStringMetricProperties:
+    @given(text, text)
+    def test_levenshtein_symmetry(self, a, b):
+        assert levenshtein_distance(a, b) == levenshtein_distance(b, a)
+
+    @given(text)
+    def test_levenshtein_identity(self, a):
+        assert levenshtein_distance(a, a) == 0
+
+    @given(text, text, text)
+    @settings(max_examples=50)
+    def test_levenshtein_triangle_inequality(self, a, b, c):
+        assert levenshtein_distance(a, c) <= levenshtein_distance(a, b) + levenshtein_distance(b, c)
+
+    @given(text, text)
+    def test_all_string_scores_in_unit_interval(self, a, b):
+        for fn in (
+            levenshtein_similarity,
+            jaro_similarity,
+            jaro_winkler_similarity,
+            token_jaccard_similarity,
+            trigram_dice_similarity,
+            string_similarity,
+        ):
+            score = fn(a, b)
+            assert 0.0 <= score <= 1.0, fn.__name__
+
+    @given(text, text)
+    def test_all_string_scores_symmetric(self, a, b):
+        for fn in (
+            levenshtein_similarity,
+            jaro_similarity,
+            token_jaccard_similarity,
+            trigram_dice_similarity,
+            string_similarity,
+        ):
+            assert math.isclose(fn(a, b), fn(b, a), abs_tol=1e-12), fn.__name__
+
+    @given(word)
+    def test_identity_scores_one(self, a):
+        assert string_similarity(a, a) == 1.0
+        assert jaro_similarity(a, a) == 1.0
+        assert trigram_dice_similarity(a, a) == 1.0
+
+    @given(text, text)
+    def test_winkler_dominates_jaro(self, a, b):
+        assert jaro_winkler_similarity(a, b) >= jaro_similarity(a, b) - 1e-12
+
+
+class TestNumericProperties:
+    @given(finite, finite)
+    def test_numeric_in_unit_interval(self, a, b):
+        assert 0.0 <= numeric_similarity(float(a), float(b)) <= 1.0
+
+    @given(finite, finite)
+    def test_numeric_symmetry(self, a, b):
+        assert numeric_similarity(float(a), float(b)) == numeric_similarity(float(b), float(a))
+
+    @given(finite)
+    def test_numeric_identity(self, a):
+        assert numeric_similarity(float(a), float(a)) == 1.0
+
+    @given(st.integers(1000, 2999), st.integers(1000, 2999))
+    def test_year_in_unit_interval_and_symmetric(self, a, b):
+        score = year_similarity(a, b)
+        assert 0.0 < score <= 1.0
+        assert score == year_similarity(b, a)
+
+    @given(st.integers(1000, 2900), st.integers(0, 50))
+    def test_year_monotone_in_gap(self, base, gap):
+        nearer = year_similarity(base, base + gap)
+        farther = year_similarity(base, base + gap + 10)
+        assert nearer >= farther

@@ -1,0 +1,59 @@
+"""Property-based round-trip tests for Turtle serialization."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf import turtle
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import NamespaceManager
+from repro.rdf.terms import Literal, URIRef, XSD_BOOLEAN, XSD_INTEGER
+from repro.rdf.triples import Triple
+
+local = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")), min_size=1, max_size=8
+)
+uris = st.builds(lambda name: URIRef("http://example.org/ns/" + name), local)
+safe_text = st.text(max_size=20).filter(lambda s: "\x00" not in s)
+literals = st.one_of(
+    st.builds(Literal, safe_text),
+    st.builds(lambda n: Literal(str(n), datatype=XSD_INTEGER), st.integers(-10**6, 10**6)),
+    st.builds(lambda b: Literal("true" if b else "false", datatype=XSD_BOOLEAN), st.booleans()),
+    st.builds(
+        lambda text, lang: Literal(text, language=lang),
+        safe_text,
+        st.sampled_from(["en", "fr", "de-DE"]),
+    ),
+)
+objects = st.one_of(uris, literals)
+triples = st.builds(Triple, uris, uris, objects)
+graphs = st.builds(lambda items: Graph(triples=items), st.lists(triples, max_size=25))
+
+
+class TestTurtleRoundTrip:
+    @given(graphs)
+    @settings(max_examples=60, deadline=None)
+    def test_serialize_parse_round_trip(self, graph):
+        manager = NamespaceManager()
+        manager.bind("ns", "http://example.org/ns/")
+        text = turtle.serialize(graph, manager)
+        back = turtle.load(text, NamespaceManager())
+        assert set(back.triples()) == set(graph.triples())
+
+    @given(graphs)
+    @settings(max_examples=30, deadline=None)
+    def test_serialization_deterministic(self, graph):
+        manager = NamespaceManager()
+        manager.bind("ns", "http://example.org/ns/")
+        assert turtle.serialize(graph, manager) == turtle.serialize(graph.copy(), manager)
+
+    @given(graphs)
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_through_ntriples_agrees(self, graph):
+        """Turtle and N-Triples round-trips must land on the same graph."""
+        from repro.rdf import ntriples
+
+        manager = NamespaceManager()
+        manager.bind("ns", "http://example.org/ns/")
+        via_turtle = turtle.load(turtle.serialize(graph, manager), NamespaceManager())
+        via_ntriples = ntriples.load(ntriples.serialize(graph.triples()))
+        assert set(via_turtle.triples()) == set(via_ntriples.triples())

@@ -1,0 +1,133 @@
+"""Tests for RDF datasets (named graphs) and N-Quads IO."""
+
+import pytest
+
+from repro.errors import ParseError, RDFError
+from repro.rdf import nquads
+from repro.rdf.dataset import Dataset, Quad
+from repro.rdf.terms import Literal, URIRef
+from repro.rdf.triples import Triple
+
+G1 = URIRef("http://graphs/one")
+G2 = URIRef("http://graphs/two")
+
+
+def quad(s: str, p: str, o, g: URIRef | None = None) -> Quad:
+    obj = o if not isinstance(o, str) else URIRef(f"http://x/{o}")
+    return Quad(URIRef(f"http://x/{s}"), URIRef(f"http://x/{p}"), obj, g)
+
+
+@pytest.fixture()
+def dataset() -> Dataset:
+    ds = Dataset(name="test")
+    ds.add(quad("a", "p", "b"))
+    ds.add(quad("a", "p", "c", G1))
+    ds.add(quad("d", "q", Literal("v"), G1))
+    ds.add(quad("e", "p", "f", G2))
+    return ds
+
+
+class TestDataset:
+    def test_default_and_named_separate(self, dataset):
+        assert len(dataset.default) == 1
+        assert len(dataset.graph(G1)) == 2
+        assert len(dataset.graph(G2)) == 1
+        assert len(dataset) == 4
+
+    def test_graph_created_on_access(self):
+        ds = Dataset()
+        graph = ds.graph(G1)
+        assert len(graph) == 0
+        assert ds.has_graph(G1)
+
+    def test_graph_name_validation(self):
+        with pytest.raises(RDFError):
+            Dataset().graph("not-a-uri")  # type: ignore[arg-type]
+
+    def test_quads_pattern_all_graphs(self, dataset):
+        matches = list(dataset.quads(predicate=URIRef("http://x/p")))
+        assert len(matches) == 3
+        assert {m.graph_name for m in matches} == {None, G1, G2}
+
+    def test_quads_single_graph(self, dataset):
+        matches = list(dataset.quads(graph_name=G1))
+        assert len(matches) == 2
+        assert all(m.graph_name == G1 for m in matches)
+
+    def test_quads_missing_graph_empty(self, dataset):
+        assert list(dataset.quads(graph_name=URIRef("http://graphs/none"))) == []
+
+    def test_remove_quad(self, dataset):
+        assert dataset.remove(quad("a", "p", "c", G1)) is True
+        assert dataset.remove(quad("a", "p", "c", G1)) is False
+        assert len(dataset.graph(G1)) == 1
+
+    def test_remove_graph(self, dataset):
+        assert dataset.remove_graph(G2) is True
+        assert not dataset.has_graph(G2)
+        assert dataset.remove_graph(G2) is False
+
+    def test_union(self, dataset):
+        union = dataset.union()
+        assert len(union) == 4
+
+    def test_as_endpoints(self, dataset):
+        endpoints = dataset.as_endpoints()
+        assert [e.name for e in endpoints] == [G1.value, G2.value]
+        assert len(endpoints[0].graph) == 2
+
+
+class TestNQuads:
+    def test_parse_quad_line(self):
+        parsed = nquads.parse_line(
+            "<http://x/a> <http://x/p> <http://x/b> <http://graphs/one> ."
+        )
+        assert parsed.graph_name == G1
+
+    def test_parse_triple_line_default_graph(self):
+        parsed = nquads.parse_line("<http://x/a> <http://x/p> \"v\" .")
+        assert parsed.graph_name is None
+        assert parsed.object == Literal("v")
+
+    def test_malformed(self):
+        with pytest.raises(ParseError):
+            nquads.parse_line("<http://x/a> <http://x/p> <http://x/b> <http://g> extra .")
+
+    def test_round_trip(self, dataset):
+        text = nquads.serialize(dataset.quads())
+        back = nquads.load(text)
+        assert set(back.quads()) == set(dataset.quads())
+
+    def test_file_round_trip(self, dataset, tmp_path):
+        path = str(tmp_path / "data.nq")
+        count = nquads.dump_file(dataset, path)
+        assert count == 4
+        assert set(nquads.load_file(path).quads()) == set(dataset.quads())
+
+    def test_comments_skipped(self):
+        ds = nquads.load("# comment\n\n<http://x/a> <http://x/p> <http://x/b> .\n")
+        assert len(ds) == 1
+
+
+class TestFederationFromDataset:
+    def test_federated_query_over_nquads(self):
+        """One N-Quads snapshot drives a federated query end to end."""
+        from repro.federation import FederatedEngine
+        from repro.links import LinkSet
+
+        text = "\n".join(
+            [
+                '<http://db/lebron> <http://db/award> <http://db/mvp> <http://graphs/dbpedia> .',
+                '<http://nyt/lebron> <http://nyt/topicOf> <http://nyt/a1> <http://graphs/nytimes> .',
+                '<http://db/lebron> <http://www.w3.org/2002/07/owl#sameAs> <http://nyt/lebron> .',
+            ]
+        )
+        dataset = nquads.load(text)
+        links = LinkSet.from_graph(dataset.default)
+        engine = FederatedEngine(dataset.as_endpoints(), links)
+        result = engine.select(
+            "SELECT ?a WHERE { ?p <http://db/award> <http://db/mvp> . "
+            "?p <http://nyt/topicOf> ?a . }"
+        )
+        assert len(result) == 1
+        assert result.rows[0].links_used

@@ -1,0 +1,167 @@
+"""Unit tests for the indexed triple store."""
+
+import pytest
+
+from repro.errors import TermError
+from repro.rdf.graph import Graph
+from repro.rdf.terms import BNode, Literal, URIRef
+from repro.rdf.triples import Triple
+
+EX = "http://example.org/"
+
+
+def uri(name: str) -> URIRef:
+    return URIRef(EX + name)
+
+
+def triple(s: str, p: str, o) -> Triple:
+    obj = o if not isinstance(o, str) else uri(o)
+    return Triple(uri(s), uri(p), obj)
+
+
+@pytest.fixture()
+def graph() -> Graph:
+    g = Graph(name="test")
+    g.add(triple("lebron", "plays", "heat"))
+    g.add(triple("lebron", "name", Literal("LeBron James")))
+    g.add(triple("durant", "plays", "okc"))
+    g.add(triple("durant", "name", Literal("Kevin Durant")))
+    g.add(triple("heat", "inCity", "miami"))
+    return g
+
+
+class TestMutation:
+    def test_add_returns_true_when_new(self):
+        g = Graph()
+        assert g.add(triple("a", "p", "b")) is True
+        assert g.add(triple("a", "p", "b")) is False
+        assert len(g) == 1
+
+    def test_add_all_counts_new(self, graph):
+        added = graph.add_all([triple("lebron", "plays", "heat"), triple("x", "p", "y")])
+        assert added == 1
+
+    def test_remove_present(self, graph):
+        assert graph.remove(triple("heat", "inCity", "miami")) is True
+        assert len(graph) == 4
+        assert triple("heat", "inCity", "miami") not in graph
+
+    def test_remove_absent(self, graph):
+        assert graph.remove(triple("nope", "p", "q")) is False
+        assert len(graph) == 5
+
+    def test_remove_cleans_indexes(self):
+        g = Graph()
+        t = triple("a", "p", "b")
+        g.add(t)
+        g.remove(t)
+        assert list(g.triples()) == []
+        assert list(g.subjects()) == []
+        assert list(g.predicates()) == []
+        # internal maps must not keep empty shells
+        assert not g._spo and not g._pos and not g._osp
+
+    def test_clear(self, graph):
+        graph.clear()
+        assert len(graph) == 0
+        assert not graph
+
+    def test_add_validates_positions(self):
+        g = Graph()
+        with pytest.raises(TermError):
+            g.add(Triple(Literal("x"), uri("p"), uri("o")))  # type: ignore[arg-type]
+        with pytest.raises(TermError):
+            g.add(Triple(uri("s"), Literal("p"), uri("o")))  # type: ignore[arg-type]
+
+
+class TestPatternMatching:
+    def test_fully_bound(self, graph):
+        assert len(list(graph.triples(uri("lebron"), uri("plays"), uri("heat")))) == 1
+        assert len(list(graph.triples(uri("lebron"), uri("plays"), uri("okc")))) == 0
+
+    def test_s_bound(self, graph):
+        assert len(list(graph.triples(subject=uri("lebron")))) == 2
+
+    def test_p_bound(self, graph):
+        assert len(list(graph.triples(predicate=uri("plays")))) == 2
+
+    def test_o_bound(self, graph):
+        assert len(list(graph.triples(object=uri("heat")))) == 1
+
+    def test_sp_bound(self, graph):
+        matches = list(graph.triples(uri("durant"), uri("name")))
+        assert matches == [triple("durant", "name", Literal("Kevin Durant"))]
+
+    def test_so_bound(self, graph):
+        assert len(list(graph.triples(subject=uri("lebron"), object=uri("heat")))) == 1
+
+    def test_po_bound(self, graph):
+        assert len(list(graph.triples(predicate=uri("plays"), object=uri("okc")))) == 1
+
+    def test_all_wildcards(self, graph):
+        assert len(list(graph.triples())) == 5
+
+    def test_missing_subject(self, graph):
+        assert list(graph.triples(subject=uri("ghost"))) == []
+
+
+class TestCounting:
+    def test_count_total(self, graph):
+        assert graph.count() == 5
+
+    def test_count_sp(self, graph):
+        assert graph.count(uri("lebron"), uri("plays")) == 1
+
+    def test_count_predicate(self, graph):
+        assert graph.count(predicate=uri("name")) == 2
+
+    def test_count_matches_iteration(self, graph):
+        assert graph.count(object=uri("heat")) == len(list(graph.triples(object=uri("heat"))))
+
+
+class TestAccessors:
+    def test_subjects(self, graph):
+        assert set(graph.subjects(predicate=uri("plays"))) == {uri("lebron"), uri("durant")}
+
+    def test_predicates_of_subject(self, graph):
+        assert set(graph.predicates(subject=uri("lebron"))) == {uri("plays"), uri("name")}
+
+    def test_objects(self, graph):
+        assert set(graph.objects(uri("lebron"), uri("plays"))) == {uri("heat")}
+
+    def test_value(self, graph):
+        assert graph.value(uri("heat"), uri("inCity")) == uri("miami")
+        assert graph.value(uri("heat"), uri("nope")) is None
+
+    def test_predicate_objects(self, graph):
+        pairs = dict(graph.predicate_objects(uri("durant")))
+        assert pairs[uri("plays")] == uri("okc")
+
+    def test_entities(self, graph):
+        assert set(graph.entities()) == {uri("lebron"), uri("durant"), uri("heat")}
+
+
+class TestSetProtocol:
+    def test_contains(self, graph):
+        assert triple("lebron", "plays", "heat") in graph
+        assert triple("lebron", "plays", "okc") not in graph
+
+    def test_iter(self, graph):
+        assert set(graph) == set(graph.triples())
+
+    def test_copy_is_independent(self, graph):
+        clone = graph.copy()
+        clone.add(triple("new", "p", "q"))
+        assert len(clone) == 6
+        assert len(graph) == 5
+
+    def test_union(self, graph):
+        other = Graph(triples=[triple("x", "p", "y")])
+        merged = graph | other
+        assert len(merged) == 6
+
+    def test_bnode_subjects_supported(self):
+        g = Graph()
+        node = BNode("anon")
+        g.add(Triple(node, uri("p"), Literal("v")))
+        assert g.count(subject=node) == 1

@@ -1,0 +1,147 @@
+"""Unit tests for N-Triples and Turtle parsing/serialization."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.rdf import ntriples, turtle
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import RDF, NamespaceManager
+from repro.rdf.terms import BNode, Literal, URIRef, XSD_DOUBLE, XSD_INTEGER
+from repro.rdf.triples import Triple
+
+
+class TestNTriplesParsing:
+    def test_simple_triple(self):
+        t = ntriples.parse_line("<http://x/a> <http://x/p> <http://x/b> .")
+        assert t == Triple(URIRef("http://x/a"), URIRef("http://x/p"), URIRef("http://x/b"))
+
+    def test_literal_object(self):
+        t = ntriples.parse_line('<http://x/a> <http://x/p> "hello" .')
+        assert t.object == Literal("hello")
+
+    def test_language_literal(self):
+        t = ntriples.parse_line('<http://x/a> <http://x/p> "bonjour"@fr .')
+        assert t.object == Literal("bonjour", language="fr")
+
+    def test_typed_literal(self):
+        t = ntriples.parse_line(
+            '<http://x/a> <http://x/p> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .'
+        )
+        assert t.object == Literal("42", datatype=XSD_INTEGER)
+
+    def test_escapes(self):
+        t = ntriples.parse_line('<http://x/a> <http://x/p> "line\\nbreak \\"q\\"" .')
+        assert t.object.lexical == 'line\nbreak "q"'
+
+    def test_bnode_subject(self):
+        t = ntriples.parse_line("_:b1 <http://x/p> <http://x/o> .")
+        assert t.subject == BNode("b1")
+
+    def test_comment_and_blank_lines(self):
+        assert ntriples.parse_line("# a comment") is None
+        assert ntriples.parse_line("   ") is None
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "<http://x/a> <http://x/p> <http://x/b>",  # missing dot
+            "<http://x/a> <http://x/p> .",  # missing object
+            '<http://x/a> "lit" <http://x/b> .',  # literal predicate
+            "<http://x/a> <http://x/p> <http://x/b> . extra",
+            '<http://x/a> <http://x/p> "unterminated .',
+        ],
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(ParseError):
+            ntriples.parse_line(bad)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ParseError) as info:
+            list(ntriples.parse("<http://x/a> <http://x/p> <http://x/o> .\nbad line"))
+        assert info.value.line == 2
+
+
+class TestNTriplesRoundTrip:
+    def test_round_trip(self):
+        g = Graph()
+        g.add(Triple(URIRef("http://x/a"), URIRef("http://x/p"), Literal('tricky "text"\n')))
+        g.add(Triple(URIRef("http://x/a"), URIRef("http://x/p"), Literal("42", datatype=XSD_INTEGER)))
+        g.add(Triple(BNode("n"), URIRef("http://x/p"), Literal("fr", language="fr")))
+        text = ntriples.serialize(g.triples())
+        back = ntriples.load(text)
+        assert set(back.triples()) == set(g.triples())
+
+    def test_serialize_sorted_deterministic(self):
+        t1 = Triple(URIRef("http://x/b"), URIRef("http://x/p"), Literal("1"))
+        t2 = Triple(URIRef("http://x/a"), URIRef("http://x/p"), Literal("2"))
+        assert ntriples.serialize([t1, t2]) == ntriples.serialize([t2, t1])
+
+    def test_file_round_trip(self, tmp_path):
+        g = Graph(triples=[Triple(URIRef("http://x/a"), URIRef("http://x/p"), Literal("v"))])
+        path = str(tmp_path / "out.nt")
+        count = ntriples.dump_file(g, path)
+        assert count == 1
+        assert set(ntriples.load_file(path).triples()) == set(g.triples())
+
+
+class TestTurtle:
+    def test_prefixes_and_semicolons(self):
+        g = turtle.load(
+            """
+            @prefix ex: <http://x/> .
+            ex:a ex:p ex:b ; ex:q "v" , "w" .
+            """
+        )
+        assert len(g) == 3
+        assert Triple(URIRef("http://x/a"), URIRef("http://x/q"), Literal("w")) in g
+
+    def test_a_keyword(self):
+        g = turtle.load("@prefix ex: <http://x/> . ex:a a ex:Type .")
+        assert next(iter(g)).predicate == RDF.type
+
+    def test_numeric_shorthand(self):
+        g = turtle.load("@prefix ex: <http://x/> . ex:a ex:year 1984 ; ex:height 2.06 .")
+        objects = {t.object for t in g}
+        assert Literal("1984", datatype=XSD_INTEGER) in objects
+        assert Literal("2.06", datatype=XSD_DOUBLE) in objects
+
+    def test_boolean_shorthand(self):
+        g = turtle.load("@prefix ex: <http://x/> . ex:a ex:active true .")
+        assert next(iter(g)).object.to_python() is True
+
+    def test_datatype_curie(self):
+        g = turtle.load(
+            '@prefix ex: <http://x/> . @prefix xsd: <http://www.w3.org/2001/XMLSchema#> . '
+            'ex:a ex:p "5"^^xsd:integer .'
+        )
+        assert next(iter(g)).object == Literal("5", datatype=XSD_INTEGER)
+
+    def test_language_tag(self):
+        g = turtle.load('@prefix ex: <http://x/> . ex:a ex:p "salut"@fr .')
+        assert next(iter(g)).object.language == "fr"
+
+    def test_unbound_prefix_fails(self):
+        with pytest.raises(ParseError):
+            turtle.load("nope:a nope:p nope:b .")
+
+    def test_unterminated_statement_fails(self):
+        with pytest.raises(ParseError):
+            turtle.load("@prefix ex: <http://x/> . ex:a ex:p ex:b")
+
+    def test_default_namespaces_available(self):
+        g = turtle.load("@prefix ex: <http://x/> . ex:a rdfs:label \"L\" .")
+        assert next(iter(g)).predicate.value.endswith("label")
+
+    def test_round_trip_through_serializer(self):
+        original = turtle.load(
+            """
+            @prefix ex: <http://x/> .
+            ex:a a ex:Type ; ex:p "v" ; ex:year 1984 .
+            ex:b ex:p ex:a .
+            """
+        )
+        manager = NamespaceManager()
+        manager.bind("ex", "http://x/")
+        text = turtle.serialize(original, manager)
+        back = turtle.load(text, NamespaceManager())
+        assert set(back.triples()) == set(original.triples())

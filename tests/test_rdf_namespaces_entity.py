@@ -1,0 +1,113 @@
+"""Unit tests for namespaces and entity views."""
+
+import pytest
+
+from repro.errors import RDFError
+from repro.rdf import turtle
+from repro.rdf.entity import Entity, entities_of
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import FOAF, Namespace, NamespaceManager, OWL_SAMEAS
+from repro.rdf.terms import Literal, URIRef
+from repro.rdf.triples import Triple
+
+
+class TestNamespace:
+    def test_attribute_access(self):
+        ns = Namespace("http://x/")
+        assert ns.name == URIRef("http://x/name")
+
+    def test_item_access(self):
+        ns = Namespace("http://x/")
+        assert ns["with-dash"] == URIRef("http://x/with-dash")
+
+    def test_contains(self):
+        ns = Namespace("http://x/")
+        assert URIRef("http://x/a") in ns
+        assert URIRef("http://y/a") not in ns
+
+    def test_empty_base_rejected(self):
+        with pytest.raises(RDFError):
+            Namespace("")
+
+    def test_well_known_sameas(self):
+        assert OWL_SAMEAS.value == "http://www.w3.org/2002/07/owl#sameAs"
+
+
+class TestNamespaceManager:
+    def test_defaults_present(self):
+        manager = NamespaceManager()
+        assert "foaf" in manager
+        assert manager.expand("foaf:name") == FOAF.name
+
+    def test_bind_and_expand(self):
+        manager = NamespaceManager(include_defaults=False)
+        manager.bind("ex", "http://x/")
+        assert manager.expand("ex:a") == URIRef("http://x/a")
+
+    def test_expand_unbound(self):
+        with pytest.raises(RDFError):
+            NamespaceManager(include_defaults=False).expand("nope:a")
+
+    def test_expand_requires_colon(self):
+        with pytest.raises(RDFError):
+            NamespaceManager().expand("plain")
+
+    def test_compact_longest_match(self):
+        manager = NamespaceManager(include_defaults=False)
+        manager.bind("a", "http://x/")
+        manager.bind("b", "http://x/deep/")
+        assert manager.compact(URIRef("http://x/deep/name")) == "b:name"
+
+    def test_compact_no_match(self):
+        manager = NamespaceManager(include_defaults=False)
+        assert manager.compact(URIRef("http://unknown/x")) is None
+
+    def test_compact_refuses_non_roundtrippable(self):
+        manager = NamespaceManager(include_defaults=False)
+        manager.bind("x", "http://x/")
+        assert manager.compact(URIRef("http://x/deep/name")) is None
+
+
+class TestEntity:
+    @pytest.fixture()
+    def graph(self) -> Graph:
+        return turtle.load(
+            """
+            @prefix ex: <http://x/> .
+            ex:lebron ex:name "LeBron James" ; ex:name "King James" ;
+                      ex:birth 1984 ; ex:team ex:heat .
+            ex:empty ex:note "alone" .
+            """
+        )
+
+    def test_from_graph(self, graph):
+        entity = Entity.from_graph(graph, URIRef("http://x/lebron"))
+        assert entity.arity == 3
+        assert len(entity) == 4  # four attribute values total
+
+    def test_multivalued_attribute(self, graph):
+        entity = Entity.from_graph(graph, URIRef("http://x/lebron"))
+        names = entity.literal_values(URIRef("http://x/name"))
+        assert {n.lexical for n in names} == {"LeBron James", "King James"}
+
+    def test_snapshot_isolated_from_graph(self, graph):
+        entity = Entity.from_graph(graph, URIRef("http://x/lebron"))
+        graph.add(Triple(URIRef("http://x/lebron"), URIRef("http://x/new"), Literal("x")))
+        assert URIRef("http://x/new") not in entity
+
+    def test_objects_of_missing_predicate(self, graph):
+        entity = Entity.from_graph(graph, URIRef("http://x/lebron"))
+        assert entity.objects(URIRef("http://x/none")) == ()
+
+    def test_pairs_enumerates_all(self, graph):
+        entity = Entity.from_graph(graph, URIRef("http://x/lebron"))
+        assert len(list(entity.pairs())) == 4
+
+    def test_entities_of(self, graph):
+        views = list(entities_of(graph))
+        assert {str(view.uri) for view in views} == {"http://x/lebron", "http://x/empty"}
+
+    def test_deterministic_object_order(self, graph):
+        first = Entity.from_graph(graph, URIRef("http://x/lebron"))
+        second = Entity.from_graph(graph, URIRef("http://x/lebron"))
+        assert first.attributes == second.attributes

@@ -1,0 +1,70 @@
+"""Tests for graph statistics (and the CLI describe command)."""
+
+import pytest
+
+from repro.cli import main
+from repro.rdf import turtle
+from repro.rdf.graph import Graph
+from repro.rdf.stats import graph_statistics
+
+
+@pytest.fixture()
+def graph():
+    return turtle.load(
+        """
+        @prefix ex: <http://x/> .
+        ex:a ex:name "A" ; ex:knows ex:b , ex:c .
+        ex:b ex:name "B" ; ex:note [ ex:label "anon" ] .
+        """,
+        name="testgraph",
+    )
+
+
+class TestGraphStatistics:
+    def test_counts(self, graph):
+        stats = graph_statistics(graph)
+        assert stats.triple_count == len(graph)
+        assert stats.entity_count == 3  # ex:a, ex:b, the bnode
+        assert stats.predicate_count == 4
+
+    def test_object_kinds(self, graph):
+        stats = graph_statistics(graph)
+        assert stats.literal_object_count == 3  # "A", "B", "anon"
+        assert stats.uri_object_count == 2  # ex:b, ex:c
+        assert stats.bnode_count == 2  # one bnode object + one bnode subject
+
+    def test_histogram_sorted(self, graph):
+        stats = graph_statistics(graph)
+        counts = [count for _, count in stats.predicate_histogram]
+        assert counts == sorted(counts, reverse=True)
+        assert stats.predicate_histogram[0][1] == 2  # 'knows' and 'name' tie at 2
+
+    def test_average_out_degree(self, graph):
+        stats = graph_statistics(graph)
+        assert stats.average_out_degree == pytest.approx(len(graph) / 3)
+
+    def test_empty_graph(self):
+        stats = graph_statistics(Graph(name="empty"))
+        assert stats.triple_count == 0
+        assert stats.average_out_degree == 0.0
+
+    def test_render(self, graph):
+        text = graph_statistics(graph).render()
+        assert "testgraph" in text
+        assert "top predicates" in text
+
+
+class TestDescribeCommand:
+    def test_describe_file(self, tmp_path, capsys, graph):
+        from repro.rdf import ntriples
+
+        path = str(tmp_path / "g.nt")
+        ntriples.dump_file(graph, path)
+        code = main(["describe", path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "triples:" in out
+
+    def test_describe_missing_file(self, capsys):
+        code = main(["describe", "/nope/missing.nt"])
+        assert code == 1

@@ -1,0 +1,80 @@
+"""Tests for Turtle anonymous blank nodes and collections."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.rdf import turtle
+from repro.rdf.namespaces import RDF
+from repro.rdf.terms import BNode, Literal, URIRef
+
+
+class TestBlankNodePropertyLists:
+    def test_object_bnode(self):
+        g = turtle.load('@prefix ex: <http://x/> . ex:a ex:knows [ ex:name "Anon" ] .')
+        anon_triples = [t for t in g if isinstance(t.subject, BNode)]
+        assert len(anon_triples) == 1
+        assert anon_triples[0].object == Literal("Anon")
+        bridge = next(t for t in g if t.predicate == URIRef("http://x/knows"))
+        assert bridge.object == anon_triples[0].subject
+
+    def test_subject_bnode(self):
+        g = turtle.load('@prefix ex: <http://x/> . [ ex:label "L" ] ex:points ex:a .')
+        assert len(g) == 2
+        subjects = {t.subject for t in g}
+        assert len(subjects) == 1 and isinstance(next(iter(subjects)), BNode)
+
+    def test_empty_bnode(self):
+        g = turtle.load("@prefix ex: <http://x/> . ex:a ex:p [] .")
+        assert len(g) == 1
+        assert isinstance(next(iter(g)).object, BNode)
+
+    def test_nested_bnodes(self):
+        g = turtle.load(
+            '@prefix ex: <http://x/> . ex:a ex:p [ ex:q [ ex:r "deep" ] ] .'
+        )
+        assert len(g) == 3
+        deep = next(t for t in g if t.object == Literal("deep"))
+        assert isinstance(deep.subject, BNode)
+
+    def test_bnode_with_semicolons(self):
+        g = turtle.load(
+            '@prefix ex: <http://x/> . ex:a ex:p [ ex:q 1 ; ex:r 2 , 3 ] .'
+        )
+        assert len(g) == 4
+
+    def test_bnode_as_predicate_rejected(self):
+        with pytest.raises(ParseError):
+            turtle.load("@prefix ex: <http://x/> . ex:a [ ex:p ex:b ] ex:c .")
+
+    def test_unterminated_bnode(self):
+        with pytest.raises(ParseError):
+            turtle.load('@prefix ex: <http://x/> . ex:a ex:p [ ex:q "v" .')
+
+
+class TestCollections:
+    def test_three_element_list(self):
+        g = turtle.load("@prefix ex: <http://x/> . ex:a ex:list ( ex:one ex:two ex:three ) .")
+        assert g.count(predicate=RDF.first) == 3
+        assert g.count(predicate=RDF.rest) == 3
+        # walk the list
+        head = next(t for t in g if t.predicate == URIRef("http://x/list")).object
+        items = []
+        node = head
+        while node != RDF.nil:
+            items.append(g.value(node, RDF.first))
+            node = g.value(node, RDF.rest)
+        assert [str(i) for i in items] == ["http://x/one", "http://x/two", "http://x/three"]
+
+    def test_empty_collection_is_nil(self):
+        g = turtle.load("@prefix ex: <http://x/> . ex:a ex:list () .")
+        assert next(iter(g)).object == RDF.nil
+        assert len(g) == 1
+
+    def test_collection_of_literals(self):
+        g = turtle.load('@prefix ex: <http://x/> . ex:a ex:list ( 1 2 "three" ) .')
+        firsts = {t.object for t in g.triples(predicate=RDF.first)}
+        assert Literal("three") in firsts
+
+    def test_unterminated_collection(self):
+        with pytest.raises(ParseError):
+            turtle.load("@prefix ex: <http://x/> . ex:a ex:list ( ex:one .")

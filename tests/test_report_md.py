@@ -1,0 +1,53 @@
+"""Tests for the Markdown report generator (on a fast subset)."""
+
+import pytest
+
+from repro.experiments.report_md import REPORT_SECTIONS, generate_report
+
+
+class TestReportSections:
+    def test_registry_covers_all_experiments(self):
+        names = {name for _, name in REPORT_SECTIONS}
+        expected = {
+            "table_1", "figure_2a", "figure_2b", "figure_2c",
+            "figure_3a", "figure_3b", "figure_3c",
+            "figure_4a", "figure_4b", "figure_4c", "figure_4d",
+            "figure_5", "figure_6", "figure_7", "figure_8",
+            "figure_9", "figure_10", "figure_11", "execution_time",
+        }
+        assert names == expected
+
+    def test_registry_functions_exist(self):
+        import repro.experiments as experiments
+
+        for _, name in REPORT_SECTIONS:
+            assert callable(getattr(experiments, name))
+
+
+class TestGenerateReport:
+    def test_subset_report_renders(self):
+        progress_calls = []
+        text = generate_report(
+            sections=[("Table 1 — dataset inventory", "table_1"),
+                      ("Figure 5 — search-space filtering", "figure_5")],
+            progress=progress_calls.append,
+        )
+        assert text.startswith("# ALEX reproduction report")
+        assert "## Table 1" in text
+        assert "## Figure 5" in text
+        assert "```" in text
+        assert len(progress_calls) == 2
+
+    def test_write_report_file(self, tmp_path):
+        from repro.experiments.report_md import write_report
+        import repro.experiments.report_md as report_md
+
+        original = report_md.REPORT_SECTIONS
+        report_md.REPORT_SECTIONS = [("Table 1 — dataset inventory", "table_1")]
+        try:
+            path = str(tmp_path / "report.md")
+            write_report(path)
+            content = open(path).read()
+            assert "Table 1" in content
+        finally:
+            report_md.REPORT_SECTIONS = original

@@ -1,0 +1,164 @@
+"""Unit tests for similarity functions."""
+
+from datetime import date
+
+import pytest
+
+from repro.rdf.terms import Literal, URIRef, XSD_INTEGER
+from repro.similarity import (
+    best_object_similarity,
+    boolean_similarity,
+    date_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    literal_similarity,
+    numeric_similarity,
+    object_similarity,
+    string_similarity,
+    token_jaccard_similarity,
+    trigram_dice_similarity,
+    uri_similarity,
+    year_similarity,
+)
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [("", "", 0), ("abc", "abc", 0), ("abc", "", 3), ("kitten", "sitting", 3),
+         ("flaw", "lawn", 2)],
+    )
+    def test_distance(self, a, b, expected):
+        assert levenshtein_distance(a, b) == expected
+
+    def test_symmetry(self):
+        assert levenshtein_distance("abc", "ab") == levenshtein_distance("ab", "abc")
+
+    def test_similarity_range(self):
+        assert levenshtein_similarity("", "") == 1.0
+        assert levenshtein_similarity("abc", "xyz") == 0.0
+        assert 0.0 < levenshtein_similarity("lebron", "lebrom") < 1.0
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro_similarity("martha", "martha") == 1.0
+
+    def test_known_value(self):
+        assert jaro_similarity("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_disjoint(self):
+        assert jaro_similarity("abc", "xyz") == 0.0
+
+    def test_empty(self):
+        assert jaro_similarity("", "abc") == 0.0
+
+    def test_winkler_boosts_prefix(self):
+        plain = jaro_similarity("prefixes", "prefixed")
+        boosted = jaro_winkler_similarity("prefixes", "prefixed")
+        assert boosted > plain
+
+    def test_winkler_known_value(self):
+        assert jaro_winkler_similarity("martha", "marhta") == pytest.approx(0.9611, abs=1e-3)
+
+
+class TestTokenMetrics:
+    def test_jaccard_reordering_invariant(self):
+        assert token_jaccard_similarity("james lebron", "lebron james") == 1.0
+
+    def test_jaccard_partial(self):
+        assert token_jaccard_similarity("lebron james", "lebron raymone") == pytest.approx(1 / 3)
+
+    def test_jaccard_empty(self):
+        assert token_jaccard_similarity("", "") == 1.0
+        assert token_jaccard_similarity("a", "") == 0.0
+
+    def test_trigram_identical(self):
+        assert trigram_dice_similarity("hello", "HELLO") == 1.0
+
+    def test_trigram_disjoint(self):
+        assert trigram_dice_similarity("aaa", "zzz") == 0.0
+
+
+class TestStringSimilarity:
+    def test_exact_after_normalization(self):
+        assert string_similarity("LeBron  James", "lebron james") == 1.0
+
+    def test_typo_scores_high(self):
+        assert string_similarity("LeBron James", "Lebron Jmaes") > 0.85
+
+    def test_reordered_tokens_score_high(self):
+        assert string_similarity("James LeBron", "LeBron James") >= 0.99
+
+    def test_unrelated_scores_low(self):
+        assert string_similarity("LeBron James", "Miami Heat") < 0.6
+
+    def test_empty(self):
+        assert string_similarity("", "") == 1.0
+        assert string_similarity("x", "") == 0.0
+
+
+class TestNumericAndDates:
+    def test_numeric_equal(self):
+        assert numeric_similarity(5.0, 5.0) == 1.0
+        assert numeric_similarity(0.0, 0.0) == 1.0
+
+    def test_numeric_relative(self):
+        assert numeric_similarity(100.0, 90.0) == pytest.approx(0.9)
+
+    def test_numeric_nan(self):
+        assert numeric_similarity(float("nan"), 1.0) == 0.0
+
+    def test_numeric_clamped(self):
+        assert numeric_similarity(1.0, -100.0) == 0.0
+
+    def test_year_close(self):
+        assert year_similarity(1984, 1984) == 1.0
+        assert year_similarity(1984, 1985) > 0.9
+        assert year_similarity(1984, 2014) < 0.1
+
+    def test_date_decay(self):
+        d0 = date(2010, 1, 1)
+        assert date_similarity(d0, d0) == 1.0
+        assert date_similarity(d0, date(2010, 2, 1)) > date_similarity(d0, date(2012, 1, 1))
+
+    def test_boolean(self):
+        assert boolean_similarity(True, True) == 1.0
+        assert boolean_similarity(True, False) == 0.0
+
+
+class TestObjectSimilarity:
+    def test_typed_literals_numeric(self):
+        a = Literal("1984", datatype=XSD_INTEGER)
+        b = Literal("1985", datatype=XSD_INTEGER)
+        assert literal_similarity(a, b) > 0.9
+
+    def test_mixed_types_fall_back_to_string(self):
+        a = Literal("1984", datatype=XSD_INTEGER)
+        b = Literal("1984")
+        assert literal_similarity(a, b) == 1.0
+
+    def test_uri_exact(self):
+        u = URIRef("http://x/LeBron_James")
+        assert uri_similarity(u, u) == 1.0
+
+    def test_uri_local_name_humanized(self):
+        a = URIRef("http://x/LeBron_James")
+        b = URIRef("http://y/lebron-james")
+        assert uri_similarity(a, b) > 0.9
+
+    def test_literal_vs_uri(self):
+        lit = Literal("LeBron James")
+        uri = URIRef("http://x/LeBron_James")
+        assert object_similarity(lit, uri) > 0.9
+        assert object_similarity(uri, lit) > 0.9
+
+    def test_best_object_similarity_multivalue(self):
+        a = (Literal("King James"), Literal("LeBron James"))
+        b = (Literal("Lebron James"),)
+        assert best_object_similarity(a, b) > 0.9
+
+    def test_best_object_similarity_empty(self):
+        assert best_object_similarity((), (Literal("x"),)) == 0.0

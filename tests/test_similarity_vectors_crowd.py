@@ -1,0 +1,124 @@
+"""Tests for TF-IDF similarity, soft token matching, and crowd feedback."""
+
+import pytest
+
+from repro.errors import ConfigError, SimilarityError
+from repro.feedback import GroundTruthOracle, MajorityVoteOracle
+from repro.links import Link, LinkSet
+from repro.rdf.terms import URIRef
+from repro.similarity import TfIdfModel, soft_token_similarity
+
+
+class TestTfIdf:
+    @pytest.fixture()
+    def model(self):
+        corpus = [
+            "the quick brown fox",
+            "the lazy dog",
+            "the fox jumps over the dog",
+            "basketball player wins award",
+        ]
+        return TfIdfModel(corpus)
+
+    def test_identical_texts_score_one(self, model):
+        assert model.similarity("quick brown fox", "quick brown fox") == pytest.approx(1.0)
+
+    def test_rare_terms_dominate(self, model):
+        # 'basketball' is rarer than 'the': sharing it means more
+        rare = model.similarity("basketball game", "basketball match")
+        common = model.similarity("the game", "the match")
+        assert rare > common
+
+    def test_disjoint_texts_score_zero(self, model):
+        assert model.similarity("quick fox", "lazy dog") == 0.0
+
+    def test_empty_texts(self, model):
+        assert model.similarity("", "") == 1.0
+        assert model.similarity("fox", "") == 0.0
+
+    def test_range(self, model):
+        for a in ("the quick fox", "dog", "award player"):
+            for b in ("lazy dog the", "fox jumps", ""):
+                assert 0.0 <= model.similarity(a, b) <= 1.0
+
+    def test_unseen_tokens_get_max_idf(self, model):
+        assert model.idf("zzzunseen") >= model.idf("the")
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(SimilarityError):
+            TfIdfModel([])
+
+    def test_document_count(self, model):
+        assert model.document_count == 4
+
+
+class TestSoftTokenSimilarity:
+    def test_exact(self):
+        assert soft_token_similarity("LeBron James", "lebron james") == pytest.approx(1.0)
+
+    def test_typos_inside_tokens_still_match(self):
+        score = soft_token_similarity("Lebron Jmaes", "LeBron James")
+        assert score > 0.9
+
+    def test_beats_exact_jaccard_on_typos(self):
+        from repro.similarity import token_jaccard_similarity
+
+        a, b = "Lebron Jmaes", "LeBron James"
+        assert soft_token_similarity(a, b) > token_jaccard_similarity(a, b)
+
+    def test_unrelated_low(self):
+        assert soft_token_similarity("Miami Heat", "Kevin Durant") < 0.3
+
+    def test_empty(self):
+        assert soft_token_similarity("", "") == 1.0
+        assert soft_token_similarity("x", "") == 0.0
+
+    def test_symmetric_enough(self):
+        a, b = "alpha beta gamma", "beta gamma delta"
+        assert abs(soft_token_similarity(a, b) - soft_token_similarity(b, a)) < 1e-9
+
+
+def _link(i: int) -> Link:
+    return Link(URIRef(f"http://a/e{i}"), URIRef(f"http://b/e{i}"))
+
+
+class TestMajorityVoteOracle:
+    @pytest.fixture()
+    def truth(self):
+        return GroundTruthOracle(LinkSet([_link(0)]))
+
+    def test_panel_beats_individual(self, truth):
+        panel = MajorityVoteOracle(truth, panel_size=5, error_rates=0.2, seed=3)
+        assert panel.effective_error_rate() < 0.2
+
+    def test_bigger_panel_is_better(self, truth):
+        small = MajorityVoteOracle(truth, panel_size=3, error_rates=0.25, seed=3)
+        large = MajorityVoteOracle(truth, panel_size=9, error_rates=0.25, seed=3)
+        assert large.effective_error_rate() < small.effective_error_rate()
+
+    def test_zero_error_panel_is_perfect(self, truth):
+        panel = MajorityVoteOracle(truth, panel_size=3, error_rates=0.0)
+        assert panel.judge(_link(0)) is True
+        assert panel.judge(_link(1)) is False
+
+    def test_votes_counted(self, truth):
+        panel = MajorityVoteOracle(truth, panel_size=3, error_rates=0.1)
+        panel.judge(_link(0))
+        assert panel.votes_cast == 3
+
+    def test_heterogeneous_rates(self, truth):
+        panel = MajorityVoteOracle(truth, panel_size=3, error_rates=[0.0, 0.3, 0.4], seed=1)
+        assert panel.effective_error_rate() < 0.3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"panel_size": 2},
+            {"panel_size": 0},
+            {"panel_size": 3, "error_rates": 0.6},
+            {"panel_size": 3, "error_rates": [0.1, 0.1]},
+        ],
+    )
+    def test_invalid_configs(self, truth, kwargs):
+        with pytest.raises(ConfigError):
+            MajorityVoteOracle(truth, **kwargs)

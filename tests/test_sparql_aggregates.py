@@ -1,0 +1,179 @@
+"""Unit tests for SPARQL aggregation and CONSTRUCT."""
+
+import pytest
+
+from repro.errors import QueryEvaluationError, QuerySyntaxError
+from repro.rdf import turtle
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Literal, URIRef
+from repro.sparql import Var, parse_query, query
+from repro.sparql.aggregates import Aggregate, evaluate_aggregate, group_solutions
+
+PREFIX = "PREFIX ex: <http://x/> "
+
+
+@pytest.fixture()
+def graph():
+    return turtle.load(
+        """
+        @prefix ex: <http://x/> .
+        ex:a ex:team ex:heat ; ex:pts 10 ; ex:name "Alpha" .
+        ex:b ex:team ex:heat ; ex:pts 20 ; ex:name "Bravo" .
+        ex:c ex:team ex:okc  ; ex:pts 30 ; ex:name "Carol" .
+        ex:d ex:team ex:okc  ; ex:pts 30 .
+        """
+    )
+
+
+class TestParsing:
+    def test_aggregate_projection(self):
+        q = parse_query(PREFIX + "SELECT (COUNT(?x) AS ?n) WHERE { ?x ex:team ?t }")
+        assert q.aggregates[0].function == "COUNT"
+        assert q.aggregates[0].alias == Var("n")
+
+    def test_count_star(self):
+        q = parse_query(PREFIX + "SELECT (COUNT(*) AS ?n) WHERE { ?x ex:team ?t }")
+        assert q.aggregates[0].var is None
+
+    def test_distinct_inside_aggregate(self):
+        q = parse_query(PREFIX + "SELECT (COUNT(DISTINCT ?t) AS ?n) WHERE { ?x ex:team ?t }")
+        assert q.aggregates[0].distinct is True
+
+    def test_group_by(self):
+        q = parse_query(
+            PREFIX + "SELECT ?t (COUNT(?x) AS ?n) WHERE { ?x ex:team ?t } GROUP BY ?t"
+        )
+        assert q.group_by == [Var("t")]
+        assert q.projected() == [Var("t"), Var("n")]
+
+    def test_plain_vars_with_aggregates_need_group_by(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(PREFIX + "SELECT ?t (COUNT(?x) AS ?n) WHERE { ?x ex:team ?t }")
+
+    def test_missing_alias(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(PREFIX + "SELECT (COUNT(?x)) WHERE { ?x ex:team ?t }")
+
+    def test_sum_star_invalid(self):
+        with pytest.raises((QuerySyntaxError, QueryEvaluationError)):
+            parse_query(PREFIX + "SELECT (SUM(*) AS ?n) WHERE { ?x ex:team ?t }")
+
+
+class TestEvaluation:
+    def test_count_per_group(self, graph):
+        result = query(
+            graph,
+            PREFIX + "SELECT ?t (COUNT(?x) AS ?n) WHERE { ?x ex:team ?t } "
+            "GROUP BY ?t ORDER BY ?t",
+        )
+        counts = {str(row[Var("t")]): int(str(row[Var("n")])) for row in result}
+        assert counts == {"http://x/heat": 2, "http://x/okc": 2}
+
+    def test_avg_and_sum(self, graph):
+        result = query(
+            graph,
+            PREFIX
+            + "SELECT ?t (AVG(?p) AS ?avg) (SUM(?p) AS ?sum) WHERE "
+            "{ ?x ex:team ?t ; ex:pts ?p } GROUP BY ?t ORDER BY ?t",
+        )
+        rows = result.as_tuples()
+        heat = next(r for r in rows if "heat" in str(r[0]))
+        assert int(str(heat[1])) == 15
+        assert int(str(heat[2])) == 30
+
+    def test_min_max(self, graph):
+        result = query(
+            graph,
+            PREFIX + "SELECT (MIN(?p) AS ?lo) (MAX(?p) AS ?hi) WHERE { ?x ex:pts ?p }",
+        )
+        row = result.rows[0]
+        assert int(str(row[Var("lo")])) == 10
+        assert int(str(row[Var("hi")])) == 30
+
+    def test_count_distinct(self, graph):
+        result = query(
+            graph,
+            PREFIX + "SELECT (COUNT(DISTINCT ?p) AS ?n) WHERE { ?x ex:pts ?p }",
+        )
+        assert int(str(result.rows[0][Var("n")])) == 3
+
+    def test_implicit_single_group(self, graph):
+        result = query(graph, PREFIX + "SELECT (COUNT(*) AS ?n) WHERE { ?x ex:team ?t }")
+        assert len(result) == 1
+        assert int(str(result.rows[0][Var("n")])) == 4
+
+    def test_empty_input_count_zero(self, graph):
+        result = query(graph, PREFIX + "SELECT (COUNT(*) AS ?n) WHERE { ?x ex:none ?t }")
+        assert int(str(result.rows[0][Var("n")])) == 0
+
+    def test_avg_of_nothing_unbound(self, graph):
+        result = query(graph, PREFIX + "SELECT (AVG(?p) AS ?a) WHERE { ?x ex:none ?p }")
+        assert result.rows[0].get(Var("a")) is None
+
+    def test_sample(self, graph):
+        result = query(graph, PREFIX + "SELECT (SAMPLE(?n) AS ?s) WHERE { ?x ex:name ?n }")
+        assert isinstance(result.rows[0][Var("s")], Literal)
+
+    def test_sum_of_strings_errors(self, graph):
+        with pytest.raises(QueryEvaluationError):
+            query(graph, PREFIX + "SELECT (SUM(?n) AS ?s) WHERE { ?x ex:name ?n }")
+
+
+class TestGroupSolutions:
+    def test_group_order_first_seen(self):
+        t = Var("t")
+        solutions = [
+            {t: URIRef("http://x/okc")},
+            {t: URIRef("http://x/heat")},
+            {t: URIRef("http://x/okc")},
+        ]
+        groups = group_solutions(solutions, [t])
+        assert [str(key[t]) for key, _ in groups] == ["http://x/okc", "http://x/heat"]
+        assert [len(members) for _, members in groups] == [2, 1]
+
+    def test_unbound_key_forms_own_group(self):
+        t = Var("t")
+        groups = group_solutions([{t: URIRef("http://x/a")}, {}], [t])
+        assert len(groups) == 2
+
+    def test_invalid_aggregate_function(self):
+        with pytest.raises(QueryEvaluationError):
+            Aggregate(function="MEDIAN", var=Var("x"), alias=Var("m"))
+
+
+class TestConstruct:
+    def test_basic_construct(self, graph):
+        out = query(
+            graph,
+            PREFIX + "CONSTRUCT { ?x ex:memberOf ?t } WHERE { ?x ex:team ?t }",
+        )
+        assert isinstance(out, Graph)
+        assert len(out) == 4
+        assert out.count(predicate=URIRef("http://x/memberOf")) == 4
+
+    def test_constant_template_terms(self, graph):
+        out = query(
+            graph,
+            PREFIX + "CONSTRUCT { ?x a ex:Player } WHERE { ?x ex:pts ?p }",
+        )
+        assert len(out) == 4
+
+    def test_unbound_template_var_skipped(self, graph):
+        out = query(
+            graph,
+            PREFIX + "CONSTRUCT { ?x ex:named ?n } WHERE "
+            "{ ?x ex:team ?t OPTIONAL { ?x ex:name ?n } }",
+        )
+        # ex:d has no name; its row instantiates nothing
+        assert len(out) == 3
+
+    def test_literal_subject_skipped(self, graph):
+        out = query(
+            graph,
+            PREFIX + "CONSTRUCT { ?n ex:of ?x } WHERE { ?x ex:name ?n }",
+        )
+        assert len(out) == 0
+
+    def test_empty_template_rejected(self, graph):
+        with pytest.raises(QuerySyntaxError):
+            query(graph, PREFIX + "CONSTRUCT { } WHERE { ?x ex:team ?t }")

@@ -1,0 +1,110 @@
+"""Tests for BIND and VALUES."""
+
+import pytest
+
+from repro.errors import QueryEvaluationError, QuerySyntaxError
+from repro.rdf import turtle
+from repro.rdf.terms import Literal, URIRef
+from repro.sparql import Var, query
+from repro.sparql.parser import parse_query
+
+PRE = "PREFIX ex: <http://x/> "
+
+
+@pytest.fixture()
+def graph():
+    return turtle.load(
+        """
+        @prefix ex: <http://x/> .
+        ex:a ex:name "Alpha" ; ex:pts 10 .
+        ex:b ex:name "Bravo" ; ex:pts 20 .
+        ex:c ex:name "Carol" .
+        """
+    )
+
+
+class TestBind:
+    def test_bind_computed_value(self, graph):
+        result = query(
+            graph, PRE + "SELECT ?n ?u WHERE { ?p ex:name ?n BIND(UCASE(?n) AS ?u) }"
+        )
+        assert {str(row[Var("u")]) for row in result} == {"ALPHA", "BRAVO", "CAROL"}
+
+    def test_bind_length(self, graph):
+        result = query(
+            graph, PRE + "SELECT ?len WHERE { ?p ex:name ?n BIND(STRLEN(?n) AS ?len) }"
+        )
+        assert all(int(str(v)) == 5 for v in result.column("len"))
+
+    def test_bind_constant(self, graph):
+        result = query(
+            graph, PRE + 'SELECT ?tag WHERE { ?p ex:name ?n BIND("x" AS ?tag) }'
+        )
+        assert all(str(v) == "x" for v in result.column("tag"))
+
+    def test_bind_error_leaves_unbound(self, graph):
+        # ABS of a string errors; the row survives with ?v unbound
+        result = query(
+            graph, PRE + "SELECT ?n ?v WHERE { ?p ex:name ?n BIND(ABS(?n) AS ?v) }"
+        )
+        assert len(result) == 3
+        assert all(v is None for v in result.column("v"))
+
+    def test_bind_rebinding_rejected(self, graph):
+        with pytest.raises(QueryEvaluationError):
+            query(graph, PRE + "SELECT ?n WHERE { ?p ex:name ?n BIND(UCASE(?n) AS ?n) }")
+
+    def test_bind_usable_in_filter(self, graph):
+        result = query(
+            graph,
+            PRE + "SELECT ?n WHERE { ?p ex:name ?n ; ex:pts ?s "
+            "BIND(?s AS ?score) FILTER (?score > 15) }",
+        )
+        assert [str(v) for v in result.column("n")] == ["Bravo"]
+
+    def test_bind_missing_as_rejected(self, graph):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(PRE + "SELECT ?n WHERE { ?p ex:name ?n BIND(UCASE(?n)) }")
+
+
+class TestValues:
+    def test_single_var_values(self, graph):
+        result = query(
+            graph, PRE + "SELECT ?n WHERE { VALUES ?p { ex:a ex:c } ?p ex:name ?n }"
+        )
+        assert {str(v) for v in result.column("n")} == {"Alpha", "Carol"}
+
+    def test_values_restricts_join(self, graph):
+        result = query(
+            graph, PRE + "SELECT ?n WHERE { ?p ex:name ?n VALUES ?n { \"Bravo\" } }"
+        )
+        assert [str(v) for v in result.column("n")] == ["Bravo"]
+
+    def test_multi_var_values(self, graph):
+        result = query(
+            graph,
+            PRE + "SELECT ?p ?want WHERE { VALUES (?p ?want) { (ex:a 10) (ex:b 99) } "
+            "?p ex:pts ?pts FILTER (?pts = ?want) }",
+        )
+        assert len(result) == 1
+        assert str(result.rows[0][Var("p")]) == "http://x/a"
+
+    def test_undef_leaves_var_free(self, graph):
+        result = query(
+            graph,
+            PRE + "SELECT ?p ?n WHERE { VALUES (?p ?n) { (ex:a UNDEF) } ?p ex:name ?n }",
+        )
+        assert len(result) == 1
+        assert str(result.rows[0][Var("n")]) == "Alpha"
+
+    def test_literal_values(self, graph):
+        result = query(
+            graph, PRE + 'SELECT ?x WHERE { VALUES ?x { "one" 2 } }'
+        )
+        assert len(result) == 2
+
+    def test_values_syntax_errors(self, graph):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(PRE + "SELECT ?x WHERE { VALUES { ex:a } }")
+        with pytest.raises(QuerySyntaxError):
+            parse_query(PRE + "SELECT ?x WHERE { VALUES ?x { ex:a }")

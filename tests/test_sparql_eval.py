@@ -1,0 +1,170 @@
+"""Unit tests for SPARQL evaluation."""
+
+import pytest
+
+from repro.rdf import turtle
+from repro.rdf.terms import Literal, URIRef
+from repro.sparql import Var, query
+from repro.sparql.eval import QueryResult
+
+
+@pytest.fixture()
+def graph():
+    return turtle.load(
+        """
+        @prefix ex: <http://x/> .
+        @prefix foaf: <http://xmlns.com/foaf/0.1/> .
+        ex:lebron a foaf:Person ; foaf:name "LeBron James" ;
+                  ex:birthYear 1984 ; ex:team ex:heat .
+        ex:durant a foaf:Person ; foaf:name "Kevin Durant" ; ex:birthYear 1988 .
+        ex:curry a foaf:Person ; foaf:name "Stephen Curry" ; ex:birthYear 1988 .
+        ex:heat foaf:name "Miami Heat" .
+        """
+    )
+
+
+PREFIXES = "PREFIX ex: <http://x/> PREFIX foaf: <http://xmlns.com/foaf/0.1/> "
+
+
+class TestBGP:
+    def test_single_pattern(self, graph):
+        result = query(graph, PREFIXES + "SELECT ?p WHERE { ?p a foaf:Person }")
+        assert len(result) == 3
+
+    def test_join(self, graph):
+        result = query(
+            graph,
+            PREFIXES + "SELECT ?name WHERE { ?p ex:team ex:heat ; foaf:name ?name }",
+        )
+        assert result.column("name") == [Literal("LeBron James")]
+
+    def test_join_consistency(self, graph):
+        # ?p must bind consistently across patterns.
+        result = query(
+            graph,
+            PREFIXES + "SELECT ?p WHERE { ?p ex:birthYear 1988 . ?p foaf:name \"LeBron James\" }",
+        )
+        assert len(result) == 0
+
+    def test_no_match(self, graph):
+        result = query(graph, PREFIXES + "SELECT ?p WHERE { ?p ex:birthYear 1900 }")
+        assert len(result) == 0
+
+
+class TestFilter:
+    def test_numeric_comparison(self, graph):
+        result = query(
+            graph,
+            PREFIXES + "SELECT ?p WHERE { ?p ex:birthYear ?y FILTER (?y < 1985) }",
+        )
+        assert len(result) == 1
+
+    def test_regex_case_insensitive(self, graph):
+        result = query(
+            graph,
+            PREFIXES + 'SELECT ?p WHERE { ?p foaf:name ?n FILTER (REGEX(?n, "durant", "i")) }',
+        )
+        assert len(result) == 1
+
+    def test_boolean_and(self, graph):
+        result = query(
+            graph,
+            PREFIXES
+            + 'SELECT ?p WHERE { ?p ex:birthYear ?y ; foaf:name ?n '
+            + 'FILTER (?y = 1988 && CONTAINS(?n, "Curry")) }',
+        )
+        assert len(result) == 1
+
+    def test_unbound_var_in_filter_eliminates(self, graph):
+        result = query(
+            graph, PREFIXES + "SELECT ?p WHERE { ?p a foaf:Person FILTER (?zzz > 1) }"
+        )
+        assert len(result) == 0
+
+    def test_bound_function(self, graph):
+        result = query(
+            graph,
+            PREFIXES
+            + "SELECT ?p WHERE { ?p a foaf:Person OPTIONAL { ?p ex:team ?t } FILTER (BOUND(?t)) }",
+        )
+        assert len(result) == 1
+
+    def test_strstarts(self, graph):
+        result = query(
+            graph,
+            PREFIXES + 'SELECT ?n WHERE { ?p foaf:name ?n FILTER (STRSTARTS(?n, "Miami")) }',
+        )
+        assert len(result) == 1
+
+
+class TestOptionalUnion:
+    def test_optional_keeps_unmatched(self, graph):
+        result = query(
+            graph,
+            PREFIXES + "SELECT ?p ?t WHERE { ?p a foaf:Person OPTIONAL { ?p ex:team ?t } }",
+        )
+        assert len(result) == 3
+        teams = [t for t in result.column("t") if t is not None]
+        assert len(teams) == 1
+
+    def test_union(self, graph):
+        result = query(
+            graph,
+            PREFIXES
+            + "SELECT ?p WHERE { { ?p ex:birthYear 1984 } UNION { ?p ex:birthYear 1988 } }",
+        )
+        assert len(result) == 3
+
+
+class TestSolutionModifiers:
+    def test_distinct(self, graph):
+        result = query(
+            graph, PREFIXES + "SELECT DISTINCT ?y WHERE { ?p ex:birthYear ?y }"
+        )
+        assert len(result) == 2
+
+    def test_order_by_asc(self, graph):
+        result = query(
+            graph, PREFIXES + "SELECT ?y WHERE { ?p ex:birthYear ?y } ORDER BY ?y"
+        )
+        years = [int(str(v)) for v in result.column("y")]
+        assert years == sorted(years)
+
+    def test_order_by_desc(self, graph):
+        result = query(
+            graph,
+            PREFIXES + "SELECT ?n WHERE { ?p foaf:name ?n } ORDER BY DESC(?n)",
+        )
+        names = [str(v) for v in result.column("n")]
+        assert names == sorted(names, reverse=True)
+
+    def test_limit_offset(self, graph):
+        all_rows = query(graph, PREFIXES + "SELECT ?n WHERE { ?p foaf:name ?n } ORDER BY ?n")
+        page = query(
+            graph,
+            PREFIXES + "SELECT ?n WHERE { ?p foaf:name ?n } ORDER BY ?n LIMIT 2 OFFSET 1",
+        )
+        assert page.column("n") == all_rows.column("n")[1:3]
+
+
+class TestAsk:
+    def test_ask_true(self, graph):
+        assert query(graph, PREFIXES + "ASK { ex:lebron ex:team ex:heat }") is True
+
+    def test_ask_false(self, graph):
+        assert query(graph, PREFIXES + "ASK { ex:durant ex:team ex:heat }") is False
+
+
+class TestQueryResult:
+    def test_as_tuples_order(self, graph):
+        result = query(
+            graph, PREFIXES + "SELECT ?p ?y WHERE { ?p ex:birthYear ?y } ORDER BY ?y"
+        )
+        assert isinstance(result, QueryResult)
+        for row in result.as_tuples():
+            assert isinstance(row[0], URIRef)
+            assert isinstance(row[1], Literal)
+
+    def test_column_by_string(self, graph):
+        result = query(graph, PREFIXES + "SELECT ?y WHERE { ?p ex:birthYear ?y }")
+        assert result.column("?y") == result.column(Var("y"))

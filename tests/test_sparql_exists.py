@@ -1,0 +1,69 @@
+"""Tests for FILTER EXISTS / NOT EXISTS."""
+
+import pytest
+
+from repro.errors import FederationError
+from repro.federation import Endpoint, FederatedEngine
+from repro.rdf import turtle
+from repro.sparql import query
+
+PRE = "PREFIX ex: <http://x/> "
+
+
+@pytest.fixture()
+def graph():
+    return turtle.load(
+        """
+        @prefix ex: <http://x/> .
+        ex:a ex:name "A" ; ex:team ex:heat .
+        ex:b ex:name "B" .
+        ex:c ex:name "C" ; ex:team ex:okc .
+        """
+    )
+
+
+class TestExists:
+    def test_exists_keeps_matching(self, graph):
+        result = query(
+            graph,
+            PRE + "SELECT ?n WHERE { ?p ex:name ?n FILTER (EXISTS { ?p ex:team ?t }) }",
+        )
+        assert {str(v) for v in result.column("n")} == {"A", "C"}
+
+    def test_not_exists_keeps_nonmatching(self, graph):
+        result = query(
+            graph,
+            PRE + "SELECT ?n WHERE { ?p ex:name ?n FILTER (NOT EXISTS { ?p ex:team ?t }) }",
+        )
+        assert [str(v) for v in result.column("n")] == ["B"]
+
+    def test_exists_with_constant_pattern(self, graph):
+        result = query(
+            graph,
+            PRE + "SELECT ?n WHERE { ?p ex:name ?n "
+            "FILTER (EXISTS { ?p ex:team ex:heat }) }",
+        )
+        assert [str(v) for v in result.column("n")] == ["A"]
+
+    def test_exists_combined_with_boolean(self, graph):
+        result = query(
+            graph,
+            PRE + 'SELECT ?n WHERE { ?p ex:name ?n '
+            'FILTER (EXISTS { ?p ex:team ?t } && ?n != "A") }',
+        )
+        assert [str(v) for v in result.column("n")] == ["C"]
+
+    def test_negated_exists_via_bang(self, graph):
+        result = query(
+            graph,
+            PRE + "SELECT ?n WHERE { ?p ex:name ?n FILTER (!EXISTS { ?p ex:team ?t }) }",
+        )
+        assert [str(v) for v in result.column("n")] == ["B"]
+
+    def test_exists_in_federation_rejected(self, graph):
+        engine = FederatedEngine([Endpoint(graph)])
+        with pytest.raises(FederationError):
+            engine.select(
+                PRE + "SELECT ?n WHERE { ?p ex:name ?n "
+                "FILTER (EXISTS { ?p ex:team ?t }) }"
+            )

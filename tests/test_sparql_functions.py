@@ -1,0 +1,99 @@
+"""Tests for the extended FILTER built-in functions."""
+
+import pytest
+
+from repro.rdf import turtle
+from repro.sparql import query
+
+PREFIX = "PREFIX ex: <http://x/> "
+
+
+@pytest.fixture()
+def graph():
+    return turtle.load(
+        """
+        @prefix ex: <http://x/> .
+        ex:a ex:name "LeBron James" ; ex:score -7 ; ex:tag "fr"@fr .
+        ex:b ex:name "Kevin" ; ex:score 3 ; ex:link ex:target .
+        """
+    )
+
+
+def names(graph, filter_expr: str) -> set[str]:
+    result = query(
+        graph, PREFIX + f"SELECT ?n WHERE {{ ?s ex:name ?n FILTER ({filter_expr}) }}"
+    )
+    return {str(value) for value in result.column("n")}
+
+
+class TestStringFunctions:
+    def test_strlen(self, graph):
+        assert names(graph, "STRLEN(?n) > 10") == {"LeBron James"}
+
+    def test_ucase_lcase(self, graph):
+        assert names(graph, 'UCASE(?n) = "KEVIN"') == {"Kevin"}
+        assert names(graph, 'LCASE(?n) = "kevin"') == {"Kevin"}
+
+    def test_strends(self, graph):
+        assert names(graph, 'STRENDS(?n, "James")') == {"LeBron James"}
+
+
+class TestLangMatches:
+    def test_exact(self, graph):
+        result = query(
+            graph,
+            PREFIX + 'SELECT ?t WHERE { ?s ex:tag ?t FILTER (LANGMATCHES(LANG(?t), "fr")) }',
+        )
+        assert len(result) == 1
+
+    def test_wildcard(self, graph):
+        result = query(
+            graph,
+            PREFIX + 'SELECT ?t WHERE { ?s ex:tag ?t FILTER (LANGMATCHES(LANG(?t), "*")) }',
+        )
+        assert len(result) == 1
+
+    def test_no_match(self, graph):
+        result = query(
+            graph,
+            PREFIX + 'SELECT ?t WHERE { ?s ex:tag ?t FILTER (LANGMATCHES(LANG(?t), "de")) }',
+        )
+        assert len(result) == 0
+
+
+class TestNumericAndTypeChecks:
+    def test_abs(self, graph):
+        result = query(
+            graph, PREFIX + "SELECT ?s WHERE { ?s ex:score ?v FILTER (ABS(?v) > 5) }"
+        )
+        assert len(result) == 1
+
+    def test_abs_non_numeric_eliminates(self, graph):
+        result = query(
+            graph, PREFIX + "SELECT ?s WHERE { ?s ex:name ?v FILTER (ABS(?v) > 5) }"
+        )
+        assert len(result) == 0
+
+    def test_isuri(self, graph):
+        result = query(
+            graph, PREFIX + "SELECT ?o WHERE { ?s ex:link ?o FILTER (ISURI(?o)) }"
+        )
+        assert len(result) == 1
+
+    def test_isliteral(self, graph):
+        result = query(
+            graph, PREFIX + "SELECT ?o WHERE { ?s ex:link ?o FILTER (ISLITERAL(?o)) }"
+        )
+        assert len(result) == 0
+
+    def test_isnumeric(self, graph):
+        result = query(
+            graph, PREFIX + "SELECT ?v WHERE { ?s ?p ?v FILTER (ISNUMERIC(?v)) }"
+        )
+        assert len(result) == 2  # the two scores
+
+    def test_isblank(self, graph):
+        result = query(
+            graph, PREFIX + "SELECT ?o WHERE { ?s ex:link ?o FILTER (ISBLANK(?o)) }"
+        )
+        assert len(result) == 0

@@ -1,0 +1,100 @@
+"""Tests for the BGP join-order optimizer."""
+
+import pytest
+
+from repro.rdf import turtle
+from repro.rdf.terms import Literal, URIRef
+from repro.sparql import query
+from repro.sparql.ast import BGP, TriplePattern, Var
+from repro.sparql.optimizer import estimate_cardinality, reorder_bgp
+
+EX = "http://x/"
+
+
+@pytest.fixture()
+def graph():
+    lines = ["@prefix ex: <http://x/> ."]
+    # 100 persons all typed, one with a rare award
+    for i in range(100):
+        lines.append(f'ex:p{i} a ex:Person ; ex:name "Person {i}" .')
+    lines.append("ex:p7 ex:award ex:mvp .")
+    return turtle.load("\n".join(lines))
+
+
+def pattern(s, p, o) -> TriplePattern:
+    def term(x):
+        if isinstance(x, str) and x.startswith("?"):
+            return Var(x[1:])
+        if isinstance(x, str):
+            return URIRef(EX + x)
+        return x
+
+    return term_pattern(term(s), term(p), term(o))
+
+
+def term_pattern(s, p, o) -> TriplePattern:
+    return TriplePattern(s, p, o)
+
+
+class TestCardinalityEstimates:
+    def test_fully_bound_is_one(self, graph):
+        p = pattern("p7", "award", "mvp")
+        assert estimate_cardinality(graph, p, set()) == 1.0
+
+    def test_predicate_counts_used(self, graph):
+        rare = pattern("?x", "award", "?y")
+        common = pattern("?x", "name", "?y")
+        assert estimate_cardinality(graph, rare, set()) < estimate_cardinality(
+            graph, common, set()
+        )
+
+    def test_bound_vars_discount(self, graph):
+        p = pattern("?x", "name", "?y")
+        free = estimate_cardinality(graph, p, set())
+        bound = estimate_cardinality(graph, p, {Var("x")})
+        assert bound < free
+
+    def test_subject_bound_count(self, graph):
+        p = pattern("p7", "?p", "?o")
+        assert estimate_cardinality(graph, p, set()) == 3.0  # type + name + award
+
+
+class TestReordering:
+    def test_selective_pattern_first(self, graph):
+        bgp = BGP(
+            [
+                pattern("?x", "name", "?n"),
+                pattern("?x", "award", "mvp"),
+            ]
+        )
+        ordered = reorder_bgp(graph, bgp)
+        assert "award" in str(ordered.patterns[0])
+
+    def test_connectivity_preferred_over_selectivity(self, graph):
+        # the disconnected award pattern about ?z must not interleave before
+        # patterns connected to ?x once ?x is bound
+        bgp = BGP(
+            [
+                pattern("?x", "award", "mvp"),
+                pattern("?z", "name", "?m"),
+                pattern("?x", "name", "?n"),
+            ]
+        )
+        ordered = reorder_bgp(graph, bgp)
+        assert ordered.patterns[0].variables() & ordered.patterns[1].variables()
+
+    def test_single_pattern_unchanged(self, graph):
+        bgp = BGP([pattern("?x", "name", "?n")])
+        assert reorder_bgp(graph, bgp).patterns == bgp.patterns
+
+    def test_same_results_any_order(self, graph):
+        text_a = (
+            "PREFIX ex: <http://x/> SELECT ?n WHERE "
+            "{ ?x ex:name ?n . ?x ex:award ex:mvp . }"
+        )
+        text_b = (
+            "PREFIX ex: <http://x/> SELECT ?n WHERE "
+            "{ ?x ex:award ex:mvp . ?x ex:name ?n . }"
+        )
+        assert query(graph, text_a).as_tuples() == query(graph, text_b).as_tuples()
+        assert query(graph, text_a).as_tuples() == [(Literal("Person 7"),)]

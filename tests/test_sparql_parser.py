@@ -1,0 +1,140 @@
+"""Unit tests for the SPARQL parser."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.rdf.namespaces import RDF
+from repro.rdf.terms import Literal, URIRef, XSD_INTEGER
+from repro.sparql.ast import (
+    AskQuery,
+    BGP,
+    BooleanOp,
+    Comparison,
+    Filter,
+    FunctionCall,
+    OptionalPattern,
+    SelectQuery,
+    UnionPattern,
+    Var,
+)
+from repro.sparql.parser import parse_query
+
+
+class TestSelectParsing:
+    def test_basic_select(self):
+        q = parse_query("SELECT ?s WHERE { ?s <http://x/p> ?o . }")
+        assert isinstance(q, SelectQuery)
+        assert q.variables == [Var("s")]
+        bgp = q.where.children[0]
+        assert isinstance(bgp, BGP)
+        assert bgp.patterns[0].predicate == URIRef("http://x/p")
+
+    def test_select_star(self):
+        q = parse_query("SELECT * WHERE { ?s ?p ?o }")
+        assert q.is_star
+        assert set(q.projected()) == {Var("s"), Var("p"), Var("o")}
+
+    def test_prefixes(self):
+        q = parse_query(
+            "PREFIX ex: <http://x/> SELECT ?s WHERE { ?s ex:p ex:o }"
+        )
+        pattern = q.where.children[0].patterns[0]
+        assert pattern.predicate == URIRef("http://x/p")
+        assert pattern.object == URIRef("http://x/o")
+
+    def test_a_shorthand(self):
+        q = parse_query("PREFIX ex: <http://x/> SELECT ?s WHERE { ?s a ex:T }")
+        assert q.where.children[0].patterns[0].predicate == RDF.type
+
+    def test_semicolon_and_comma(self):
+        q = parse_query(
+            "PREFIX ex: <http://x/> SELECT ?s WHERE { ?s ex:p ?a , ?b ; ex:q ?c . }"
+        )
+        assert len(q.where.children[0].patterns) == 3
+
+    def test_distinct_limit_offset(self):
+        q = parse_query("SELECT DISTINCT ?s WHERE { ?s ?p ?o } LIMIT 5 OFFSET 2")
+        assert q.distinct and q.limit == 5 and q.offset == 2
+
+    def test_order_by(self):
+        q = parse_query("SELECT ?s WHERE { ?s ?p ?o } ORDER BY DESC(?s) ?o")
+        assert q.order_by[0].descending is True
+        assert q.order_by[1].descending is False
+
+    def test_typed_literal_object(self):
+        q = parse_query('SELECT ?s WHERE { ?s <http://x/p> "5"^^<%s> }' % XSD_INTEGER)
+        assert q.where.children[0].patterns[0].object == Literal("5", datatype=XSD_INTEGER)
+
+    def test_integer_shorthand(self):
+        q = parse_query("SELECT ?s WHERE { ?s <http://x/p> 1984 }")
+        assert q.where.children[0].patterns[0].object == Literal("1984", datatype=XSD_INTEGER)
+
+
+class TestFilterParsing:
+    def test_comparison(self):
+        q = parse_query("SELECT ?s WHERE { ?s <http://x/p> ?o FILTER (?o > 5) }")
+        flt = next(c for c in q.where.children if isinstance(c, Filter))
+        assert isinstance(flt.expression, Comparison)
+        assert flt.expression.op == ">"
+
+    def test_boolean_combination(self):
+        q = parse_query(
+            'SELECT ?s WHERE { ?s ?p ?o FILTER (?o > 1 && ?o < 9 || REGEX(?o, "x")) }'
+        )
+        flt = next(c for c in q.where.children if isinstance(c, Filter))
+        assert isinstance(flt.expression, BooleanOp)
+        assert flt.expression.op == "||"
+
+    def test_function_calls(self):
+        q = parse_query('SELECT ?s WHERE { ?s ?p ?o FILTER (CONTAINS(STR(?o), "a")) }')
+        flt = next(c for c in q.where.children if isinstance(c, Filter))
+        assert isinstance(flt.expression, FunctionCall)
+        assert flt.expression.name == "CONTAINS"
+
+    def test_negation(self):
+        q = parse_query("SELECT ?s WHERE { ?s ?p ?o FILTER (!BOUND(?x)) }")
+        assert q.where.children
+
+
+class TestGroupParsing:
+    def test_optional(self):
+        q = parse_query("SELECT ?s WHERE { ?s ?p ?o OPTIONAL { ?s ?q ?r } }")
+        assert any(isinstance(c, OptionalPattern) for c in q.where.children)
+
+    def test_union(self):
+        q = parse_query("SELECT ?s WHERE { { ?s ?p 1 } UNION { ?s ?p 2 } }")
+        union = next(c for c in q.where.children if isinstance(c, UnionPattern))
+        assert len(union.alternatives) == 2
+
+    def test_nested_group(self):
+        q = parse_query("SELECT ?s WHERE { { ?s ?p ?o } }")
+        assert q.where.children
+
+
+class TestAskParsing:
+    def test_ask(self):
+        q = parse_query("ASK { <http://x/a> <http://x/p> <http://x/b> }")
+        assert isinstance(q, AskQuery)
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "SELECT WHERE { ?s ?p ?o }",
+            "SELECT ?s { ?s ?p ?o ",
+            "SELECT ?s WHERE { ?s ?p }",
+            "SELECT ?s WHERE { ?s ?p ?o } trailing",
+            "FROB ?s WHERE { ?s ?p ?o }",
+            "SELECT ?s WHERE { ?s ?p ?o } LIMIT abc",
+            "SELECT ?s WHERE { ?s nope:curie ?o }",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(bad)
+
+    def test_comments_ignored(self):
+        q = parse_query("SELECT ?s WHERE { ?s ?p ?o } # trailing comment")
+        assert isinstance(q, SelectQuery)

@@ -1,0 +1,156 @@
+"""Tests for SPARQL property paths."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.rdf import turtle
+from repro.rdf.namespaces import RDF
+from repro.rdf.terms import URIRef
+from repro.sparql import query
+from repro.sparql.parser import parse_query
+from repro.sparql.paths import (
+    AlternativePath,
+    InversePath,
+    PredicatePath,
+    RepeatPath,
+    SequencePath,
+)
+
+PRE = "PREFIX ex: <http://x/> "
+
+
+@pytest.fixture()
+def graph():
+    return turtle.load(
+        """
+        @prefix ex: <http://x/> .
+        ex:a ex:knows ex:b . ex:b ex:knows ex:c . ex:c ex:knows ex:d .
+        ex:a ex:name "A" . ex:d ex:name "D" .
+        ex:b ex:likes ex:z .
+        ex:p1 ex:partOf ex:p2 . ex:p2 ex:partOf ex:p3 .
+        ex:loop1 ex:next ex:loop2 . ex:loop2 ex:next ex:loop1 .
+        """
+    )
+
+
+class TestPathParsing:
+    def pattern(self, text: str):
+        parsed = parse_query(PRE + f"SELECT ?x WHERE {{ {text} }}")
+        return parsed.where.children[0].patterns[0]
+
+    def test_plain_predicate_stays_uriref(self):
+        pattern = self.pattern("?x ex:knows ?y")
+        assert isinstance(pattern.predicate, URIRef)
+
+    def test_sequence(self):
+        pattern = self.pattern("?x ex:knows/ex:name ?y")
+        assert isinstance(pattern.predicate, SequencePath)
+        assert len(pattern.predicate.steps) == 2
+
+    def test_alternative(self):
+        pattern = self.pattern("?x ex:knows|ex:likes ?y")
+        assert isinstance(pattern.predicate, AlternativePath)
+
+    def test_inverse(self):
+        pattern = self.pattern("?x ^ex:knows ?y")
+        assert isinstance(pattern.predicate, InversePath)
+
+    def test_star_plus_question(self):
+        assert self.pattern("?x ex:knows* ?y").predicate == RepeatPath(
+            PredicatePath(URIRef("http://x/knows")), min_hops=0
+        )
+        assert self.pattern("?x ex:knows+ ?y").predicate.min_hops == 1
+        assert self.pattern("?x ex:knows? ?y").predicate.max_one is True
+
+    def test_grouping(self):
+        pattern = self.pattern("?x (ex:knows|ex:likes)+ ?y")
+        assert isinstance(pattern.predicate, RepeatPath)
+        assert isinstance(pattern.predicate.path, AlternativePath)
+
+    def test_a_in_path(self):
+        pattern = self.pattern("?x a/ex:knows ?y")
+        assert pattern.predicate.steps[0] == PredicatePath(RDF.type)
+
+    def test_invalid_path_element(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(PRE + 'SELECT ?x WHERE { ?x ex:p/"lit" ?y }')
+
+
+class TestPathEvaluation:
+    def test_one_or_more(self, graph):
+        result = query(graph, PRE + "SELECT ?x WHERE { ex:a ex:knows+ ?x }")
+        assert {str(v) for v in result.column("x")} == {
+            "http://x/b", "http://x/c", "http://x/d"
+        }
+
+    def test_zero_or_more_includes_self(self, graph):
+        result = query(graph, PRE + "SELECT ?x WHERE { ex:a ex:knows* ?x }")
+        assert "http://x/a" in {str(v) for v in result.column("x")}
+        assert len(result) == 4
+
+    def test_zero_or_one(self, graph):
+        result = query(graph, PRE + "SELECT ?x WHERE { ex:a ex:knows? ?x }")
+        assert {str(v) for v in result.column("x")} == {"http://x/a", "http://x/b"}
+
+    def test_sequence_path(self, graph):
+        result = query(graph, PRE + "SELECT ?n WHERE { ex:a ex:knows/ex:knows/ex:knows/ex:name ?n }")
+        assert [str(v) for v in result.column("n")] == ["D"]
+
+    def test_alternative_path(self, graph):
+        result = query(graph, PRE + "SELECT ?x WHERE { ex:b (ex:knows|ex:likes) ?x }")
+        assert {str(v) for v in result.column("x")} == {"http://x/c", "http://x/z"}
+
+    def test_inverse_path(self, graph):
+        result = query(graph, PRE + "SELECT ?x WHERE { ?x ^ex:knows ex:b }")
+        # (x ^knows b) iff (b knows x)
+        assert [str(v) for v in result.column("x")] == ["http://x/c"]
+
+    def test_bound_object_transitive(self, graph):
+        result = query(graph, PRE + "SELECT ?x WHERE { ?x ex:knows+ ex:d }")
+        assert {str(v) for v in result.column("x")} == {
+            "http://x/a", "http://x/b", "http://x/c"
+        }
+
+    def test_both_bound(self, graph):
+        assert query(graph, PRE + "ASK { ex:a ex:knows+ ex:d }") is True
+        assert query(graph, PRE + "ASK { ex:d ex:knows+ ex:a }") is False
+
+    def test_cycle_terminates(self, graph):
+        result = query(graph, PRE + "SELECT ?x WHERE { ex:loop1 ex:next+ ?x }")
+        assert {str(v) for v in result.column("x")} == {"http://x/loop1", "http://x/loop2"}
+
+    def test_both_unbound(self, graph):
+        result = query(graph, PRE + "SELECT ?x ?y WHERE { ?x ex:partOf+ ?y }")
+        pairs = {(str(a), str(b)) for a, b in result.as_tuples()}
+        assert ("http://x/p1", "http://x/p3") in pairs
+        assert len(pairs) == 3
+
+    def test_path_joins_with_plain_patterns(self, graph):
+        result = query(
+            graph,
+            PRE + "SELECT ?n WHERE { ex:a ex:knows+ ?x . ?x ex:name ?n }",
+        )
+        assert [str(v) for v in result.column("n")] == ["D"]
+
+
+class TestComplexInversePaths:
+    def test_inverse_of_transitive(self, graph):
+        # ?x ^(knows+) a  ≡  a knows+ ?x
+        result = query(graph, PRE + "SELECT ?x WHERE { ?x ^(ex:knows+) ex:a }")
+        assert {str(v) for v in result.column("x")} == {
+            "http://x/b", "http://x/c", "http://x/d"
+        }
+
+    def test_inverse_sequence(self, graph):
+        # ?x ^(knows/knows) c  ≡  c (knows/knows)^-1 ... ≡ ?x knows/knows... no:
+        # (x, c) ∈ ^(knows/knows) iff (c ... ) — check against the forward form
+        forward = query(graph, PRE + "SELECT ?x WHERE { ex:a ex:knows/ex:knows ?x }")
+        backward = query(graph, PRE + "SELECT ?y WHERE { ?y ^(ex:knows/ex:knows) ex:a }")
+        assert {str(v) for v in forward.column("x")} == {"http://x/c"}
+        # (y, a) ∈ ^(seq) iff (a, y) ∈ seq → y = c
+        assert {str(v) for v in backward.column("y")} == {"http://x/c"}
+
+    def test_double_inverse_is_identity(self, graph):
+        plain = query(graph, PRE + "SELECT ?x WHERE { ex:a ex:knows ?x }")
+        doubled = query(graph, PRE + "SELECT ?x WHERE { ex:a ^(^ex:knows) ?x }")
+        assert plain.as_tuples() == doubled.as_tuples()
