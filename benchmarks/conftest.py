@@ -14,10 +14,20 @@ import pytest
 
 @pytest.fixture()
 def run_once(benchmark):
-    """Run a zero-argument experiment callable exactly once under timing."""
+    """Run a zero-argument experiment callable exactly once under timing.
+
+    The run executes inside a fresh obs registry, and its metrics snapshot
+    is attached to the benchmark record (``extra_info["obs"]``) so saved
+    benchmark JSON carries the where-did-the-time-go breakdown alongside
+    the wall numbers.
+    """
+    from repro import obs
 
     def runner(fn):
-        return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+        with obs.use_registry() as registry:
+            result = benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+            benchmark.extra_info["obs"] = registry.snapshot()
+        return result
 
     return runner
 

@@ -11,12 +11,17 @@ Run with: python examples/batch_linking_pipeline.py [output.nt]
 import sys
 import time
 
-from repro.core import AlexConfig, PartitionedAlex
-from repro.datasets import load_pair
-from repro.evaluation import QualityTracker, evaluate_links
-from repro.features import build_partitioned_spaces
-from repro.feedback import FeedbackSession, GroundTruthOracle
-from repro.paris import paris_links
+from repro import (
+    AlexConfig,
+    FeedbackSession,
+    GroundTruthOracle,
+    PartitionedAlex,
+    QualityTracker,
+    build_partitioned_spaces,
+    evaluate_links,
+    load_pair,
+    paris_links,
+)
 from repro.rdf import ntriples
 
 N_PARTITIONS = 4

@@ -9,13 +9,21 @@ whose label diverges by a single typo, and ALEX recovers them from feedback.
 Run with: python examples/custom_linker.py
 """
 
-from repro.core import AlexConfig, AlexEngine
-from repro.datasets import load_pair
-from repro.evaluation import QualityTracker, evaluate_links
-from repro.features import FeatureSpace
-from repro.feedback import FeedbackSession, GroundTruthOracle
-from repro.links import Link, LinkSet
-from repro.rdf import Graph, Literal, URIRef
+from repro import (
+    AlexConfig,
+    AlexEngine,
+    FeatureSpace,
+    FeedbackSession,
+    Graph,
+    GroundTruthOracle,
+    Link,
+    LinkSet,
+    Literal,
+    QualityTracker,
+    URIRef,
+    evaluate_links,
+    load_pair,
+)
 from repro.similarity import normalize
 
 

@@ -10,12 +10,19 @@ discovering a missing link after feedback.
 Run with: python examples/federated_feedback.py
 """
 
-from repro.core import AlexConfig, AlexEngine
-from repro.features import FeatureSpace
-from repro.federation import Endpoint, FederatedEngine
-from repro.feedback import GroundTruthOracle, QueryFeedbackSession
-from repro.links import Link, LinkSet
-from repro.rdf import URIRef, turtle
+from repro import (
+    AlexConfig,
+    AlexEngine,
+    Endpoint,
+    FeatureSpace,
+    FederatedEngine,
+    GroundTruthOracle,
+    Link,
+    LinkSet,
+    QueryFeedbackSession,
+    URIRef,
+)
+from repro.rdf import turtle
 
 DBPEDIA_TTL = """
 @prefix db:  <http://dbpedia.org/resource/> .

@@ -9,12 +9,17 @@ and which it marked as non-distinctive.
 Run with: python examples/nba_domain.py
 """
 
-from repro.core import AlexConfig, AlexEngine
-from repro.datasets import load_pair
-from repro.evaluation import QualityTracker, evaluate_links
-from repro.features import FeatureSpace
-from repro.feedback import FeedbackSession, GroundTruthOracle
-from repro.paris import paris_links
+from repro import (
+    AlexConfig,
+    AlexEngine,
+    FeatureSpace,
+    FeedbackSession,
+    GroundTruthOracle,
+    QualityTracker,
+    evaluate_links,
+    load_pair,
+    paris_links,
+)
 
 
 def main() -> None:

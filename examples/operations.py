@@ -11,18 +11,18 @@ Run with: python examples/operations.py [state.json]
 
 import sys
 
-from repro.core import (
+from repro import (
     AlexConfig,
     AlexEngine,
-    load_engine_file,
-    policy_report,
-    save_engine_file,
+    FeatureSpace,
+    FeedbackSession,
+    GroundTruthOracle,
+    QualityTracker,
+    load_pair,
+    paris_links,
 )
-from repro.datasets import load_pair
-from repro.evaluation import QualityTracker, tracker_to_csv
-from repro.features import FeatureSpace
-from repro.feedback import FeedbackSession, GroundTruthOracle
-from repro.paris import paris_links
+from repro.core import policy_report
+from repro.evaluation import tracker_to_csv
 
 
 def main(state_path: str = "alex_state.json") -> None:
@@ -40,11 +40,11 @@ def main(state_path: str = "alex_state.json") -> None:
     print(f"session 1: {engine.episodes_completed} episodes, "
           f"quality {tracker.final.quality}")
 
-    save_engine_file(engine, state_path)
+    engine.save(state_path)
     print(f"state saved to {state_path}\n")
 
     # --- restart: a new process would rebuild the space and reload ------- #
-    restored = load_engine_file(space, state_path)
+    restored = AlexEngine.load(space, state_path)
     print(f"restored engine: {restored}")
     session2 = FeedbackSession(restored, oracle, seed=14, on_episode_end=tracker.on_episode_end)
     session2.run(episode_size=150, max_episodes=30)

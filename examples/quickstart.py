@@ -10,12 +10,18 @@ Pipeline in five steps:
 Run with: python examples/quickstart.py
 """
 
-from repro.core import AlexConfig, AlexEngine
-from repro.datasets import load_pair
-from repro.evaluation import QualityTracker, evaluate_links, quality_curve_table
-from repro.features import FeatureSpace
-from repro.feedback import FeedbackSession, GroundTruthOracle
-from repro.paris import paris_links
+from repro import (
+    AlexConfig,
+    AlexEngine,
+    FeatureSpace,
+    FeedbackSession,
+    GroundTruthOracle,
+    QualityTracker,
+    evaluate_links,
+    load_pair,
+    paris_links,
+    quality_curve_table,
+)
 
 
 def main() -> None:

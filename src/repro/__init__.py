@@ -1,6 +1,15 @@
 """repro — a reproduction of "ALEX: Automatic Link Exploration in Linked Data".
 
-Public API tour:
+This module is the **stable public API facade**: everything a typical
+application needs imports directly from ``repro``::
+
+    from repro import AlexConfig, AlexEngine, FeatureSpace, load_pair, obs
+
+Names exported here follow the deprecation policy documented in
+``docs/architecture.md`` — they stay importable across minor versions, and
+replaced names keep working for at least one minor release while emitting
+:class:`DeprecationWarning`. Subpackages remain importable for specialised
+needs:
 
 * :mod:`repro.rdf` — RDF terms, graphs, N-Triples/Turtle IO
 * :mod:`repro.sparql` — SPARQL subset over local graphs
@@ -13,18 +22,28 @@ Public API tour:
 * :mod:`repro.datasets` — synthetic Table 1 dataset pairs
 * :mod:`repro.evaluation` — precision/recall/F tracking
 * :mod:`repro.experiments` — one function per paper table/figure
+* :mod:`repro.obs` — counters, histograms, timers, spans (``repro stats``)
 """
 
-from repro.core import AlexConfig, AlexEngine, PartitionedAlex
+from repro import obs
+from repro.core import AlexConfig, AlexEngine, PartitionedAlex, run_partitions_parallel
+from repro.datasets import load_pair
 from repro.errors import ReproError
+from repro.evaluation import QualityTracker, evaluate_links, quality_curve_table
 from repro.features import FeatureSpace, build_partitioned_spaces
-from repro.federation import Endpoint, FederatedEngine
-from repro.feedback import FeedbackSession, GroundTruthOracle, NoisyOracle
+from repro.federation import Endpoint, FederatedEngine, FederatedExecutor
+from repro.feedback import (
+    FeedbackSession,
+    GroundTruthOracle,
+    NoisyOracle,
+    QueryFeedbackSession,
+)
 from repro.links import Link, LinkSet
 from repro.paris import paris_links
 from repro.rdf import Graph, Literal, Triple, URIRef
+from repro.sparql import parse_query
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AlexConfig",
@@ -32,6 +51,7 @@ __all__ = [
     "Endpoint",
     "FeatureSpace",
     "FederatedEngine",
+    "FederatedExecutor",
     "FeedbackSession",
     "Graph",
     "GroundTruthOracle",
@@ -40,10 +60,18 @@ __all__ = [
     "Literal",
     "NoisyOracle",
     "PartitionedAlex",
+    "QualityTracker",
+    "QueryFeedbackSession",
     "ReproError",
     "Triple",
     "URIRef",
     "__version__",
     "build_partitioned_spaces",
+    "evaluate_links",
+    "load_pair",
+    "obs",
     "paris_links",
+    "parse_query",
+    "quality_curve_table",
+    "run_partitions_parallel",
 ]

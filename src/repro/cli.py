@@ -8,6 +8,7 @@ Subcommands::
     repro query DATA.nt 'SELECT ...'         # run SPARQL over a file
     repro run SCENARIO                       # run one experiment scenario
     repro figures all | FIGURE               # regenerate paper figures
+    repro stats                              # exercise the stack, print obs metrics
 
 Every command writes human-readable text to stdout and exits non-zero on
 error, so the tool composes in shell pipelines.
@@ -62,6 +63,25 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("scenario", help="scenario key, e.g. fig2a")
     run.add_argument("--max-episodes", type=int, default=None)
     run.add_argument("--csv", default=None, help="export the per-episode curve as CSV")
+    run.add_argument(
+        "--obs-json", default=None, metavar="PATH",
+        help="dump the run's observability snapshot as JSON",
+    )
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="run a small end-to-end workload (linking, feedback episodes, "
+        "local + federated SPARQL) and print the collected obs metrics",
+    )
+    stats.add_argument(
+        "--pair", default="dbpedia_nba_nytimes", help="dataset pair to exercise"
+    )
+    stats.add_argument("--episodes", type=int, default=3, help="feedback episodes to run")
+    stats.add_argument("--json", default=None, metavar="PATH", help="also dump JSON here")
+    stats.add_argument(
+        "--from", dest="from_file", default=None, metavar="FILE",
+        help="render a previously dumped snapshot instead of running the workload",
+    )
 
     figures = subparsers.add_parser("figures", help="regenerate paper figures")
     figures.add_argument("figure", help="'all', 'table1', or a figure id like fig2a / fig10")
@@ -157,7 +177,12 @@ def _cmd_describe(data_path: str) -> int:
     return 0
 
 
-def _cmd_run(scenario_key: str, max_episodes: int | None, csv_path: str | None = None) -> int:
+def _cmd_run(
+    scenario_key: str,
+    max_episodes: int | None,
+    csv_path: str | None = None,
+    obs_json: str | None = None,
+) -> int:
     from repro.evaluation.export import write_csv
     from repro.evaluation.report import quality_curve_table
     from repro.experiments import run_scenario, scenario
@@ -177,6 +202,55 @@ def _cmd_run(scenario_key: str, max_episodes: int | None, csv_path: str | None =
         f"relaxed at {result.relaxed_converged_at}, "
         f"new links: {result.new_links_found}/{result.ground_truth_size}"
     )
+    if obs_json is not None:
+        from repro import obs
+
+        obs.dump_json(obs_json)
+        print(f"wrote {obs_json}")
+    return 0
+
+
+def _cmd_stats(
+    pair_key: str, episodes: int, json_path: str | None, from_file: str | None
+) -> int:
+    from repro import obs
+
+    if from_file is not None:
+        registry = obs.Registry(from_file)
+        registry.merge(obs.load_snapshot(from_file))
+        print(registry.render())
+        return 0
+
+    # A miniature end-to-end workload touching every instrumented subsystem:
+    # dataset → PARIS → θ-filtered space → feedback episodes → local SPARQL
+    # → federated SPARQL with sameAs rewriting.
+    from repro.core.config import AlexConfig
+    from repro.core.engine import AlexEngine
+    from repro.datasets import load_pair
+    from repro.features.space import FeatureSpace
+    from repro.federation import Endpoint, FederatedEngine
+    from repro.feedback import FeedbackSession, GroundTruthOracle
+    from repro.paris import paris_links
+    from repro.sparql import query as run_query
+
+    pair = load_pair(pair_key)
+    initial = paris_links(pair.left, pair.right, score_threshold=0.8)
+    space = FeatureSpace.build(pair.left, pair.right)
+    engine = AlexEngine(space, initial, AlexConfig(episode_size=10, seed=7))
+    session = FeedbackSession(engine, GroundTruthOracle(pair.ground_truth), seed=7)
+    session.run(episode_size=10, max_episodes=episodes)
+
+    run_query(pair.left, "SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 5")
+    federation = FederatedEngine(
+        [Endpoint(pair.left, "left"), Endpoint(pair.right, "right")],
+        engine.candidates,
+    )
+    federation.select("SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 5")
+
+    print(obs.render())
+    if json_path is not None:
+        obs.dump_json(json_path)
+        print(f"wrote {json_path}")
     return 0
 
 
@@ -223,7 +297,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "describe":
             return _cmd_describe(args.data)
         if args.command == "run":
-            return _cmd_run(args.scenario, args.max_episodes, args.csv)
+            return _cmd_run(args.scenario, args.max_episodes, args.csv, args.obs_json)
+        if args.command == "stats":
+            return _cmd_stats(args.pair, args.episodes, args.json, args.from_file)
         if args.command == "figures":
             return _cmd_figures(args.figure)
         if args.command == "report":

@@ -7,6 +7,10 @@ from repro.core.parallel import PartitionedAlex
 from repro.core.parallel_mp import PartitionOutcome, run_partitions_parallel
 from repro.core.persistence import (
     dump_engine,
+    engine_from_dict,
+    engine_load,
+    engine_save,
+    engine_to_dict,
     load_engine,
     load_engine_file,
     save_engine_file,
@@ -34,6 +38,10 @@ __all__ = [
     "StateAction",
     "available_actions",
     "dump_engine",
+    "engine_from_dict",
+    "engine_load",
+    "engine_save",
+    "engine_to_dict",
     "load_engine",
     "load_engine_file",
     "policy_report",

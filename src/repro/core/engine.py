@@ -22,6 +22,7 @@ from __future__ import annotations
 import random
 from typing import Iterable
 
+from repro import obs
 from repro.core.config import AlexConfig
 from repro.core.distinctiveness import FeatureDistinctiveness
 from repro.core.episode import Episode, EpisodeStats
@@ -100,6 +101,7 @@ class AlexEngine:
 
     def process_feedback(self, link: Link, positive: bool) -> list[Link]:
         """Apply one feedback item; returns any newly discovered links."""
+        obs.inc("alex.feedback.processed", verdict="positive" if positive else "negative")
         self._episode.record_feedback(positive)
         self._credit(link, positive)
         tally = self._tally.setdefault(link, [0, 0])
@@ -135,23 +137,26 @@ class AlexEngine:
         feature_set = self.space.feature_set(state)
         if feature_set is None or not feature_set:
             return []
-        actions = available_actions(feature_set)
-        if self.config.use_distinctiveness:
-            # Cross-state lesson (Section 4.2): never explore around a
-            # feature known to be non-distinctive.
-            actions = self.distinctiveness.filter_actions(actions)
-        action = self._choose_action(state, actions)
-        self._episode.record_action(state)
-        center = feature_set[action]
-        state_action = StateAction(state, action)
-        discovered: list[Link] = []
-        for candidate in self.space.explore(action, center, self.config.step_size):
-            if candidate in self.blacklist or candidate in self.candidates:
-                continue
-            self.candidates.add(candidate)
-            self.ledger.record(state_action, candidate)
-            discovered.append(candidate)
-        self._episode.stats.links_discovered += len(discovered)
+        with obs.span("explore"):
+            actions = available_actions(feature_set)
+            if self.config.use_distinctiveness:
+                # Cross-state lesson (Section 4.2): never explore around a
+                # feature known to be non-distinctive.
+                actions = self.distinctiveness.filter_actions(actions)
+            action = self._choose_action(state, actions)
+            self._episode.record_action(state)
+            center = feature_set[action]
+            state_action = StateAction(state, action)
+            discovered: list[Link] = []
+            for candidate in self.space.explore(action, center, self.config.step_size):
+                if candidate in self.blacklist or candidate in self.candidates:
+                    continue
+                self.candidates.add(candidate)
+                self.ledger.record(state_action, candidate)
+                discovered.append(candidate)
+            self._episode.stats.links_discovered += len(discovered)
+            if discovered:
+                obs.inc("alex.links.discovered", len(discovered))
         return discovered
 
     def _choose_action(self, state: Link, actions: list) -> "FeatureKey":
@@ -168,6 +173,7 @@ class AlexEngine:
     def _remove_link(self, link: Link) -> None:
         if self.candidates.remove(link):
             self._episode.stats.links_removed += 1
+            obs.inc("alex.links.removed")
         self.confirmed.discard(link)
         if self.config.use_blacklist:
             self.blacklist.add(link)
@@ -205,6 +211,9 @@ class AlexEngine:
                 removed += 1
         self._episode.stats.rollbacks += 1
         self._episode.stats.links_removed += removed
+        obs.inc("alex.rollbacks")
+        if removed:
+            obs.inc("alex.links.removed", removed)
 
     # ------------------------------------------------------------------ #
     # Episode boundary (policy improvement)
@@ -253,7 +262,40 @@ class AlexEngine:
             self.relaxed_converged_at = index
         self._last_snapshot = snapshot
         self._episode = Episode(index=index + 1)
+        obs.inc("alex.episodes")
+        obs.set_gauge("alex.candidates.size", len(self.candidates))
+        obs.set_gauge("alex.blacklist.size", len(self.blacklist))
         return stats
+
+    # ------------------------------------------------------------------ #
+    # Persistence (the stable public surface; see repro.core.persistence)
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict:
+        """Engine state as a JSON-serializable dict."""
+        from repro.core import persistence
+
+        return persistence.engine_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, space: FeatureSpace, state: dict) -> "AlexEngine":
+        """Rebuild an engine from :meth:`to_dict` output and a fresh space."""
+        from repro.core import persistence
+
+        return persistence.engine_from_dict(space, state)
+
+    def save(self, path: str) -> None:
+        """Write engine state to a JSON file."""
+        from repro.core import persistence
+
+        persistence.engine_save(self, path)
+
+    @classmethod
+    def load(cls, space: FeatureSpace, path: str) -> "AlexEngine":
+        """Read engine state from a JSON file written by :meth:`save`."""
+        from repro.core import persistence
+
+        return persistence.engine_load(space, path)
 
     def __repr__(self):
         return (

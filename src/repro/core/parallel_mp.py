@@ -17,9 +17,10 @@ from __future__ import annotations
 import zlib
 
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro import obs
 from repro.core.config import AlexConfig
 from repro.core.engine import AlexEngine
 from repro.errors import ConfigError
@@ -39,6 +40,8 @@ class PartitionOutcome:
     converged_at: int | None
     relaxed_converged_at: int | None
     elapsed_seconds: float
+    #: the worker's obs registry snapshot; merged into the parent's registry
+    obs_snapshot: dict | None = field(default=None, repr=False)
 
 
 def _run_partition(
@@ -53,20 +56,25 @@ def _run_partition(
     name: str,
 ) -> PartitionOutcome:
     """Worker body: one partition, one engine, one session."""
-    engine = AlexEngine(space, LinkSet(initial_links), config, name=name)
-    oracle: GroundTruthOracle | NoisyOracle = GroundTruthOracle(LinkSet(ground_truth_links))
-    if error_rate > 0.0:
-        oracle = NoisyOracle(oracle, error_rate, seed=feedback_seed)
-    session = FeedbackSession(engine, oracle, seed=feedback_seed)
-    episodes = session.run(episode_size=episode_size, max_episodes=max_episodes)
-    return PartitionOutcome(
-        name=name,
-        candidates=engine.candidates.snapshot(),
-        episodes_run=episodes,
-        converged_at=engine.converged_at,
-        relaxed_converged_at=engine.relaxed_converged_at,
-        elapsed_seconds=session.elapsed_seconds,
-    )
+    # An isolated registry per partition: forked workers inherit the parent
+    # registry, and the inline (max_workers=1) path shares it — either way
+    # the partition's metrics must be its own, merged once at the gather.
+    with obs.use_registry(obs.Registry(name)) as registry:
+        engine = AlexEngine(space, LinkSet(initial_links), config, name=name)
+        oracle: GroundTruthOracle | NoisyOracle = GroundTruthOracle(LinkSet(ground_truth_links))
+        if error_rate > 0.0:
+            oracle = NoisyOracle(oracle, error_rate, seed=feedback_seed)
+        session = FeedbackSession(engine, oracle, seed=feedback_seed)
+        episodes = session.run(episode_size=episode_size, max_episodes=max_episodes)
+        return PartitionOutcome(
+            name=name,
+            candidates=engine.candidates.snapshot(),
+            episodes_run=episodes,
+            converged_at=engine.converged_at,
+            relaxed_converged_at=engine.relaxed_converged_at,
+            elapsed_seconds=session.elapsed_seconds,
+            obs_snapshot=registry.snapshot(),
+        )
 
 
 def run_partitions_parallel(
@@ -125,7 +133,13 @@ def run_partitions_parallel(
             outcomes = list(pool.map(_run_partition, *zip(*jobs)))
 
     merged = LinkSet(name="parallel-merged")
+    obs.inc("parallel.partitions.run", len(outcomes))
     for outcome in outcomes:
         for link in outcome.candidates:
             merged.add(link)
+        if outcome.obs_snapshot is not None:
+            # one whole-run snapshot: counters/histograms/spans sum across
+            # partitions (gauges are last-write-wins — label per-partition
+            # breakdowns yourself if you need them)
+            obs.merge(outcome.obs_snapshot)
     return merged, outcomes

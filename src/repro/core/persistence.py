@@ -6,14 +6,21 @@ ledger, and distinctiveness memory — must survive restarts. The format is
 plain JSON: forward-compatible, diffable, and inspectable.
 
 The feature space itself is *not* serialized (it is deterministic given the
-datasets and θ); :func:`load_engine` takes a freshly built space plus the
-saved state.
+datasets and θ); :func:`engine_from_dict` takes a freshly built space plus
+the saved state.
+
+The stable public surface lives on :class:`~repro.core.engine.AlexEngine`:
+``engine.to_dict()`` / ``AlexEngine.from_dict(space, state)`` /
+``engine.save(path)`` / ``AlexEngine.load(space, path)``, which delegate to
+this module's ``engine_*`` functions. The historical four-function surface
+(:func:`dump_engine`, :func:`load_engine`, :func:`save_engine_file`,
+:func:`load_engine_file`) survives as deprecation shims.
 """
 
 from __future__ import annotations
 
 import json
-from typing import IO
+import warnings
 
 from repro.core.config import AlexConfig
 from repro.core.engine import AlexEngine
@@ -51,7 +58,7 @@ def _state_action_from_json(data: list) -> StateAction:
     return StateAction(_link_from_json(data[0]), _key_from_json(data[1]))
 
 
-def dump_engine(engine: AlexEngine) -> dict:
+def engine_to_dict(engine: AlexEngine) -> dict:
     """Engine state as a JSON-serializable dict."""
     values = engine.values
     ledger = engine.ledger
@@ -123,8 +130,8 @@ def dump_engine(engine: AlexEngine) -> dict:
     }
 
 
-def load_engine(space: FeatureSpace, state: dict) -> AlexEngine:
-    """Rebuild an engine from :func:`dump_engine` output and a space."""
+def engine_from_dict(space: FeatureSpace, state: dict) -> AlexEngine:
+    """Rebuild an engine from :func:`engine_to_dict` output and a space."""
     version = state.get("format_version")
     if version != FORMAT_VERSION:
         raise ConfigError(f"unsupported engine state format version: {version!r}")
@@ -170,13 +177,50 @@ def load_engine(space: FeatureSpace, state: dict) -> AlexEngine:
     return engine
 
 
-def save_engine_file(engine: AlexEngine, path: str) -> None:
+def engine_save(engine: AlexEngine, path: str) -> None:
     """Write engine state to a JSON file."""
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(dump_engine(engine), handle, indent=1, sort_keys=True)
+        json.dump(engine_to_dict(engine), handle, indent=1, sort_keys=True)
+
+
+def engine_load(space: FeatureSpace, path: str) -> AlexEngine:
+    """Read engine state from a JSON file."""
+    with open(path, encoding="utf-8") as handle:
+        return engine_from_dict(space, json.load(handle))
+
+
+# --------------------------------------------------------------------- #
+# Deprecated four-function surface (pre-1.1); use the AlexEngine methods.
+# --------------------------------------------------------------------- #
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def dump_engine(engine: AlexEngine) -> dict:
+    """Deprecated alias of :meth:`AlexEngine.to_dict`."""
+    _deprecated("dump_engine()", "AlexEngine.to_dict()")
+    return engine_to_dict(engine)
+
+
+def load_engine(space: FeatureSpace, state: dict) -> AlexEngine:
+    """Deprecated alias of :meth:`AlexEngine.from_dict`."""
+    _deprecated("load_engine()", "AlexEngine.from_dict(space, state)")
+    return engine_from_dict(space, state)
+
+
+def save_engine_file(engine: AlexEngine, path: str) -> None:
+    """Deprecated alias of :meth:`AlexEngine.save`."""
+    _deprecated("save_engine_file()", "AlexEngine.save(path)")
+    engine_save(engine, path)
 
 
 def load_engine_file(space: FeatureSpace, path: str) -> AlexEngine:
-    """Read engine state from a JSON file."""
-    with open(path, encoding="utf-8") as handle:
-        return load_engine(space, json.load(handle))
+    """Deprecated alias of :meth:`AlexEngine.load`."""
+    _deprecated("load_engine_file()", "AlexEngine.load(space, path)")
+    return engine_load(space, path)

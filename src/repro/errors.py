@@ -72,3 +72,7 @@ class ConfigError(ReproError):
 
 class DatasetError(ReproError):
     """A dataset could not be generated or loaded."""
+
+
+class ObsError(ReproError):
+    """An observability instrument was declared or merged inconsistently."""

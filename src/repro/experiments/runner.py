@@ -15,6 +15,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field, replace
 
+from repro import obs
 from repro.core.config import AlexConfig
 from repro.core.engine import AlexEngine
 from repro.core.parallel import PartitionedAlex
@@ -186,8 +187,10 @@ def run_scenario(spec: ScenarioSpec) -> ExperimentResult:
     )
 
     started = time.perf_counter()
-    episodes = session.run(episode_size=spec.episode_size, max_episodes=spec.max_episodes)
+    with obs.span("scenario"):
+        episodes = session.run(episode_size=spec.episode_size, max_episodes=spec.max_episodes)
     elapsed = time.perf_counter() - started
+    obs.inc("experiments.scenarios.run", scenario=spec.key)
 
     final_candidates = engine.candidates
     return ExperimentResult(

@@ -12,6 +12,7 @@ from __future__ import annotations
 import bisect
 from typing import Iterable, Iterator, Mapping
 
+from repro import obs
 from repro.errors import FeatureSpaceError
 from repro.features.blocking import blocked_pairs
 from repro.features.feature_set import DEFAULT_THETA, FeatureKey, FeatureSet, build_feature_set
@@ -78,9 +79,12 @@ class FeatureSpace:
         link = Link(left_entity.uri, right_entity.uri)
         if link in self._feature_sets:
             return self._feature_sets[link]
+        # scanned vs admitted makes the θ-filter win measurable
+        obs.inc("space.pairs.scanned")
         feature_set = build_feature_set(left_entity, right_entity, self.theta)
         if feature_set is None:
             return None
+        obs.inc("space.pairs.admitted")
         self._feature_sets[link] = feature_set
         for key, score in feature_set.items():
             self._index.setdefault(key, []).append((score, link))
@@ -107,12 +111,15 @@ class FeatureSpace:
         center+step]`` — the action of Section 4.2."""
         if not self._frozen:
             raise FeatureSpaceError("freeze() the space before exploring")
+        obs.inc("space.explore.calls")
         entries = self._index.get(key)
         if not entries:
             return []
         scores = self._scores_only[key]
         low = bisect.bisect_left(scores, center - step)
         high = bisect.bisect_right(scores, center + step)
+        if high > low:
+            obs.inc("space.explore.candidates", high - low)
         return [link for _, link in entries[low:high]]
 
     def feature_keys(self) -> list[FeatureKey]:

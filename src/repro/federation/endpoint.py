@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro import obs
 from repro.rdf.graph import Graph
 from repro.rdf.terms import Term
 from repro.rdf.triples import Triple
@@ -29,6 +30,10 @@ class Endpoint:
         self.request_count = 0
         self._predicates: frozenset[Term] | None = None
 
+    def _record_request(self, kind: str) -> None:
+        self.request_count += 1
+        obs.inc("federation.requests", endpoint=self.name, kind=kind)
+
     # -- capability probing (source selection) ----------------------------- #
 
     @property
@@ -44,7 +49,7 @@ class Endpoint:
 
     def can_answer(self, pattern: TriplePattern) -> bool:
         """ASK-style probe: could this endpoint match ``pattern`` at all?"""
-        self.request_count += 1
+        self._record_request("ask")
         if not isinstance(pattern.predicate, Var):
             return pattern.predicate in self.predicates
         return len(self.graph) > 0
@@ -53,7 +58,7 @@ class Endpoint:
 
     def match(self, pattern: TriplePattern, solutions: list[Solution]) -> Iterator[Solution]:
         """Bound-join entry point: extend ``solutions`` with local matches."""
-        self.request_count += 1
+        self._record_request("match")
         yield from match_pattern(self.graph, pattern, solutions)
 
     def match_group(
@@ -64,7 +69,7 @@ class Endpoint:
         The whole conjunction joins locally and costs a single request —
         FedX's exclusive-group optimization.
         """
-        self.request_count += 1
+        self._record_request("group")
         streams: Iterator[Solution] = iter(solutions)
         for pattern in patterns:
             streams = match_pattern(self.graph, pattern, streams)
@@ -72,14 +77,14 @@ class Endpoint:
 
     def select(self, query_text: str) -> QueryResult:
         """Run a full SELECT locally (used by examples and tests)."""
-        self.request_count += 1
+        self._record_request("select")
         parsed = parse_query(query_text)
         if not isinstance(parsed, SelectQuery):
             raise TypeError("Endpoint.select requires a SELECT query")
         return evaluate_select(self.graph, parsed)
 
     def contains(self, triple: Triple) -> bool:
-        self.request_count += 1
+        self._record_request("contains")
         return triple in self.graph
 
     def __repr__(self):

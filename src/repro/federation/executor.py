@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro import obs
 from repro.errors import FederationError
 from repro.federation.endpoint import Endpoint
 from repro.federation.provenance import FederatedResult, ProvenancedSolution
@@ -84,6 +85,11 @@ class FederatedEngine:
 
     def execute(self, query: SelectQuery) -> FederatedResult:
         """Execute a parsed SELECT query across the federation."""
+        obs.inc("federation.queries")
+        with obs.timer("federation.query.seconds"):
+            return self._execute(query)
+
+    def _execute(self, query: SelectQuery) -> FederatedResult:
         bgp, filters = self._flatten_where(query.where)
         ordered = _order_patterns(bgp.patterns)
         assignments = select_sources(BGP(ordered), self.endpoints)
@@ -204,16 +210,22 @@ class FederatedEngine:
         that justifies the substitution."""
         choices: list[tuple[Term, frozenset[Link]]] = [(term, frozenset())]
         if isinstance(term, URIRef):
-            for right in self.links.by_left(term):
+            # sorted: counterpart sets iterate in hash order, which varies
+            # per process and would make answer (and thus feedback) order
+            # nondeterministic
+            for right in sorted(self.links.by_left(term), key=str):
                 choices.append((right, frozenset({Link(term, right)})))
-            for left in self.links.by_right(term):
+            for left in sorted(self.links.by_right(term), key=str):
                 choices.append((left, frozenset({Link(left, term)})))
+        if len(choices) > 1:
+            obs.inc("federation.sameas.rewrites_attempted", len(choices) - 1)
         return choices
 
     def _bound_join(
         self, assignment: SourceAssignment, solutions: list[ProvenancedSolution]
     ) -> list[ProvenancedSolution]:
         pattern = assignment.pattern
+        obs.observe("federation.bound_join.input_solutions", len(solutions))
         out: list[ProvenancedSolution] = []
         seen: set[tuple] = set()
         for solution in solutions:
@@ -244,6 +256,8 @@ class FederatedEngine:
                             )
                             if key not in seen:
                                 seen.add(key)
+                                if subject_links or object_links:
+                                    obs.inc("federation.sameas.rewrites_hit")
                                 out.append(ProvenancedSolution(merged, links))
         return out
 
@@ -261,6 +275,7 @@ class FederatedEngine:
         """
         endpoint = group[0].endpoints[0]
         patterns = [assignment.pattern for assignment in group]
+        obs.observe("federation.bound_join.input_solutions", len(solutions))
         out: list[ProvenancedSolution] = []
         seen: set[tuple] = set()
         for solution in solutions:
@@ -279,8 +294,10 @@ class FederatedEngine:
                     for original, (chosen, _) in zip(bound_terms, combination)
                 }
                 links: frozenset[Link] = solution.links_used
+                rewrote = False
                 for _, choice_links in combination:
                     links |= choice_links
+                    rewrote = rewrote or bool(choice_links)
                 rewritten = [
                     _substitute_pattern(pattern, solution.bindings, substitution)
                     for pattern in patterns
@@ -294,6 +311,8 @@ class FederatedEngine:
                     )
                     if key not in seen:
                         seen.add(key)
+                        if rewrote:
+                            obs.inc("federation.sameas.rewrites_hit")
                         out.append(ProvenancedSolution(merged, links))
         return out
 
@@ -391,6 +410,10 @@ def _order_patterns(patterns: list[TriplePattern]) -> list[TriplePattern]:
         ordered.append(best)
         known |= best.variables()
     return ordered
+
+
+#: Stable public alias — the facade exports the executor under this name.
+FederatedExecutor = FederatedEngine
 
 
 def _distinct(rows: list[ProvenancedSolution]) -> list[ProvenancedSolution]:

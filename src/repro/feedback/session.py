@@ -19,6 +19,7 @@ import random
 import time
 from typing import Callable, Protocol
 
+from repro import obs
 from repro.core.engine import AlexEngine
 from repro.core.episode import EpisodeStats
 from repro.core.parallel import PartitionedAlex
@@ -61,19 +62,21 @@ class FeedbackSession:
         if episode_size < 1:
             raise ConfigError(f"episode_size must be >= 1, got {episode_size}")
         started = time.perf_counter()
-        pool = self._candidate_pool()
-        for _ in range(episode_size):
-            if not pool:
-                break
-            link = pool[self.rng.randrange(len(pool))]
-            verdict = self.oracle.judge(link)
-            discovered = self.engine.process_feedback(link, verdict)
-            self.total_feedback += 1
-            if verdict is False or discovered:
-                # The pool changed: negative feedback removed the link;
-                # positive feedback may have added links worth sampling.
-                pool = self._candidate_pool()
-        stats = self.engine.end_episode()
+        with obs.span("episode"):
+            pool = self._candidate_pool()
+            for _ in range(episode_size):
+                if not pool:
+                    break
+                link = pool[self.rng.randrange(len(pool))]
+                verdict = self.oracle.judge(link)
+                discovered = self.engine.process_feedback(link, verdict)
+                self.total_feedback += 1
+                obs.inc("session.feedback.items")
+                if verdict is False or discovered:
+                    # The pool changed: negative feedback removed the link;
+                    # positive feedback may have added links worth sampling.
+                    pool = self._candidate_pool()
+            stats = self.engine.end_episode()
         self.elapsed_seconds += time.perf_counter() - started
         if self.on_episode_end is not None:
             self.on_episode_end(stats, self.engine.candidates)
@@ -129,6 +132,7 @@ class QueryFeedbackSession:
             )
             row_correct = all(self.oracle.judge(link) for link in row_links)
             self.answers_judged += 1
+            obs.inc("session.answers.judged")
             for link in row_links:
                 # Per the paper: feedback on the answer is interpreted as
                 # feedback on the link(s) used to produce it.

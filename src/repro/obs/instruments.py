@@ -1,0 +1,169 @@
+"""Typed instruments: counters, gauges, histograms, and timers.
+
+Instruments are dumb value holders — cheap enough for hot paths (an update
+is an attribute add, no locking, no allocation). All bookkeeping that costs
+anything (sorting, formatting, schema) happens at snapshot/render time in
+:mod:`repro.obs.registry`.
+
+Label sets are frozen at creation: an instrument is identified by its name
+plus its sorted ``(key, value)`` label pairs, and the registry hands back
+the same object for the same identity.
+"""
+
+from __future__ import annotations
+
+import bisect
+import time
+
+#: Labels as stored on an instrument: sorted, hashable.
+LabelPairs = tuple[tuple[str, str], ...]
+
+#: Default histogram boundaries for untimed value distributions (sizes,
+#: fan-outs): roughly log-spaced upper bucket bounds.
+DEFAULT_BOUNDARIES: tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+)
+
+#: Default boundaries for latency histograms, in seconds (100µs .. 10s).
+DEFAULT_LATENCY_BOUNDARIES: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def labels_to_pairs(labels: dict[str, object]) -> LabelPairs:
+    """Normalize a labels dict into the sorted pair tuple identity."""
+    if not labels:
+        return ()
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count (events, items, requests)."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelPairs = ()):
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"name": self.name, "labels": dict(self.labels), "value": self.value}
+
+    def __repr__(self):
+        return f"<Counter {self.name} {dict(self.labels)} = {self.value}>"
+
+
+class Gauge:
+    """A value that goes up and down (sizes, levels). Last write wins."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelPairs = ()):
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> dict:
+        return {"name": self.name, "labels": dict(self.labels), "value": self.value}
+
+    def __repr__(self):
+        return f"<Gauge {self.name} {dict(self.labels)} = {self.value}>"
+
+
+class Histogram:
+    """A distribution over fixed bucket boundaries.
+
+    ``boundaries`` are *upper* bounds: bucket ``i`` counts observations
+    ``<= boundaries[i]``; one overflow bucket catches the rest, so
+    ``len(counts) == len(boundaries) + 1``. Boundaries are fixed at
+    creation so snapshots from different processes merge bucket-by-bucket.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "boundaries", "counts", "count", "sum", "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelPairs = (),
+        boundaries: tuple[float, ...] = DEFAULT_BOUNDARIES,
+    ):
+        self.name = name
+        self.labels = labels
+        self.boundaries = tuple(boundaries)
+        self.counts = [0] * (len(self.boundaries) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.boundaries, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float | None:
+        return self.sum / self.count if self.count else None
+
+    def time(self) -> "Timer":
+        """A context manager observing elapsed wall seconds into ``self``."""
+        return Timer(self)
+
+    def snapshot(self) -> dict:
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "boundaries": list(self.boundaries),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def __repr__(self):
+        return f"<Histogram {self.name} {dict(self.labels)} n={self.count} sum={self.sum:.6g}>"
+
+
+class Timer:
+    """Context manager timing a block into a histogram (seconds).
+
+    The elapsed wall time of the last completed block is kept on
+    ``.elapsed`` for callers that also want the raw number.
+    """
+
+    __slots__ = ("histogram", "elapsed", "_started")
+
+    def __init__(self, histogram: Histogram):
+        self.histogram = histogram
+        self.elapsed: float | None = None
+        self._started: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.elapsed = time.perf_counter() - self._started
+        self.histogram.observe(self.elapsed)

@@ -1,0 +1,74 @@
+"""Lightweight hierarchical spans.
+
+A span is a named, timed region of execution. Nesting builds a path:
+entering ``span("episode")`` and, inside it, ``span("explore")`` records
+wall time under ``"episode"`` and ``"episode/explore"``. Spans are
+*aggregated*, not traced: each distinct path keeps one running
+``(count, total_seconds)`` pair, so a million episodes cost two dict slots,
+not a million trace records.
+
+The active span stack is thread-local; concurrently running threads each
+see their own nesting.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class SpanAggregate:
+    """Running totals for one span path."""
+
+    __slots__ = ("path", "count", "total_seconds")
+
+    def __init__(self, path: str):
+        self.path = path
+        self.count = 0
+        self.total_seconds = 0.0
+
+    def add(self, seconds: float, count: int = 1) -> None:
+        self.count += count
+        self.total_seconds += seconds
+
+    def snapshot(self) -> dict:
+        return {"path": self.path, "count": self.count, "total_seconds": self.total_seconds}
+
+    def __repr__(self):
+        return f"<SpanAggregate {self.path!r} n={self.count} {self.total_seconds:.6g}s>"
+
+
+class Span:
+    """Context manager for one timed region; created by ``Registry.span``.
+
+    Reentrant per instance is not supported — create a new one per block
+    (the registry's ``span(name)`` does exactly that).
+    """
+
+    __slots__ = ("_registry", "name", "path", "elapsed", "_started")
+
+    def __init__(self, registry, name: str):
+        if not name or "/" in name:
+            from repro.errors import ObsError
+
+            raise ObsError(f"span names must be non-empty and '/'-free, got {name!r}")
+        self._registry = registry
+        self.name = name
+        self.path: str | None = None
+        self.elapsed: float | None = None
+        self._started: float | None = None
+
+    def __enter__(self) -> "Span":
+        stack = self._registry._span_stack()
+        self.path = stack[-1].path + "/" + self.name if stack else self.name
+        stack.append(self)
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.elapsed = time.perf_counter() - self._started
+        stack = self._registry._span_stack()
+        # Tolerate exotic unwinding: pop to (and including) this span.
+        while stack:
+            if stack.pop() is self:
+                break
+        self._registry._record_span(self.path, self.elapsed)

@@ -11,6 +11,7 @@ from __future__ import annotations
 import re
 from typing import Callable, Iterable, Iterator
 
+from repro import obs
 from repro.errors import QueryEvaluationError
 from repro.rdf.graph import Graph
 from repro.rdf.terms import Literal, Term, URIRef, XSD_BOOLEAN
@@ -65,6 +66,7 @@ def match_pattern(
     """Extend each incoming solution with all graph matches of ``pattern``."""
     from repro.sparql.paths import PathExpr, eval_path
 
+    obs.inc("sparql.patterns.matched")
     if isinstance(pattern.predicate, PathExpr):
         for solution in solutions:
             s = _resolve(pattern.subject, solution)
@@ -471,6 +473,8 @@ def _order_key_for(value) -> tuple:
 
 def evaluate_select(graph: Graph, query: SelectQuery) -> QueryResult:
     solutions = eval_group(graph, query.where)
+    if solutions:
+        obs.inc("sparql.solutions.produced", len(solutions))
     projected = query.projected()
 
     if query.is_aggregated:
@@ -560,9 +564,11 @@ def query(graph: Graph, text: str) -> "QueryResult | bool | Graph":
     """
     from repro.sparql.ast import ConstructQuery
 
-    parsed = parse_query(text)
-    if isinstance(parsed, SelectQuery):
-        return evaluate_select(graph, parsed)
-    if isinstance(parsed, ConstructQuery):
-        return evaluate_construct(graph, parsed)
-    return evaluate_ask(graph, parsed)
+    obs.inc("sparql.queries")
+    with obs.timer("sparql.query.seconds"):
+        parsed = parse_query(text)
+        if isinstance(parsed, SelectQuery):
+            return evaluate_select(graph, parsed)
+        if isinstance(parsed, ConstructQuery):
+            return evaluate_construct(graph, parsed)
+        return evaluate_ask(graph, parsed)

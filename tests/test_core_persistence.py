@@ -1,4 +1,4 @@
-"""Tests for engine state save/load."""
+"""Tests for engine state save/load (the AlexEngine method API + shims)."""
 
 import json
 
@@ -51,42 +51,42 @@ def trained_engine(space) -> AlexEngine:
 
 class TestRoundTrip:
     def test_candidates_preserved(self, space, trained_engine):
-        restored = load_engine(space, dump_engine(trained_engine))
+        restored = AlexEngine.from_dict(space, trained_engine.to_dict())
         assert restored.candidates.snapshot() == trained_engine.candidates.snapshot()
 
     def test_blacklist_and_confirmed_preserved(self, space, trained_engine):
-        restored = load_engine(space, dump_engine(trained_engine))
+        restored = AlexEngine.from_dict(space, trained_engine.to_dict())
         assert restored.blacklist == trained_engine.blacklist
         assert restored.confirmed == trained_engine.confirmed
 
     def test_policy_preserved(self, space, trained_engine):
-        restored = load_engine(space, dump_engine(trained_engine))
+        restored = AlexEngine.from_dict(space, trained_engine.to_dict())
         for state in trained_engine.policy.states():
             assert restored.policy.greedy_action(state) == trained_engine.policy.greedy_action(state)
 
     def test_q_values_preserved(self, space, trained_engine):
-        restored = load_engine(space, dump_engine(trained_engine))
+        restored = AlexEngine.from_dict(space, trained_engine.to_dict())
         for state_action in trained_engine.values.known_pairs():
             assert restored.values.q(state_action) == pytest.approx(
                 trained_engine.values.q(state_action)
             )
 
     def test_episode_counters_preserved(self, space, trained_engine):
-        restored = load_engine(space, dump_engine(trained_engine))
+        restored = AlexEngine.from_dict(space, trained_engine.to_dict())
         assert restored.episodes_completed == trained_engine.episodes_completed
         assert restored.converged_at == trained_engine.converged_at
 
     def test_restored_engine_keeps_learning(self, space, trained_engine):
         truth = LinkSet([link(i, i) for i in range(5)])
-        restored = load_engine(space, dump_engine(trained_engine))
+        restored = AlexEngine.from_dict(space, trained_engine.to_dict())
         session = FeedbackSession(restored, GroundTruthOracle(truth), seed=4)
         session.run_episode(15)
         assert restored.episodes_completed == trained_engine.episodes_completed + 1
 
     def test_file_round_trip(self, space, trained_engine, tmp_path):
         path = str(tmp_path / "engine.json")
-        save_engine_file(trained_engine, path)
-        restored = load_engine_file(space, path)
+        trained_engine.save(path)
+        restored = AlexEngine.load(space, path)
         assert restored.candidates.snapshot() == trained_engine.candidates.snapshot()
         # the file is real JSON
         with open(path) as handle:
@@ -96,16 +96,46 @@ class TestRoundTrip:
         candidates = LinkSet()
         candidates.add(link(0, 0), score=0.93)
         engine = AlexEngine(space, candidates, AlexConfig(episode_size=5))
-        restored = load_engine(space, dump_engine(engine))
+        restored = AlexEngine.from_dict(space, engine.to_dict())
         assert restored.candidates.score(link(0, 0)) == 0.93
 
     def test_unknown_version_rejected(self, space, trained_engine):
-        state = dump_engine(trained_engine)
+        state = trained_engine.to_dict()
         state["format_version"] = 99
         with pytest.raises(ConfigError):
-            load_engine(space, state)
+            AlexEngine.from_dict(space, state)
 
     def test_dump_is_deterministic(self, space, trained_engine):
-        first = json.dumps(dump_engine(trained_engine), sort_keys=True)
-        second = json.dumps(dump_engine(trained_engine), sort_keys=True)
+        first = json.dumps(trained_engine.to_dict(), sort_keys=True)
+        second = json.dumps(trained_engine.to_dict(), sort_keys=True)
         assert first == second
+
+
+class TestDeprecatedShims:
+    """The pre-1.1 four-function surface still works, but warns."""
+
+    def test_dump_and_load_engine_warn_and_round_trip(self, space, trained_engine):
+        with pytest.warns(DeprecationWarning, match="AlexEngine.to_dict"):
+            state = dump_engine(trained_engine)
+        assert state == trained_engine.to_dict()
+        with pytest.warns(DeprecationWarning, match="AlexEngine.from_dict"):
+            restored = load_engine(space, state)
+        assert restored.candidates.snapshot() == trained_engine.candidates.snapshot()
+
+    def test_file_shims_warn_and_round_trip(self, space, trained_engine, tmp_path):
+        path = str(tmp_path / "engine.json")
+        with pytest.warns(DeprecationWarning, match="AlexEngine.save"):
+            save_engine_file(trained_engine, path)
+        with pytest.warns(DeprecationWarning, match="AlexEngine.load"):
+            restored = load_engine_file(space, path)
+        assert restored.candidates.snapshot() == trained_engine.candidates.snapshot()
+
+    def test_new_api_does_not_warn(self, space, trained_engine, tmp_path):
+        import warnings
+
+        path = str(tmp_path / "engine.json")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            trained_engine.save(path)
+            AlexEngine.load(space, path)
+            AlexEngine.from_dict(space, trained_engine.to_dict())

@@ -12,16 +12,24 @@ import sys
 import pytest
 
 EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+SRC_DIR = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "src"))
 
 
 def run_example(name: str, tmp_path, *args: str) -> subprocess.CompletedProcess:
     script = os.path.abspath(os.path.join(EXAMPLES_DIR, name))
+    # The subprocess doesn't inherit pytest's sys.path; make `import repro`
+    # resolve to this checkout regardless of how the tests were launched.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
     return subprocess.run(
         [sys.executable, script, *args],
         cwd=str(tmp_path),
         capture_output=True,
         text=True,
         timeout=300,
+        env=env,
     )
 
 

@@ -1,0 +1,227 @@
+"""Unit tests for the repro.obs observability subsystem."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.errors import ObsError
+from repro.obs import Registry
+
+
+@pytest.fixture()
+def registry() -> Registry:
+    return Registry("test")
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self, registry):
+        counter = registry.counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_same_identity_returns_same_object(self, registry):
+        assert registry.counter("c", a="1") is registry.counter("c", a="1")
+
+    def test_label_sets_are_distinct(self, registry):
+        registry.counter("c", verdict="positive").inc()
+        registry.counter("c", verdict="negative").inc(2)
+        assert registry.counter("c", verdict="positive").value == 1
+        assert registry.counter("c", verdict="negative").value == 2
+
+    def test_kind_conflict_raises(self, registry):
+        registry.counter("c")
+        with pytest.raises(ObsError, match="already registered"):
+            registry.gauge("c")
+
+
+class TestGauge:
+    def test_set_and_adjust(self, registry):
+        gauge = registry.gauge("g")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+
+class TestHistogram:
+    def test_bucket_semantics_upper_bound_inclusive(self, registry):
+        histogram = registry.histogram("h", boundaries=(1, 2))
+        for value in (0.5, 1, 3):
+            histogram.observe(value)
+        # bucket 0: <= 1 (0.5 and 1); bucket 1: <= 2 (none); overflow: 3
+        assert histogram.counts == [2, 0, 1]
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(4.5)
+        assert histogram.min == 0.5
+        assert histogram.max == 3
+        assert histogram.mean == pytest.approx(1.5)
+
+    def test_empty_histogram(self, registry):
+        histogram = registry.histogram("h")
+        assert histogram.mean is None
+        assert histogram.min is None
+
+    def test_timer_observes_seconds(self, registry):
+        with registry.timer("t.seconds") as timing:
+            pass
+        histogram = registry.histogram("t.seconds")
+        assert histogram.count == 1
+        assert histogram.sum >= 0
+        assert timing.elapsed is not None
+
+
+class TestSpans:
+    def test_nesting_builds_paths(self, registry):
+        with registry.span("episode"):
+            with registry.span("explore"):
+                pass
+            with registry.span("explore"):
+                pass
+        snapshot = registry.snapshot()
+        by_path = {entry["path"]: entry for entry in snapshot["spans"]}
+        assert by_path["episode"]["count"] == 1
+        assert by_path["episode/explore"]["count"] == 2
+        assert by_path["episode"]["total_seconds"] >= by_path["episode/explore"][
+            "total_seconds"
+        ]
+
+    def test_span_survives_exceptions(self, registry):
+        with pytest.raises(ValueError):
+            with registry.span("outer"):
+                raise ValueError("boom")
+        # stack unwound: a new span is top-level again
+        with registry.span("fresh"):
+            pass
+        paths = {entry["path"] for entry in registry.snapshot()["spans"]}
+        assert paths == {"outer", "fresh"}
+
+    def test_slash_in_span_name_rejected(self, registry):
+        with pytest.raises(ObsError):
+            registry.span("a/b")
+
+
+class TestSnapshotAndMerge:
+    def _populate(self, registry):
+        registry.counter("c", kind="x").inc(3)
+        registry.gauge("g").set(7)
+        registry.histogram("h", boundaries=(1, 10)).observe(5)
+        with registry.span("s"):
+            pass
+
+    def test_snapshot_is_json_serializable(self, registry):
+        self._populate(registry)
+        text = json.dumps(registry.snapshot())
+        assert json.loads(text)["format_version"] == obs.SNAPSHOT_VERSION
+
+    def test_merge_sums_counters_histograms_and_spans(self, registry):
+        self._populate(registry)
+        snapshot = registry.snapshot()
+        target = Registry("merged")
+        target.merge(snapshot)
+        target.merge(snapshot)
+        merged = target.snapshot()
+        assert obs.counter_total(merged, "c") == 6
+        histogram = merged["histograms"][0]
+        assert histogram["count"] == 2
+        assert histogram["sum"] == pytest.approx(10)
+        assert histogram["counts"] == [0, 2, 0]
+        assert merged["spans"][0]["count"] == 2
+
+    def test_merge_gauges_last_write_wins(self, registry):
+        registry.gauge("g").set(7)
+        target = Registry("merged")
+        target.gauge("g").set(100)
+        target.merge(registry.snapshot())
+        assert target.gauge("g").value == 7
+
+    def test_merge_extra_labels_keep_origins_apart(self, registry):
+        registry.counter("c").inc(2)
+        target = Registry("merged")
+        target.merge(registry.snapshot(), extra_labels={"partition": "p0"})
+        target.merge(registry.snapshot(), extra_labels={"partition": "p1"})
+        assert target.counter("c", partition="p0").value == 2
+        assert target.counter("c", partition="p1").value == 2
+
+    def test_merge_rejects_unknown_version(self, registry):
+        with pytest.raises(ObsError, match="version"):
+            registry.merge({"format_version": 99})
+
+    def test_merge_rejects_mismatched_boundaries(self, registry):
+        registry.histogram("h", boundaries=(1, 2)).observe(1)
+        snapshot = registry.snapshot()
+        target = Registry("merged")
+        target.histogram("h", boundaries=(5, 6)).observe(1)
+        with pytest.raises(ObsError, match="boundaries"):
+            target.merge(snapshot)
+
+    def test_json_file_round_trip(self, registry, tmp_path):
+        self._populate(registry)
+        path = str(tmp_path / "obs.json")
+        registry.dump_json(path)
+        loaded = obs.load_snapshot(path)
+        target = Registry("merged")
+        target.merge(loaded)
+        restored = target.snapshot()
+        original = registry.snapshot()
+        for section in ("counters", "gauges", "histograms", "spans"):
+            assert restored[section] == original[section]
+
+    def test_load_snapshot_rejects_non_snapshot(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        with open(path, "w") as handle:
+            json.dump({"hello": 1}, handle)
+        with pytest.raises(ObsError):
+            obs.load_snapshot(path)
+
+    def test_render_mentions_instruments(self, registry):
+        self._populate(registry)
+        text = registry.render()
+        assert "c{kind=x}" in text
+        assert "g" in text and "h" in text and "s" in text
+
+    def test_reset_clears_everything(self, registry):
+        self._populate(registry)
+        registry.reset()
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == [] and snapshot["spans"] == []
+
+
+class TestDefaultRegistry:
+    def test_module_helpers_hit_the_default(self):
+        with obs.use_registry() as registry:
+            obs.inc("x")
+            obs.set_gauge("y", 3)
+            obs.observe("z", 1)
+            with obs.timer("t"):
+                pass
+            with obs.span("s"):
+                pass
+            snapshot = registry.snapshot()
+        assert obs.counter_total(snapshot, "x") == 1
+        assert snapshot["gauges"][0]["value"] == 3
+
+    def test_use_registry_isolates_and_restores(self):
+        before = obs.get_registry()
+        with obs.use_registry():
+            assert obs.get_registry() is not before
+            obs.inc("isolated.counter")
+        assert obs.get_registry() is before
+        assert obs.counter_total(obs.snapshot(), "isolated.counter") == 0
+
+    def test_use_registry_restores_on_error(self):
+        before = obs.get_registry()
+        with pytest.raises(RuntimeError):
+            with obs.use_registry():
+                raise RuntimeError("boom")
+        assert obs.get_registry() is before
+
+    def test_set_registry_returns_previous(self):
+        replacement = Registry("swap")
+        previous = obs.set_registry(replacement)
+        try:
+            assert obs.get_registry() is replacement
+        finally:
+            obs.set_registry(previous)

@@ -102,11 +102,11 @@ class TestEngineInvariants:
     @given(feedback_scripts)
     @settings(max_examples=40, deadline=None)
     def test_persistence_round_trip_any_state(self, script):
-        from repro.core.persistence import dump_engine, load_engine
+        from repro.core.engine import AlexEngine
 
         engine = _run_script(script)
         engine.end_episode()  # persistence restores at episode boundaries
-        restored = load_engine(_SPACE, dump_engine(engine))
+        restored = AlexEngine.from_dict(_SPACE, engine.to_dict())
         assert restored.candidates.snapshot() == engine.candidates.snapshot()
         assert restored.blacklist == engine.blacklist
         assert restored.episodes_completed == engine.episodes_completed
