@@ -28,7 +28,7 @@ needs:
 from repro import obs
 from repro.core import AlexConfig, AlexEngine, PartitionedAlex, run_partitions_parallel
 from repro.datasets import load_pair
-from repro.errors import ReproError
+from repro.errors import QueryAnalysisError, ReproError
 from repro.evaluation import QualityTracker, evaluate_links, quality_curve_table
 from repro.features import FeatureSpace, build_partitioned_spaces
 from repro.federation import Endpoint, FederatedEngine, FederatedExecutor
@@ -41,13 +41,14 @@ from repro.feedback import (
 from repro.links import Link, LinkSet
 from repro.paris import paris_links
 from repro.rdf import Graph, Literal, Triple, URIRef
-from repro.sparql import parse_query
+from repro.sparql import Diagnostic, analyze_query, parse_query
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AlexConfig",
     "AlexEngine",
+    "Diagnostic",
     "Endpoint",
     "FeatureSpace",
     "FederatedEngine",
@@ -61,11 +62,13 @@ __all__ = [
     "NoisyOracle",
     "PartitionedAlex",
     "QualityTracker",
+    "QueryAnalysisError",
     "QueryFeedbackSession",
     "ReproError",
     "Triple",
     "URIRef",
     "__version__",
+    "analyze_query",
     "build_partitioned_spaces",
     "evaluate_links",
     "load_pair",

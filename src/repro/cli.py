@@ -6,6 +6,7 @@ Subcommands::
     repro datasets generate KEY --out DIR    # write left/right/truth .nt files
     repro link LEFT.nt RIGHT.nt [options]    # run the automatic linker
     repro query DATA.nt 'SELECT ...'         # run SPARQL over a file
+    repro lint-query 'SELECT ...'            # static analysis (ALEX-* codes)
     repro run SCENARIO                       # run one experiment scenario
     repro figures all | FIGURE               # regenerate paper figures
     repro stats                              # exercise the stack, print obs metrics
@@ -55,6 +56,24 @@ def build_parser() -> argparse.ArgumentParser:
     query = subparsers.add_parser("query", help="run a SPARQL query over an N-Triples file")
     query.add_argument("data", help="dataset (N-Triples)")
     query.add_argument("sparql", help="the query text")
+    query.add_argument(
+        "--strict",
+        action="store_true",
+        help="reject the query if static analysis finds error-level diagnostics",
+    )
+
+    lint = subparsers.add_parser(
+        "lint-query",
+        help="statically analyze a SPARQL query and print ALEX-* diagnostics",
+    )
+    lint.add_argument("sparql", help="the query text (or @FILE to read it from a file)")
+    lint.add_argument(
+        "--data", default=None, metavar="FILE",
+        help="N-Triples file enabling cardinality-based cost lints",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
 
     describe = subparsers.add_parser("describe", help="print statistics of an N-Triples file")
     describe.add_argument("data", help="dataset (N-Triples)")
@@ -147,13 +166,13 @@ def _cmd_link(left_path: str, right_path: str, threshold: float, all_pairs: bool
     return 0
 
 
-def _cmd_query(data_path: str, sparql: str) -> int:
+def _cmd_query(data_path: str, sparql: str, strict: bool = False) -> int:
     from repro.rdf import ntriples
     from repro.rdf.graph import Graph
     from repro.sparql import QueryResult, query as run_query
 
     graph = ntriples.load_file(data_path)
-    result = run_query(graph, sparql)
+    result = run_query(graph, sparql, strict=strict)
     if isinstance(result, bool):
         print("yes" if result else "no")
         return 0
@@ -166,6 +185,33 @@ def _cmd_query(data_path: str, sparql: str) -> int:
         print("\t".join("" if term is None else str(term) for term in row))
     print(f"({len(result)} rows)", file=sys.stderr)
     return 0
+
+
+def _cmd_lint_query(sparql: str, data_path: str | None, output_format: str) -> int:
+    """Statically analyze a query; exit 1 when error-level diagnostics exist."""
+    import json
+
+    from repro.sparql import analyze_query
+
+    if sparql.startswith("@"):
+        with open(sparql[1:], "r", encoding="utf-8") as handle:
+            sparql = handle.read()
+    graph = None
+    if data_path is not None:
+        from repro.rdf import ntriples
+
+        graph = ntriples.load_file(data_path)
+    diagnostics = analyze_query(sparql, graph=graph)
+    if output_format == "json":
+        print(json.dumps([d.to_dict() for d in diagnostics], indent=2))
+    else:
+        for diagnostic in diagnostics:
+            print(diagnostic.format())
+        errors = sum(1 for d in diagnostics if d.severity == "error")
+        warnings = sum(1 for d in diagnostics if d.severity == "warning")
+        infos = len(diagnostics) - errors - warnings
+        print(f"{errors} error(s), {warnings} warning(s), {infos} info(s)")
+    return 1 if any(d.severity == "error" for d in diagnostics) else 0
 
 
 def _cmd_describe(data_path: str) -> int:
@@ -293,7 +339,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "link":
             return _cmd_link(args.left, args.right, args.threshold, args.all_pairs, args.out)
         if args.command == "query":
-            return _cmd_query(args.data, args.sparql)
+            return _cmd_query(args.data, args.sparql, strict=args.strict)
+        if args.command == "lint-query":
+            return _cmd_lint_query(args.sparql, args.data, args.format)
         if args.command == "describe":
             return _cmd_describe(args.data)
         if args.command == "run":

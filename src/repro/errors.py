@@ -46,6 +46,21 @@ class QueryEvaluationError(QueryError):
     """A well-formed query could not be evaluated (e.g. bad FILTER types)."""
 
 
+class QueryAnalysisError(QueryError):
+    """Static analysis rejected a query (strict mode).
+
+    ``diagnostics`` carries every
+    :class:`~repro.sparql.analysis.Diagnostic` the analyzer produced,
+    warnings included, so callers can render the full report.
+    """
+
+    def __init__(self, problems, diagnostics=None):
+        if isinstance(problems, str):
+            problems = [problems]
+        super().__init__("static analysis rejected the query: " + "; ".join(problems))
+        self.diagnostics = list(diagnostics) if diagnostics is not None else []
+
+
 class FederationError(ReproError):
     """A federated query could not be planned or executed."""
 

@@ -65,12 +65,18 @@ class FederatedEngine:
         endpoints: Iterable[Endpoint],
         links: LinkSet | None = None,
         group_exclusive: bool = True,
+        strict: bool = False,
     ):
         self.endpoints = list(endpoints)
         if not self.endpoints:
             raise FederationError("a federation needs at least one endpoint")
         self.links = links if links is not None else LinkSet()
         self.group_exclusive = group_exclusive
+        #: ``strict=True`` statically analyzes every query (including
+        #: endpoint source checks) before planning and raises
+        #: :class:`~repro.errors.QueryAnalysisError` on error-level
+        #: diagnostics. Default behaviour is unchanged.
+        self.strict = strict
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -87,6 +93,10 @@ class FederatedEngine:
         """Execute a parsed SELECT query across the federation."""
         obs.inc("federation.queries")
         with obs.timer("federation.query.seconds"):
+            if self.strict:
+                from repro.sparql.analysis import check_query
+
+                check_query(query, endpoints=self.endpoints)
             return self._execute(query)
 
     def _execute(self, query: SelectQuery) -> FederatedResult:

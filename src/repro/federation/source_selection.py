@@ -10,9 +10,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.errors import FederationError
 from repro.federation.endpoint import Endpoint
-from repro.sparql.ast import BGP, TriplePattern
+from repro.sparql.ast import BGP, TriplePattern, get_position
 
 
 @dataclass(frozen=True)
@@ -30,17 +31,35 @@ class SourceAssignment:
 def select_sources(bgp: BGP, endpoints: list[Endpoint]) -> list[SourceAssignment]:
     """Assign relevant endpoints to every pattern of ``bgp``.
 
+    The endpoints of each assignment are ordered by endpoint name, so the
+    federation plan (and therefore answer and feedback order) does not
+    depend on endpoint registration order or the process hash seed.
+
     Raises :class:`FederationError` when a pattern matches no endpoint at
     all — such a query can only ever return the empty result, and surfacing
-    it loudly catches schema typos early.
+    it loudly (with the pattern's source position, diagnostic ALEX-W110)
+    catches schema typos early.
     """
     if not endpoints:
         raise FederationError("no endpoints registered")
     assignments: list[SourceAssignment] = []
     for pattern in bgp.patterns:
-        relevant = tuple(ep for ep in endpoints if ep.can_answer(pattern))
+        relevant = tuple(
+            sorted(
+                (ep for ep in endpoints if ep.can_answer(pattern)),
+                key=lambda ep: (ep.name, id(ep)),
+            )
+        )
         if not relevant:
-            raise FederationError(f"no endpoint can answer pattern: {pattern}")
+            obs.inc("federation.source_selection.unmatched_patterns")
+            line, _column = get_position(pattern)
+            location = f" (line {line})" if line is not None else ""
+            names = ", ".join(sorted(ep.name for ep in endpoints))
+            raise FederationError(
+                f"[ALEX-W110] no endpoint ({names}) can answer pattern: "
+                f"{pattern}{location}; the federated query could only return "
+                "an empty result — check the predicate IRI for typos"
+            )
         assignments.append(SourceAssignment(pattern, relevant))
     return assignments
 

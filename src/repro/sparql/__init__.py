@@ -1,6 +1,7 @@
-"""A practical SPARQL subset: parser and evaluator over local graphs."""
+"""A practical SPARQL subset: parser, static analyzer, and evaluator."""
 
 from repro.sparql.aggregates import Aggregate
+from repro.sparql.analysis import CODES, Diagnostic, analyze_query, check_query
 from repro.sparql.ast import (
     AskQuery,
     BGP,
@@ -26,7 +27,9 @@ __all__ = [
     "Aggregate",
     "AskQuery",
     "BGP",
+    "CODES",
     "ConstructQuery",
+    "Diagnostic",
     "Filter",
     "GroupGraphPattern",
     "OptionalPattern",
@@ -35,6 +38,8 @@ __all__ = [
     "TriplePattern",
     "UnionPattern",
     "Var",
+    "analyze_query",
+    "check_query",
     "evaluate_ask",
     "evaluate_construct",
     "evaluate_select",

@@ -1,0 +1,822 @@
+"""Static analysis over the SPARQL AST: ``repro.sparql.analysis``.
+
+ALEX's feedback loop is driven by federated SPARQL queries, so a malformed
+or pathological query silently degrades the link-exploration signal the RL
+engine learns from.  This module moves error detection from mid-evaluation
+crashes (or silently empty answers) to parse time: :func:`analyze_query`
+walks the parsed AST and returns ordered :class:`Diagnostic` records with
+stable ``ALEX-*`` codes, severities, and the source positions the parser
+threaded through from the tokenizer.
+
+Severities:
+
+* ``error`` — the query cannot produce the answers its author intended
+  (never-bound projections, unsatisfiable filters, scoping violations).
+  ``strict=True`` evaluation rejects queries with error diagnostics.
+* ``warning`` — the query is evaluable but a construct is suspicious
+  (cartesian products, dead UNION branches, filters on OPTIONAL-only vars).
+* ``info`` — cost lints: cheap signals the federation layer can use before
+  touching any endpoint (unselective patterns, cardinality estimates).
+
+The diagnostic code table lives in :data:`CODES` and is documented with
+examples in ``docs/diagnostics.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryAnalysisError
+from repro.sparql.ast import (
+    BGP,
+    Bind,
+    BooleanOp,
+    Comparison,
+    ConstructQuery,
+    ExistsExpr,
+    Expr,
+    Filter,
+    FunctionCall,
+    GroupGraphPattern,
+    Not,
+    OptionalPattern,
+    SelectQuery,
+    TermExpr,
+    TriplePattern,
+    UnionPattern,
+    ValuesClause,
+    Var,
+    VarExpr,
+    get_position,
+)
+from repro.rdf.terms import Literal, Term
+
+#: Stable diagnostic code table: code -> (severity, summary).
+#: Codes are append-only; a released code never changes meaning.
+CODES: dict[str, tuple[str, str]] = {
+    "ALEX-E001": ("error", "projected or template variable is never bound in WHERE"),
+    "ALEX-E002": ("error", "non-grouped variable projected from an aggregated query"),
+    "ALEX-E003": ("error", "aggregate argument variable is never bound"),
+    "ALEX-E004": ("error", "unsatisfiable FILTER (constant false or type-incompatible)"),
+    "ALEX-E005": ("error", "contradictory numeric range in FILTER conjunction"),
+    "ALEX-E006": ("error", "FILTER references a variable never bound in scope"),
+    "ALEX-W101": ("warning", "cartesian product between variable-disjoint pattern groups"),
+    "ALEX-W102": ("warning", "FILTER is always true (no effect)"),
+    "ALEX-W103": ("warning", "BOUND check has a constant outcome"),
+    "ALEX-W104": ("warning", "non-well-designed OPTIONAL (variable shared with later sibling)"),
+    "ALEX-W105": ("warning", "dead UNION branch (statically unsatisfiable)"),
+    "ALEX-W106": ("warning", "duplicate projected variable"),
+    "ALEX-W107": ("warning", "empty VALUES clause eliminates all solutions"),
+    "ALEX-W108": ("warning", "FILTER on a variable bound only inside OPTIONAL"),
+    "ALEX-W109": ("warning", "GROUP BY variable is never bound"),
+    "ALEX-W110": ("warning", "triple pattern matches no federation endpoint"),
+    "ALEX-I201": ("info", "unselective triple pattern (high cardinality estimate)"),
+}
+
+_SEVERITY_RANK = {"error": 0, "warning": 1, "info": 2}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding, ordered by source position."""
+
+    code: str
+    severity: str
+    message: str
+    line: int | None = None
+    column: int | None = None
+    hint: str | None = None
+
+    def format(self) -> str:
+        location = ""
+        if self.line is not None:
+            location = f"{self.line}:{self.column if self.column is not None else 0}: "
+        text = f"{location}{self.code} {self.severity}: {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "line": self.line,
+            "column": self.column,
+            "hint": self.hint,
+        }
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == "error"
+
+
+def _sort_key(diagnostic: Diagnostic) -> tuple:
+    return (
+        diagnostic.line if diagnostic.line is not None else 1 << 30,
+        diagnostic.column if diagnostic.column is not None else 1 << 30,
+        _SEVERITY_RANK.get(diagnostic.severity, 3),
+        diagnostic.code,
+        diagnostic.message,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Variable scoping
+# --------------------------------------------------------------------- #
+
+
+def possible_vars(node) -> set[Var]:
+    """Variables that *may* be bound by ``node`` in at least one solution."""
+    out: set[Var] = set()
+    if isinstance(node, BGP):
+        out |= node.variables()
+    elif isinstance(node, GroupGraphPattern):
+        for child in node.children:
+            out |= possible_vars(child)
+    elif isinstance(node, OptionalPattern):
+        out |= possible_vars(node.pattern)
+    elif isinstance(node, UnionPattern):
+        for alternative in node.alternatives:
+            out |= possible_vars(alternative)
+    elif isinstance(node, Bind):
+        out.add(node.var)
+    elif isinstance(node, ValuesClause):
+        out |= set(node.variables)
+    return out
+
+
+def certain_vars(node) -> set[Var]:
+    """Variables bound by ``node`` in *every* solution it produces.
+
+    Conservative: BIND and OPTIONAL bindings are never certain (a BIND
+    expression may error, an OPTIONAL may not match); a UNION binds only
+    the intersection of its alternatives; a VALUES variable is certain only
+    when no row leaves it UNDEF (and at least one row exists).
+    """
+    out: set[Var] = set()
+    if isinstance(node, BGP):
+        out |= node.variables()
+    elif isinstance(node, GroupGraphPattern):
+        for child in node.children:
+            out |= certain_vars(child)
+    elif isinstance(node, UnionPattern):
+        if node.alternatives:
+            shared = certain_vars(node.alternatives[0])
+            for alternative in node.alternatives[1:]:
+                shared &= certain_vars(alternative)
+            out |= shared
+    elif isinstance(node, ValuesClause):
+        if node.rows:
+            for index, var in enumerate(node.variables):
+                if all(index < len(row) and row[index] is not None for row in node.rows):
+                    out.add(var)
+    return out
+
+
+def _expr_vars(expr: Expr, *, include_bound_args: bool = False) -> set[Var]:
+    """Variables an expression *evaluates* (unbound ones make it error).
+
+    Variables appearing only as the argument of ``BOUND(...)`` are excluded
+    unless ``include_bound_args`` — BOUND is exactly the function that is
+    safe (and meaningful) to call on an unbound variable.  EXISTS subtrees
+    are skipped entirely: they introduce their own local scope.
+    """
+    out: set[Var] = set()
+    if isinstance(expr, VarExpr):
+        out.add(expr.var)
+    elif isinstance(expr, Not):
+        out |= _expr_vars(expr.operand, include_bound_args=include_bound_args)
+    elif isinstance(expr, (BooleanOp, Comparison)):
+        out |= _expr_vars(expr.left, include_bound_args=include_bound_args)
+        out |= _expr_vars(expr.right, include_bound_args=include_bound_args)
+    elif isinstance(expr, FunctionCall):
+        if expr.name == "BOUND" and not include_bound_args:
+            return out
+        for argument in expr.args:
+            out |= _expr_vars(argument, include_bound_args=include_bound_args)
+    return out
+
+
+def _contains_var_or_exists(expr: Expr) -> bool:
+    if isinstance(expr, (VarExpr, ExistsExpr)):
+        return True
+    if isinstance(expr, Not):
+        return _contains_var_or_exists(expr.operand)
+    if isinstance(expr, (BooleanOp, Comparison)):
+        return _contains_var_or_exists(expr.left) or _contains_var_or_exists(expr.right)
+    if isinstance(expr, FunctionCall):
+        return any(_contains_var_or_exists(argument) for argument in expr.args)
+    return False
+
+
+def _conjuncts(expr: Expr) -> list[Expr]:
+    """Flatten nested ``&&`` into a list of conjuncts."""
+    if isinstance(expr, BooleanOp) and expr.op == "&&":
+        return _conjuncts(expr.left) + _conjuncts(expr.right)
+    return [expr]
+
+
+def _bound_checks(expr: Expr, negated: bool = False):
+    """Yield ``(var, negated)`` for every BOUND() reachable conjunctively."""
+    if isinstance(expr, FunctionCall) and expr.name == "BOUND":
+        if len(expr.args) == 1 and isinstance(expr.args[0], VarExpr):
+            yield expr.args[0].var, negated
+    elif isinstance(expr, Not):
+        yield from _bound_checks(expr.operand, not negated)
+    elif isinstance(expr, BooleanOp):
+        yield from _bound_checks(expr.left, negated)
+        yield from _bound_checks(expr.right, negated)
+
+
+# --------------------------------------------------------------------- #
+# Numeric range analysis
+# --------------------------------------------------------------------- #
+
+
+class _Interval:
+    """An open/closed interval plus an optional equality pin for one var."""
+
+    __slots__ = ("low", "low_strict", "high", "high_strict", "pinned", "pin")
+
+    def __init__(self):
+        self.low: float | None = None
+        self.low_strict = False
+        self.high: float | None = None
+        self.high_strict = False
+        self.pinned = False
+        self.pin: float | None = None
+
+    def add(self, op: str, value: float) -> None:
+        if op == "=":
+            if self.pinned and self.pin != value:
+                self.low, self.high = 1.0, 0.0  # force emptiness
+            self.pinned, self.pin = True, value
+        elif op in (">", ">="):
+            strict = op == ">"
+            if self.low is None or value > self.low or (value == self.low and strict):
+                self.low, self.low_strict = value, strict
+        elif op in ("<", "<="):
+            strict = op == "<"
+            if self.high is None or value < self.high or (value == self.high and strict):
+                self.high, self.high_strict = value, strict
+
+    @property
+    def empty(self) -> bool:
+        if self.pinned and self.pin is not None:
+            if self.low is not None and (self.pin < self.low or (self.pin == self.low and self.low_strict)):
+                return True
+            if self.high is not None and (self.pin > self.high or (self.pin == self.high and self.high_strict)):
+                return True
+        if self.low is not None and self.high is not None:
+            if self.low > self.high:
+                return True
+            if self.low == self.high and (self.low_strict or self.high_strict):
+                return True
+        return False
+
+
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}
+_ORDERING_OPS = ("<", "<=", ">", ">=")
+
+
+def _constant_kind(term: Term) -> str | None:
+    """'numeric' / 'string' / 'bool' for a literal constant, else None."""
+    if not isinstance(term, Literal):
+        return None
+    value = term.to_python()
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, (int, float)):
+        return "numeric"
+    if isinstance(value, str):
+        return "string"
+    return None
+
+
+def _var_const_comparison(expr: Expr) -> tuple[Var, str, Term] | None:
+    """``(var, op, constant)`` for a variable-vs-constant comparison."""
+    if not isinstance(expr, Comparison):
+        return None
+    if isinstance(expr.left, VarExpr) and isinstance(expr.right, TermExpr):
+        return expr.left.var, expr.op, expr.right.term
+    if isinstance(expr.left, TermExpr) and isinstance(expr.right, VarExpr):
+        return expr.right.var, _FLIP[expr.op], expr.left.term
+    return None
+
+
+# --------------------------------------------------------------------- #
+# The analyzer
+# --------------------------------------------------------------------- #
+
+
+class QueryAnalyzer:
+    """Visitor that collects :class:`Diagnostic` records for one query.
+
+    ``graph`` (optional) enables cardinality-based cost lints via
+    :func:`repro.sparql.optimizer.estimate_cardinality`; ``endpoints``
+    (optional) enables federation source checks (ALEX-W110).
+    """
+
+    #: A pattern whose estimate covers at least this fraction of the graph
+    #: is flagged as unselective.
+    COST_FRACTION = 0.5
+    #: ...but only when the graph is at least this large (tiny graphs make
+    #: every pattern look unselective).
+    COST_MIN_GRAPH = 10
+
+    def __init__(self, query, graph=None, endpoints=None):
+        self.query = query
+        self.graph = graph
+        self.endpoints = list(endpoints) if endpoints is not None else None
+        self.diagnostics: list[Diagnostic] = []
+
+    # -- reporting ------------------------------------------------------ #
+
+    def _report(self, code: str, message: str, node=None, hint: str | None = None,
+                position: tuple[int | None, int | None] | None = None) -> None:
+        severity = CODES[code][0]
+        line, column = position if position is not None else get_position(node)
+        self.diagnostics.append(
+            Diagnostic(code=code, severity=severity, message=message,
+                       line=line, column=column, hint=hint)
+        )
+
+    # -- entry point ---------------------------------------------------- #
+
+    def analyze(self) -> list[Diagnostic]:
+        where = self.query.where
+        if isinstance(self.query, SelectQuery):
+            self._check_projection(where)
+        elif isinstance(self.query, ConstructQuery):
+            self._check_template(where)
+        self._walk_group(where, outer_possible=set(), outer_certain=set())
+        if self.endpoints is not None:
+            self._check_sources(where)
+        self.diagnostics.sort(key=_sort_key)
+        return self.diagnostics
+
+    # -- projection / aggregation scoping -------------------------------- #
+
+    def _check_projection(self, where: GroupGraphPattern) -> None:
+        query = self.query
+        available = possible_vars(where)
+        seen: set[Var] = set()
+        for var in query.projection_order or query.variables:
+            if var in seen:
+                self._report(
+                    "ALEX-W106", f"variable {var} is projected more than once", var,
+                    hint="remove the duplicate from the SELECT list",
+                )
+            seen.add(var)
+        aggregate_aliases = {aggregate.alias for aggregate in query.aggregates}
+        for var in query.variables:
+            if var in aggregate_aliases:
+                continue
+            if var not in available:
+                self._report(
+                    "ALEX-E001",
+                    f"projected variable {var} is never bound in the WHERE clause",
+                    var,
+                    hint="bind it in a triple pattern, BIND, or VALUES — or drop it",
+                )
+            elif query.is_aggregated and var not in query.group_by:
+                self._report(
+                    "ALEX-E002",
+                    f"variable {var} is projected but not in GROUP BY",
+                    var,
+                    hint="add it to GROUP BY or wrap it in an aggregate",
+                )
+        for aggregate in query.aggregates:
+            if aggregate.var is not None and aggregate.var not in available:
+                self._report(
+                    "ALEX-E003",
+                    f"aggregate {aggregate.function}({aggregate.var}) argument is "
+                    "never bound in the WHERE clause",
+                    aggregate,
+                )
+        for var in query.group_by:
+            if var not in available:
+                self._report(
+                    "ALEX-W109",
+                    f"GROUP BY variable {var} is never bound; all solutions "
+                    "fall into one group keyed by nothing",
+                    var,
+                )
+
+    def _check_template(self, where: GroupGraphPattern) -> None:
+        available = possible_vars(where)
+        for pattern in self.query.template:
+            for term in (pattern.subject, pattern.predicate, pattern.object):
+                if isinstance(term, Var) and term not in available:
+                    self._report(
+                        "ALEX-E001",
+                        f"CONSTRUCT template variable {term} is never bound in "
+                        "the WHERE clause; the template triple is never produced",
+                        pattern,
+                    )
+
+    # -- group walking ---------------------------------------------------- #
+
+    def _walk_group(self, group: GroupGraphPattern,
+                    outer_possible: set[Var], outer_certain: set[Var]) -> None:
+        env_possible = outer_possible | possible_vars(group)
+        env_certain = outer_certain | certain_vars(group)
+        optional_only = set()
+        for child in group.children:
+            if isinstance(child, OptionalPattern):
+                optional_only |= possible_vars(child.pattern)
+        optional_only -= env_certain
+
+        self._check_cartesian(group, outer_possible)
+        self._check_group_ranges(group, env_possible)
+
+        for index, child in enumerate(group.children):
+            if isinstance(child, BGP):
+                self._check_cost(child)
+            elif isinstance(child, Filter):
+                self._check_filter(child, env_possible, env_certain, optional_only)
+            elif isinstance(child, ValuesClause):
+                if not child.rows:
+                    self._report(
+                        "ALEX-W107",
+                        "VALUES clause has no rows; it eliminates every solution",
+                        child,
+                        hint="add rows or remove the clause",
+                    )
+            elif isinstance(child, OptionalPattern):
+                self._check_optional(group, index, child, outer_possible)
+                self._walk_group(child.pattern, env_possible, env_certain)
+            elif isinstance(child, UnionPattern):
+                for alternative in child.alternatives:
+                    if self._branch_unsatisfiable(alternative):
+                        line, column = get_position(alternative)
+                        if line is None:
+                            line, column = get_position(child)
+                        self._report(
+                            "ALEX-W105",
+                            "UNION branch is statically unsatisfiable and can "
+                            "never contribute solutions",
+                            position=(line, column),
+                        )
+                    self._walk_group(alternative, env_possible, env_certain)
+            elif isinstance(child, GroupGraphPattern):
+                self._walk_group(child, env_possible, env_certain)
+
+    # -- rule: cartesian products (ALEX-W101) ----------------------------- #
+
+    def _check_cartesian(self, group: GroupGraphPattern, outer_possible: set[Var]) -> None:
+        patterns = [
+            pattern
+            for child in group.children
+            if isinstance(child, BGP)
+            for pattern in child.patterns
+            if pattern.variables()
+        ]
+        if len(patterns) < 2:
+            return
+        # union-find over patterns connected by shared variables
+        components: list[tuple[set[Var], TriplePattern]] = []
+        for pattern in patterns:
+            merged_vars = set(pattern.variables())
+            first = pattern
+            disjoint: list[tuple[set[Var], TriplePattern]] = []
+            for component_vars, component_first in components:
+                if component_vars & merged_vars:
+                    merged_vars |= component_vars
+                    first = component_first  # earliest pattern keeps the position
+                else:
+                    disjoint.append((component_vars, component_first))
+            components = disjoint + [(merged_vars, first)]
+        if len(components) >= 2:
+            # report at the later component: that's the one whose join with
+            # the already-matched prefix multiplies instead of filtering
+            offender = components[-1][1]
+            self._report(
+                "ALEX-W101",
+                "basic graph pattern splits into variable-disjoint components; "
+                "their join is a cartesian product",
+                offender,
+                hint="connect the components through a shared variable or split the query",
+            )
+
+    # -- rule: filters ----------------------------------------------------- #
+
+    def _check_filter(self, node: Filter, env_possible: set[Var],
+                      env_certain: set[Var], optional_only: set[Var]) -> None:
+        expression = node.expression
+        position = get_position(node)
+
+        for var in sorted(_expr_vars(expression), key=lambda v: v.name):
+            if var not in env_possible:
+                self._report(
+                    "ALEX-E006",
+                    f"FILTER references {var}, which is never bound in scope; "
+                    "the filter errors and eliminates every solution",
+                    node,
+                )
+            elif var in optional_only:
+                self._report(
+                    "ALEX-W108",
+                    f"FILTER references {var}, which is bound only inside an "
+                    "OPTIONAL; solutions where the OPTIONAL did not match are "
+                    "silently eliminated",
+                    node,
+                    hint="move the FILTER inside the OPTIONAL or guard it with BOUND()",
+                )
+
+        for var, negated in _bound_checks(expression):
+            if var in env_certain:
+                outcome = "false" if negated else "true"
+                self._report(
+                    "ALEX-W103",
+                    f"{'!' if negated else ''}BOUND({var}) is always {outcome}: "
+                    f"{var} is bound in every solution",
+                    node,
+                )
+            elif var not in env_possible:
+                outcome = "true" if negated else "false"
+                self._report(
+                    "ALEX-W103",
+                    f"{'!' if negated else ''}BOUND({var}) is always {outcome}: "
+                    f"{var} is never bound",
+                    node,
+                )
+
+        self._check_constant_filter(node, expression)
+        self._check_same_var_comparisons(node, expression)
+
+    def _check_constant_filter(self, node: Filter, expression: Expr) -> None:
+        if _contains_var_or_exists(expression):
+            return
+        from repro.sparql.eval import _ExpressionError, _effective_boolean, eval_expression
+
+        try:
+            value = _effective_boolean(eval_expression(expression, {}))
+        except _ExpressionError:
+            self._report(
+                "ALEX-E004",
+                "FILTER expression always errors (type-incompatible constants); "
+                "it eliminates every solution",
+                node,
+            )
+            return
+        except Exception:
+            return  # not statically evaluable (e.g. arity errors surface at runtime)
+        if value:
+            self._report(
+                "ALEX-W102", "FILTER is constant true and has no effect", node,
+                hint="remove the filter",
+            )
+        else:
+            self._report(
+                "ALEX-E004",
+                "FILTER is constant false; it eliminates every solution",
+                node,
+            )
+
+    def _check_same_var_comparisons(self, node: Filter, expression: Expr) -> None:
+        for conjunct in _conjuncts(expression):
+            if (
+                isinstance(conjunct, Comparison)
+                and isinstance(conjunct.left, VarExpr)
+                and isinstance(conjunct.right, VarExpr)
+                and conjunct.left.var == conjunct.right.var
+            ):
+                if conjunct.op in ("=", "<=", ">="):
+                    self._report(
+                        "ALEX-W102",
+                        f"comparison {conjunct.left.var} {conjunct.op} "
+                        f"{conjunct.right.var} is always true when bound",
+                        node,
+                    )
+                elif conjunct.op in ("!=", "<", ">"):
+                    self._report(
+                        "ALEX-E004",
+                        f"comparison {conjunct.left.var} {conjunct.op} "
+                        f"{conjunct.right.var} is always false; it eliminates "
+                        "every solution",
+                        node,
+                    )
+
+    # -- rule: contradictory ranges across a group's filters --------------- #
+
+    def _check_group_ranges(self, group: GroupGraphPattern, env_possible: set[Var]) -> None:
+        """Filters in one group apply conjunctively; gather var/constant
+        comparisons across all of them and detect empty ranges and
+        type-incompatible constraint mixes."""
+        filters = [child for child in group.children if isinstance(child, Filter)]
+        if not filters:
+            return
+        intervals: dict[Var, _Interval] = {}
+        kinds: dict[Var, set[str]] = {}
+        anchor: dict[Var, Filter] = {}
+        for node in filters:
+            for conjunct in _conjuncts(node.expression):
+                found = _var_const_comparison(conjunct)
+                if found is None:
+                    continue
+                var, op, constant = found
+                kind = _constant_kind(constant)
+                if kind is None:
+                    continue
+                anchor.setdefault(var, node)
+                if op in _ORDERING_OPS or op == "=":
+                    kinds.setdefault(var, set()).add(kind)
+                if kind != "numeric" or op == "!=":
+                    continue
+                value = constant.to_python()
+                intervals.setdefault(var, _Interval()).add(op, float(value))
+        for var, kind_set in sorted(kinds.items(), key=lambda item: item[0].name):
+            if "numeric" in kind_set and "string" in kind_set:
+                self._report(
+                    "ALEX-E004",
+                    f"{var} is compared against both numeric and string "
+                    "constants; no RDF term satisfies both",
+                    anchor[var],
+                )
+        for var, interval in sorted(intervals.items(), key=lambda item: item[0].name):
+            if interval.empty:
+                self._report(
+                    "ALEX-E005",
+                    f"numeric constraints on {var} are contradictory; the "
+                    "FILTER conjunction is unsatisfiable",
+                    anchor[var],
+                )
+
+    # -- rule: OPTIONAL well-designedness (ALEX-W104) ---------------------- #
+
+    def _check_optional(self, group: GroupGraphPattern, index: int,
+                        node: OptionalPattern, outer_possible: set[Var]) -> None:
+        inside = possible_vars(node.pattern)
+        left = set(outer_possible)
+        for sibling in group.children[:index]:
+            left |= possible_vars(sibling)
+        for sibling in group.children[index + 1:]:
+            if isinstance(sibling, Filter):
+                continue  # filter scoping is ALEX-W108's job
+            shared = (inside & possible_vars(sibling)) - left
+            if shared:
+                names = ", ".join(sorted(str(var) for var in shared))
+                self._report(
+                    "ALEX-W104",
+                    f"OPTIONAL shares {names} with a later sibling pattern but "
+                    "not with the preceding part; the pattern is not "
+                    "well-designed and evaluation order changes its meaning",
+                    node,
+                    hint="bind the shared variable before the OPTIONAL, or merge the patterns",
+                )
+                return
+
+    # -- rule: dead UNION branches (ALEX-W105) ------------------------------ #
+
+    def _branch_unsatisfiable(self, branch: GroupGraphPattern) -> bool:
+        """A cheap satisfiability probe: constant-false filters, contradictory
+        ranges, or empty VALUES anywhere in the branch make it dead."""
+        from repro.sparql.eval import _ExpressionError, _effective_boolean, eval_expression
+
+        env = possible_vars(branch)
+        for child in branch.children:
+            if isinstance(child, ValuesClause) and not child.rows:
+                return True
+            if isinstance(child, Filter):
+                expression = child.expression
+                if not _contains_var_or_exists(expression):
+                    try:
+                        if not _effective_boolean(eval_expression(expression, {})):
+                            return True
+                    except _ExpressionError:
+                        return True
+                    except Exception:
+                        pass
+                for var in _expr_vars(expression):
+                    if var not in env:
+                        return True
+            if isinstance(child, GroupGraphPattern) and self._branch_unsatisfiable(child):
+                return True
+        intervals: dict[Var, _Interval] = {}
+        for child in branch.children:
+            if not isinstance(child, Filter):
+                continue
+            for conjunct in _conjuncts(child.expression):
+                found = _var_const_comparison(conjunct)
+                if found is None:
+                    continue
+                var, op, constant = found
+                if _constant_kind(constant) != "numeric" or op == "!=":
+                    continue
+                intervals.setdefault(var, _Interval()).add(op, float(constant.to_python()))
+        return any(interval.empty for interval in intervals.values())
+
+    # -- rule: cost lint (ALEX-I201) ---------------------------------------- #
+
+    def _check_cost(self, bgp: BGP) -> None:
+        if self.graph is None:
+            for pattern in bgp.patterns:
+                if all(isinstance(t, Var) for t in (pattern.subject, pattern.predicate, pattern.object)):
+                    self._report(
+                        "ALEX-I201",
+                        f"pattern {pattern} has no constant position; it scans "
+                        "the entire graph",
+                        pattern,
+                        hint="constrain at least one position, or accept the full scan",
+                    )
+            return
+        from repro.sparql.optimizer import estimate_cardinality
+
+        size = len(self.graph)
+        if size < self.COST_MIN_GRAPH:
+            return
+        for pattern in bgp.patterns:
+            estimate = estimate_cardinality(self.graph, pattern, set())
+            if estimate >= self.COST_FRACTION * size:
+                self._report(
+                    "ALEX-I201",
+                    f"pattern {pattern} matches an estimated {estimate:.0f} of "
+                    f"{size} triples; joins through it will be expensive",
+                    pattern,
+                    hint="reorder or constrain the pattern (the optimizer will "
+                    "try, but selectivity this low limits what it can do)",
+                )
+
+    # -- rule: federation sources (ALEX-W110) -------------------------------- #
+
+    def _check_sources(self, where: GroupGraphPattern) -> None:
+        for pattern in self._all_patterns(where):
+            if not any(endpoint.can_answer(pattern) for endpoint in self.endpoints):
+                names = ", ".join(sorted(endpoint.name for endpoint in self.endpoints))
+                self._report(
+                    "ALEX-W110",
+                    f"no endpoint ({names}) can answer pattern {pattern}; a "
+                    "federated query would return an empty result",
+                    pattern,
+                    hint="check the predicate IRI for typos against the endpoints' vocabularies",
+                )
+
+    def _all_patterns(self, group: GroupGraphPattern):
+        for child in group.children:
+            if isinstance(child, BGP):
+                yield from child.patterns
+            elif isinstance(child, GroupGraphPattern):
+                yield from self._all_patterns(child)
+            elif isinstance(child, OptionalPattern):
+                yield from self._all_patterns(child.pattern)
+            elif isinstance(child, UnionPattern):
+                for alternative in child.alternatives:
+                    yield from self._all_patterns(alternative)
+
+
+# --------------------------------------------------------------------- #
+# Public entry points
+# --------------------------------------------------------------------- #
+
+
+def analyze_query(query, graph=None, endpoints=None) -> list[Diagnostic]:
+    """Statically analyze a query (text or parsed AST) into diagnostics.
+
+    ``graph`` enables cardinality cost lints; ``endpoints`` enables
+    federation source checks.  Diagnostics are ordered by source position,
+    then severity, then code.  Every run and every diagnostic is counted in
+    :mod:`repro.obs` (``sparql.analysis.runs`` / ``sparql.analysis.diagnostics``).
+    """
+    from repro import obs
+
+    if isinstance(query, str):
+        from repro.sparql.parser import parse_query
+
+        query = parse_query(query)
+    diagnostics = QueryAnalyzer(query, graph=graph, endpoints=endpoints).analyze()
+    obs.inc("sparql.analysis.runs")
+    for diagnostic in diagnostics:
+        obs.inc(
+            "sparql.analysis.diagnostics",
+            code=diagnostic.code,
+            severity=diagnostic.severity,
+        )
+    return diagnostics
+
+
+def check_query(query, graph=None, endpoints=None) -> list[Diagnostic]:
+    """Strict-mode gate: analyze and raise on error-level diagnostics.
+
+    Returns the full diagnostic list (warnings included) when the query is
+    acceptable; raises :class:`~repro.errors.QueryAnalysisError` carrying
+    the diagnostics otherwise.
+    """
+    diagnostics = analyze_query(query, graph=graph, endpoints=endpoints)
+    errors = [diagnostic for diagnostic in diagnostics if diagnostic.is_error]
+    if errors:
+        raise QueryAnalysisError([diagnostic.format() for diagnostic in errors],
+                                 diagnostics=diagnostics)
+    return diagnostics
+
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "QueryAnalyzer",
+    "analyze_query",
+    "certain_vars",
+    "check_query",
+    "possible_vars",
+]

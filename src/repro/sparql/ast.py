@@ -12,6 +12,22 @@ from typing import Union
 from repro.rdf.terms import Literal, Term, URIRef
 
 
+def set_position(node: object, line: int | None, column: int | None) -> None:
+    """Attach a source position to an AST node (parser-internal).
+
+    Positions ride along as non-field attributes so they never affect the
+    equality/hash semantics of frozen nodes (two ``Var("x")`` at different
+    positions must still compare equal and share a dict slot).
+    """
+    if line is not None:
+        object.__setattr__(node, "_pos", (line, column))
+
+
+def get_position(node: object) -> tuple[int | None, int | None]:
+    """``(line, column)`` where ``node`` was parsed, or ``(None, None)``."""
+    return getattr(node, "_pos", (None, None))
+
+
 @dataclass(frozen=True)
 class Var:
     """A SPARQL variable, e.g. ``?name`` (stored without the ``?``)."""

@@ -556,17 +556,27 @@ def evaluate_construct(graph: Graph, query) -> Graph:
     return out
 
 
-def query(graph: Graph, text: str) -> "QueryResult | bool | Graph":
+def query(graph: Graph, text: str, strict: bool = False) -> "QueryResult | bool | Graph":
     """Parse and evaluate SPARQL ``text`` against ``graph``.
 
     Returns a :class:`QueryResult` for SELECT, a bool for ASK, or a
     :class:`~repro.rdf.graph.Graph` for CONSTRUCT.
+
+    ``strict=True`` runs :func:`repro.sparql.analysis.analyze_query` on the
+    parsed query first and raises
+    :class:`~repro.errors.QueryAnalysisError` when any error-level
+    diagnostic is found, instead of evaluating a query that can only
+    return wrong or empty answers.  Default behaviour is unchanged.
     """
     from repro.sparql.ast import ConstructQuery
 
     obs.inc("sparql.queries")
     with obs.timer("sparql.query.seconds"):
         parsed = parse_query(text)
+        if strict:
+            from repro.sparql.analysis import check_query
+
+            check_query(parsed, graph=graph)
         if isinstance(parsed, SelectQuery):
             return evaluate_select(graph, parsed)
         if isinstance(parsed, ConstructQuery):

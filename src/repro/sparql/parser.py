@@ -34,6 +34,7 @@ from repro.sparql.paths import (
 )
 from repro.sparql.ast import (
     AskQuery,
+    set_position,
     BGP,
     Bind,
     BooleanOp,
@@ -91,28 +92,32 @@ _FUNCTIONS = {
 
 
 class _Token:
-    __slots__ = ("kind", "text", "line")
+    __slots__ = ("kind", "text", "line", "column")
 
-    def __init__(self, kind: str, text: str, line: int):
+    def __init__(self, kind: str, text: str, line: int, column: int = 1):
         self.kind = kind
         self.text = text
         self.line = line
+        self.column = column
 
 
 def _tokenize(text: str) -> list[_Token]:
     tokens: list[_Token] = []
     line = 1
+    line_start = 0  # offset of the first character of the current line
     for match in _TOKEN_RE.finditer(text):
         kind = match.lastgroup
         value = match.group(0)
-        if kind == "ws":
-            line += value.count("\n")
-            continue
-        if kind == "comment":
-            continue
+        column = match.start() - line_start + 1
+        if kind not in ("ws", "comment", "bad"):
+            tokens.append(_Token(kind, value, line, column))
         if kind == "bad":
-            raise QuerySyntaxError(f"unexpected character {value!r}", line=line)
-        tokens.append(_Token(kind, value, line))
+            raise QuerySyntaxError(
+                f"unexpected character {value!r}", line=line, column=column
+            )
+        if "\n" in value:  # whitespace and multi-line strings advance the line
+            line += value.count("\n")
+            line_start = match.start() + value.rindex("\n") + 1
     return tokens
 
 
@@ -139,10 +144,27 @@ class Parser:
     def _peek(self) -> _Token | None:
         return self.tokens[self.pos] if self.pos < len(self.tokens) else None
 
+    def _error(self, message: str, token: _Token | None = None) -> QuerySyntaxError:
+        """A syntax error located at ``token`` (or the current token).
+
+        At end of input there is no current token; the last token's position
+        still points near the problem, which beats reporting no location.
+        """
+        token = token if token is not None else self._peek()
+        if token is None and self.tokens:
+            token = self.tokens[-1]
+        if token is None:
+            return QuerySyntaxError(message)
+        return QuerySyntaxError(message, line=token.line, column=token.column)
+
+    def _position(self) -> tuple[int | None, int | None]:
+        token = self._peek()
+        return (token.line, token.column) if token is not None else (None, None)
+
     def _next(self) -> _Token:
         token = self._peek()
         if token is None:
-            raise QuerySyntaxError("unexpected end of query")
+            raise self._error("unexpected end of query")
         self.pos += 1
         return token
 
@@ -153,7 +175,7 @@ class Parser:
     def _eat_keyword(self, word: str) -> None:
         token = self._next()
         if token.kind != "name" or token.text.upper() != word:
-            raise QuerySyntaxError(f"expected {word}, found {token.text!r}", line=token.line)
+            raise self._error(f"expected {word}, found {token.text!r}", token)
 
     def _at_punct(self, char: str) -> bool:
         token = self._peek()
@@ -162,7 +184,7 @@ class Parser:
     def _eat_punct(self, char: str) -> None:
         token = self._next()
         if token.kind != "punct" or token.text != char:
-            raise QuerySyntaxError(f"expected {char!r}, found {token.text!r}", line=token.line)
+            raise self._error(f"expected {char!r}, found {token.text!r}", token)
 
     # -- entry points ---------------------------------------------------- #
 
@@ -177,10 +199,10 @@ class Parser:
         else:
             token = self._peek()
             found = token.text if token else "<eof>"
-            raise QuerySyntaxError(f"expected SELECT, ASK, or CONSTRUCT, found {found!r}")
+            raise self._error(f"expected SELECT, ASK, or CONSTRUCT, found {found!r}", token)
         if self._peek() is not None:
-            raise QuerySyntaxError(
-                f"trailing tokens after query: {self._peek().text!r}", line=self._peek().line
+            raise self._error(
+                f"trailing tokens after query: {self._peek().text!r}", self._peek()
             )
         return query
 
@@ -189,10 +211,10 @@ class Parser:
             self._next()
             name = self._next()
             if name.kind != "name" or not name.text.endswith(":"):
-                raise QuerySyntaxError("expected 'prefix:' after PREFIX", line=name.line)
+                raise QuerySyntaxError("expected 'prefix:' after PREFIX", line=name.line, column=name.column)
             iri = self._next()
             if iri.kind != "iri":
-                raise QuerySyntaxError("expected <iri> in PREFIX", line=iri.line)
+                raise QuerySyntaxError("expected <iri> in PREFIX", line=iri.line, column=iri.column)
             self.manager.bind(name.text[:-1], iri.text[1:-1])
 
     def _parse_select(self) -> SelectQuery:
@@ -211,6 +233,7 @@ class Parser:
                 token = self._peek()
                 if token is not None and token.kind == "var":
                     var = Var(self._next().text[1:])
+                    set_position(var, token.line, token.column)
                     variables.append(var)
                     projection_order.append(var)
                 elif token is not None and token.kind == "punct" and token.text == "(":
@@ -269,6 +292,7 @@ class Parser:
             raise QuerySyntaxError(
                 f"expected aggregate function, found {name_token.text!r}",
                 line=name_token.line,
+                column=name_token.column,
             )
         function = name_token.text.upper()
         self._eat_punct("(")
@@ -290,9 +314,13 @@ class Parser:
         self._eat_keyword("AS")
         alias_token = self._next()
         if alias_token.kind != "var":
-            raise QuerySyntaxError("expected alias variable after AS", line=alias_token.line)
+            raise QuerySyntaxError("expected alias variable after AS", line=alias_token.line, column=alias_token.column)
         self._eat_punct(")")
-        return Aggregate(function=function, var=var, alias=Var(alias_token.text[1:]), distinct=distinct)
+        aggregate = Aggregate(
+            function=function, var=var, alias=Var(alias_token.text[1:]), distinct=distinct
+        )
+        set_position(aggregate, name_token.line, name_token.column)
+        return aggregate
 
     def _parse_ask(self) -> AskQuery:
         self._eat_keyword("ASK")
@@ -316,7 +344,7 @@ class Parser:
     def _parse_int(self) -> int:
         token = self._next()
         if token.kind != "integer":
-            raise QuerySyntaxError(f"expected integer, found {token.text!r}", line=token.line)
+            raise QuerySyntaxError(f"expected integer, found {token.text!r}", line=token.line, column=token.column)
         return int(token.text)
 
     def _parse_order_conditions(self) -> list[OrderCondition]:
@@ -339,8 +367,10 @@ class Parser:
     # -- graph patterns --------------------------------------------------- #
 
     def _parse_group(self) -> GroupGraphPattern:
+        line, column = self._position()
         self._eat_punct("{")
         group = GroupGraphPattern()
+        set_position(group, line, column)
         current_bgp: BGP | None = None
 
         def flush() -> None:
@@ -351,14 +381,17 @@ class Parser:
 
         while not self._at_punct("}"):
             if self._peek() is None:
-                raise QuerySyntaxError("unterminated group pattern (missing '}')")
+                raise self._error("unterminated group pattern (missing '}')")
+            line, column = self._position()
             if self._at_keyword("FILTER"):
                 flush()
                 self._next()
                 self._eat_punct("(")
                 expr = self._parse_expression()
                 self._eat_punct(")")
-                group.children.append(Filter(expr))
+                node = Filter(expr)
+                set_position(node, line, column)
+                group.children.append(node)
             elif self._at_keyword("BIND"):
                 flush()
                 self._next()
@@ -371,14 +404,20 @@ class Parser:
                         "expected variable after AS in BIND", line=var_token.line
                     )
                 self._eat_punct(")")
-                group.children.append(Bind(expr, Var(var_token.text[1:])))
+                node = Bind(expr, Var(var_token.text[1:]))
+                set_position(node, line, column)
+                group.children.append(node)
             elif self._at_keyword("VALUES"):
                 flush()
-                group.children.append(self._parse_values())
+                node = self._parse_values()
+                set_position(node, line, column)
+                group.children.append(node)
             elif self._at_keyword("OPTIONAL"):
                 flush()
                 self._next()
-                group.children.append(OptionalPattern(self._parse_group()))
+                node = OptionalPattern(self._parse_group())
+                set_position(node, line, column)
+                group.children.append(node)
             elif self._at_punct("{"):
                 flush()
                 first = self._parse_group()
@@ -387,7 +426,9 @@ class Parser:
                     self._next()
                     alternatives.append(self._parse_group())
                 if len(alternatives) > 1:
-                    group.children.append(UnionPattern(alternatives))
+                    node = UnionPattern(alternatives)
+                    set_position(node, line, column)
+                    group.children.append(node)
                 else:
                     group.children.append(first)
             else:
@@ -472,7 +513,7 @@ class Parser:
                 try:
                     return PredicatePath(self.manager.expand(token.text))
                 except Exception as exc:
-                    raise QuerySyntaxError(str(exc), line=token.line) from exc
+                    raise QuerySyntaxError(str(exc), line=token.line, column=token.column) from exc
         raise QuerySyntaxError(
             f"invalid property path element {token.text!r}", line=token.line
         )
@@ -491,7 +532,7 @@ class Parser:
         else:
             var_token = self._next()
             if var_token.kind != "var":
-                raise QuerySyntaxError("expected variable after VALUES", line=var_token.line)
+                raise QuerySyntaxError("expected variable after VALUES", line=var_token.line, column=var_token.column)
             variables.append(Var(var_token.text[1:]))
         if not variables:
             raise QuerySyntaxError("VALUES requires at least one variable")
@@ -520,12 +561,15 @@ class Parser:
         return self._parse_pattern_term(position="object")
 
     def _parse_triples_into(self, bgp: BGP) -> None:
+        line, column = self._position()
         subject = self._parse_pattern_term(position="subject")
         while True:
             predicate = self._parse_predicate_or_path()
             while True:
                 obj = self._parse_pattern_term(position="object")
-                bgp.patterns.append(TriplePattern(subject, predicate, obj))
+                pattern = TriplePattern(subject, predicate, obj)
+                set_position(pattern, line, column)
+                bgp.patterns.append(pattern)
                 if self._at_punct(","):
                     self._next()
                     continue
@@ -555,10 +599,10 @@ class Parser:
                 try:
                     return self.manager.expand(token.text)
                 except Exception as exc:
-                    raise QuerySyntaxError(str(exc), line=token.line) from exc
-            raise QuerySyntaxError(f"unexpected name {token.text!r}", line=token.line)
+                    raise QuerySyntaxError(str(exc), line=token.line, column=token.column) from exc
+            raise QuerySyntaxError(f"unexpected name {token.text!r}", line=token.line, column=token.column)
         if position == "predicate":
-            raise QuerySyntaxError(f"invalid predicate {token.text!r}", line=token.line)
+            raise QuerySyntaxError(f"invalid predicate {token.text!r}", line=token.line, column=token.column)
         if token.kind == "string":
             lexical = _unescape(token.text[1:-1])
             nxt = self._peek()
@@ -572,40 +616,51 @@ class Parser:
                     return Literal(lexical, datatype=dt.text[1:-1])
                 if dt.kind == "name" and ":" in dt.text:
                     return Literal(lexical, datatype=self.manager.expand(dt.text).value)
-                raise QuerySyntaxError("expected datatype after ^^", line=dt.line)
+                raise QuerySyntaxError("expected datatype after ^^", line=dt.line, column=dt.column)
             return Literal(lexical)
         if token.kind == "integer":
             return Literal(token.text, datatype=XSD_INTEGER)
         if token.kind == "double":
             return Literal(token.text, datatype=XSD_DOUBLE)
-        raise QuerySyntaxError(f"unexpected token {token.text!r} as {position}", line=token.line)
+        raise QuerySyntaxError(f"unexpected token {token.text!r} as {position}", line=token.line, column=token.column)
 
     # -- expressions ------------------------------------------------------ #
 
     def _parse_expression(self) -> Expr:
-        return self._parse_or()
+        line, column = self._position()
+        expr = self._parse_or()
+        set_position(expr, line, column)
+        return expr
 
     def _parse_or(self) -> Expr:
+        line, column = self._position()
         left = self._parse_and()
+        set_position(left, line, column)
         while self._peek() is not None and self._peek().kind == "op" and self._peek().text == "||":
             self._next()
             left = BooleanOp("||", left, self._parse_and())
         return left
 
     def _parse_and(self) -> Expr:
+        line, column = self._position()
         left = self._parse_relational()
+        set_position(left, line, column)
         while self._peek() is not None and self._peek().kind == "op" and self._peek().text == "&&":
             self._next()
             left = BooleanOp("&&", left, self._parse_relational())
         return left
 
     def _parse_relational(self) -> Expr:
+        line, column = self._position()
         left = self._parse_unary()
+        set_position(left, line, column)
         token = self._peek()
         if token is not None and token.kind == "op" and token.text in ("=", "!=", "<", "<=", ">", ">="):
             self._next()
             right = self._parse_unary()
-            return Comparison(token.text, left, right)
+            comparison = Comparison(token.text, left, right)
+            set_position(comparison, line, column)
+            return comparison
         return left
 
     def _parse_unary(self) -> Expr:
@@ -645,7 +700,7 @@ class Parser:
                     return TermExpr(Literal(lexical, datatype=dt.text[1:-1]))
                 if dt.kind == "name" and ":" in dt.text:
                     return TermExpr(Literal(lexical, datatype=self.manager.expand(dt.text).value))
-                raise QuerySyntaxError("expected datatype after ^^", line=dt.line)
+                raise QuerySyntaxError("expected datatype after ^^", line=dt.line, column=dt.column)
             return TermExpr(Literal(lexical))
         if token.kind == "integer":
             return TermExpr(Literal(token.text, datatype=XSD_INTEGER))
@@ -667,7 +722,7 @@ class Parser:
                 return FunctionCall(upper, tuple(args))
             if ":" in token.text:
                 return TermExpr(self.manager.expand(token.text))
-        raise QuerySyntaxError(f"unexpected token in expression: {token.text!r}", line=token.line)
+        raise QuerySyntaxError(f"unexpected token in expression: {token.text!r}", line=token.line, column=token.column)
 
 
 def parse_query(text: str, manager: NamespaceManager | None = None) -> SelectQuery | AskQuery:

@@ -99,6 +99,79 @@ class TestLinkAndQuery:
         assert int(out.strip().splitlines()[1]) > 0
 
 
+class TestLintQuery:
+    def test_clean_query_exits_zero(self, capsys):
+        code, out, _ = run_cli(capsys, "lint-query", "SELECT ?s WHERE { ?s ?p ?o }")
+        assert code == 0
+        assert "0 error(s)" in out
+
+    def test_error_diagnostics_exit_one(self, capsys):
+        code, out, _ = run_cli(capsys, "lint-query", "SELECT ?name WHERE { ?s ?p ?o }")
+        assert code == 1
+        assert "ALEX-E001" in out
+        assert "1 error(s)" in out
+
+    def test_text_output_has_positions(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "lint-query", "SELECT * WHERE { ?s <http://x/p> ?o FILTER(1 > 2) }"
+        )
+        assert code == 1
+        assert "1:37: ALEX-E004 error:" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        code, out, _ = run_cli(
+            capsys, "lint-query", "--format", "json", "SELECT ?s ?s WHERE { ?s ?p ?o }"
+        )
+        assert code == 0  # warnings only
+        payload = json.loads(out)
+        assert payload[0]["code"] == "ALEX-W106"
+        assert payload[0]["severity"] == "warning"
+
+    def test_query_from_file(self, capsys, tmp_path):
+        query_file = tmp_path / "q.rq"
+        query_file.write_text("SELECT ?s WHERE { ?s ?p ?o }")
+        code, out, _ = run_cli(capsys, "lint-query", f"@{query_file}")
+        assert code == 0
+
+    def test_data_enables_cost_lint(self, capsys, tmp_path):
+        data = tmp_path / "d.nt"
+        data.write_text(
+            "".join(
+                f"<http://x/s{i}> <http://x/p> <http://x/o{i}> .\n" for i in range(12)
+            )
+        )
+        code, out, _ = run_cli(
+            capsys, "lint-query", "--data", str(data),
+            "SELECT * WHERE { ?s <http://x/p> ?o }",
+        )
+        assert code == 0
+        assert "ALEX-I201" in out
+
+    def test_syntax_error_is_reported(self, capsys):
+        code, _, err = run_cli(capsys, "lint-query", "SELECT WHERE {")
+        assert code == 1
+        assert "error" in err
+
+    def test_strict_query_rejects_errors(self, capsys, tmp_path):
+        data = tmp_path / "d.nt"
+        data.write_text("<http://x/s> <http://x/p> <http://x/o> .\n")
+        code, _, err = run_cli(
+            capsys, "query", "--strict", str(data), "SELECT ?name WHERE { ?s ?p ?o }"
+        )
+        assert code == 1
+        assert "ALEX-E001" in err
+
+    def test_default_query_still_runs_bad_projection(self, capsys, tmp_path):
+        data = tmp_path / "d.nt"
+        data.write_text("<http://x/s> <http://x/p> <http://x/o> .\n")
+        code, out, _ = run_cli(
+            capsys, "query", str(data), "SELECT ?name WHERE { ?s ?p ?o }"
+        )
+        assert code == 0
+
+
 class TestRunAndFigures:
     def test_run_scenario(self, capsys):
         code, out, _ = run_cli(capsys, "run", "fig4d", "--max-episodes", "5")

@@ -110,6 +110,23 @@ class TestSourceSelection:
         with pytest.raises(FederationError):
             select_sources(bgp, [Endpoint(dbpedia)])
 
+    def test_unanswerable_pattern_message_is_actionable(self, dbpedia, nytimes):
+        bgp = BGP([TriplePattern(Var("s"), URIRef("http://other/p"), Var("o"))])
+        with pytest.raises(FederationError) as excinfo:
+            select_sources(bgp, [Endpoint(dbpedia), Endpoint(nytimes)])
+        message = str(excinfo.value)
+        assert "[ALEX-W110]" in message
+        assert "dbpedia" in message and "nytimes" in message
+        assert "empty result" in message
+
+    def test_endpoint_order_is_deterministic(self, dbpedia, nytimes):
+        pattern = TriplePattern(Var("s"), Var("p"), Var("o"))
+        bgp = BGP([pattern])
+        forward = select_sources(bgp, [Endpoint(dbpedia), Endpoint(nytimes)])
+        reverse = select_sources(bgp, [Endpoint(nytimes), Endpoint(dbpedia)])
+        assert [e.name for e in forward[0].endpoints] == ["dbpedia", "nytimes"]
+        assert [e.name for e in reverse[0].endpoints] == ["dbpedia", "nytimes"]
+
     def test_no_endpoints_raises(self):
         with pytest.raises(FederationError):
             select_sources(BGP([]), [])
@@ -217,3 +234,32 @@ class TestFederatedExecution:
             "PREFIX db: <http://db/> SELECT ?n WHERE { ?p db:name ?n }"
         )
         assert len(engine.execute(parsed)) == 2
+
+
+class TestStrictFederation:
+    def test_strict_engine_rejects_analysis_errors(self, dbpedia, nytimes, links):
+        from repro.errors import QueryAnalysisError
+
+        engine = FederatedEngine(
+            [Endpoint(dbpedia), Endpoint(nytimes)], links, strict=True
+        )
+        with pytest.raises(QueryAnalysisError) as excinfo:
+            engine.select(
+                "PREFIX db: <http://db/> SELECT ?ghost WHERE { ?p db:name ?n }"
+            )
+        assert any(d.code == "ALEX-E001" for d in excinfo.value.diagnostics)
+
+    def test_strict_engine_accepts_clean_query(self, dbpedia, nytimes, links):
+        engine = FederatedEngine(
+            [Endpoint(dbpedia), Endpoint(nytimes)], links, strict=True
+        )
+        result = engine.select(
+            "PREFIX db: <http://db/> SELECT ?n WHERE { ?p db:name ?n }"
+        )
+        assert len(result) == 2
+
+    def test_default_engine_is_unchanged(self, engine):
+        result = engine.select(
+            "PREFIX db: <http://db/> SELECT ?ghost WHERE { ?p db:name ?n }"
+        )
+        assert len(result) == 2  # rows exist, ?ghost is simply unbound

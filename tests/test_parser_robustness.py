@@ -6,11 +6,14 @@ callers; every malformed query or document must raise the documented
 (or parse successfully). Hypothesis supplies the garbage.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import ParseError, QueryError
+from repro.errors import ParseError, QueryError, QuerySyntaxError
 from repro.rdf import ntriples, turtle
+from repro.sparql.analysis import analyze_query
+from repro.sparql.ast import get_position
 from repro.sparql.parser import parse_query
 
 # Garbage biased toward the languages' own alphabets so fragments get deep
@@ -48,6 +51,90 @@ class TestSparqlParserRobustness:
             parse_query(text)
         except QueryError:
             pass
+
+
+class TestSparqlErrorPositions:
+    """Syntax errors carry the line/column where the parser gave up."""
+
+    def test_error_on_first_line_has_column(self):
+        with pytest.raises(QuerySyntaxError) as excinfo:
+            parse_query("SELECT ?s WHERE { ?s ?p }")
+        assert excinfo.value.line == 1
+        assert excinfo.value.column is not None
+
+    def test_error_line_tracks_newlines(self):
+        with pytest.raises(QuerySyntaxError) as excinfo:
+            parse_query("SELECT ?s\nWHERE {\n  ?s ?p\n}")
+        assert excinfo.value.line >= 3
+
+    def test_unterminated_group_reports_position(self):
+        with pytest.raises(QuerySyntaxError) as excinfo:
+            parse_query("SELECT * WHERE { ?s ?p ?o ")
+        assert excinfo.value.line is not None
+
+    def test_bad_token_column_is_one_based(self):
+        with pytest.raises(QuerySyntaxError) as excinfo:
+            parse_query("GARBAGE")
+        assert excinfo.value.column == 1
+
+    def test_ast_nodes_carry_positions(self):
+        parsed = parse_query(
+            "SELECT ?s WHERE {\n  ?s <http://x/p> ?o .\n  FILTER(?o > 1)\n}"
+        )
+        var_line, var_column = get_position(parsed.variables[0])
+        assert (var_line, var_column) == (1, 8)
+        pattern = parsed.where.children[0].patterns[0]
+        assert get_position(pattern)[0] == 2
+        filter_pattern = parsed.where.children[1]
+        assert get_position(filter_pattern)[0] == 3
+
+
+class TestAnalyzerRobustness:
+    """The analyzer must accept anything the parser accepts."""
+
+    @given(sparql_garbage)
+    @settings(max_examples=200, deadline=None)
+    def test_analyzer_never_crashes_on_parseable_garbage(self, text):
+        try:
+            parsed = parse_query(text)
+        except QueryError:
+            return
+        diagnostics = analyze_query(parsed)
+        for diagnostic in diagnostics:
+            assert diagnostic.code and diagnostic.severity in ("error", "warning", "info")
+
+    def test_duplicate_projected_variables(self):
+        diagnostics = analyze_query("SELECT ?s ?s ?s WHERE { ?s ?p ?o }")
+        assert sum(d.code == "ALEX-W106" for d in diagnostics) == 2
+
+    def test_filter_on_optional_only_variable(self):
+        diagnostics = analyze_query(
+            "SELECT * WHERE { ?s <http://x/p> ?o "
+            "OPTIONAL { ?s <http://x/q> ?v } FILTER(?v > 1) }"
+        )
+        assert any(d.code == "ALEX-W108" for d in diagnostics)
+
+    def test_empty_values_clause(self):
+        diagnostics = analyze_query("SELECT * WHERE { ?s ?p ?o VALUES ?v { } }")
+        assert any(d.code == "ALEX-W107" for d in diagnostics)
+
+    def test_nested_union_scoping(self):
+        # ?x is bound in every branch of the outer UNION (including both
+        # branches of the nested inner UNION), so projecting it is fine.
+        diagnostics = analyze_query(
+            "SELECT ?x WHERE { { ?x <http://x/a> ?y } UNION "
+            "{ { ?x <http://x/b> ?y } UNION { ?x <http://x/c> ?y } } }"
+        )
+        assert not any(d.code == "ALEX-E001" for d in diagnostics)
+
+    def test_nested_union_partial_binding_flagged(self):
+        # ?y is missing from one inner branch, so it is not certain.
+        diagnostics = analyze_query(
+            "SELECT * WHERE { { ?x <http://x/a> ?y } UNION "
+            "{ { ?x <http://x/b> ?y } UNION { ?x <http://x/c> ?x } } "
+            "FILTER(!BOUND(?y)) }"
+        )
+        assert not any(d.code == "ALEX-W103" for d in diagnostics)
 
 
 class TestTurtleParserRobustness:

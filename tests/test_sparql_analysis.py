@@ -1,0 +1,413 @@
+"""Tests for the SPARQL static analyzer (``repro.sparql.analysis``).
+
+Every ALEX-* diagnostic code is covered by at least one test asserting the
+code, the severity, and the source location, per the code table in
+``docs/diagnostics.md``.
+"""
+
+import pytest
+
+from repro import obs
+from repro.errors import QueryAnalysisError
+from repro.federation import Endpoint, FederatedEngine
+from repro.rdf import turtle
+from repro.sparql import CODES, Diagnostic, analyze_query, check_query, query, parse_query
+from repro.sparql.analysis import certain_vars, possible_vars
+from repro.sparql.ast import Var
+
+
+def codes_of(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+def only(diagnostics, code):
+    found = [d for d in diagnostics if d.code == code]
+    assert found, f"expected {code} in {codes_of(diagnostics)}"
+    return found[0]
+
+
+@pytest.fixture()
+def graph():
+    return turtle.load(
+        """
+        @prefix ex: <http://ex/> .
+        ex:a ex:name "A" . ex:b ex:name "B" . ex:c ex:name "C" .
+        ex:d ex:name "D" . ex:e ex:name "E" . ex:f ex:name "F" .
+        ex:a ex:rare ex:b .
+        ex:a ex:common ex:b . ex:b ex:common ex:c . ex:c ex:common ex:d .
+        ex:d ex:common ex:e . ex:e ex:common ex:f . ex:f ex:common ex:a .
+        ex:a ex:common ex:d .
+        """,
+        name="ex",
+    )
+
+
+class TestDiagnosticRecord:
+    def test_code_table_is_consistent(self):
+        for code, (severity, summary) in CODES.items():
+            assert code.startswith("ALEX-")
+            assert severity in ("error", "warning", "info")
+            assert summary
+
+    def test_format_and_to_dict(self):
+        diagnostic = Diagnostic("ALEX-E001", "error", "message", line=2, column=7, hint="fix")
+        assert diagnostic.format() == "2:7: ALEX-E001 error: message (hint: fix)"
+        assert diagnostic.to_dict()["line"] == 2
+        assert diagnostic.is_error
+
+    def test_diagnostics_ordered_by_position(self):
+        diagnostics = analyze_query(
+            "SELECT ?nope WHERE {\n"
+            "  ?s <http://ex/p> ?o .\n"
+            "  FILTER(1 > 2)\n"
+            "  FILTER(?zzz = 1)\n"
+            "}"
+        )
+        positions = [(d.line, d.column) for d in diagnostics]
+        assert positions == sorted(positions)
+
+
+class TestProjectionRules:
+    def test_e001_unbound_projection(self):
+        diagnostic = only(analyze_query("SELECT ?name WHERE { ?s ?p ?o }"), "ALEX-E001")
+        assert diagnostic.severity == "error"
+        assert (diagnostic.line, diagnostic.column) == (1, 8)
+        assert "?name" in diagnostic.message
+
+    def test_e001_construct_template(self):
+        diagnostics = analyze_query(
+            "CONSTRUCT { ?s <http://ex/p> ?nope } WHERE { ?s ?p ?o }"
+        )
+        assert "ALEX-E001" in codes_of(diagnostics)
+
+    def test_w106_duplicate_projection(self):
+        diagnostic = only(analyze_query("SELECT ?s ?s WHERE { ?s ?p ?o }"), "ALEX-W106")
+        assert diagnostic.severity == "warning"
+        assert (diagnostic.line, diagnostic.column) == (1, 11)  # the second ?s
+
+    def test_e002_non_grouped_projection(self):
+        diagnostic = only(
+            analyze_query(
+                "SELECT ?s (COUNT(?o) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?p"
+            ),
+            "ALEX-E002",
+        )
+        assert diagnostic.severity == "error"
+        assert (diagnostic.line, diagnostic.column) == (1, 8)
+
+    def test_e003_aggregate_arg_never_bound(self):
+        diagnostic = only(
+            analyze_query("SELECT (COUNT(?zzz) AS ?n) WHERE { ?s ?p ?o }"), "ALEX-E003"
+        )
+        assert diagnostic.severity == "error"
+        assert diagnostic.line == 1
+
+    def test_w109_group_by_never_bound(self):
+        diagnostic = only(
+            analyze_query(
+                "SELECT (COUNT(?o) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?ghost"
+            ),
+            "ALEX-W109",
+        )
+        assert diagnostic.severity == "warning"
+
+    def test_projection_via_bind_and_values_is_clean(self):
+        diagnostics = analyze_query(
+            'SELECT ?v ?w WHERE { ?s <http://ex/p> ?o . '
+            'BIND(STR(?o) AS ?v) VALUES ?w { "x" } }'
+        )
+        assert "ALEX-E001" not in codes_of(diagnostics)
+
+
+class TestFilterRules:
+    def test_e004_constant_false(self):
+        diagnostic = only(
+            analyze_query("SELECT * WHERE { ?s <http://ex/p> ?o FILTER(1 > 2) }"),
+            "ALEX-E004",
+        )
+        assert diagnostic.severity == "error"
+        assert (diagnostic.line, diagnostic.column) == (1, 38)
+
+    def test_e004_type_incompatible_constants(self):
+        diagnostics = analyze_query(
+            'SELECT * WHERE { ?s <http://ex/p> ?o FILTER("a" < 5) }'
+        )
+        assert "ALEX-E004" in codes_of(diagnostics)
+
+    def test_e004_mixed_kind_var_constraints(self):
+        diagnostic = only(
+            analyze_query(
+                'SELECT * WHERE { ?s <http://ex/p> ?o '
+                'FILTER(?o > 5) FILTER(?o < "abc") }'
+            ),
+            "ALEX-E004",
+        )
+        assert "numeric and string" in diagnostic.message
+
+    def test_e004_self_comparison(self):
+        diagnostic = only(
+            analyze_query("SELECT * WHERE { ?s <http://ex/p> ?o FILTER(?o != ?o) }"),
+            "ALEX-E004",
+        )
+        assert "?o != ?o" in diagnostic.message
+
+    def test_e005_contradictory_range(self):
+        diagnostic = only(
+            analyze_query(
+                "SELECT * WHERE { ?s <http://ex/p> ?o FILTER(?o > 5 && ?o < 3) }"
+            ),
+            "ALEX-E005",
+        )
+        assert diagnostic.severity == "error"
+        assert (diagnostic.line, diagnostic.column) == (1, 38)
+
+    def test_e005_across_filters_in_one_group(self):
+        diagnostics = analyze_query(
+            "SELECT * WHERE { ?s <http://ex/p> ?o FILTER(?o >= 10) FILTER(?o <= 9) }"
+        )
+        assert "ALEX-E005" in codes_of(diagnostics)
+
+    def test_e005_contradictory_equality_pins(self):
+        diagnostics = analyze_query(
+            "SELECT * WHERE { ?s <http://ex/p> ?o FILTER(?o = 3 && ?o = 4) }"
+        )
+        assert "ALEX-E005" in codes_of(diagnostics)
+
+    def test_satisfiable_range_is_clean(self):
+        diagnostics = analyze_query(
+            "SELECT * WHERE { ?s <http://ex/p> ?o FILTER(?o > 3 && ?o <= 5) }"
+        )
+        assert "ALEX-E005" not in codes_of(diagnostics)
+        assert "ALEX-E004" not in codes_of(diagnostics)
+
+    def test_e006_filter_on_never_bound_var(self):
+        diagnostic = only(
+            analyze_query("SELECT * WHERE { ?s <http://ex/p> ?o FILTER(?zzz > 5) }"),
+            "ALEX-E006",
+        )
+        assert diagnostic.severity == "error"
+        assert "?zzz" in diagnostic.message
+
+    def test_bound_is_exempt_from_e006(self):
+        diagnostics = analyze_query(
+            "SELECT * WHERE { ?s <http://ex/p> ?o FILTER(!BOUND(?maybe)) }"
+        )
+        assert "ALEX-E006" not in codes_of(diagnostics)
+
+    def test_w102_constant_true(self):
+        diagnostic = only(
+            analyze_query("SELECT * WHERE { ?s <http://ex/p> ?o FILTER(1 < 2) }"),
+            "ALEX-W102",
+        )
+        assert diagnostic.severity == "warning"
+
+    def test_w103_bound_on_certain_var(self):
+        diagnostic = only(
+            analyze_query("SELECT * WHERE { ?s <http://ex/p> ?o FILTER(!BOUND(?s)) }"),
+            "ALEX-W103",
+        )
+        assert diagnostic.severity == "warning"
+        assert "always false" in diagnostic.message
+
+    def test_w103_bound_on_impossible_var(self):
+        diagnostic = only(
+            analyze_query("SELECT * WHERE { ?s <http://ex/p> ?o FILTER(BOUND(?never)) }"),
+            "ALEX-W103",
+        )
+        assert "always false" in diagnostic.message
+
+    def test_w108_filter_on_optional_only_var(self):
+        diagnostic = only(
+            analyze_query(
+                "SELECT * WHERE { ?s <http://ex/p> ?o "
+                "OPTIONAL { ?s <http://ex/q> ?v } FILTER(?v > 3) }"
+            ),
+            "ALEX-W108",
+        )
+        assert diagnostic.severity == "warning"
+        assert "?v" in diagnostic.message
+
+
+class TestStructuralRules:
+    def test_w101_cartesian_product(self):
+        diagnostic = only(
+            analyze_query(
+                "SELECT * WHERE { ?a <http://ex/p> ?b . ?c <http://ex/q> ?d }"
+            ),
+            "ALEX-W101",
+        )
+        assert diagnostic.severity == "warning"
+        # reported at the second (disjoint) component
+        assert (diagnostic.line, diagnostic.column) == (1, 40)
+
+    def test_connected_patterns_are_clean(self):
+        diagnostics = analyze_query(
+            "SELECT * WHERE { ?a <http://ex/p> ?b . ?b <http://ex/q> ?c }"
+        )
+        assert "ALEX-W101" not in codes_of(diagnostics)
+
+    def test_w104_non_well_designed_optional(self):
+        diagnostic = only(
+            analyze_query(
+                "SELECT * WHERE { ?a <http://ex/p> ?b "
+                "OPTIONAL { ?a <http://ex/q> ?v } { ?v <http://ex/r> ?c } }"
+            ),
+            "ALEX-W104",
+        )
+        assert diagnostic.severity == "warning"
+        assert "?v" in diagnostic.message
+
+    def test_well_designed_optional_is_clean(self):
+        diagnostics = analyze_query(
+            "SELECT * WHERE { ?a <http://ex/p> ?v "
+            "OPTIONAL { ?a <http://ex/q> ?v } { ?v <http://ex/r> ?c } }"
+        )
+        assert "ALEX-W104" not in codes_of(diagnostics)
+
+    def test_w105_dead_union_branch(self):
+        diagnostic = only(
+            analyze_query(
+                "SELECT * WHERE { { ?s <http://ex/p> ?o FILTER(false) } "
+                "UNION { ?s <http://ex/q> ?o } }"
+            ),
+            "ALEX-W105",
+        )
+        assert diagnostic.severity == "warning"
+        assert diagnostics_have_one(diagnostic)
+
+    def test_w105_empty_values_branch(self):
+        diagnostics = analyze_query(
+            "SELECT * WHERE { { ?s <http://ex/p> ?o VALUES ?s { } } "
+            "UNION { ?s <http://ex/q> ?o } }"
+        )
+        assert "ALEX-W105" in codes_of(diagnostics)
+
+    def test_live_union_is_clean(self):
+        diagnostics = analyze_query(
+            "SELECT * WHERE { { ?s <http://ex/p> ?o } UNION { ?s <http://ex/q> ?o } }"
+        )
+        assert "ALEX-W105" not in codes_of(diagnostics)
+
+    def test_w107_empty_values(self):
+        diagnostic = only(
+            analyze_query("SELECT * WHERE { ?s <http://ex/p> ?o VALUES ?s { } }"),
+            "ALEX-W107",
+        )
+        assert diagnostic.severity == "warning"
+        assert diagnostic.line == 1
+
+    def test_nested_union_scoping(self):
+        # ?x binds in every branch of the nested union -> certain; projecting
+        # it is fine, and BOUND(?x) is therefore constant
+        diagnostics = analyze_query(
+            "SELECT ?x WHERE { { { ?x <http://ex/p> ?a } UNION "
+            "{ ?x <http://ex/q> ?b } } UNION { ?x <http://ex/r> ?c } "
+            "FILTER(BOUND(?x)) }"
+        )
+        assert "ALEX-E001" not in codes_of(diagnostics)
+        assert "ALEX-W103" in codes_of(diagnostics)
+
+    def test_union_partial_binding_not_certain(self):
+        # ?y binds in only one branch: possible but not certain
+        parsed = parse_query(
+            "SELECT * WHERE { { ?x <http://ex/p> ?y } UNION { ?x <http://ex/q> ?z } }"
+        )
+        assert Var("y") in possible_vars(parsed.where)
+        assert Var("y") not in certain_vars(parsed.where)
+        assert Var("x") in certain_vars(parsed.where)
+
+
+def diagnostics_have_one(diagnostic):
+    return diagnostic.line is not None
+
+
+class TestCostLint:
+    def test_i201_without_graph_flags_full_scan(self):
+        diagnostic = only(analyze_query("SELECT ?s WHERE { ?s ?p ?o }"), "ALEX-I201")
+        assert diagnostic.severity == "info"
+
+    def test_i201_with_graph_uses_cardinality(self, graph):
+        diagnostics = analyze_query(
+            "SELECT ?s WHERE { ?s <http://ex/common> ?o }", graph=graph
+        )
+        assert "ALEX-I201" in codes_of(diagnostics)
+
+    def test_i201_selective_pattern_is_clean(self, graph):
+        diagnostics = analyze_query(
+            "SELECT ?s WHERE { ?s <http://ex/rare> ?o }", graph=graph
+        )
+        assert "ALEX-I201" not in codes_of(diagnostics)
+
+
+class TestSourceCheck:
+    def test_w110_unmatched_pattern(self, graph):
+        diagnostic = only(
+            analyze_query(
+                "SELECT ?s WHERE { ?s <http://nowhere/p> ?o }",
+                endpoints=[Endpoint(graph, "ex")],
+            ),
+            "ALEX-W110",
+        )
+        assert diagnostic.severity == "warning"
+        assert "ex" in diagnostic.message
+
+    def test_matched_patterns_are_clean(self, graph):
+        diagnostics = analyze_query(
+            "SELECT ?s WHERE { ?s <http://ex/name> ?o }",
+            endpoints=[Endpoint(graph, "ex")],
+        )
+        assert "ALEX-W110" not in codes_of(diagnostics)
+
+
+class TestStrictMode:
+    def test_check_query_raises_on_errors(self):
+        with pytest.raises(QueryAnalysisError) as excinfo:
+            check_query("SELECT ?name WHERE { ?s ?p ?o }")
+        assert "ALEX-E001" in str(excinfo.value)
+        assert any(d.code == "ALEX-E001" for d in excinfo.value.diagnostics)
+
+    def test_check_query_returns_warnings(self):
+        diagnostics = check_query(
+            "SELECT * WHERE { ?s <http://ex/p> ?o VALUES ?s { } }"
+        )
+        assert "ALEX-W107" in codes_of(diagnostics)
+
+    def test_strict_query_raises(self, graph):
+        with pytest.raises(QueryAnalysisError):
+            query(graph, "SELECT ?name WHERE { ?s ?p ?o }", strict=True)
+
+    def test_default_query_unchanged(self, graph):
+        result = query(graph, "SELECT ?name WHERE { ?s ?p ?o }")
+        assert all(row == {} for row in result.rows)
+
+    def test_strict_query_accepts_clean_query(self, graph):
+        result = query(
+            graph, "SELECT ?s WHERE { ?s <http://ex/rare> ?o }", strict=True
+        )
+        assert len(result) == 1
+
+    def test_strict_federation_rejects_error_query(self, graph):
+        engine = FederatedEngine([Endpoint(graph, "ex")], strict=True)
+        with pytest.raises(QueryAnalysisError):
+            engine.select("SELECT ?name WHERE { ?s <http://ex/name> ?o }")
+
+    def test_default_federation_unchanged(self, graph):
+        engine = FederatedEngine([Endpoint(graph, "ex")])
+        result = engine.select("SELECT ?name WHERE { ?s <http://ex/name> ?o }")
+        assert len(result.rows) == 6
+
+
+class TestObsIntegration:
+    def test_diagnostics_are_counted(self):
+        with obs.use_registry() as registry:
+            analyze_query("SELECT ?name WHERE { ?s <http://ex/p> ?o FILTER(1>2) }")
+            snapshot = registry.snapshot()
+        assert obs.counter_total(snapshot, "sparql.analysis.runs") == 1
+        total = obs.counter_total(snapshot, "sparql.analysis.diagnostics")
+        assert total == 2  # E001 + E004
+        labels = [
+            entry["labels"]
+            for entry in snapshot["counters"]
+            if entry["name"] == "sparql.analysis.diagnostics"
+        ]
+        assert {"code": "ALEX-E001", "severity": "error"} in labels

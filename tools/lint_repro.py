@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""Repo-invariant linter for the repro codebase (runs in CI).
+
+Complements ruff with project-specific invariants that generic linters
+cannot know, checked statically over Python ``ast``:
+
+* **R001** — no ``print`` calls inside ``src/repro`` outside the CLI
+  modules (``cli.py``, ``__main__.py``). Library code reports through
+  return values, exceptions, and ``repro.obs``; only the CLI talks to
+  stdout.
+* **R002** — no direct mutation of the global obs registry outside
+  ``src/repro/obs``: no references to ``_default_registry`` and no calls
+  to ``obs.set_registry`` / ``obs.reset``. Library code must use
+  ``obs.use_registry()`` scoping so instrumentation composes.
+* **R003** — every name in a module's ``__all__`` must be defined or
+  imported in that module (the public facade must not advertise names
+  that do not exist).
+* **R004** — no bare ``except:`` anywhere in ``src``, ``tools``, or
+  ``benchmarks`` (it swallows ``KeyboardInterrupt``/``SystemExit``).
+
+Usage: ``python tools/lint_repro.py [root]`` — exits non-zero when any
+invariant is violated, printing ``path:line: CODE message`` per finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+
+#: Modules inside src/repro that are allowed to print: the CLI surface.
+PRINT_ALLOWED = {"cli.py", "__main__.py"}
+
+#: obs-internal modules allowed to touch the default registry directly.
+OBS_DIR = os.path.join("src", "repro", "obs")
+
+FORBIDDEN_OBS_CALLS = {"set_registry", "reset"}
+
+
+class Finding:
+    __slots__ = ("path", "line", "code", "message")
+
+    def __init__(self, path: str, line: int, code: str, message: str):
+        self.path = path
+        self.line = line
+        self.code = code
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+def _is_obs_attr(node: ast.AST, name: str) -> bool:
+    """Matches ``obs.<name>`` / ``repro.obs.<name>`` attribute access."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == name
+        and isinstance(node.value, (ast.Name, ast.Attribute))
+        and (
+            (isinstance(node.value, ast.Name) and node.value.id == "obs")
+            or (isinstance(node.value, ast.Attribute) and node.value.attr == "obs")
+        )
+    )
+
+
+def check_file(path: str, rel: str) -> list[Finding]:
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [Finding(rel, error.lineno or 0, "R000", f"syntax error: {error.msg}")]
+
+    findings: list[Finding] = []
+    in_repro = rel.replace(os.sep, "/").startswith("src/repro/")
+    in_obs = rel.replace(os.sep, "/").startswith(OBS_DIR.replace(os.sep, "/"))
+    basename = os.path.basename(path)
+
+    for node in ast.walk(tree):
+        # R001: print() in library code
+        if (
+            in_repro
+            and basename not in PRINT_ALLOWED
+            and isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            findings.append(Finding(
+                rel, node.lineno, "R001",
+                "print() in library code; return values, raise, or use repro.obs",
+            ))
+        # R002: poking the global obs registry
+        if in_repro and not in_obs:
+            if isinstance(node, (ast.Attribute, ast.Name)):
+                name = node.attr if isinstance(node, ast.Attribute) else node.id
+                if name == "_default_registry":
+                    findings.append(Finding(
+                        rel, node.lineno, "R002",
+                        "direct access to obs._default_registry; use "
+                        "obs.get_registry()/obs.use_registry()",
+                    ))
+            if isinstance(node, ast.Call):
+                for forbidden in FORBIDDEN_OBS_CALLS:
+                    if _is_obs_attr(node.func, forbidden):
+                        findings.append(Finding(
+                            rel, node.lineno, "R002",
+                            f"obs.{forbidden}() mutates the global registry; "
+                            "use obs.use_registry() scoping",
+                        ))
+        # R004: bare except
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            findings.append(Finding(
+                rel, node.lineno, "R004",
+                "bare 'except:'; catch a specific exception (or Exception)",
+            ))
+
+    findings.extend(check_all_exports(tree, rel))
+    return findings
+
+
+def _imported_and_defined_names(tree: ast.Module) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+    return names
+
+
+def check_all_exports(tree: ast.Module, rel: str) -> list[Finding]:
+    """R003: ``__all__`` entries must name something that exists."""
+    exported: list[tuple[str, int]] = []
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if "__all__" in targets and isinstance(node.value, (ast.List, ast.Tuple)):
+                for element in node.value.elts:
+                    if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                        exported.append((element.value, element.lineno))
+    if not exported:
+        return []
+    available = _imported_and_defined_names(tree) | {"__version__"}
+    return [
+        Finding(rel, line, "R003", f"__all__ exports {name!r} but the module "
+                "neither defines nor imports it")
+        for name, line in exported
+        if name not in available
+    ]
+
+
+def lint(root: str) -> list[Finding]:
+    findings: list[Finding] = []
+    for top in ("src", "tools", "benchmarks"):
+        base = os.path.join(root, top)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                rel = os.path.relpath(path, root)
+                findings.extend(check_file(path, rel))
+    findings.sort(key=lambda f: (f.path, f.line, f.code))
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    root = argv[0] if argv else os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    findings = lint(root)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"{len(findings)} invariant violation(s)")
+        return 1
+    print("repo invariants OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
