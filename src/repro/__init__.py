@@ -28,7 +28,7 @@ needs:
 from repro import obs
 from repro.core import AlexConfig, AlexEngine, PartitionedAlex, run_partitions_parallel
 from repro.datasets import load_pair
-from repro.errors import QueryAnalysisError, ReproError
+from repro.errors import DataValidationError, QueryAnalysisError, ReproError
 from repro.evaluation import QualityTracker, evaluate_links, quality_curve_table
 from repro.features import FeatureSpace, build_partitioned_spaces
 from repro.federation import Endpoint, FederatedEngine, FederatedExecutor
@@ -40,14 +40,25 @@ from repro.feedback import (
 )
 from repro.links import Link, LinkSet
 from repro.paris import paris_links
-from repro.rdf import Graph, Literal, Triple, URIRef
+from repro.rdf import (
+    DataDiagnostic,
+    Graph,
+    Literal,
+    Triple,
+    URIRef,
+    validate_dataset,
+    validate_graph,
+    validate_links,
+)
 from repro.sparql import Diagnostic, analyze_query, parse_query
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AlexConfig",
     "AlexEngine",
+    "DataDiagnostic",
+    "DataValidationError",
     "Diagnostic",
     "Endpoint",
     "FeatureSpace",
@@ -77,4 +88,7 @@ __all__ = [
     "parse_query",
     "quality_curve_table",
     "run_partitions_parallel",
+    "validate_dataset",
+    "validate_graph",
+    "validate_links",
 ]

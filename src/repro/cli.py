@@ -7,6 +7,7 @@ Subcommands::
     repro link LEFT.nt RIGHT.nt [options]    # run the automatic linker
     repro query DATA.nt 'SELECT ...'         # run SPARQL over a file
     repro lint-query 'SELECT ...'            # static analysis (ALEX-* codes)
+    repro lint-data DATA.nt [RIGHT.nt]       # RDF graph & link-set validation
     repro run SCENARIO                       # run one experiment scenario
     repro figures all | FIGURE               # regenerate paper figures
     repro stats                              # exercise the stack, print obs metrics
@@ -73,6 +74,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    lint.add_argument(
+        "--fail-on", choices=("error", "warning", "info"), default="error",
+        help="exit non-zero when a diagnostic at or above this severity exists",
+    )
+
+    lint_data = subparsers.add_parser(
+        "lint-data",
+        help="statically validate RDF data and sameAs link sets (ALEX-D* diagnostics)",
+    )
+    lint_data.add_argument(
+        "data", nargs="+",
+        help="one or two dataset files (.nt, .nq, or .ttl); with two files "
+        "and --links, the first is the left side and the second the right",
+    )
+    lint_data.add_argument(
+        "--links", default=None, metavar="FILE",
+        help="owl:sameAs link set (N-Triples) to validate against the data",
+    )
+    lint_data.add_argument(
+        "--theta", type=float, default=None,
+        help="flag links scored below this threshold (requires scores in --links)",
+    )
+    lint_data.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    lint_data.add_argument(
+        "--fail-on", choices=("error", "warning", "info"), default="error",
+        help="exit non-zero when a diagnostic at or above this severity exists",
+    )
+    lint_data.add_argument(
+        "--strict", action="store_true",
+        help="shorthand for --fail-on warning",
     )
 
     describe = subparsers.add_parser("describe", help="print statistics of an N-Triples file")
@@ -187,10 +221,31 @@ def _cmd_query(data_path: str, sparql: str, strict: bool = False) -> int:
     return 0
 
 
-def _cmd_lint_query(sparql: str, data_path: str | None, output_format: str) -> int:
-    """Statically analyze a query; exit 1 when error-level diagnostics exist."""
+def _render_diagnostics(diagnostics, output_format: str, fail_on: str) -> int:
+    """Print diagnostics (text or JSON) and compute the exit code against
+    the ``--fail-on`` severity threshold."""
     import json
 
+    from repro.diagnostics import SEVERITY_RANK
+
+    if output_format == "json":
+        print(json.dumps([d.to_dict() for d in diagnostics], indent=2))
+    else:
+        for diagnostic in diagnostics:
+            print(diagnostic.format())
+        errors = sum(1 for d in diagnostics if d.severity == "error")
+        warnings = sum(1 for d in diagnostics if d.severity == "warning")
+        infos = len(diagnostics) - errors - warnings
+        print(f"{errors} error(s), {warnings} warning(s), {infos} info(s)")
+    threshold = SEVERITY_RANK[fail_on]
+    failing = any(SEVERITY_RANK[d.severity] <= threshold for d in diagnostics)
+    return 1 if failing else 0
+
+
+def _cmd_lint_query(
+    sparql: str, data_path: str | None, output_format: str, fail_on: str = "error"
+) -> int:
+    """Statically analyze a query; exit 1 at/above the --fail-on severity."""
     from repro.sparql import analyze_query
 
     if sparql.startswith("@"):
@@ -202,16 +257,61 @@ def _cmd_lint_query(sparql: str, data_path: str | None, output_format: str) -> i
 
         graph = ntriples.load_file(data_path)
     diagnostics = analyze_query(sparql, graph=graph)
-    if output_format == "json":
-        print(json.dumps([d.to_dict() for d in diagnostics], indent=2))
-    else:
-        for diagnostic in diagnostics:
-            print(diagnostic.format())
-        errors = sum(1 for d in diagnostics if d.severity == "error")
-        warnings = sum(1 for d in diagnostics if d.severity == "warning")
-        infos = len(diagnostics) - errors - warnings
-        print(f"{errors} error(s), {warnings} warning(s), {infos} info(s)")
-    return 1 if any(d.severity == "error" for d in diagnostics) else 0
+    return _render_diagnostics(diagnostics, output_format, fail_on)
+
+
+def _load_data_file(path: str):
+    """Load ``path`` by extension: .nq -> Dataset, .ttl -> Graph, else
+    N-Triples Graph."""
+    if path.endswith(".nq"):
+        from repro.rdf import nquads
+
+        return nquads.load_file(path)
+    if path.endswith(".ttl"):
+        from repro.rdf import turtle
+
+        with open(path, encoding="utf-8") as handle:
+            return turtle.load(handle.read(), name=path)
+    from repro.rdf import ntriples
+
+    return ntriples.load_file(path)
+
+
+def _cmd_lint_data(
+    data_paths: list[str],
+    links_path: str | None,
+    theta: float | None,
+    output_format: str,
+    fail_on: str,
+    strict: bool,
+) -> int:
+    """Validate RDF files (and optionally a link set against them)."""
+    from repro.links import LinkSet
+    from repro.rdf import ntriples
+    from repro.rdf.dataset import Dataset
+    from repro.rdf.validate import validate_dataset, validate_graph, validate_links
+
+    if strict and fail_on == "error":
+        fail_on = "warning"
+    if len(data_paths) > 2:
+        print("error: lint-data takes at most two dataset files", file=sys.stderr)
+        return 2
+    graphs = []
+    diagnostics = []
+    for path in data_paths:
+        loaded = _load_data_file(path)
+        if isinstance(loaded, Dataset):
+            diagnostics.extend(validate_dataset(loaded))
+            graphs.append(loaded.union())
+        else:
+            diagnostics.extend(validate_graph(loaded))
+            graphs.append(loaded)
+    if links_path is not None:
+        links = LinkSet.from_graph(ntriples.load_file(links_path), name=links_path)
+        left = graphs[0] if graphs else None
+        right = graphs[1] if len(graphs) > 1 else left
+        diagnostics.extend(validate_links(links, left=left, right=right, theta=theta))
+    return _render_diagnostics(diagnostics, output_format, fail_on)
 
 
 def _cmd_describe(data_path: str) -> int:
@@ -341,7 +441,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "query":
             return _cmd_query(args.data, args.sparql, strict=args.strict)
         if args.command == "lint-query":
-            return _cmd_lint_query(args.sparql, args.data, args.format)
+            return _cmd_lint_query(args.sparql, args.data, args.format, args.fail_on)
+        if args.command == "lint-data":
+            return _cmd_lint_data(
+                args.data, args.links, args.theta, args.format, args.fail_on, args.strict
+            )
         if args.command == "describe":
             return _cmd_describe(args.data)
         if args.command == "run":

@@ -96,6 +96,53 @@ class AlexEngine:
         return link in self.candidates or link in self.space
 
     # ------------------------------------------------------------------ #
+    # Pre-flight data validation
+    # ------------------------------------------------------------------ #
+
+    def preflight(self, left=None, right=None, *, strict=False, quarantine=False):
+        """Statically validate the candidate link set before spending
+        episodes on it (see :mod:`repro.rdf.validate`).
+
+        Runs the link tier against the candidates with this engine's θ and
+        blacklist; ``left``/``right`` graphs additionally enable endpoint-
+        presence checks. Returns the ordered diagnostics. Never runs unless
+        called — constructing or feeding the engine stays validation-free.
+
+        ``quarantine=True`` moves exactly the links behind error-level
+        diagnostics out of the candidates and onto the blacklist (counted as
+        ``alex.preflight.quarantined``); nothing else is mutated.
+        ``strict=True`` raises :class:`~repro.errors.DataValidationError`
+        when error-level diagnostics were found.
+        """
+        from repro.rdf.validate import validate_links
+
+        diagnostics = validate_links(
+            self.candidates,
+            left=left,
+            right=right,
+            theta=self.config.theta,
+            blacklist=self.blacklist,
+        )
+        obs.inc("alex.preflight.runs")
+        if quarantine:
+            quarantined = 0
+            for diagnostic in diagnostics:
+                link = diagnostic.link
+                if diagnostic.is_error and link is not None and link in self.candidates:
+                    self.candidates.remove(link)
+                    self.blacklist.add(link)
+                    quarantined += 1
+            if quarantined:
+                obs.inc("alex.preflight.quarantined", quarantined)
+        if strict and any(diagnostic.is_error for diagnostic in diagnostics):
+            from repro.errors import DataValidationError
+
+            raise DataValidationError(
+                [d.format() for d in diagnostics if d.is_error], diagnostics=diagnostics
+            )
+        return diagnostics
+
+    # ------------------------------------------------------------------ #
     # Feedback processing (policy evaluation)
     # ------------------------------------------------------------------ #
 

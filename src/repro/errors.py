@@ -34,6 +34,21 @@ class ParseError(RDFError):
         self.column = column
 
 
+class DataValidationError(RDFError):
+    """Static data validation rejected a graph or link set (strict mode).
+
+    ``diagnostics`` carries every
+    :class:`~repro.rdf.validate.DataDiagnostic` the validator produced,
+    warnings included, so callers can render the full report.
+    """
+
+    def __init__(self, problems, diagnostics=None):
+        if isinstance(problems, str):
+            problems = [problems]
+        super().__init__("data validation rejected the input: " + "; ".join(problems))
+        self.diagnostics = list(diagnostics) if diagnostics is not None else []
+
+
 class QueryError(ReproError):
     """Base class for SPARQL query errors."""
 

@@ -128,6 +128,22 @@ class LinkSet:
                 out.add(link, score)
         return out
 
+    def validate(
+        self,
+        left: Graph | None = None,
+        right: Graph | None = None,
+        theta: float | None = None,
+        blacklist: Iterable[Link] | None = None,
+    ):
+        """Link-tier static analysis of this set (cycles, asymmetric
+        duplicates, one-to-many conflicts; endpoint/score/blacklist checks
+        when the corresponding argument is given). Returns ordered
+        :class:`~repro.rdf.validate.DataDiagnostic` records — see
+        :func:`repro.rdf.validate.validate_links`."""
+        from repro.rdf.validate import validate_links
+
+        return validate_links(self, left=left, right=right, theta=theta, blacklist=blacklist)
+
     def snapshot(self) -> frozenset[Link]:
         """An immutable copy of the current links (convergence checks)."""
         return frozenset(self._links)

@@ -19,10 +19,20 @@ from repro.rdf.namespaces import (
 from repro.rdf.stats import GraphStatistics, graph_statistics
 from repro.rdf.terms import BNode, Literal, Term, URIRef, infer_literal
 from repro.rdf.triples import Triple
+from repro.rdf.validate import (
+    DataDiagnostic,
+    check_graph,
+    check_links,
+    validate_dataset,
+    validate_graph,
+    validate_links,
+    validate_triples,
+)
 
 __all__ = [
     "BNode",
     "DC",
+    "DataDiagnostic",
     "Dataset",
     "Entity",
     "FOAF",
@@ -42,7 +52,13 @@ __all__ = [
     "Term",
     "Triple",
     "URIRef",
+    "check_graph",
+    "check_links",
     "entities_of",
     "graph_statistics",
     "infer_literal",
+    "validate_dataset",
+    "validate_graph",
+    "validate_links",
+    "validate_triples",
 ]

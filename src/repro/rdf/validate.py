@@ -1,0 +1,665 @@
+"""Static analysis over RDF data: ``repro.rdf.validate``.
+
+The query side of the input surface got a static analyzer in
+:mod:`repro.sparql.analysis`; this module gives the *data* side — graphs,
+datasets, and ``owl:sameAs`` link sets — the same treatment. ALEX's premise
+is that automatically generated links are noisy; validating a dataset and
+its candidate links *before* spending RL episodes on them turns silent
+garbage-in into ordered :class:`DataDiagnostic` records with stable
+``ALEX-D***`` codes.
+
+Rules come in three tiers, each computed in a single pass over its input
+(term and graph tiers share one pass over the triples; the link tier is one
+pass over the links plus a union-find):
+
+* **term tier (D1xx)** — ill-typed literals (lexical form outside the
+  declared XSD datatype's lexical space), language tags that are not BCP 47
+  well-formed, relative IRIs, literal-as-subject artifacts from lenient
+  parsing, IRIs with empty local names (Turtle round-trips of undeclared
+  prefixes);
+* **graph tier (D2xx)** — a predicate used with both literal and resource
+  objects, inferred functional-predicate violations, orphan blank nodes,
+  terms that collide with reserved ``rdf:``/``rdfs:``/``owl:``/``xsd:``
+  vocabulary;
+* **link tier (D3xx)** — the paper-specific payoff: sameAs cycles and
+  asymmetric duplicates (union-find), one-to-many conflicts violating the
+  1:1 partition assumption, endpoints absent from their dataset, links
+  scored below θ, links already blacklisted by the engine.
+
+Entry points mirror the query analyzer: :func:`validate_graph` /
+:func:`validate_dataset` / :func:`validate_links` return ordered
+diagnostics; :func:`check_graph` / :func:`check_links` raise
+:class:`~repro.errors.DataValidationError` on error-level findings.
+:meth:`repro.core.engine.AlexEngine.preflight` wires the link tier into the
+engine. Every run and diagnostic is counted in :mod:`repro.obs`
+(``rdf.validate.runs`` / ``rdf.validate.diagnostics{code,severity}``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from datetime import date, datetime
+from typing import Callable, Iterable
+
+from repro.diagnostics import SEVERITY_RANK, Diagnostic, register_codes
+from repro.errors import DataValidationError
+from repro.links import Link, LinkSet
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import OWL, RDF, RDFS, XSD_NS
+from repro.rdf.terms import (
+    XSD_BOOLEAN,
+    XSD_DATE,
+    XSD_DATETIME,
+    XSD_DECIMAL,
+    XSD_DOUBLE,
+    XSD_FLOAT,
+    XSD_GYEAR,
+    XSD_INT,
+    XSD_INTEGER,
+    XSD_LONG,
+    BNode,
+    Literal,
+    URIRef,
+)
+from repro.rdf.triples import Triple
+
+#: Stable diagnostic code table: code -> (severity, summary).
+#: Codes are append-only; a released code never changes meaning.
+CODES: dict[str, tuple[str, str]] = {
+    # -- term tier ----------------------------------------------------- #
+    "ALEX-D101": ("error", "literal lexical form does not conform to its XSD datatype"),
+    "ALEX-D102": ("warning", "language tag is not BCP 47 well-formed"),
+    "ALEX-D103": ("warning", "relative IRI (missing scheme)"),
+    "ALEX-D104": ("error", "literal used as triple subject (lenient-parsing artifact)"),
+    "ALEX-D105": ("warning", "IRI has an empty local name (undeclared-prefix round-trip artifact)"),
+    # -- graph tier ---------------------------------------------------- #
+    "ALEX-D201": ("warning", "predicate used with both literal and resource objects"),
+    "ALEX-D202": ("warning", "inferred functional predicate has multi-valued subjects"),
+    "ALEX-D203": ("warning", "orphan blank node (referenced but never described)"),
+    "ALEX-D204": ("warning", "term collides with reserved rdf:/rdfs:/owl:/xsd: vocabulary"),
+    # -- link tier ----------------------------------------------------- #
+    "ALEX-D301": ("warning", "link closes a sameAs cycle (endpoints already connected)"),
+    "ALEX-D302": ("warning", "asymmetric sameAs entry (link present in both directions)"),
+    "ALEX-D303": ("warning", "one-to-many sameAs conflict (violates the 1:1 partition assumption)"),
+    "ALEX-D304": ("error", "link endpoint is absent from its dataset"),
+    "ALEX-D305": ("error", "link scored below the configured theta"),
+    "ALEX-D306": ("error", "link is on the engine blacklist"),
+}
+
+register_codes(CODES, "rdf.validate")
+
+#: The tier a code belongs to, by its hundreds digit.
+TIERS = ("term", "graph", "link")
+
+
+@dataclass(frozen=True)
+class DataDiagnostic(Diagnostic):
+    """A diagnostic located by *subject* (a term, triple, or link in N3
+    syntax) rather than by source position.
+
+    ``graph`` names the containing graph when validating a dataset;
+    ``link`` carries the offending :class:`~repro.links.Link` for
+    diagnostics that identify exactly one link (used by engine quarantine).
+    """
+
+    subject: str | None = None
+    graph: str | None = None
+    link: Link | None = None
+
+    def format(self) -> str:
+        location = ""
+        if self.graph:
+            location = f"[{self.graph}] "
+        text = f"{location}{self.code} {self.severity}: {self.message}"
+        if self.subject:
+            text += f" — {self.subject}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    def to_dict(self) -> dict:
+        data = super().to_dict()
+        del data["line"], data["column"]
+        data["subject"] = self.subject
+        data["graph"] = self.graph
+        return data
+
+
+def _sort_key(diagnostic: DataDiagnostic) -> tuple:
+    return (
+        SEVERITY_RANK.get(diagnostic.severity, 3),
+        diagnostic.code,
+        diagnostic.graph or "",
+        diagnostic.subject or "",
+        diagnostic.message,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Term tier: lexical spaces, language tags, IRIs
+# --------------------------------------------------------------------- #
+
+_INTEGER_RE = re.compile(r"^[+-]?\d+$")
+_DECIMAL_RE = re.compile(r"^[+-]?(\d+\.\d*|\.\d+|\d+)$")
+_DOUBLE_RE = re.compile(r"^[+-]?(\d+\.?\d*|\.\d+)([eE][+-]?\d+)?$")
+_GYEAR_RE = re.compile(r"^-?\d{4,}$")
+_SCHEME_RE = re.compile(r"^[A-Za-z][A-Za-z0-9+.\-]*:")
+
+
+def _valid_date(text: str) -> bool:
+    try:
+        date.fromisoformat(text)
+    except ValueError:
+        return False
+    return True
+
+
+def _valid_datetime(text: str) -> bool:
+    try:
+        datetime.fromisoformat(text)
+    except ValueError:
+        return False
+    return True
+
+
+#: datatype URI -> predicate over the lexical form.
+_LEXICAL_CHECKS: dict[str, Callable[[str], bool]] = {
+    XSD_INTEGER: lambda t: _INTEGER_RE.match(t) is not None,
+    XSD_INT: lambda t: _INTEGER_RE.match(t) is not None,
+    XSD_LONG: lambda t: _INTEGER_RE.match(t) is not None,
+    XSD_DECIMAL: lambda t: _DECIMAL_RE.match(t) is not None,
+    XSD_DOUBLE: lambda t: _DOUBLE_RE.match(t) is not None,
+    XSD_FLOAT: lambda t: _DOUBLE_RE.match(t) is not None,
+    XSD_BOOLEAN: lambda t: t in ("true", "false", "1", "0"),
+    XSD_DATE: _valid_date,
+    XSD_DATETIME: _valid_datetime,
+    XSD_GYEAR: lambda t: _GYEAR_RE.match(t) is not None,
+}
+
+
+def _lang_tag_well_formed(tag: str) -> bool:
+    """BCP 47 well-formedness, simplified: every hyphen-separated subtag is
+    1–8 characters (the :class:`~repro.rdf.terms.Literal` constructor already
+    guarantees the alphabet)."""
+    return all(1 <= len(subtag) <= 8 for subtag in tag.split("-"))
+
+
+# Reserved-vocabulary collision detection (D204): a term inside one of the
+# four core namespaces whose local name is not part of that vocabulary is
+# almost always a typo (owl:sameAS) — data written against it silently
+# matches nothing.
+_RDF_LOCALS = frozenset({
+    "type", "Property", "Statement", "subject", "predicate", "object", "value",
+    "first", "rest", "nil", "List", "langString", "XMLLiteral", "HTML", "JSON",
+    "Bag", "Seq", "Alt",
+})
+_RDFS_LOCALS = frozenset({
+    "Resource", "Class", "Literal", "Datatype", "subClassOf", "subPropertyOf",
+    "domain", "range", "label", "comment", "seeAlso", "isDefinedBy", "member",
+    "Container", "ContainerMembershipProperty",
+})
+_OWL_LOCALS = frozenset({
+    "sameAs", "differentFrom", "AllDifferent", "distinctMembers", "Thing",
+    "Nothing", "Class", "ObjectProperty", "DatatypeProperty",
+    "AnnotationProperty", "OntologyProperty", "FunctionalProperty",
+    "InverseFunctionalProperty", "TransitiveProperty", "SymmetricProperty",
+    "AsymmetricProperty", "ReflexiveProperty", "IrreflexiveProperty",
+    "inverseOf", "equivalentClass", "equivalentProperty", "disjointWith",
+    "propertyDisjointWith", "unionOf", "intersectionOf", "complementOf",
+    "oneOf", "Restriction", "onProperty", "allValuesFrom", "someValuesFrom",
+    "hasValue", "hasSelf", "minCardinality", "maxCardinality", "cardinality",
+    "Ontology", "imports", "versionInfo", "versionIRI", "deprecated",
+    "DeprecatedClass", "DeprecatedProperty", "priorVersion",
+    "backwardCompatibleWith", "incompatibleWith", "NamedIndividual",
+})
+_XSD_LOCALS = frozenset({
+    "string", "boolean", "decimal", "integer", "int", "long", "short", "byte",
+    "nonNegativeInteger", "nonPositiveInteger", "negativeInteger",
+    "positiveInteger", "unsignedLong", "unsignedInt", "unsignedShort",
+    "unsignedByte", "float", "double", "date", "dateTime", "time", "duration",
+    "gYear", "gYearMonth", "gMonth", "gMonthDay", "gDay", "hexBinary",
+    "base64Binary", "anyURI", "normalizedString", "token", "language",
+})
+_RESERVED = (
+    (RDF.base, _RDF_LOCALS, "rdf"),
+    (RDFS.base, _RDFS_LOCALS, "rdfs"),
+    (OWL.base, _OWL_LOCALS, "owl"),
+    (XSD_NS.base, _XSD_LOCALS, "xsd"),
+)
+_RDF_MEMBERSHIP_RE = re.compile(r"^_\d+$")
+
+
+def _reserved_collision(value: str) -> str | None:
+    """``prefix:local`` of the reserved vocabulary ``value`` collides with,
+    or None when the IRI is fine (outside the core namespaces or a known
+    term of its namespace)."""
+    for base, locals_, prefix in _RESERVED:
+        if value.startswith(base):
+            local = value[len(base):]
+            if local in locals_:
+                return None
+            if prefix == "rdf" and _RDF_MEMBERSHIP_RE.match(local):
+                return None  # rdf:_1, rdf:_2, ... container membership
+            return f"{prefix}:{local}"
+    return None
+
+
+class _GraphValidator:
+    """One-pass term- and graph-tier validation over a stream of triples.
+
+    ``feed`` ingests one triple at a time, emitting term-tier diagnostics
+    (deduplicated per offending term) and accumulating the aggregates the
+    graph tier needs; ``finish`` emits the graph-tier diagnostics. The whole
+    run is O(triples), not O(triples × rules).
+    """
+
+    #: A predicate is *inferred functional* when at least this many subjects
+    #: use it and at least this fraction of them hold exactly one value.
+    FUNCTIONAL_MIN_SUBJECTS = 5
+    FUNCTIONAL_SINGLE_FRACTION = 0.9
+
+    def __init__(self, graph_label: str | None = None):
+        self.graph_label = graph_label
+        self.diagnostics: list[DataDiagnostic] = []
+        self._seen: set[tuple[str, str]] = set()  # (code, offender) dedup
+        self._pred_kinds: dict[URIRef, set[str]] = {}
+        self._pred_values: dict[URIRef, dict] = {}  # pred -> subject -> count
+        self._bnode_subjects: set[BNode] = set()
+        self._bnode_objects: set[BNode] = set()
+
+    def _report(self, code: str, message: str, subject: str,
+                hint: str | None = None, dedup: str | None = None) -> None:
+        key = (code, dedup if dedup is not None else subject)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.diagnostics.append(DataDiagnostic(
+            code=code, severity=CODES[code][0], message=message,
+            subject=subject, graph=self.graph_label, hint=hint,
+        ))
+
+    # -- term tier ------------------------------------------------------ #
+
+    def _check_uri(self, term: URIRef) -> None:
+        value = term.value
+        if not _SCHEME_RE.match(value):
+            self._report(
+                "ALEX-D103",
+                f"IRI <{value}> is relative (no scheme); linked-data tools "
+                "cannot dereference or join on it",
+                term.n3(),
+                hint="resolve it against the document base before publishing",
+            )
+        elif value.endswith(("/", "#")):
+            self._report(
+                "ALEX-D105",
+                f"IRI <{value}> has an empty local name — the usual artifact "
+                "of expanding an undeclared prefix in a Turtle round-trip",
+                term.n3(),
+                hint="check the @prefix declarations of the source document",
+            )
+        collision = _reserved_collision(value)
+        if collision is not None:
+            self._report(
+                "ALEX-D204",
+                f"term {collision} is not part of the reserved vocabulary it "
+                "sits in; tools treat it as an unknown predicate",
+                term.n3(),
+                hint="check the local name for typos (e.g. owl:sameAS)",
+            )
+
+    def _check_literal(self, literal: Literal) -> None:
+        if literal.language is not None and not _lang_tag_well_formed(literal.language):
+            self._report(
+                "ALEX-D102",
+                f"language tag {literal.language!r} is not BCP 47 "
+                "well-formed (subtags must be 1-8 characters)",
+                literal.n3(),
+            )
+        datatype = literal.datatype
+        if datatype is None:
+            return
+        checker = _LEXICAL_CHECKS.get(datatype)
+        if checker is not None and not checker(literal.lexical):
+            self._report(
+                "ALEX-D101",
+                f"literal {literal.n3()} does not conform to the lexical "
+                f"space of <{datatype}>; typed comparisons fall back to "
+                "string semantics",
+                literal.n3(),
+                hint="fix the lexical form or drop the datatype",
+            )
+        elif checker is None:
+            collision = _reserved_collision(datatype)
+            if collision is not None:
+                self._report(
+                    "ALEX-D204",
+                    f"datatype {collision} is not part of the reserved "
+                    "vocabulary it sits in",
+                    literal.n3(),
+                    hint="check the datatype local name for typos",
+                    dedup=datatype,
+                )
+
+    def feed(self, triple: Triple) -> None:
+        subject, predicate, obj = triple
+        if isinstance(subject, Literal):
+            # Cannot enter a Graph (Triple.create rejects it) but raw triple
+            # streams from lenient parsers can carry it.
+            self._report(
+                "ALEX-D104",
+                f"literal {subject.n3()} used as a triple subject; RDF "
+                "forbids it and most stores drop the statement silently",
+                triple.n3(),
+            )
+        elif isinstance(subject, URIRef):
+            self._check_uri(subject)
+        elif isinstance(subject, BNode):
+            self._bnode_subjects.add(subject)
+        if isinstance(predicate, URIRef):
+            self._check_uri(predicate)
+        if isinstance(obj, URIRef):
+            self._check_uri(obj)
+        elif isinstance(obj, Literal):
+            self._check_literal(obj)
+        elif isinstance(obj, BNode):
+            self._bnode_objects.add(obj)
+
+        # graph-tier aggregates
+        if isinstance(predicate, URIRef):
+            kind = "literal" if isinstance(obj, Literal) else "resource"
+            self._pred_kinds.setdefault(predicate, set()).add(kind)
+            counts = self._pred_values.setdefault(predicate, {})
+            counts[subject] = counts.get(subject, 0) + 1
+
+    # -- graph tier ----------------------------------------------------- #
+
+    def finish(self) -> list[DataDiagnostic]:
+        for predicate, kinds in self._pred_kinds.items():
+            if "literal" in kinds and "resource" in kinds:
+                self._report(
+                    "ALEX-D201",
+                    f"predicate <{predicate.value}> is used with both literal "
+                    "and resource objects; joins and similarity features "
+                    "treat the two populations inconsistently",
+                    predicate.n3(),
+                )
+        for predicate, counts in self._pred_values.items():
+            subjects = len(counts)
+            if subjects < self.FUNCTIONAL_MIN_SUBJECTS:
+                continue
+            multi = [s for s, count in counts.items() if count > 1]
+            single_fraction = (subjects - len(multi)) / subjects
+            if multi and single_fraction >= self.FUNCTIONAL_SINGLE_FRACTION:
+                example = min(multi, key=lambda term: term.n3())
+                self._report(
+                    "ALEX-D202",
+                    f"predicate <{predicate.value}> is single-valued for "
+                    f"{subjects - len(multi)} of {subjects} subjects but "
+                    f"{len(multi)} subject(s) (e.g. {example.n3()}) hold "
+                    "multiple values — likely duplicated statements",
+                    predicate.n3(),
+                )
+        for bnode in self._bnode_objects - self._bnode_subjects:
+            self._report(
+                "ALEX-D203",
+                f"blank node {bnode.n3()} is referenced as an object but has "
+                "no outgoing triples; it describes nothing",
+                bnode.n3(),
+            )
+        self.diagnostics.sort(key=_sort_key)
+        return self.diagnostics
+
+
+def _graph_diagnostics(
+    triples: Iterable[Triple], graph_label: str | None = None
+) -> list[DataDiagnostic]:
+    validator = _GraphValidator(graph_label)
+    for triple in triples:
+        validator.feed(triple)
+    return validator.finish()
+
+
+# --------------------------------------------------------------------- #
+# Link tier
+# --------------------------------------------------------------------- #
+
+
+class _UnionFind:
+    """Union-find with path compression over term identity."""
+
+    def __init__(self):
+        self._parent: dict = {}
+
+    def find(self, item):
+        root = item
+        while self._parent.setdefault(root, root) != root:
+            root = self._parent[root]
+        while self._parent[item] != root:  # path compression
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, left, right) -> bool:
+        """Merge the two components; False when already connected."""
+        root_left, root_right = self.find(left), self.find(right)
+        if root_left == root_right:
+            return False
+        self._parent[root_right] = root_left
+        return True
+
+
+def _present(graph: Graph, entity: URIRef) -> bool:
+    return (
+        next(graph.triples(subject=entity), None) is not None
+        or next(graph.triples(object=entity), None) is not None
+    )
+
+
+def _link_diagnostics(
+    links: LinkSet,
+    left: Graph | None = None,
+    right: Graph | None = None,
+    theta: float | None = None,
+    blacklist: Iterable[Link] | None = None,
+) -> list[DataDiagnostic]:
+    diagnostics: list[DataDiagnostic] = []
+    blacklisted = set(blacklist) if blacklist is not None else frozenset()
+
+    def report(code: str, message: str, subject: str, link: Link | None = None,
+               hint: str | None = None) -> None:
+        diagnostics.append(DataDiagnostic(
+            code=code, severity=CODES[code][0], message=message,
+            subject=subject, link=link, hint=hint,
+        ))
+
+    ordered = sorted(links, key=lambda l: (l.left.value, l.right.value))
+    components = _UnionFind()
+    for link in ordered:
+        if link.left == link.right:
+            report(
+                "ALEX-D301",
+                f"link connects {link.left.n3()} to itself; a self-sameAs "
+                "carries no information and inflates the candidate count",
+                link.n3(), link=link,
+            )
+        elif link.reversed() in links and link.left.value > link.right.value:
+            # Report once per unordered pair, at the lexicographically later
+            # entry — that is the redundant one.
+            report(
+                "ALEX-D302",
+                f"link also exists in the opposite direction "
+                f"({link.right.n3()} -> {link.left.n3()}); sameAs is "
+                "symmetric, the duplicate double-counts feedback",
+                link.n3(), link=link,
+                hint="keep one canonical direction per pair",
+            )
+        elif not components.union(link.left, link.right):
+            report(
+                "ALEX-D301",
+                f"link closes a sameAs cycle: {link.left.n3()} and "
+                f"{link.right.n3()} are already connected through other "
+                "links, so this entry only knots the equivalence classes",
+                link.n3(), link=link,
+                hint="deduplicate the chain before feeding it to the engine",
+            )
+        if left is not None and not _present(left, link.left):
+            report(
+                "ALEX-D304",
+                f"left endpoint {link.left.n3()} does not occur in the left "
+                "dataset; the link can never be confirmed by a query",
+                link.n3(), link=link,
+            )
+        if right is not None and not _present(right, link.right):
+            report(
+                "ALEX-D304",
+                f"right endpoint {link.right.n3()} does not occur in the "
+                "right dataset; the link can never be confirmed by a query",
+                link.n3(), link=link,
+            )
+        if theta is not None:
+            score = links.score(link)
+            if score is not None and score < theta:
+                report(
+                    "ALEX-D305",
+                    f"link score {score:.3f} is below theta={theta:g}; the "
+                    "feature filter would never have admitted it",
+                    link.n3(), link=link,
+                )
+        if link in blacklisted:
+            report(
+                "ALEX-D306",
+                "link is on the engine blacklist (already rejected by "
+                "feedback) yet still present in the link set",
+                link.n3(), link=link,
+                hint="drop it or clear the blacklist deliberately",
+            )
+
+    # One-to-many conflicts: the paper partitions work under a 1:1
+    # assumption between the two datasets.
+    for entity in sorted({l.left for l in links}, key=lambda e: e.value):
+        counterparts = links.by_left(entity)
+        if len(counterparts) > 1:
+            names = ", ".join(sorted(c.n3() for c in counterparts)[:3])
+            report(
+                "ALEX-D303",
+                f"left entity {entity.n3()} is linked to "
+                f"{len(counterparts)} right entities ({names}{', ...' if len(counterparts) > 3 else ''})",
+                entity.n3(),
+            )
+    for entity in sorted({l.right for l in links}, key=lambda e: e.value):
+        counterparts = links.by_right(entity)
+        if len(counterparts) > 1:
+            names = ", ".join(sorted(c.n3() for c in counterparts)[:3])
+            report(
+                "ALEX-D303",
+                f"right entity {entity.n3()} is linked to "
+                f"{len(counterparts)} left entities ({names}{', ...' if len(counterparts) > 3 else ''})",
+                entity.n3(),
+            )
+    diagnostics.sort(key=_sort_key)
+    return diagnostics
+
+
+# --------------------------------------------------------------------- #
+# Public entry points
+# --------------------------------------------------------------------- #
+
+
+def _count(diagnostics: list[DataDiagnostic]) -> list[DataDiagnostic]:
+    from repro import obs
+
+    obs.inc("rdf.validate.runs")
+    for diagnostic in diagnostics:
+        obs.inc(
+            "rdf.validate.diagnostics",
+            code=diagnostic.code,
+            severity=diagnostic.severity,
+        )
+    return diagnostics
+
+
+def validate_triples(triples: Iterable[Triple]) -> list[DataDiagnostic]:
+    """Term- and graph-tier validation over a raw triple stream.
+
+    Unlike :func:`validate_graph` this accepts triples that could never
+    enter a :class:`~repro.rdf.graph.Graph` (e.g. literal subjects from a
+    lenient parser), which is exactly when D104 fires.
+    """
+    return _count(_graph_diagnostics(triples))
+
+
+def validate_graph(graph: Graph) -> list[DataDiagnostic]:
+    """Term- and graph-tier validation of one graph, ordered and counted."""
+    return _count(_graph_diagnostics(graph.triples()))
+
+
+def validate_dataset(dataset) -> list[DataDiagnostic]:
+    """Validate every graph of a :class:`~repro.rdf.dataset.Dataset`.
+
+    Each named graph (and the default graph) is validated independently;
+    diagnostics carry the graph name in ``graph``.
+    """
+    diagnostics = _graph_diagnostics(dataset.default.triples(), "default")
+    for name in dataset.graph_names():
+        diagnostics.extend(_graph_diagnostics(dataset.graph(name).triples(), name.value))
+    diagnostics.sort(key=_sort_key)
+    return _count(diagnostics)
+
+
+def validate_links(
+    links: LinkSet,
+    left: Graph | None = None,
+    right: Graph | None = None,
+    theta: float | None = None,
+    blacklist: Iterable[Link] | None = None,
+) -> list[DataDiagnostic]:
+    """Link-tier validation of a sameAs link set.
+
+    ``left``/``right`` enable endpoint-presence checks (D304), ``theta``
+    the score check (D305), and ``blacklist`` the engine-conflict check
+    (D306); structural checks (cycles, asymmetric duplicates, one-to-many
+    conflicts) always run.
+    """
+    return _count(_link_diagnostics(links, left, right, theta, blacklist))
+
+
+def check_graph(graph: Graph) -> list[DataDiagnostic]:
+    """Strict gate: validate and raise on error-level diagnostics."""
+    diagnostics = validate_graph(graph)
+    _raise_on_errors(diagnostics)
+    return diagnostics
+
+
+def check_links(
+    links: LinkSet,
+    left: Graph | None = None,
+    right: Graph | None = None,
+    theta: float | None = None,
+    blacklist: Iterable[Link] | None = None,
+) -> list[DataDiagnostic]:
+    """Strict gate: validate a link set and raise on error-level diagnostics."""
+    diagnostics = validate_links(links, left, right, theta, blacklist)
+    _raise_on_errors(diagnostics)
+    return diagnostics
+
+
+def _raise_on_errors(diagnostics: list[DataDiagnostic]) -> None:
+    errors = [diagnostic for diagnostic in diagnostics if diagnostic.is_error]
+    if errors:
+        raise DataValidationError(
+            [diagnostic.format() for diagnostic in errors], diagnostics=diagnostics
+        )
+
+
+__all__ = [
+    "CODES",
+    "DataDiagnostic",
+    "TIERS",
+    "check_graph",
+    "check_links",
+    "validate_dataset",
+    "validate_graph",
+    "validate_links",
+    "validate_triples",
+]

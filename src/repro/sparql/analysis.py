@@ -24,8 +24,7 @@ examples in ``docs/diagnostics.md``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
+from repro.diagnostics import SEVERITY_RANK, Diagnostic, register_codes
 from repro.errors import QueryAnalysisError
 from repro.sparql.ast import (
     BGP,
@@ -73,49 +72,14 @@ CODES: dict[str, tuple[str, str]] = {
     "ALEX-I201": ("info", "unselective triple pattern (high cardinality estimate)"),
 }
 
-_SEVERITY_RANK = {"error": 0, "warning": 1, "info": 2}
-
-
-@dataclass(frozen=True)
-class Diagnostic:
-    """One static-analysis finding, ordered by source position."""
-
-    code: str
-    severity: str
-    message: str
-    line: int | None = None
-    column: int | None = None
-    hint: str | None = None
-
-    def format(self) -> str:
-        location = ""
-        if self.line is not None:
-            location = f"{self.line}:{self.column if self.column is not None else 0}: "
-        text = f"{location}{self.code} {self.severity}: {self.message}"
-        if self.hint:
-            text += f" (hint: {self.hint})"
-        return text
-
-    def to_dict(self) -> dict:
-        return {
-            "code": self.code,
-            "severity": self.severity,
-            "message": self.message,
-            "line": self.line,
-            "column": self.column,
-            "hint": self.hint,
-        }
-
-    @property
-    def is_error(self) -> bool:
-        return self.severity == "error"
+register_codes(CODES, "sparql.analysis")
 
 
 def _sort_key(diagnostic: Diagnostic) -> tuple:
     return (
         diagnostic.line if diagnostic.line is not None else 1 << 30,
         diagnostic.column if diagnostic.column is not None else 1 << 30,
-        _SEVERITY_RANK.get(diagnostic.severity, 3),
+        SEVERITY_RANK.get(diagnostic.severity, 3),
         diagnostic.code,
         diagnostic.message,
     )

@@ -172,6 +172,112 @@ class TestLintQuery:
         assert code == 0
 
 
+class TestFailOn:
+    def test_lint_query_fail_on_warning(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "lint-query", "--fail-on", "warning", "SELECT ?s ?s WHERE { ?s ?p ?o }"
+        )
+        assert code == 1
+        assert "ALEX-W106" in out
+
+    def test_lint_query_default_passes_warnings(self, capsys):
+        code, _, _ = run_cli(capsys, "lint-query", "SELECT ?s ?s WHERE { ?s ?p ?o }")
+        assert code == 0
+
+    def test_lint_query_fail_on_info(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "lint-query", "--fail-on", "info", "SELECT * WHERE { ?s ?p ?o }"
+        )
+        assert code == 1
+        assert "ALEX-I201" in out
+
+
+class TestLintData:
+    @pytest.fixture()
+    def bad_nt(self, tmp_path):
+        data = tmp_path / "bad.nt"
+        data.write_text(
+            '<http://x/a> <http://x/age> '
+            '"abc"^^<http://www.w3.org/2001/XMLSchema#integer> .\n'
+            "<http://x/b> <http://x/p> <http://x/c> .\n"
+            '<http://x/d> <http://x/p> "mixed" .\n'
+        )
+        return str(data)
+
+    @pytest.fixture()
+    def clean_nt(self, tmp_path):
+        data = tmp_path / "clean.nt"
+        data.write_text('<http://x/a> <http://x/name> "Alpha" .\n')
+        return str(data)
+
+    def test_clean_file_exits_zero(self, capsys, clean_nt):
+        code, out, _ = run_cli(capsys, "lint-data", clean_nt)
+        assert code == 0
+        assert "0 error(s)" in out
+
+    def test_errors_exit_one(self, capsys, bad_nt):
+        code, out, _ = run_cli(capsys, "lint-data", bad_nt)
+        assert code == 1
+        assert "ALEX-D101" in out
+        assert "ALEX-D201" in out  # reported but not fatal by default
+
+    def test_json_output(self, capsys, bad_nt):
+        import json
+
+        code, out, _ = run_cli(capsys, "lint-data", "--format", "json", bad_nt)
+        assert code == 1
+        payload = json.loads(out)
+        assert payload[0]["code"] == "ALEX-D101"
+        assert payload[0]["severity"] == "error"
+        assert "subject" in payload[0]
+
+    def test_strict_fails_on_warnings(self, capsys, tmp_path):
+        data = tmp_path / "warn.nt"
+        data.write_text(
+            "<http://x/b> <http://x/p> <http://x/c> .\n"
+            '<http://x/d> <http://x/p> "mixed" .\n'
+        )
+        code, _, _ = run_cli(capsys, "lint-data", str(data))
+        assert code == 0
+        code, out, _ = run_cli(capsys, "lint-data", "--strict", str(data))
+        assert code == 1
+        assert "ALEX-D201" in out
+
+    def test_links_tier(self, capsys, tmp_path, clean_nt):
+        links = tmp_path / "links.nt"
+        links.write_text(
+            "<http://x/a> <http://www.w3.org/2002/07/owl#sameAs> <http://x/ghost> .\n"
+        )
+        code, out, _ = run_cli(capsys, "lint-data", clean_nt, clean_nt, "--links", str(links))
+        assert code == 1
+        assert "ALEX-D304" in out
+
+    def test_generated_bundle_is_clean(self, capsys, tmp_path):
+        run_cli(capsys, "datasets", "generate", "opencyc_nba_nytimes", "--out", str(tmp_path))
+        left = str(tmp_path / "opencyc_nba_nytimes_left.nt")
+        right = str(tmp_path / "opencyc_nba_nytimes_right.nt")
+        truth = str(tmp_path / "opencyc_nba_nytimes_truth.nt")
+        code, out, _ = run_cli(capsys, "lint-data", left, right, "--links", truth)
+        assert code == 0
+        assert "0 error(s)" in out
+
+    def test_too_many_files(self, capsys, clean_nt):
+        code, _, err = run_cli(capsys, "lint-data", clean_nt, clean_nt, clean_nt)
+        assert code == 2
+        assert "at most two" in err
+
+    def test_nquads_input(self, capsys, tmp_path):
+        data = tmp_path / "d.nq"
+        data.write_text(
+            '<http://x/a> <http://x/age> '
+            '"nope"^^<http://www.w3.org/2001/XMLSchema#integer> <http://x/g> .\n'
+        )
+        code, out, _ = run_cli(capsys, "lint-data", str(data))
+        assert code == 1
+        assert "ALEX-D101" in out
+        assert "[http://x/g]" in out
+
+
 class TestRunAndFigures:
     def test_run_scenario(self, capsys):
         code, out, _ = run_cli(capsys, "run", "fig4d", "--max-episodes", "5")

@@ -1,0 +1,79 @@
+"""Tests for the shared diagnostic code registry (``repro.diagnostics``)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.diagnostics import (
+    SEVERITIES,
+    SEVERITY_RANK,
+    all_codes,
+    code_info,
+    is_registered,
+    register_codes,
+    severity_of,
+)
+from repro.errors import ReproError
+from repro.rdf import validate as rdf_validate
+from repro.sparql import analysis as sparql_analysis
+
+DOCS = Path(__file__).resolve().parent.parent / "docs" / "diagnostics.md"
+
+
+class TestRegistryContents:
+    def test_codes_unique_across_analyzers(self):
+        sparql_codes = set(sparql_analysis.CODES)
+        rdf_codes = set(rdf_validate.CODES)
+        assert not sparql_codes & rdf_codes
+        assert set(all_codes()) == sparql_codes | rdf_codes
+
+    def test_registered_severities_match_code_tables(self):
+        for code, (severity, summary) in sparql_analysis.CODES.items():
+            entry = code_info(code)
+            assert entry.severity == severity
+            assert entry.summary == summary
+            assert entry.analyzer == "sparql.analysis"
+        for code, (severity, _summary) in rdf_validate.CODES.items():
+            assert code_info(code).severity == severity
+            assert code_info(code).analyzer == "rdf.validate"
+
+    def test_every_code_documented(self):
+        text = DOCS.read_text(encoding="utf-8")
+        missing = [code for code in all_codes() if code not in text]
+        assert not missing, f"codes absent from docs/diagnostics.md: {missing}"
+
+    def test_anchor_points_into_docs(self):
+        entry = code_info("ALEX-D101")
+        assert entry.anchor == "diagnostics.md#alex-d101"
+
+
+class TestRegistration:
+    def test_reregistration_same_analyzer_is_idempotent(self):
+        register_codes(rdf_validate.CODES, "rdf.validate")  # no raise
+
+    def test_cross_analyzer_clash_raises(self):
+        with pytest.raises(ReproError, match="already registered"):
+            register_codes({"ALEX-D101": ("error", "impostor")}, "other.analyzer")
+
+    def test_changed_entry_raises(self):
+        with pytest.raises(ReproError, match="already registered"):
+            register_codes({"ALEX-D101": ("warning", "different severity")}, "rdf.validate")
+
+    def test_unknown_severity_raises(self):
+        with pytest.raises(ReproError, match="unknown severity"):
+            register_codes({"ALEX-Z999": ("fatal", "nope")}, "rdf.validate")
+
+    def test_unknown_code_lookup_raises(self):
+        assert not is_registered("ALEX-Z999")
+        with pytest.raises(ReproError, match="unknown diagnostic code"):
+            code_info("ALEX-Z999")
+
+
+class TestSeverities:
+    def test_rank_orders_most_severe_first(self):
+        assert SEVERITIES == ("error", "warning", "info")
+        assert SEVERITY_RANK["error"] < SEVERITY_RANK["warning"] < SEVERITY_RANK["info"]
+
+    def test_severity_of(self):
+        assert severity_of("ALEX-D101") == "error"
+        assert severity_of("ALEX-D301") == "warning"

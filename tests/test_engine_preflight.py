@@ -1,0 +1,177 @@
+"""Tests for ``AlexEngine.preflight`` — static link validation wired into the
+engine (quarantine, strict mode, obs counters, and default-off behaviour)."""
+
+import pytest
+
+from repro import obs
+from repro.core import AlexConfig, AlexEngine
+from repro.errors import DataValidationError
+from repro.features import FeatureSpace
+from repro.links import Link, LinkSet
+from repro.rdf.entity import Entity
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Literal, URIRef
+from repro.rdf.triples import Triple
+
+LEFT_NAME = URIRef("http://a/ont/name")
+RIGHT_NAME = URIRef("http://b/ont/name")
+
+
+def left_uri(name):
+    return URIRef(f"http://a/res/{name}")
+
+
+def right_uri(name):
+    return URIRef(f"http://b/res/{name}")
+
+
+def make_space():
+    space = FeatureSpace(theta=0.3)
+    for name in ("alpha", "bravo", "carol"):
+        space.add_pair(
+            Entity(left_uri(name), {LEFT_NAME: (Literal(name),)}),
+            Entity(right_uri(name), {RIGHT_NAME: (Literal(name),)}),
+        )
+    space.freeze()
+    return space
+
+
+def seeded_engine():
+    """An engine whose candidates contain one good link and three known-bad
+    ones: a sameAs cycle, a below-θ link, and a dangling endpoint."""
+    links = LinkSet()
+    links.add(Link(left_uri("alpha"), right_uri("alpha")), score=0.9)  # good
+    links.add(Link(left_uri("bravo"), right_uri("carol")), score=0.8)
+    links.add(Link(left_uri("carol"), right_uri("carol")), score=0.8)  # one-to-many
+    links.add(Link(left_uri("cycle"), left_uri("cycle")), score=0.8)  # self-link cycle
+    links.add(Link(left_uri("bravo"), right_uri("bravo")), score=0.1)  # below θ
+    links.add(Link(left_uri("ghost"), right_uri("alpha")), score=0.9)  # dangling
+    return AlexEngine(make_space(), links, AlexConfig(episode_size=10, seed=1))
+
+
+def side_graphs():
+    left = Graph(name="left")
+    right = Graph(name="right")
+    for name in ("alpha", "bravo", "carol", "cycle"):
+        left.add(Triple(left_uri(name), LEFT_NAME, Literal(name)))
+        right.add(Triple(right_uri(name), RIGHT_NAME, Literal(name)))
+    # the self-link's entity appears on both sides, so only the cycle —
+    # not a dangling endpoint — is reported for it
+    right.add(Triple(left_uri("cycle"), RIGHT_NAME, Literal("cycle")))
+    return left, right
+
+
+class TestPreflightReporting:
+    def test_reports_cycle_below_theta_and_dangling(self):
+        engine = seeded_engine()
+        left, right = side_graphs()
+        diagnostics = engine.preflight(left, right)
+        codes = {d.code for d in diagnostics}
+        assert "ALEX-D301" in codes  # cycle (self-link)
+        assert "ALEX-D305" in codes  # below θ
+        assert "ALEX-D304" in codes  # dangling endpoint
+        # deterministic: running again yields the identical report
+        assert diagnostics == engine.preflight(left, right)
+
+    def test_uses_engine_theta(self):
+        engine = seeded_engine()
+        below = [d for d in engine.preflight() if d.code == "ALEX-D305"]
+        assert len(below) == 1
+        assert below[0].link == Link(left_uri("bravo"), right_uri("bravo"))
+
+    def test_preflight_without_graphs_skips_endpoint_checks(self):
+        engine = seeded_engine()
+        codes = {d.code for d in engine.preflight()}
+        assert "ALEX-D304" not in codes
+
+    def test_clean_candidates_preflight_empty(self):
+        links = LinkSet()
+        links.add(Link(left_uri("alpha"), right_uri("alpha")), score=0.9)
+        engine = AlexEngine(make_space(), links, AlexConfig(episode_size=10, seed=1))
+        assert engine.preflight() == []
+
+
+class TestQuarantine:
+    def test_quarantine_moves_exactly_error_level_links(self):
+        engine = seeded_engine()
+        left, right = side_graphs()
+        before = engine.candidates.snapshot()
+        diagnostics = engine.preflight(left, right, quarantine=True)
+
+        expected_bad = {
+            d.link for d in diagnostics if d.is_error and d.link is not None
+        }
+        assert expected_bad == {
+            Link(left_uri("bravo"), right_uri("bravo")),  # D305 below θ
+            Link(left_uri("ghost"), right_uri("alpha")),  # D304 dangling
+        }
+        for bad in expected_bad:
+            assert bad not in engine.candidates
+            assert bad in engine.blacklist
+        # warning-level links (cycle, one-to-many) stay in the candidates
+        assert Link(left_uri("cycle"), left_uri("cycle")) in engine.candidates
+        assert engine.candidates.snapshot() == before - expected_bad
+
+    def test_quarantine_does_not_mutate_anything_else(self):
+        engine = seeded_engine()
+        left, right = side_graphs()
+        good = Link(left_uri("alpha"), right_uri("alpha"))
+        engine.preflight(left, right, quarantine=True)
+        assert engine.candidates.score(good) == 0.9
+        assert engine.confirmed == set()
+        assert engine._tally == {}
+        assert engine.episodes_completed == 0
+
+    def test_without_quarantine_nothing_moves(self):
+        engine = seeded_engine()
+        before = engine.candidates.snapshot()
+        engine.preflight()
+        assert engine.candidates.snapshot() == before
+        assert engine.blacklist == set()
+
+    def test_quarantine_is_idempotent(self):
+        engine = seeded_engine()
+        engine.preflight(quarantine=True)
+        blacklist = set(engine.blacklist)
+        count = len(engine.candidates)
+        # second run: quarantined links now show up as D306 (blacklisted) but
+        # are no longer candidates, so nothing further moves
+        engine.preflight(quarantine=True)
+        assert engine.blacklist == blacklist
+        assert len(engine.candidates) == count
+
+
+class TestStrict:
+    def test_strict_raises_with_diagnostics(self):
+        engine = seeded_engine()
+        with pytest.raises(DataValidationError) as excinfo:
+            engine.preflight(strict=True)
+        assert any(d.code == "ALEX-D305" for d in excinfo.value.diagnostics)
+
+    def test_strict_passes_on_warnings_only(self):
+        links = LinkSet()
+        links.add(Link(left_uri("alpha"), right_uri("alpha")), score=0.9)
+        links.add(Link(left_uri("alpha"), right_uri("bravo")), score=0.9)  # one-to-many
+        engine = AlexEngine(make_space(), links, AlexConfig(episode_size=10, seed=1))
+        diagnostics = engine.preflight(strict=True)  # warnings do not raise
+        assert {d.code for d in diagnostics} == {"ALEX-D303"}
+
+
+class TestObsAndDefaults:
+    def test_counters(self):
+        engine = seeded_engine()
+        left, right = side_graphs()
+        with obs.use_registry() as registry:
+            engine.preflight(left, right, quarantine=True)
+            snapshot = registry.snapshot()
+        assert obs.counter_total(snapshot, "alex.preflight.runs") == 1
+        assert obs.counter_total(snapshot, "alex.preflight.quarantined") == 2
+        assert obs.counter_total(snapshot, "rdf.validate.runs") == 1
+
+    def test_no_validation_unless_preflight_called(self):
+        with obs.use_registry() as registry:
+            engine = seeded_engine()
+            engine.process_feedback(Link(left_uri("alpha"), right_uri("alpha")), positive=True)
+            snapshot = registry.snapshot()
+        assert obs.counter_total(snapshot, "rdf.validate.runs") == 0
+        assert obs.counter_total(snapshot, "alex.preflight.runs") == 0

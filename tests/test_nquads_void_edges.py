@@ -1,0 +1,159 @@
+"""Edge-case tests for ``repro.rdf.nquads`` and ``repro.rdf.void``:
+malformed graph labels, degenerate inputs, and datatyped-literal
+round-trips."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.links import Link, LinkSet
+from repro.rdf import nquads
+from repro.rdf.dataset import Dataset, Quad
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Literal, URIRef
+from repro.rdf.triples import Triple
+from repro.rdf.void import (
+    DCTERMS,
+    VOID,
+    export_with_void,
+    void_description,
+    void_linkset,
+)
+
+XSD = "http://www.w3.org/2001/XMLSchema#"
+
+
+class TestNQuadsBadGraphLabels:
+    def test_literal_graph_label_rejected(self):
+        with pytest.raises(ParseError):
+            nquads.parse_line('<http://x/s> <http://x/p> <http://x/o> "graph" .')
+
+    def test_bnode_graph_label_rejected(self):
+        with pytest.raises(ParseError):
+            nquads.parse_line("<http://x/s> <http://x/p> <http://x/o> _:g .")
+
+    def test_unterminated_graph_iri(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            nquads.parse_line("<http://x/s> <http://x/p> <http://x/o> <http://x/g .")
+
+    def test_missing_final_dot(self):
+        with pytest.raises(ParseError):
+            nquads.parse_line("<http://x/s> <http://x/p> <http://x/o> <http://x/g>")
+
+    def test_trailing_garbage_after_dot(self):
+        with pytest.raises(ParseError, match="trailing"):
+            nquads.parse_line("<http://x/s> <http://x/p> <http://x/o> <http://x/g> . junk")
+
+    def test_parse_error_carries_line_number(self):
+        text = "<http://x/s> <http://x/p> <http://x/o> .\nnot a quad\n"
+        with pytest.raises(ParseError) as excinfo:
+            list(nquads.parse(text))
+        assert excinfo.value.line == 2
+
+
+class TestNQuadsDegenerateInput:
+    def test_empty_input(self):
+        dataset = nquads.load("")
+        assert len(dataset) == 0
+        assert dataset.graph_names() == []
+
+    def test_comment_only_input(self):
+        dataset = nquads.load("# just a comment\n\n   \n# another\n")
+        assert len(dataset) == 0
+
+    def test_blank_and_comment_lines_between_quads(self):
+        text = (
+            "# header\n"
+            "<http://x/s> <http://x/p> <http://x/o> <http://x/g> .\n"
+            "\n"
+            "# trailer\n"
+        )
+        dataset = nquads.load(text)
+        assert len(dataset) == 1
+        assert dataset.graph_names() == [URIRef("http://x/g")]
+
+    def test_serialize_empty_is_empty_string(self):
+        assert nquads.serialize([]) == ""
+
+    def test_dump_file_empty_dataset(self, tmp_path):
+        path = str(tmp_path / "empty.nq")
+        assert nquads.dump_file(Dataset(), path) == 0
+        assert open(path, encoding="utf-8").read() == ""
+
+
+class TestNQuadsDatatypedRoundTrip:
+    @pytest.mark.parametrize(
+        "literal",
+        [
+            Literal("42", datatype=XSD + "integer"),
+            Literal("3.25", datatype=XSD + "decimal"),
+            Literal("true", datatype=XSD + "boolean"),
+            Literal("2020-02-29", datatype=XSD + "date"),
+            Literal('quote " and \\ backslash'),
+            Literal("hello", language="en-US"),
+        ],
+    )
+    def test_literal_survives_round_trip(self, literal):
+        quad = Quad(URIRef("http://x/s"), URIRef("http://x/p"), literal, URIRef("http://x/g"))
+        text = nquads.serialize([quad])
+        (parsed,) = nquads.parse(text)
+        assert parsed == quad
+        assert parsed.object == literal
+
+    def test_default_graph_quads_round_trip_without_label(self):
+        quad = Quad(URIRef("http://x/s"), URIRef("http://x/p"), Literal("x"), None)
+        text = nquads.serialize([quad])
+        assert "<http://x/s> <http://x/p> \"x\" ." in text
+        (parsed,) = nquads.parse(text)
+        assert parsed.graph_name is None
+
+    def test_dataset_file_round_trip_preserves_datatypes(self, tmp_path):
+        dataset = Dataset(name="rt")
+        typed = Literal("7", datatype=XSD + "integer")
+        dataset.graph(URIRef("http://x/g")).add(
+            Triple(URIRef("http://x/s"), URIRef("http://x/p"), typed)
+        )
+        path = str(tmp_path / "rt.nq")
+        nquads.dump_file(dataset, path)
+        loaded = nquads.load_file(path)
+        triple = next(loaded.graph(URIRef("http://x/g")).triples())
+        assert triple.object == typed
+
+
+class TestVoidEdges:
+    def test_empty_graph_description(self):
+        description = void_description(Graph(), "http://x/dataset")
+        subject = URIRef("http://x/dataset")
+        assert next(description.triples(subject, VOID.triples, None)).object == Literal(
+            "0", datatype=XSD + "integer"
+        )
+        # unnamed graph gets no dcterms:title
+        assert next(description.triples(subject, DCTERMS.title, None), None) is None
+
+    def test_named_graph_gets_title(self):
+        graph = Graph(name="left")
+        graph.add(Triple(URIRef("http://x/a"), URIRef("http://x/p"), Literal("v")))
+        description = void_description(graph, "http://x/dataset")
+        title = next(description.triples(None, DCTERMS.title, None)).object
+        assert title == Literal("left")
+
+    def test_empty_linkset_description(self):
+        description = void_linkset(LinkSet(), "http://x/ls", "http://x/a", "http://x/b")
+        count = next(description.triples(None, VOID.triples, None)).object
+        assert count == Literal("0", datatype=XSD + "integer")
+
+    def test_export_with_void_counts_match(self):
+        links = LinkSet([Link(URIRef("http://a/1"), URIRef("http://b/1"))])
+        combined = export_with_void(links, "http://x/base/", "http://a/", "http://b/")
+        # one sameAs triple + five metadata triples
+        assert len(list(combined.triples(None, None, None))) == 6
+        linkset = URIRef("http://x/base/linkset")
+        assert next(combined.triples(linkset, VOID.linkPredicate, None), None) is not None
+
+    def test_void_description_lints_clean(self):
+        """The validator accepts our own VoID output (dogfooding)."""
+        from repro.rdf.validate import validate_graph
+
+        graph = Graph(name="left")
+        graph.add(Triple(URIRef("http://x/a"), URIRef("http://x/p"), Literal("v")))
+        description = void_description(graph, "http://x/dataset")
+        assert [d for d in validate_graph(description) if d.is_error] == []

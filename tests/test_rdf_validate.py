@@ -1,0 +1,408 @@
+"""Tests for the RDF data validator (``repro.rdf.validate``).
+
+Every ALEX-D* diagnostic code is covered by at least one test asserting the
+code, the severity, and the located subject (term, triple, or link), per the
+code table in ``docs/diagnostics.md``.
+"""
+
+import pytest
+
+from repro import obs
+from repro.errors import DataValidationError
+from repro.links import Link, LinkSet
+from repro.rdf.graph import Graph
+from repro.rdf.terms import BNode, Literal, URIRef
+from repro.rdf.triples import Triple
+from repro.rdf.validate import (
+    CODES,
+    DataDiagnostic,
+    check_graph,
+    check_links,
+    validate_dataset,
+    validate_graph,
+    validate_links,
+    validate_triples,
+)
+
+EX = "http://ex/"
+XSD = "http://www.w3.org/2001/XMLSchema#"
+
+
+def uri(name):
+    return URIRef(EX + name)
+
+
+def codes_of(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+def only(diagnostics, code):
+    found = [d for d in diagnostics if d.code == code]
+    assert found, f"expected {code} in {codes_of(diagnostics)}"
+    return found[0]
+
+
+def clean_graph():
+    graph = Graph(name="clean")
+    graph.add(Triple(uri("a"), uri("p"), Literal("x")))
+    graph.add(Triple(uri("b"), uri("p"), Literal("y")))
+    return graph
+
+
+class TestCodeTable:
+    def test_code_table_is_consistent(self):
+        for code, (severity, summary) in CODES.items():
+            assert code.startswith("ALEX-D")
+            assert severity in ("error", "warning", "info")
+            assert summary
+
+    def test_at_least_twelve_codes(self):
+        assert len(CODES) >= 12
+
+    def test_clean_graph_has_no_diagnostics(self):
+        assert validate_graph(clean_graph()) == []
+
+
+class TestTermTier:
+    @pytest.mark.parametrize(
+        "lexical,datatype",
+        [
+            ("abc", XSD + "integer"),
+            ("1.2.3", XSD + "decimal"),
+            ("1e", XSD + "double"),
+            ("yes", XSD + "boolean"),
+            ("2020-13-40", XSD + "date"),
+            ("2020-01-01T99:00:00", XSD + "dateTime"),
+            ("84", XSD + "gYear"),
+        ],
+    )
+    def test_d101_ill_typed_literal(self, lexical, datatype):
+        graph = Graph()
+        bad = Literal(lexical, datatype=datatype)
+        graph.add(Triple(uri("a"), uri("p"), bad))
+        diagnostic = only(validate_graph(graph), "ALEX-D101")
+        assert diagnostic.severity == "error"
+        assert diagnostic.subject == bad.n3()
+
+    @pytest.mark.parametrize(
+        "lexical,datatype",
+        [
+            ("-42", XSD + "integer"),
+            ("3.14", XSD + "decimal"),
+            ("6.02e23", XSD + "double"),
+            ("true", XSD + "boolean"),
+            ("2020-02-29", XSD + "date"),
+            ("2020-01-01T12:30:00", XSD + "dateTime"),
+            ("1984", XSD + "gYear"),
+            ("anything", XSD + "string"),
+            ("opaque", "http://other/datatype"),
+        ],
+    )
+    def test_d101_valid_literals_pass(self, lexical, datatype):
+        graph = Graph()
+        graph.add(Triple(uri("a"), uri("p"), Literal(lexical, datatype=datatype)))
+        assert "ALEX-D101" not in codes_of(validate_graph(graph))
+
+    def test_d102_malformed_language_tag(self):
+        graph = Graph()
+        bad = Literal("hello", language="unreasonablylong")
+        graph.add(Triple(uri("a"), uri("p"), bad))
+        diagnostic = only(validate_graph(graph), "ALEX-D102")
+        assert diagnostic.severity == "warning"
+        assert diagnostic.subject == bad.n3()
+
+    def test_d102_good_tags_pass(self):
+        graph = Graph()
+        for tag in ("en", "en-US", "zh-Hant-TW"):
+            graph.add(Triple(uri("a"), uri("p"), Literal("hello", language=tag)))
+        assert "ALEX-D102" not in codes_of(validate_graph(graph))
+
+    def test_d103_relative_iri(self):
+        graph = Graph()
+        relative = URIRef("entities/a")
+        graph.add(Triple(relative, uri("p"), Literal("x")))
+        diagnostic = only(validate_graph(graph), "ALEX-D103")
+        assert diagnostic.severity == "warning"
+        assert diagnostic.subject == relative.n3()
+
+    def test_d103_absolute_iris_pass(self):
+        graph = Graph()
+        graph.add(Triple(uri("a"), uri("p"), URIRef("urn:isbn:0451450523")))
+        assert "ALEX-D103" not in codes_of(validate_graph(graph))
+
+    def test_d104_literal_subject_in_raw_triples(self):
+        bad = Triple(Literal("oops"), uri("p"), uri("a"))  # bypasses Triple.create
+        diagnostic = only(validate_triples([bad]), "ALEX-D104")
+        assert diagnostic.severity == "error"
+        assert diagnostic.subject == bad.n3()
+
+    def test_d105_empty_local_name(self):
+        graph = Graph()
+        stub = URIRef("http://ex/ontology/")
+        graph.add(Triple(uri("a"), stub, Literal("x")))
+        diagnostic = only(validate_graph(graph), "ALEX-D105")
+        assert diagnostic.severity == "warning"
+        assert diagnostic.subject == stub.n3()
+
+    def test_term_diagnostics_deduplicated(self):
+        graph = Graph()
+        relative = URIRef("no-scheme")
+        graph.add(Triple(relative, uri("p"), Literal("x")))
+        graph.add(Triple(relative, uri("q"), Literal("y")))
+        diagnostics = [d for d in validate_graph(graph) if d.code == "ALEX-D103"]
+        assert len(diagnostics) == 1
+
+
+class TestGraphTier:
+    def test_d201_mixed_object_kinds(self):
+        graph = Graph()
+        graph.add(Triple(uri("a"), uri("p"), Literal("x")))
+        graph.add(Triple(uri("b"), uri("p"), uri("c")))
+        diagnostic = only(validate_graph(graph), "ALEX-D201")
+        assert diagnostic.severity == "warning"
+        assert diagnostic.subject == uri("p").n3()
+
+    def test_d202_functional_predicate_violation(self):
+        graph = Graph()
+        for index in range(9):
+            graph.add(Triple(uri(f"s{index}"), uri("code"), Literal(str(index))))
+        graph.add(Triple(uri("dup"), uri("code"), Literal("a")))
+        graph.add(Triple(uri("dup"), uri("code"), Literal("b")))
+        diagnostic = only(validate_graph(graph), "ALEX-D202")
+        assert diagnostic.severity == "warning"
+        assert diagnostic.subject == uri("code").n3()
+        assert uri("dup").n3() in diagnostic.message
+
+    def test_d202_genuinely_multivalued_predicates_pass(self):
+        graph = Graph()
+        for index in range(6):
+            graph.add(Triple(uri(f"s{index}"), uri("tag"), Literal(f"x{index}")))
+            graph.add(Triple(uri(f"s{index}"), uri("tag"), Literal(f"y{index}")))
+        assert "ALEX-D202" not in codes_of(validate_graph(graph))
+
+    def test_d203_orphan_bnode(self):
+        graph = Graph()
+        orphan = BNode("orphan")
+        graph.add(Triple(uri("a"), uri("p"), orphan))
+        diagnostic = only(validate_graph(graph), "ALEX-D203")
+        assert diagnostic.severity == "warning"
+        assert diagnostic.subject == orphan.n3()
+
+    def test_d203_described_bnode_passes(self):
+        graph = Graph()
+        node = BNode("described")
+        graph.add(Triple(uri("a"), uri("p"), node))
+        graph.add(Triple(node, uri("q"), Literal("x")))
+        assert "ALEX-D203" not in codes_of(validate_graph(graph))
+
+    def test_d204_reserved_vocabulary_collision(self):
+        graph = Graph()
+        typo = URIRef("http://www.w3.org/2002/07/owl#sameAS")
+        graph.add(Triple(uri("a"), typo, uri("b")))
+        diagnostic = only(validate_graph(graph), "ALEX-D204")
+        assert diagnostic.severity == "warning"
+        assert diagnostic.subject == typo.n3()
+        assert "owl:sameAS" in diagnostic.message
+
+    def test_d204_known_vocabulary_passes(self):
+        graph = Graph()
+        graph.add(Triple(uri("a"), URIRef("http://www.w3.org/2002/07/owl#sameAs"), uri("b")))
+        graph.add(
+            Triple(uri("a"), URIRef("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"), uri("T"))
+        )
+        assert "ALEX-D204" not in codes_of(validate_graph(graph))
+
+    def test_d204_misspelled_xsd_datatype(self):
+        graph = Graph()
+        graph.add(Triple(uri("a"), uri("p"), Literal("5", datatype=XSD + "integr")))
+        diagnostic = only(validate_graph(graph), "ALEX-D204")
+        assert "xsd:integr" in diagnostic.message
+
+
+class TestLinkTier:
+    def test_d301_cycle(self):
+        links = LinkSet([Link(uri("a"), uri("b")), Link(uri("b"), uri("c")),
+                         Link(uri("c"), uri("a"))])
+        diagnostic = only(validate_links(links), "ALEX-D301")
+        assert diagnostic.severity == "warning"
+        assert diagnostic.subject == Link(uri("c"), uri("a")).n3()
+        assert diagnostic.link == Link(uri("c"), uri("a"))
+
+    def test_d301_self_link(self):
+        links = LinkSet([Link(uri("a"), uri("a"))])
+        diagnostic = only(validate_links(links), "ALEX-D301")
+        assert "itself" in diagnostic.message
+
+    def test_d302_asymmetric_duplicate(self):
+        links = LinkSet([Link(uri("a"), uri("b")), Link(uri("b"), uri("a"))])
+        diagnostics = validate_links(links)
+        diagnostic = only(diagnostics, "ALEX-D302")
+        assert diagnostic.severity == "warning"
+        assert diagnostic.subject == Link(uri("b"), uri("a")).n3()
+        assert codes_of(diagnostics).count("ALEX-D302") == 1
+
+    def test_d303_one_to_many(self):
+        links = LinkSet([Link(uri("a"), uri("x")), Link(uri("a"), uri("y"))])
+        diagnostic = only(validate_links(links), "ALEX-D303")
+        assert diagnostic.severity == "warning"
+        assert diagnostic.subject == uri("a").n3()
+
+    def test_d303_many_to_one(self):
+        links = LinkSet([Link(uri("a"), uri("x")), Link(uri("b"), uri("x"))])
+        diagnostic = only(validate_links(links), "ALEX-D303")
+        assert diagnostic.subject == uri("x").n3()
+
+    def test_d304_dangling_endpoint(self):
+        left = Graph()
+        left.add(Triple(uri("a"), uri("p"), Literal("x")))
+        right = Graph()
+        right.add(Triple(uri("y"), uri("p"), Literal("y")))
+        links = LinkSet([Link(uri("ghost"), uri("y"))])
+        diagnostic = only(validate_links(links, left=left, right=right), "ALEX-D304")
+        assert diagnostic.severity == "error"
+        assert diagnostic.subject == Link(uri("ghost"), uri("y")).n3()
+        assert diagnostic.link == Link(uri("ghost"), uri("y"))
+
+    def test_d304_object_position_counts_as_present(self):
+        left = Graph()
+        left.add(Triple(uri("a"), uri("p"), uri("obj-only")))
+        links = LinkSet([Link(uri("obj-only"), uri("y"))])
+        assert "ALEX-D304" not in codes_of(validate_links(links, left=left))
+
+    def test_d305_below_theta(self):
+        links = LinkSet()
+        low = Link(uri("a"), uri("x"))
+        links.add(low, score=0.1)
+        links.add(Link(uri("b"), uri("y")), score=0.9)
+        diagnostics = validate_links(links, theta=0.3)
+        diagnostic = only(diagnostics, "ALEX-D305")
+        assert diagnostic.severity == "error"
+        assert diagnostic.subject == low.n3()
+        assert diagnostic.link == low
+        assert codes_of(diagnostics).count("ALEX-D305") == 1
+
+    def test_d305_unscored_links_are_not_flagged(self):
+        links = LinkSet([Link(uri("a"), uri("x"))])
+        assert "ALEX-D305" not in codes_of(validate_links(links, theta=0.3))
+
+    def test_d306_blacklisted_link(self):
+        bad = Link(uri("a"), uri("x"))
+        links = LinkSet([bad, Link(uri("b"), uri("y"))])
+        diagnostic = only(validate_links(links, blacklist={bad}), "ALEX-D306")
+        assert diagnostic.severity == "error"
+        assert diagnostic.subject == bad.n3()
+        assert diagnostic.link == bad
+
+    def test_clean_link_set_has_no_diagnostics(self):
+        left = Graph()
+        right = Graph()
+        left.add(Triple(uri("a"), uri("p"), Literal("x")))
+        right.add(Triple(uri("x"), uri("p"), Literal("x")))
+        links = LinkSet()
+        links.add(Link(uri("a"), uri("x")), score=0.95)
+        assert validate_links(links, left=left, right=right, theta=0.3, blacklist=set()) == []
+
+    def test_linkset_validate_hook(self):
+        links = LinkSet([Link(uri("a"), uri("x")), Link(uri("a"), uri("y"))])
+        assert "ALEX-D303" in codes_of(links.validate())
+
+
+class TestOrderingAndFormat:
+    def test_deterministic_ordering_on_identical_input(self):
+        def build():
+            graph = Graph()
+            graph.add(Triple(uri("b"), uri("p"), Literal("x", datatype=XSD + "integer")))
+            graph.add(Triple(uri("a"), uri("p"), uri("c")))
+            graph.add(Triple(URIRef("relative"), uri("q"), Literal("y", language="toolongsubtagx")))
+            graph.add(Triple(uri("d"), uri("q"), BNode("n")))
+            return graph
+
+        first = validate_graph(build())
+        second = validate_graph(build())
+        assert first == second
+        assert first == sorted(first, key=lambda d: (d.severity == "warning", d.code))
+        # errors strictly before warnings
+        severities = [d.severity for d in first]
+        assert severities == sorted(severities, key=("error", "warning", "info").index)
+
+    def test_insertion_order_does_not_change_output(self):
+        triples = [
+            Triple(uri("a"), uri("p"), Literal("x", datatype=XSD + "integer")),
+            Triple(uri("b"), uri("p"), uri("c")),
+            Triple(URIRef("relative"), uri("q"), Literal("z")),
+        ]
+        forward = Graph(triples=triples)
+        backward = Graph(triples=reversed(triples))
+        assert validate_graph(forward) == validate_graph(backward)
+
+    def test_format_includes_subject_and_graph(self):
+        diagnostic = DataDiagnostic(
+            code="ALEX-D101", severity="error", message="msg",
+            subject="<http://ex/a>", graph="left", hint="fix",
+        )
+        assert diagnostic.format() == "[left] ALEX-D101 error: msg — <http://ex/a> (hint: fix)"
+
+    def test_to_dict_has_subject_not_position(self):
+        diagnostic = DataDiagnostic(code="ALEX-D103", severity="warning",
+                                    message="msg", subject="<x>")
+        data = diagnostic.to_dict()
+        assert data["subject"] == "<x>"
+        assert "line" not in data and "column" not in data
+
+
+class TestDatasetValidation:
+    def test_named_graphs_carry_graph_label(self):
+        from repro.rdf.dataset import Dataset
+
+        dataset = Dataset(name="fed")
+        dataset.default.add(Triple(uri("a"), uri("p"), Literal("x")))
+        named = dataset.graph(uri("g1"))
+        named.add(Triple(uri("b"), uri("q"), Literal("bad", datatype=XSD + "integer")))
+        diagnostics = validate_dataset(dataset)
+        diagnostic = only(diagnostics, "ALEX-D101")
+        assert diagnostic.graph == EX + "g1"
+
+
+class TestStrictGates:
+    def test_check_graph_raises_on_errors(self):
+        graph = Graph()
+        graph.add(Triple(uri("a"), uri("p"), Literal("x", datatype=XSD + "integer")))
+        with pytest.raises(DataValidationError) as excinfo:
+            check_graph(graph)
+        assert any(d.code == "ALEX-D101" for d in excinfo.value.diagnostics)
+
+    def test_check_graph_passes_warnings_through(self):
+        graph = Graph()
+        graph.add(Triple(URIRef("relative"), uri("p"), Literal("x")))
+        diagnostics = check_graph(graph)  # warning only: no raise
+        assert codes_of(diagnostics) == ["ALEX-D103"]
+
+    def test_check_links_raises_on_dangling(self):
+        left = Graph()
+        left.add(Triple(uri("a"), uri("p"), Literal("x")))
+        links = LinkSet([Link(uri("ghost"), uri("y"))])
+        with pytest.raises(DataValidationError):
+            check_links(links, left=left)
+
+
+class TestObsIntegration:
+    def test_runs_and_diagnostics_counted(self):
+        graph = Graph()
+        graph.add(Triple(uri("a"), uri("p"), Literal("x", datatype=XSD + "integer")))
+        with obs.use_registry() as registry:
+            validate_graph(graph)
+            snapshot = registry.snapshot()
+        assert obs.counter_total(snapshot, "rdf.validate.runs") == 1
+        labels = [
+            entry["labels"]
+            for entry in snapshot["counters"]
+            if entry["name"] == "rdf.validate.diagnostics"
+        ]
+        assert {"code": "ALEX-D101", "severity": "error"} in labels
+
+    def test_link_validation_counts_one_run(self):
+        links = LinkSet([Link(uri("a"), uri("x"))])
+        with obs.use_registry() as registry:
+            validate_links(links)
+            snapshot = registry.snapshot()
+        assert obs.counter_total(snapshot, "rdf.validate.runs") == 1

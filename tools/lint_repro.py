@@ -17,6 +17,12 @@ cannot know, checked statically over Python ``ast``:
   that do not exist).
 * **R004** — no bare ``except:`` anywhere in ``src``, ``tools``, or
   ``benchmarks`` (it swallows ``KeyboardInterrupt``/``SystemExit``).
+* **R005** — no mutable default arguments (``[]``, ``{}``, ``set()``, ...)
+  in library code under ``src/repro``; the default is shared across calls.
+* **R006** — every ``ALEX-*`` diagnostic code string used in library code
+  must be registered in a module-level ``CODES`` table (the stable code
+  registries of ``repro.sparql.analysis`` and ``repro.rdf.validate``), so
+  no analyzer can emit an unregistered code.
 
 Usage: ``python tools/lint_repro.py [root]`` — exits non-zero when any
 invariant is violated, printing ``path:line: CODE message`` per finding.
@@ -26,6 +32,7 @@ from __future__ import annotations
 
 import ast
 import os
+import re
 import sys
 
 #: Modules inside src/repro that are allowed to print: the CLI surface.
@@ -35,6 +42,13 @@ PRINT_ALLOWED = {"cli.py", "__main__.py"}
 OBS_DIR = os.path.join("src", "repro", "obs")
 
 FORBIDDEN_OBS_CALLS = {"set_registry", "reset"}
+
+#: Diagnostic code shape: ALEX-<letter><3 digits> (R006).
+ALEX_CODE_RE = re.compile(r"ALEX-[A-Z]\d{3}")
+
+#: Call names whose result is a fresh mutable container (allowed as default
+#: would still be shared across calls — flagged by R005).
+MUTABLE_FACTORIES = {"list", "dict", "set", "defaultdict", "Counter", "OrderedDict"}
 
 
 class Finding:
@@ -63,7 +77,47 @@ def _is_obs_attr(node: ast.AST, name: str) -> bool:
     )
 
 
-def check_file(path: str, rel: str) -> list[Finding]:
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in MUTABLE_FACTORIES
+    return False
+
+
+def collect_registered_codes(root: str) -> set[str]:
+    """String keys of every module-level ``CODES = {...}`` dict in src/repro.
+
+    This is the static mirror of ``repro.diagnostics``: each analyzer
+    registers a literal ``CODES`` table, so parsing those tables recovers
+    the full registry without importing the package.
+    """
+    codes: set[str] = set()
+    base = os.path.join(root, "src", "repro")
+    for dirpath, dirnames, filenames in os.walk(base):
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for filename in filenames:
+            if not filename.endswith(".py"):
+                continue
+            with open(os.path.join(dirpath, filename), "r", encoding="utf-8") as handle:
+                try:
+                    tree = ast.parse(handle.read())
+                except SyntaxError:
+                    continue  # reported as R000 by check_file
+            for node in tree.body:
+                if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    continue
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                if not any(isinstance(t, ast.Name) and t.id == "CODES" for t in targets):
+                    continue
+                if isinstance(node.value, ast.Dict):
+                    for key in node.value.keys:
+                        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                            codes.add(key.value)
+    return codes
+
+
+def check_file(path: str, rel: str, registered_codes: set[str] | None = None) -> list[Finding]:
     with open(path, "r", encoding="utf-8") as handle:
         source = handle.read()
     try:
@@ -113,6 +167,32 @@ def check_file(path: str, rel: str) -> list[Finding]:
                 rel, node.lineno, "R004",
                 "bare 'except:'; catch a specific exception (or Exception)",
             ))
+        # R005: mutable default arguments in library code
+        if in_repro and isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            arguments = node.args
+            for default in list(arguments.defaults) + [
+                d for d in arguments.kw_defaults if d is not None
+            ]:
+                if _is_mutable_default(default):
+                    findings.append(Finding(
+                        rel, default.lineno, "R005",
+                        "mutable default argument; the instance is shared "
+                        "across calls — default to None and create inside",
+                    ))
+        # R006: only registered ALEX-* diagnostic codes in library code
+        if (
+            in_repro
+            and registered_codes is not None
+            and isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+        ):
+            for code in ALEX_CODE_RE.findall(node.value):
+                if code not in registered_codes:
+                    findings.append(Finding(
+                        rel, node.lineno, "R006",
+                        f"diagnostic code {code} is not registered in any "
+                        "module-level CODES table",
+                    ))
 
     findings.extend(check_all_exports(tree, rel))
     return findings
@@ -160,6 +240,7 @@ def check_all_exports(tree: ast.Module, rel: str) -> list[Finding]:
 
 
 def lint(root: str) -> list[Finding]:
+    registered_codes = collect_registered_codes(root)
     findings: list[Finding] = []
     for top in ("src", "tools", "benchmarks"):
         base = os.path.join(root, top)
@@ -172,7 +253,7 @@ def lint(root: str) -> list[Finding]:
                     continue
                 path = os.path.join(dirpath, filename)
                 rel = os.path.relpath(path, root)
-                findings.extend(check_file(path, rel))
+                findings.extend(check_file(path, rel, registered_codes))
     findings.sort(key=lambda f: (f.path, f.line, f.code))
     return findings
 
