@@ -26,7 +26,13 @@ needs:
 """
 
 from repro import obs
-from repro.core import AlexConfig, AlexEngine, PartitionedAlex, run_partitions_parallel
+from repro.core import (
+    AlexConfig,
+    AlexEngine,
+    PartitionedAlex,
+    build_space_parallel,
+    run_partitions_parallel,
+)
 from repro.datasets import load_pair
 from repro.errors import DataValidationError, QueryAnalysisError, ReproError
 from repro.evaluation import QualityTracker, evaluate_links, quality_curve_table
@@ -52,7 +58,7 @@ from repro.rdf import (
 )
 from repro.sparql import Diagnostic, analyze_query, parse_query
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AlexConfig",
@@ -81,6 +87,7 @@ __all__ = [
     "__version__",
     "analyze_query",
     "build_partitioned_spaces",
+    "build_space_parallel",
     "evaluate_links",
     "load_pair",
     "obs",

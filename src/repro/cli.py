@@ -9,6 +9,7 @@ Subcommands::
     repro lint-query 'SELECT ...'            # static analysis (ALEX-* codes)
     repro lint-data DATA.nt [RIGHT.nt]       # RDF graph & link-set validation
     repro run SCENARIO                       # run one experiment scenario
+    repro bench                              # time naive vs fast space builds
     repro figures all | FIGURE               # regenerate paper figures
     repro stats                              # exercise the stack, print obs metrics
 
@@ -134,6 +135,22 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--from", dest="from_file", default=None, metavar="FILE",
         help="render a previously dumped snapshot instead of running the workload",
+    )
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="benchmark feature-space construction (naive vs fast paths), "
+        "prove parity, and write BENCH_space.json",
+    )
+    bench.add_argument("--out", default=None, metavar="PATH",
+                       help="output JSON path (default: BENCH_space.json)")
+    bench.add_argument("--quick", action="store_true",
+                       help="smallest bundle only — the CI smoke configuration")
+    bench.add_argument("--workers", type=int, default=0,
+                       help="also time a multi-process build with this many workers")
+    bench.add_argument(
+        "--min-speedup", type=float, default=0.0,
+        help="exit non-zero unless the largest-bundle speedup reaches this factor",
     )
 
     figures = subparsers.add_parser("figures", help="regenerate paper figures")
@@ -412,6 +429,26 @@ _FIGURES = {
 }
 
 
+def _cmd_bench(out: str | None, quick: bool, workers: int, min_speedup: float) -> int:
+    from repro.bench import DEFAULT_OUT, render_report, run_bench, write_payload
+
+    payload = run_bench(quick=quick, workers=workers)
+    path = out if out is not None else DEFAULT_OUT
+    write_payload(payload, path)
+    print(render_report(payload))
+    print(f"wrote {path}")
+    if not payload["parity"]["ok"]:
+        print("error: fast/naive parity check failed", file=sys.stderr)
+        return 1
+    if min_speedup > 0 and (payload["speedup"] or 0.0) < min_speedup:
+        print(
+            f"error: speedup {payload['speedup']}x below required {min_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_figures(figure: str) -> int:
     import repro.experiments as experiments
 
@@ -452,6 +489,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_run(args.scenario, args.max_episodes, args.csv, args.obs_json)
         if args.command == "stats":
             return _cmd_stats(args.pair, args.episodes, args.json, args.from_file)
+        if args.command == "bench":
+            return _cmd_bench(args.out, args.quick, args.workers, args.min_speedup)
         if args.command == "figures":
             return _cmd_figures(args.figure)
         if args.command == "report":

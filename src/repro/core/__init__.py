@@ -4,7 +4,11 @@ from repro.core.config import BATCH_EPISODE_SIZE, DOMAIN_EPISODE_SIZE, AlexConfi
 from repro.core.engine import AlexEngine
 from repro.core.episode import Episode, EpisodeStats
 from repro.core.parallel import PartitionedAlex
-from repro.core.parallel_mp import PartitionOutcome, run_partitions_parallel
+from repro.core.parallel_mp import (
+    PartitionOutcome,
+    build_space_parallel,
+    run_partitions_parallel,
+)
 from repro.core.persistence import (
     dump_engine,
     engine_from_dict,
@@ -37,6 +41,7 @@ __all__ = [
     "PolicyReport",
     "StateAction",
     "available_actions",
+    "build_space_parallel",
     "dump_engine",
     "engine_from_dict",
     "engine_load",

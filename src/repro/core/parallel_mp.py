@@ -24,10 +24,12 @@ from repro import obs
 from repro.core.config import AlexConfig
 from repro.core.engine import AlexEngine
 from repro.errors import ConfigError
-from repro.features.space import FeatureSpace
+from repro.features.feature_set import DEFAULT_THETA
+from repro.features.space import FeatureSpace, merge_spaces
 from repro.feedback.oracle import GroundTruthOracle, NoisyOracle
 from repro.feedback.session import FeedbackSession
 from repro.links import Link, LinkSet
+from repro.rdf.entity import Entity
 
 
 @dataclass
@@ -75,6 +77,74 @@ def _run_partition(
             elapsed_seconds=session.elapsed_seconds,
             obs_snapshot=registry.snapshot(),
         )
+
+
+def _build_space_partition(
+    left_chunk: list[Entity],
+    right_entities: list[Entity],
+    theta: float,
+    use_blocking: bool,
+    fast: bool,
+    name: str,
+) -> tuple[FeatureSpace, dict]:
+    """Worker body: build one left-partition's sub-space.
+
+    Runs under an isolated obs registry (same pattern as feedback
+    partitions) so the worker's phase timers and cache counters travel back
+    in the returned snapshot and merge into the parent registry.
+    """
+    with obs.use_registry(obs.Registry(name)) as registry:
+        space = FeatureSpace.build(
+            left_chunk, right_entities, theta, use_blocking, fast=fast, workers=1
+        )
+        return space, registry.snapshot()
+
+
+def build_space_parallel(
+    left_entities: Sequence[Entity],
+    right_entities: Sequence[Entity],
+    *,
+    theta: float = DEFAULT_THETA,
+    use_blocking: bool = True,
+    fast: bool = True,
+    workers: int = 2,
+) -> FeatureSpace:
+    """Build a :class:`FeatureSpace` with the left side split across processes.
+
+    Each worker scores a contiguous slice of the left entities against the
+    full right side, so no candidate pair is scored twice and the merged
+    space is identical (links, scores, ``total_pairs_considered``) to a
+    single-process build: blocking depends only on the right side, and the
+    merge deduplicates by link. Worker obs snapshots (``space.build.*``
+    phase timers, ``similarity.cache.*`` counters) merge into the caller's
+    registry, mirroring :func:`run_partitions_parallel`.
+    """
+    left_entities = list(left_entities)
+    right_entities = list(right_entities)
+    if workers < 1:
+        raise ConfigError(f"workers must be >= 1, got {workers}")
+    workers = min(workers, max(1, len(left_entities)))
+    chunk_size = (len(left_entities) + workers - 1) // workers if left_entities else 1
+    chunks = [left_entities[i:i + chunk_size] for i in range(0, len(left_entities), chunk_size)]
+    if not chunks:
+        chunks = [[]]
+    jobs = [
+        (chunk, right_entities, theta, use_blocking, fast, f"space-build-{index}")
+        for index, chunk in enumerate(chunks)
+    ]
+    if len(jobs) == 1 or workers == 1:
+        results = [_build_space_partition(*job) for job in jobs]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(_build_space_partition, *zip(*jobs)))
+    spaces = []
+    for space, snap in results:
+        spaces.append(space)
+        obs.merge(snap)
+    obs.inc("space.build.partitions", len(spaces))
+    with obs.timer("space.build.merge"):
+        merged = merge_spaces(spaces)
+    return merged
 
 
 def run_partitions_parallel(

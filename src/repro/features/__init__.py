@@ -6,7 +6,9 @@ from repro.features.feature_set import (
     FeatureKey,
     FeatureSet,
     build_feature_set,
+    build_feature_set_prepared,
     similarity_matrix,
+    similarity_matrix_prepared,
 )
 from repro.features.partition import build_partitioned_spaces, equal_size_partition
 from repro.features.space import FeatureSpace, merge_spaces
@@ -19,9 +21,11 @@ __all__ = [
     "TokenBlocker",
     "blocked_pairs",
     "build_feature_set",
+    "build_feature_set_prepared",
     "build_partitioned_spaces",
     "entity_tokens",
     "equal_size_partition",
     "merge_spaces",
     "similarity_matrix",
+    "similarity_matrix_prepared",
 ]

@@ -37,23 +37,42 @@ def entity_tokens(entity: Entity) -> set[str]:
 
 
 class TokenBlocker:
-    """Inverted token index over one dataset's entities."""
+    """Inverted token index over one dataset's entities.
 
-    def __init__(self, entities: Iterable[Entity], stop_fraction: float = DEFAULT_STOP_FRACTION):
+    ``token_map`` is a shared per-build memo (entity → token set): the
+    blocker fills it for its own side at index time and reuses it in
+    :meth:`candidates`, so no entity is tokenized more than once per build
+    even when the same map is threaded through several components.
+    """
+
+    def __init__(
+        self,
+        entities: Iterable[Entity],
+        stop_fraction: float = DEFAULT_STOP_FRACTION,
+        token_map: dict[Entity, set[str]] | None = None,
+    ):
         self.entities = list(entities)
+        self._token_map: dict[Entity, set[str]] = token_map if token_map is not None else {}
         index: dict[str, list[int]] = defaultdict(list)
         for position, entity in enumerate(self.entities):
-            for token in entity_tokens(entity):
+            for token in self._tokens_of(entity):
                 index[token].append(position)
         cutoff = max(2, int(stop_fraction * max(1, len(self.entities))))
         self._index = {
             token: positions for token, positions in index.items() if len(positions) <= cutoff
         }
 
+    def _tokens_of(self, entity: Entity) -> set[str]:
+        cached = self._token_map.get(entity)
+        if cached is None:
+            cached = entity_tokens(entity)
+            self._token_map[entity] = cached
+        return cached
+
     def candidates(self, entity: Entity) -> list[Entity]:
         """Entities sharing at least one non-stop token with ``entity``."""
         seen: set[int] = set()
-        for token in entity_tokens(entity):
+        for token in self._tokens_of(entity):
             for position in self._index.get(token, ()):
                 seen.add(position)
         return [self.entities[position] for position in sorted(seen)]
@@ -66,9 +85,10 @@ def blocked_pairs(
     left_entities: Iterable[Entity],
     right_entities: Iterable[Entity],
     stop_fraction: float = DEFAULT_STOP_FRACTION,
+    token_map: dict[Entity, set[str]] | None = None,
 ) -> Iterator[tuple[Entity, Entity]]:
     """Yield candidate (left, right) pairs that share a blocking token."""
-    blocker = TokenBlocker(right_entities, stop_fraction)
+    blocker = TokenBlocker(right_entities, stop_fraction, token_map=token_map)
     for left in left_entities:
         for right in blocker.candidates(left):
             yield left, right

@@ -16,6 +16,13 @@ from repro.errors import FeatureSpaceError
 from repro.rdf.entity import Entity
 from repro.rdf.terms import URIRef
 from repro.similarity.generic import best_object_similarity
+from repro.similarity.prepared import (
+    PreparedEntity,
+    _best_cache,
+    _best_uncached,
+    _stats,
+    best_prepared_similarity,
+)
 
 #: A feature key: (predicate from dataset 1, predicate from dataset 2).
 FeatureKey = tuple[URIRef, URIRef]
@@ -94,6 +101,29 @@ def similarity_matrix(entity1: Entity, entity2: Entity, theta: float = DEFAULT_T
     return matrix
 
 
+def _reduce_matrix(
+    matrix: dict[FeatureKey, float], arity1: int, arity2: int
+) -> dict[FeatureKey, float]:
+    """The paper's row/column max reduction, shared by both build paths."""
+    if arity1 > arity2:
+        best_for_row: dict[URIRef, tuple[float, URIRef]] = {}
+        for (p1, p2), score in matrix.items():
+            current = best_for_row.get(p1)
+            if current is None or score > current[0] or (
+                score == current[0] and (p2.value < current[1].value)
+            ):
+                best_for_row[p1] = (score, p2)
+        return {(p1, p2): score for p1, (score, p2) in best_for_row.items()}
+    best_for_col: dict[URIRef, tuple[float, URIRef]] = {}
+    for (p1, p2), score in matrix.items():
+        current = best_for_col.get(p2)
+        if current is None or score > current[0] or (
+            score == current[0] and (p1.value < current[1].value)
+        ):
+            best_for_col[p2] = (score, p1)
+    return {(p1, p2): score for p2, (score, p1) in best_for_col.items()}
+
+
 def build_feature_set(
     entity1: Entity, entity2: Entity, theta: float = DEFAULT_THETA
 ) -> FeatureSet | None:
@@ -107,23 +137,44 @@ def build_feature_set(
     matrix = similarity_matrix(entity1, entity2, theta)
     if not matrix:
         return None
-    reduced: dict[FeatureKey, float] = {}
-    if entity1.arity > entity2.arity:
-        best_for_row: dict[URIRef, FeatureKey] = {}
-        for (p1, p2), score in matrix.items():
-            current = best_for_row.get(p1)
-            if current is None or score > matrix[current] or (
-                score == matrix[current] and (p2.value < current[1].value)
-            ):
-                best_for_row[p1] = (p1, p2)
-        reduced = {key: matrix[key] for key in best_for_row.values()}
-    else:
-        best_for_col: dict[URIRef, FeatureKey] = {}
-        for (p1, p2), score in matrix.items():
-            current = best_for_col.get(p2)
-            if current is None or score > matrix[current] or (
-                score == matrix[current] and (p1.value < current[0].value)
-            ):
-                best_for_col[p2] = (p1, p2)
-        reduced = {key: matrix[key] for key in best_for_col.values()}
-    return FeatureSet(reduced)
+    return FeatureSet(_reduce_matrix(matrix, entity1.arity, entity2.arity))
+
+
+def similarity_matrix_prepared(
+    prepared1: PreparedEntity, prepared2: PreparedEntity, theta: float = DEFAULT_THETA
+) -> dict[FeatureKey, float]:
+    """Fast-path :func:`similarity_matrix` over prepared entities.
+
+    Every entry ≥ θ carries exactly the score the naive path computes; the
+    θ-aware bounds inside :func:`best_prepared_similarity` only elide work
+    whose result could not reach θ (and would be dropped here anyway).
+    """
+    # The memo probe of best_prepared_similarity is inlined here: with ~20
+    # attribute pairs per entity pair and a ~75% memo hit rate the call
+    # overhead alone would dominate the cache's savings.
+    matrix: dict[FeatureKey, float] = {}
+    cache_get = _best_cache.get
+    items2 = prepared2.attr_items
+    hits = 0
+    for p1, objects1 in prepared1.attr_items:
+        for p2, objects2 in items2:
+            key = (objects1, objects2, theta)
+            score = cache_get(key)
+            if score is None:
+                score = _best_uncached(objects1, objects2, theta, key)
+            else:
+                hits += 1
+            if score >= theta:
+                matrix[(p1, p2)] = score
+    _stats["attr_hits"] += hits
+    return matrix
+
+
+def build_feature_set_prepared(
+    prepared1: PreparedEntity, prepared2: PreparedEntity, theta: float = DEFAULT_THETA
+) -> FeatureSet | None:
+    """Fast-path :func:`build_feature_set`; admitted features bit-identical."""
+    matrix = similarity_matrix_prepared(prepared1, prepared2, theta)
+    if not matrix:
+        return None
+    return FeatureSet(_reduce_matrix(matrix, prepared1.arity, prepared2.arity))

@@ -15,11 +15,18 @@ from typing import Iterable, Iterator, Mapping
 from repro import obs
 from repro.errors import FeatureSpaceError
 from repro.features.blocking import blocked_pairs
-from repro.features.feature_set import DEFAULT_THETA, FeatureKey, FeatureSet, build_feature_set
+from repro.features.feature_set import (
+    DEFAULT_THETA,
+    FeatureKey,
+    FeatureSet,
+    build_feature_set,
+    build_feature_set_prepared,
+)
 from repro.links import Link
 from repro.rdf.entity import Entity, entities_of
 from repro.rdf.graph import Graph
 from repro.rdf.terms import URIRef
+from repro.similarity.prepared import PreparedEntity, flush_similarity_stats, prepare_entity
 
 
 class FeatureSpace:
@@ -34,6 +41,8 @@ class FeatureSpace:
         #: for bisect.
         self._index: dict[FeatureKey, list[tuple[float, Link]]] = {}
         self._scores_only: dict[FeatureKey, list[float]] = {}
+        #: left URI → links, built at freeze time (fast links_of_left).
+        self._by_left: dict[URIRef, list[Link]] = {}
         self._total_pairs_considered = 0
         self._frozen = False
 
@@ -48,40 +57,114 @@ class FeatureSpace:
         right: Graph | Iterable[Entity],
         theta: float = DEFAULT_THETA,
         use_blocking: bool = True,
+        fast: bool = True,
+        workers: int | None = 1,
     ) -> "FeatureSpace":
         """Build the space between two datasets.
 
         ``use_blocking=False`` scores *every* pair (the naive quadratic
         construction of Section 6.1, kept for the filtering experiment and
-        the blocking ablation).
+        the blocking ablation). ``fast=True`` (the default) routes scoring
+        through the prepared-entity layer — normalized forms, token sets and
+        typed values computed once per entity, a bounded memo cache on
+        value-pair scores, and θ-aware upper bounds; admitted links and
+        scores are bit-identical to ``fast=False`` (the parity test in
+        ``tests/test_perf_fastpath.py`` enforces this). ``workers=N`` (N>1)
+        partitions the left entities across processes via
+        :func:`repro.core.parallel_mp.build_space_parallel` and merges the
+        per-worker spaces and obs snapshots.
         """
         left_entities = list(entities_of(left) if isinstance(left, Graph) else left)
         right_entities = list(entities_of(right) if isinstance(right, Graph) else right)
+        if workers is not None and workers > 1:
+            from repro.core.parallel_mp import build_space_parallel
+
+            return build_space_parallel(
+                left_entities,
+                right_entities,
+                theta=theta,
+                use_blocking=use_blocking,
+                fast=fast,
+                workers=workers,
+            )
+        return cls._build_single_process(left_entities, right_entities, theta, use_blocking, fast)
+
+    @classmethod
+    def _build_single_process(
+        cls,
+        left_entities: list[Entity],
+        right_entities: list[Entity],
+        theta: float,
+        use_blocking: bool,
+        fast: bool,
+    ) -> "FeatureSpace":
         space = cls(theta)
         if use_blocking:
-            pairs: Iterable[tuple[Entity, Entity]] = blocked_pairs(left_entities, right_entities)
+            with obs.timer("space.build.block"):
+                token_map: dict[Entity, set[str]] = {}
+                pairs: Iterable[tuple[Entity, Entity]] = list(
+                    blocked_pairs(left_entities, right_entities, token_map=token_map)
+                )
         else:
-            pairs = (
-                (l, r) for l in left_entities for r in right_entities
-            )
-        for left_entity, right_entity in pairs:
-            space.add_pair(left_entity, right_entity)
+            # the cross product stays lazy — materializing it would cost
+            # O(|D1|·|D2|) memory just to attribute ~zero time to blocking
+            pairs = ((l, r) for l in left_entities for r in right_entities)
+        with obs.timer("space.build.score"):
+            if fast:
+                prepared: dict[Entity, PreparedEntity] = {}
+                for left_entity, right_entity in pairs:
+                    prepared_left = prepared.get(left_entity)
+                    if prepared_left is None:
+                        prepared_left = prepare_entity(left_entity)
+                        prepared[left_entity] = prepared_left
+                    prepared_right = prepared.get(right_entity)
+                    if prepared_right is None:
+                        prepared_right = prepare_entity(right_entity)
+                        prepared[right_entity] = prepared_right
+                    space.add_prepared_pair(prepared_left, prepared_right)
+                flush_similarity_stats()
+            else:
+                for left_entity, right_entity in pairs:
+                    space.add_pair(left_entity, right_entity)
         space._total_pairs_considered = len(left_entities) * len(right_entities)
-        space.freeze()
+        with obs.timer("space.build.freeze"):
+            space.freeze()
         return space
 
     def add_pair(self, left_entity: Entity, right_entity: Entity) -> FeatureSet | None:
         """Score one pair and admit it when any feature passes θ."""
+        link = self._admissible_link(left_entity.uri, right_entity.uri)
+        if not isinstance(link, Link):
+            return link
+        feature_set = build_feature_set(left_entity, right_entity, self.theta)
+        return self._admit(link, feature_set)
+
+    def add_prepared_pair(
+        self, prepared_left: PreparedEntity, prepared_right: PreparedEntity
+    ) -> FeatureSet | None:
+        """Fast-path :meth:`add_pair` over prepared entities."""
+        link = self._admissible_link(prepared_left.uri, prepared_right.uri)
+        if not isinstance(link, Link):
+            return link
+        feature_set = build_feature_set_prepared(prepared_left, prepared_right, self.theta)
+        return self._admit(link, feature_set)
+
+    def _admissible_link(self, left_uri, right_uri) -> "Link | FeatureSet | None":
+        """Shared admission preamble: the new link to score, an existing
+        feature set for an already-seen pair, or None for non-URI subjects."""
         if self._frozen:
             raise FeatureSpaceError("cannot add pairs to a frozen FeatureSpace")
-        if not isinstance(left_entity.uri, URIRef) or not isinstance(right_entity.uri, URIRef):
+        if not isinstance(left_uri, URIRef) or not isinstance(right_uri, URIRef):
             return None
-        link = Link(left_entity.uri, right_entity.uri)
-        if link in self._feature_sets:
-            return self._feature_sets[link]
+        link = Link(left_uri, right_uri)
+        existing = self._feature_sets.get(link)
+        if existing is not None:
+            return existing
         # scanned vs admitted makes the θ-filter win measurable
         obs.inc("space.pairs.scanned")
-        feature_set = build_feature_set(left_entity, right_entity, self.theta)
+        return link
+
+    def _admit(self, link: Link, feature_set: FeatureSet | None) -> FeatureSet | None:
         if feature_set is None:
             return None
         obs.inc("space.pairs.admitted")
@@ -95,6 +178,10 @@ class FeatureSpace:
         for key, entries in self._index.items():
             entries.sort(key=lambda entry: (entry[0], entry[1].left.value, entry[1].right.value))
             self._scores_only[key] = [score for score, _ in entries]
+        by_left: dict[URIRef, list[Link]] = {}
+        for link in self._feature_sets:
+            by_left.setdefault(link.left, []).append(link)
+        self._by_left = by_left
         self._frozen = True
 
     # ------------------------------------------------------------------ #
@@ -129,6 +216,10 @@ class FeatureSpace:
         return iter(self._feature_sets)
 
     def links_of_left(self, left: URIRef) -> list[Link]:
+        # getattr: spaces pickled before the index existed reload fine
+        by_left = getattr(self, "_by_left", None)
+        if self._frozen and by_left is not None:
+            return list(by_left.get(left, ()))
         return [link for link in self._feature_sets if link.left == left]
 
     @property

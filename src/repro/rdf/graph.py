@@ -173,6 +173,8 @@ class Graph:
         if predicate is not None and subject is None and object is None:
             by_obj = self._pos.get(predicate, {})
             return sum(len(subjects) for subjects in by_obj.values())
+        if predicate is not None and object is not None and subject is None:
+            return len(self._pos.get(predicate, {}).get(object, ()))
         return sum(1 for _ in self.triples(subject, predicate, object))
 
     # ------------------------------------------------------------------ #

@@ -58,7 +58,7 @@ class Term:
 class URIRef(Term):
     """An RDF URI reference (an IRI identifying a resource or predicate)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_hash")
 
     def __init__(self, value: str):
         if not value:
@@ -66,6 +66,9 @@ class URIRef(Term):
         if _URI_FORBIDDEN.search(value):
             raise TermError(f"URIRef contains forbidden characters: {value!r}")
         object.__setattr__(self, "value", value)
+        # terms are dict keys in every graph index and feature matrix;
+        # computing the hash once at construction keeps those lookups cheap
+        object.__setattr__(self, "_hash", hash(("URIRef", value)))
 
     def __setattr__(self, name, val):  # immutability guard
         raise TermError("URIRef is immutable")
@@ -95,7 +98,7 @@ class URIRef(Term):
         return NotImplemented
 
     def __hash__(self):
-        return hash(("URIRef", self.value))
+        return self._hash
 
     def __repr__(self):
         return f"URIRef({self.value!r})"
@@ -108,7 +111,7 @@ class URIRef(Term):
 class BNode(Term):
     """A blank node with a local identifier."""
 
-    __slots__ = ("id",)
+    __slots__ = ("id", "_hash")
     _counter = 0
 
     def __init__(self, id: str | None = None):
@@ -118,6 +121,7 @@ class BNode(Term):
         if not id or not re.match(r"^[A-Za-z0-9_]+$", id):
             raise TermError(f"invalid blank node id: {id!r}")
         object.__setattr__(self, "id", id)
+        object.__setattr__(self, "_hash", hash(("BNode", id)))
 
     def __setattr__(self, name, val):
         raise TermError("BNode is immutable")
@@ -137,7 +141,7 @@ class BNode(Term):
         return NotImplemented
 
     def __hash__(self):
-        return hash(("BNode", self.id))
+        return self._hash
 
     def __repr__(self):
         return f"BNode({self.id!r})"
@@ -168,7 +172,7 @@ class Literal(Term):
     that by keeping ``datatype=None`` when ``language`` is set).
     """
 
-    __slots__ = ("lexical", "datatype", "language")
+    __slots__ = ("lexical", "datatype", "language", "_hash")
 
     def __init__(
         self,
@@ -204,6 +208,9 @@ class Literal(Term):
         object.__setattr__(self, "lexical", lexical)
         object.__setattr__(self, "datatype", datatype)
         object.__setattr__(self, "language", language.lower() if language else None)
+        object.__setattr__(
+            self, "_hash", hash(("Literal", self.lexical, self.datatype, self.language))
+        )
 
     def __setattr__(self, name, val):
         raise TermError("Literal is immutable")
@@ -271,7 +278,7 @@ class Literal(Term):
         return NotImplemented
 
     def __hash__(self):
-        return hash(("Literal", self.lexical, self.datatype, self.language))
+        return self._hash
 
     def __repr__(self):
         extra = ""

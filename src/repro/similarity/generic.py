@@ -79,6 +79,12 @@ def _looks_like_year(value) -> bool:
     return isinstance(value, int) and 1000 <= value <= 2999
 
 
+def humanize_local_name(local_name: str) -> str:
+    """Public alias of :func:`_humanize` (the prepared-entity layer needs
+    the exact same text the slow path compares)."""
+    return _humanize(local_name)
+
+
 def _humanize(local_name: str) -> str:
     """Turn ``LeBron_James`` / ``lebronJames`` into space-separated words."""
     spaced = local_name.replace("_", " ").replace("-", " ")

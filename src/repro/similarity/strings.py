@@ -8,6 +8,7 @@ values, and for textual attributes those scores come from here.
 from __future__ import annotations
 
 import re
+from typing import Mapping
 
 _TOKEN_RE = re.compile(r"[A-Za-z0-9]+")
 
@@ -118,6 +119,13 @@ def _trigrams(text: str) -> set[str]:
     return {padded[i:i + 3] for i in range(len(padded) - 2)}
 
 
+def trigrams(text: str) -> set[str]:
+    """Padded character trigrams of the normalized text (the sets
+    :func:`trigram_dice_similarity` compares; exposed for prepared-entity
+    caching)."""
+    return _trigrams(normalize(text))
+
+
 def trigram_dice_similarity(a: str, b: str) -> float:
     """Dice coefficient over padded character trigrams."""
     norm_a, norm_b = normalize(a), normalize(b)
@@ -127,6 +135,120 @@ def trigram_dice_similarity(a: str, b: str) -> float:
         return 0.0
     grams_a, grams_b = _trigrams(norm_a), _trigrams(norm_b)
     return 2.0 * len(grams_a & grams_b) / (len(grams_a) + len(grams_b))
+
+
+# --------------------------------------------------------------------- #
+# θ-aware upper bounds
+#
+# Cheap, provable ceilings on the expensive metrics: when a bound is
+# already below the threshold θ (or below the best score seen so far in a
+# max-reduction) the metric itself never needs to run. Every bound is
+# ≥ the true score for the same inputs, so skipping on the bound keeps the
+# admitted results bit-identical to the unfiltered computation.
+# --------------------------------------------------------------------- #
+
+
+def _char_counts(text: str) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for char in text:
+        counts[char] = counts.get(char, 0) + 1
+    return counts
+
+
+def _common_char_count(counts_a: Mapping[str, int], counts_b: Mapping[str, int]) -> int:
+    """Size of the character multiset intersection (caps Jaro matches)."""
+    if len(counts_a) > len(counts_b):
+        counts_a, counts_b = counts_b, counts_a
+    common = 0
+    for char, count in counts_a.items():
+        other = counts_b.get(char, 0)
+        common += count if count < other else other
+    return common
+
+
+def jaro_winkler_bound_from_stats(
+    len_a: int,
+    len_b: int,
+    common_chars: int,
+    shared_prefix: int,
+    prefix_weight: float = 0.1,
+) -> float:
+    """Upper bound on Jaro-Winkler from length/character statistics.
+
+    Jaro is ``(m/|a| + m/|b| + (m−t)/m) / 3`` with ``m`` the number of
+    matches; ``m`` can never exceed the character multiset intersection,
+    and ``(m−t)/m ≤ 1``, so substituting the intersection size bounds Jaro
+    from above. The Winkler boost is monotone in Jaro for a fixed shared
+    prefix, so applying the *actual* shared prefix (cheap to read off the
+    first four characters) to the Jaro bound keeps the result an upper
+    bound on the full metric.
+    """
+    if common_chars <= 0:
+        # jaro_similarity returns 1.0 for equal strings (incl. both empty)
+        # and 0.0 whenever there are no matches.
+        return 1.0 if len_a == 0 and len_b == 0 else 0.0
+    matches = min(common_chars, len_a, len_b)
+    jaro_bound = (matches / len_a + matches / len_b + 1.0) / 3.0
+    if jaro_bound >= 1.0:
+        return 1.0
+    return jaro_bound + shared_prefix * prefix_weight * (1.0 - jaro_bound)
+
+
+def shared_prefix_length(a: str, b: str, limit: int = 4) -> int:
+    """Length of the common prefix of ``a`` and ``b``, capped at ``limit``."""
+    prefix = 0
+    for char_a, char_b in zip(a[:limit], b[:limit]):
+        if char_a != char_b:
+            break
+        prefix += 1
+    return prefix
+
+
+def jaro_winkler_upper_bound(a: str, b: str) -> float:
+    """Upper bound on :func:`jaro_winkler_similarity` for the same inputs."""
+    if a == b:
+        return 1.0
+    return jaro_winkler_bound_from_stats(
+        len(a), len(b), _common_char_count(_char_counts(a), _char_counts(b)),
+        shared_prefix_length(a, b),
+    )
+
+
+def token_jaccard_bound_from_sizes(size_a: int, size_b: int) -> float:
+    """Upper bound on token Jaccard from the two token-set sizes alone:
+    ``|A∩B|/|A∪B| ≤ min/max`` (and two empty sets score exactly 1.0)."""
+    if size_a == 0 and size_b == 0:
+        return 1.0
+    if size_a == 0 or size_b == 0:
+        return 0.0
+    return min(size_a, size_b) / max(size_a, size_b)
+
+
+def token_jaccard_upper_bound(a: str, b: str) -> float:
+    """Upper bound on :func:`token_jaccard_similarity` for the same inputs."""
+    return token_jaccard_bound_from_sizes(len(set(tokens(a))), len(set(tokens(b))))
+
+
+def levenshtein_upper_bound(a: str, b: str) -> float:
+    """Length-ratio upper bound on :func:`levenshtein_similarity`:
+    edit distance is at least ``|len(a) − len(b)|``."""
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    return 1.0 - abs(len(a) - len(b)) / longest
+
+
+def string_similarity_upper_bound(a: str, b: str) -> float:
+    """Upper bound on the composite :func:`string_similarity`."""
+    norm_a, norm_b = normalize(a), normalize(b)
+    if norm_a == norm_b:
+        return 1.0
+    if not norm_a or not norm_b:
+        return 0.0
+    return max(
+        jaro_winkler_upper_bound(norm_a, norm_b),
+        token_jaccard_upper_bound(norm_a, norm_b),
+    )
 
 
 def string_similarity(a: str, b: str) -> float:

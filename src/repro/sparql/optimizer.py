@@ -55,9 +55,7 @@ def estimate_cardinality(graph: Graph, pattern: TriplePattern, bound_vars: set[V
     if s == "const" and p == "const":
         return float(graph.count(pattern.subject, pattern.predicate))
     if p == "const" and o == "const":
-        return float(
-            sum(1 for _ in graph.triples(predicate=pattern.predicate, object=pattern.object))
-        )
+        return float(graph.count(predicate=pattern.predicate, object=pattern.object))
     if s == "const":
         return float(graph.count(subject=pattern.subject))
 
