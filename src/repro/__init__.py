@@ -23,6 +23,7 @@ needs:
 * :mod:`repro.evaluation` — precision/recall/F tracking
 * :mod:`repro.experiments` — one function per paper table/figure
 * :mod:`repro.obs` — counters, histograms, timers, spans (``repro stats``)
+  and structured event tracing (:mod:`repro.obs.trace`, ``repro trace``)
 """
 
 from repro import obs
@@ -56,9 +57,10 @@ from repro.rdf import (
     validate_graph,
     validate_links,
 )
-from repro.sparql import Diagnostic, analyze_query, parse_query
+from repro.obs import trace
+from repro.sparql import Diagnostic, QueryPlan, analyze_query, explain, parse_query
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AlexConfig",
@@ -81,6 +83,7 @@ __all__ = [
     "QualityTracker",
     "QueryAnalysisError",
     "QueryFeedbackSession",
+    "QueryPlan",
     "ReproError",
     "Triple",
     "URIRef",
@@ -89,12 +92,14 @@ __all__ = [
     "build_partitioned_spaces",
     "build_space_parallel",
     "evaluate_links",
+    "explain",
     "load_pair",
     "obs",
     "paris_links",
     "parse_query",
     "quality_curve_table",
     "run_partitions_parallel",
+    "trace",
     "validate_dataset",
     "validate_graph",
     "validate_links",

@@ -6,12 +6,14 @@ Subcommands::
     repro datasets generate KEY --out DIR    # write left/right/truth .nt files
     repro link LEFT.nt RIGHT.nt [options]    # run the automatic linker
     repro query DATA.nt 'SELECT ...'         # run SPARQL over a file
+    repro explain DATA.nt 'SELECT ...'       # EXPLAIN / EXPLAIN ANALYZE plan tree
     repro lint-query 'SELECT ...'            # static analysis (ALEX-* codes)
     repro lint-data DATA.nt [RIGHT.nt]       # RDF graph & link-set validation
     repro run SCENARIO                       # run one experiment scenario
     repro bench                              # time naive vs fast space builds
     repro figures all | FIGURE               # regenerate paper figures
     repro stats                              # exercise the stack, print obs metrics
+    repro trace show|summary FILE.jsonl      # replay an exported trace
 
 Every command writes human-readable text to stdout and exits non-zero on
 error, so the tool composes in shell pipelines.
@@ -62,6 +64,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict",
         action="store_true",
         help="reject the query if static analysis finds error-level diagnostics",
+    )
+
+    explain = subparsers.add_parser(
+        "explain",
+        help="show the optimized query plan; --analyze executes with "
+        "per-operator rows and timings (EXPLAIN ANALYZE)",
+    )
+    explain.add_argument("data", help="dataset (N-Triples)")
+    explain.add_argument("sparql", help="the query text (or @FILE to read it from a file)")
+    explain.add_argument(
+        "--analyze", action="store_true",
+        help="execute the query and annotate operators with rows/timings",
+    )
+    explain.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    explain.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="with --analyze: export the run's trace events as JSONL",
     )
 
     lint = subparsers.add_parser(
@@ -121,6 +142,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--obs-json", default=None, metavar="PATH",
         help="dump the run's observability snapshot as JSON",
     )
+    run.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="record a decision audit trail and export it as JSONL",
+    )
+    run.add_argument(
+        "--trace-sample", type=float, default=1.0,
+        help="head-based sampling rate for --trace-out traces (default 1.0)",
+    )
 
     stats = subparsers.add_parser(
         "stats",
@@ -136,6 +165,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--from", dest="from_file", default=None, metavar="FILE",
         help="render a previously dumped snapshot instead of running the workload",
     )
+    stats.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="limit every section to its N largest entries",
+    )
+    stats.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="record the workload's trace events and export them as JSONL",
+    )
+
+    trace_cmd = subparsers.add_parser(
+        "trace", help="render exported trace files (repro-trace/1 JSONL)"
+    )
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command", required=True)
+    trace_show = trace_sub.add_parser(
+        "show", help="per-trace waterfall: span tree, timings, events"
+    )
+    trace_show.add_argument("file", help="trace JSONL file")
+    trace_show.add_argument(
+        "--trace", default=None, metavar="ID",
+        help="show only the trace whose id starts with ID",
+    )
+    trace_summary = trace_sub.add_parser(
+        "summary", help="event counts by type and the slowest spans"
+    )
+    trace_summary.add_argument("file", help="trace JSONL file")
+    trace_summary.add_argument("--top", type=int, default=10, help="slowest spans to list")
 
     bench = subparsers.add_parser(
         "bench",
@@ -235,6 +290,51 @@ def _cmd_query(data_path: str, sparql: str, strict: bool = False) -> int:
     for row in result.as_tuples():
         print("\t".join("" if term is None else str(term) for term in row))
     print(f"({len(result)} rows)", file=sys.stderr)
+    return 0
+
+
+def _cmd_explain(
+    data_path: str,
+    sparql: str,
+    analyze: bool,
+    output_format: str,
+    trace_out: str | None,
+) -> int:
+    import json
+
+    from repro.obs import trace
+    from repro.rdf import ntriples
+    from repro.sparql.explain import explain
+
+    if sparql.startswith("@"):
+        with open(sparql[1:], "r", encoding="utf-8") as handle:
+            sparql = handle.read()
+    graph = ntriples.load_file(data_path)
+    tracer = None
+    if trace_out is not None and analyze:
+        tracer = trace.install()
+    plan = explain(graph, sparql, analyze=analyze)
+    if output_format == "json":
+        print(json.dumps(plan.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(plan.render())
+    if tracer is not None:
+        tracer.write_jsonl(trace_out)
+        print(f"wrote {trace_out} ({len(tracer)} trace records)", file=sys.stderr)
+        trace.uninstall()
+    return 0
+
+
+def _cmd_trace(
+    trace_command: str, path: str, trace_id: str | None = None, top: int = 10
+) -> int:
+    from repro.obs import trace
+
+    payload = trace.load_jsonl(path)
+    if trace_command == "summary":
+        print(trace.render_summary(payload["records"], top=top, dropped=payload["dropped"]))
+    else:
+        print(trace.render_waterfall(payload["records"], trace_id=trace_id))
     return 0
 
 
@@ -345,15 +445,28 @@ def _cmd_run(
     max_episodes: int | None,
     csv_path: str | None = None,
     obs_json: str | None = None,
+    trace_out: str | None = None,
+    trace_sample: float = 1.0,
 ) -> int:
     from repro.evaluation.export import write_csv
     from repro.evaluation.report import quality_curve_table
     from repro.experiments import run_scenario, scenario
 
+    tracer = None
+    if trace_out is not None:
+        from repro.obs import trace
+
+        tracer = trace.install(sample=trace_sample, seed=0)
     spec = scenario(scenario_key)
     if max_episodes is not None:
         spec = spec.with_changes(max_episodes=max_episodes)
     result = run_scenario(spec)
+    if tracer is not None:
+        from repro.obs import trace
+
+        tracer.write_jsonl(trace_out)
+        print(f"wrote {trace_out} ({len(tracer)} trace records)")
+        trace.uninstall()
     if csv_path is not None:
         write_csv(result.tracker, csv_path, label=scenario_key)
         print(f"wrote {csv_path}")
@@ -374,14 +487,19 @@ def _cmd_run(
 
 
 def _cmd_stats(
-    pair_key: str, episodes: int, json_path: str | None, from_file: str | None
+    pair_key: str,
+    episodes: int,
+    json_path: str | None,
+    from_file: str | None,
+    top: int | None = None,
+    trace_out: str | None = None,
 ) -> int:
     from repro import obs
 
     if from_file is not None:
         registry = obs.Registry(from_file)
         registry.merge(obs.load_snapshot(from_file))
-        print(registry.render())
+        print(registry.render(top=top))
         return 0
 
     # A miniature end-to-end workload touching every instrumented subsystem:
@@ -396,6 +514,11 @@ def _cmd_stats(
     from repro.paris import paris_links
     from repro.sparql import query as run_query
 
+    tracer = None
+    if trace_out is not None:
+        from repro.obs import trace
+
+        tracer = trace.install(seed=0)
     pair = load_pair(pair_key)
     initial = paris_links(pair.left, pair.right, score_threshold=0.8)
     space = FeatureSpace.build(pair.left, pair.right)
@@ -410,10 +533,16 @@ def _cmd_stats(
     )
     federation.select("SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 5")
 
-    print(obs.render())
+    print(obs.render(top=top))
     if json_path is not None:
         obs.dump_json(json_path)
         print(f"wrote {json_path}")
+    if tracer is not None:
+        from repro.obs import trace
+
+        tracer.write_jsonl(trace_out)
+        print(f"wrote {trace_out} ({len(tracer)} trace records)")
+        trace.uninstall()
     return 0
 
 
@@ -477,6 +606,17 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_link(args.left, args.right, args.threshold, args.all_pairs, args.out)
         if args.command == "query":
             return _cmd_query(args.data, args.sparql, strict=args.strict)
+        if args.command == "explain":
+            return _cmd_explain(
+                args.data, args.sparql, args.analyze, args.format, args.trace_out
+            )
+        if args.command == "trace":
+            return _cmd_trace(
+                args.trace_command,
+                args.file,
+                trace_id=getattr(args, "trace", None),
+                top=getattr(args, "top", 10),
+            )
         if args.command == "lint-query":
             return _cmd_lint_query(args.sparql, args.data, args.format, args.fail_on)
         if args.command == "lint-data":
@@ -486,9 +626,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "describe":
             return _cmd_describe(args.data)
         if args.command == "run":
-            return _cmd_run(args.scenario, args.max_episodes, args.csv, args.obs_json)
+            return _cmd_run(
+                args.scenario, args.max_episodes, args.csv, args.obs_json,
+                args.trace_out, args.trace_sample,
+            )
         if args.command == "stats":
-            return _cmd_stats(args.pair, args.episodes, args.json, args.from_file)
+            return _cmd_stats(
+                args.pair, args.episodes, args.json, args.from_file,
+                top=args.top, trace_out=args.trace_out,
+            )
         if args.command == "bench":
             return _cmd_bench(args.out, args.quick, args.workers, args.min_speedup)
         if args.command == "figures":

@@ -23,6 +23,7 @@ import random
 from typing import Iterable
 
 from repro import obs
+from repro.obs import trace
 from repro.core.config import AlexConfig
 from repro.core.distinctiveness import FeatureDistinctiveness
 from repro.core.episode import Episode, EpisodeStats
@@ -153,6 +154,7 @@ class AlexEngine:
         self._credit(link, positive)
         tally = self._tally.setdefault(link, [0, 0])
         tally[0 if positive else 1] += 1
+        tracer = trace.active()
         if positive:
             self.confirmed.add(link)
             self.blacklist.discard(link)
@@ -161,8 +163,26 @@ class AlexEngine:
                 self.candidates.add(link)
             for state_action in self.ledger.generators_of(link):
                 self.ledger.record_positive(state_action)
+            if tracer is not None:
+                tracer.event(
+                    "alex.link.approve",
+                    link=str(link),
+                    reward=self.config.positive_reward,
+                    positives=tally[0],
+                    negatives=tally[1],
+                )
             return self._explore_from(link)
-        if tally[1] > tally[0]:
+        removed = tally[1] > tally[0]
+        if tracer is not None:
+            tracer.event(
+                "alex.link.reject",
+                link=str(link),
+                reward=self.config.negative_reward,
+                removed=removed,
+                positives=tally[0],
+                negatives=tally[1],
+            )
+        if removed:
             # Remove only when negative evidence outweighs positive: one
             # erroneous rejection cannot destroy a repeatedly approved link
             # (the error resilience claimed in the paper's abstract).
@@ -190,10 +210,23 @@ class AlexEngine:
                 # Cross-state lesson (Section 4.2): never explore around a
                 # feature known to be non-distinctive.
                 actions = self.distinctiveness.filter_actions(actions)
-            action = self._choose_action(state, actions)
+            action, mode = self._choose_action_with_mode(state, actions)
             self._episode.record_action(state)
             center = feature_set[action]
             state_action = StateAction(state, action)
+            tracer = trace.active()
+            feature_label = f"{action[0]} {action[1]}"
+            if tracer is not None:
+                tracer.event(
+                    "alex.feature.select",
+                    state=str(state),
+                    feature=feature_label,
+                    mode=mode,
+                    q={
+                        f"{a[0]} {a[1]}": self.values.q(StateAction(state, a))
+                        for a in actions
+                    },
+                )
             discovered: list[Link] = []
             for candidate in self.space.explore(action, center, self.config.step_size):
                 if candidate in self.blacklist or candidate in self.candidates:
@@ -201,21 +234,38 @@ class AlexEngine:
                 self.candidates.add(candidate)
                 self.ledger.record(state_action, candidate)
                 discovered.append(candidate)
+                if tracer is not None:
+                    tracer.event(
+                        "alex.link.discover",
+                        link=str(candidate),
+                        state=str(state),
+                        feature=feature_label,
+                        mode=mode,
+                    )
             self._episode.stats.links_discovered += len(discovered)
             if discovered:
                 obs.inc("alex.links.discovered", len(discovered))
         return discovered
 
     def _choose_action(self, state: Link, actions: list) -> "FeatureKey":
+        """π(s): see :meth:`_choose_action_with_mode`."""
+        return self._choose_action_with_mode(state, actions)[0]
+
+    def _choose_action_with_mode(self, state: Link, actions: list) -> tuple:
         """π(s): the improved policy when available; for states the policy
         has never improved, bootstrap ε-greedily from the cross-state
-        per-feature returns rather than purely at random."""
+        per-feature returns rather than purely at random.
+
+        Returns ``(action, mode)`` with mode ∈ {"uniform", "exploit",
+        "explore", "bootstrap"} — the audit trail's record of *why* the
+        feature was chosen. RNG consumption is identical to the pre-audit
+        behaviour, so seeded runs are unchanged."""
         if self.policy.greedy_action(state) is not None or not self.config.use_distinctiveness:
-            return self.policy.choose(state, actions, self.rng)
+            return self.policy.choose_with_mode(state, actions, self.rng)
         bootstrap = self.distinctiveness.best_known(actions)
         if bootstrap is not None and self.rng.random() < 1.0 - self.config.epsilon:
-            return bootstrap
-        return self.policy.choose(state, actions, self.rng)
+            return bootstrap, "bootstrap"
+        return self.policy.choose_with_mode(state, actions, self.rng)
 
     def _remove_link(self, link: Link) -> None:
         if self.candidates.remove(link):
@@ -224,6 +274,9 @@ class AlexEngine:
         self.confirmed.discard(link)
         if self.config.use_blacklist:
             self.blacklist.add(link)
+            tracer = trace.active()
+            if tracer is not None:
+                tracer.event("alex.blacklist.insert", link=str(link))
         for state_action in sorted(
             self.ledger.generators_of(link),
             key=lambda sa: (sa.state.left.value, sa.state.right.value,
@@ -261,6 +314,16 @@ class AlexEngine:
         obs.inc("alex.rollbacks")
         if removed:
             obs.inc("alex.links.removed", removed)
+        tracer = trace.active()
+        if tracer is not None:
+            tracer.event(
+                "alex.rollback.apply",
+                state=str(state_action.state),
+                feature=f"{state_action.action[0]} {state_action.action[1]}",
+                links_forgotten=sorted(str(link) for link in links),
+                links_removed=removed,
+                negatives=negative_count,
+            )
 
     # ------------------------------------------------------------------ #
     # Episode boundary (policy improvement)
@@ -312,6 +375,18 @@ class AlexEngine:
         obs.inc("alex.episodes")
         obs.set_gauge("alex.candidates.size", len(self.candidates))
         obs.set_gauge("alex.blacklist.size", len(self.blacklist))
+        tracer = trace.active()
+        if tracer is not None:
+            tracer.event(
+                "alex.episode.end",
+                index=index,
+                feedback=stats.feedback_count,
+                discovered=stats.links_discovered,
+                removed=stats.links_removed,
+                rollbacks=stats.rollbacks,
+                candidates=len(self.candidates),
+                converged=self.converged,
+            )
         return stats
 
     # ------------------------------------------------------------------ #

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro import obs
+from repro.obs import trace
 from repro.core.config import AlexConfig
 from repro.core.engine import AlexEngine
 from repro.errors import ConfigError
@@ -56,12 +57,22 @@ def _run_partition(
     feedback_seed: int,
     error_rate: float,
     name: str,
+    trace_config: tuple | None = None,
 ) -> PartitionOutcome:
-    """Worker body: one partition, one engine, one session."""
+    """Worker body: one partition, one engine, one session.
+
+    ``trace_config`` is ``(capacity, sample, seed)`` when the parent had a
+    tracer installed: the worker installs its own (per-partition seed) on
+    its scoped registry, and the audit events ride home inside the
+    ``obs_snapshot``'s ``events`` section.
+    """
     # An isolated registry per partition: forked workers inherit the parent
     # registry, and the inline (max_workers=1) path shares it — either way
     # the partition's metrics must be its own, merged once at the gather.
     with obs.use_registry(obs.Registry(name)) as registry:
+        if trace_config is not None:
+            capacity, sample, seed = trace_config
+            trace.install(capacity=capacity, sample=sample, seed=seed)
         engine = AlexEngine(space, LinkSet(initial_links), config, name=name)
         oracle: GroundTruthOracle | NoisyOracle = GroundTruthOracle(LinkSet(ground_truth_links))
         if error_rate > 0.0:
@@ -181,6 +192,7 @@ def run_partitions_parallel(
     for link in ground_truth:
         truth_per_partition[route(link)].add(link)
 
+    parent_tracer = trace.active()
     jobs = [
         (
             space,
@@ -192,6 +204,13 @@ def run_partitions_parallel(
             feedback_seed + index,
             error_rate,
             f"partition-{index}",
+            None
+            if parent_tracer is None
+            else (
+                parent_tracer.capacity,
+                parent_tracer.sample,
+                None if parent_tracer.seed is None else parent_tracer.seed + index + 1,
+            ),
         )
         for index, space in enumerate(spaces)
     ]

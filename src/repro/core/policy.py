@@ -48,14 +48,26 @@ class EpsilonGreedyPolicy:
         self, state: Link, available: list[FeatureKey], rng: random.Random
     ) -> FeatureKey:
         """Sample an action according to π(s, ·)."""
+        return self.choose_with_mode(state, available, rng)[0]
+
+    def choose_with_mode(
+        self, state: Link, available: list[FeatureKey], rng: random.Random
+    ) -> tuple[FeatureKey, str]:
+        """Sample an action and report *how* it was chosen.
+
+        The mode is ``"uniform"`` (no improved greedy action yet),
+        ``"exploit"`` (the 1−ε greedy arm), or ``"explore"`` (the ε arm) —
+        the audit trail records it so a trace replay can show why a feature
+        was picked. Consumes exactly the same RNG stream as :meth:`choose`.
+        """
         if not available:
             raise PolicyError(f"state {state} has no available actions")
         greedy = self._greedy.get(state)
         if greedy is None or greedy not in available:
-            return rng.choice(available)
+            return rng.choice(available), "uniform"
         if rng.random() < 1.0 - self.epsilon:
-            return greedy
-        return rng.choice(available)
+            return greedy, "exploit"
+        return rng.choice(available), "explore"
 
     def improve(self, state: Link, greedy_action: FeatureKey) -> None:
         """Policy improvement at one state: make ``greedy_action`` the

@@ -77,7 +77,21 @@ class QueryAnalysisError(QueryError):
 
 
 class FederationError(ReproError):
-    """A federated query could not be planned or executed."""
+    """A federated query could not be planned or executed.
+
+    ``trace_id`` carries the active trace id at raise time (None when
+    tracing is off), so a failed federated query can be joined back to its
+    ``federation.query.execute`` audit trail.
+    """
+
+    def __init__(self, message: str = "", trace_id: str | None = None):
+        super().__init__(message)
+        if trace_id is None:
+            # Lazy import: errors is imported by obs.trace itself.
+            from repro.obs import trace
+
+            trace_id = trace.current_trace_id()
+        self.trace_id = trace_id
 
 
 class SimilarityError(ReproError):

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro import obs
+from repro.obs import trace
 from repro.rdf.graph import Graph
 from repro.rdf.terms import Term
 from repro.rdf.triples import Triple
@@ -33,6 +34,11 @@ class Endpoint:
     def _record_request(self, kind: str) -> None:
         self.request_count += 1
         obs.inc("federation.requests", endpoint=self.name, kind=kind)
+        tracer = trace.active()
+        if tracer is not None:
+            # Inside a federation.query.execute span this inherits the
+            # query's trace id, correlating request to query.
+            tracer.event("federation.endpoint.request", endpoint=self.name, kind=kind)
 
     # -- capability probing (source selection) ----------------------------- #
 

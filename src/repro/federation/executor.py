@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro import obs
+from repro.obs import trace
 from repro.errors import FederationError
 from repro.federation.endpoint import Endpoint
 from repro.federation.provenance import FederatedResult, ProvenancedSolution
@@ -90,14 +91,27 @@ class FederatedEngine:
         return self.execute(parsed)
 
     def execute(self, query: SelectQuery) -> FederatedResult:
-        """Execute a parsed SELECT query across the federation."""
+        """Execute a parsed SELECT query across the federation.
+
+        When a tracer is installed the execution runs inside a
+        ``federation.query.execute`` span; the span's trace id is stamped
+        onto the returned result and each of its rows, correlating the
+        executor → endpoint → engine event chain.
+        """
         obs.inc("federation.queries")
-        with obs.timer("federation.query.seconds"):
+        with obs.timer("federation.query.seconds"), trace.span(
+            "federation.query.execute", endpoints=len(self.endpoints)
+        ) as span:
             if self.strict:
                 from repro.sparql.analysis import check_query
 
                 check_query(query, endpoints=self.endpoints)
-            return self._execute(query)
+            result = self._execute(query)
+            if span.trace_id is not None:
+                result.trace_id = span.trace_id
+                for row in result.rows:
+                    row.trace_id = span.trace_id
+            return result
 
     def _execute(self, query: SelectQuery) -> FederatedResult:
         bgp, filters = self._flatten_where(query.where)

@@ -21,10 +21,16 @@ from repro.sparql.eval import Solution
 
 @dataclass
 class ProvenancedSolution:
-    """One solution plus the sameAs links used to derive it."""
+    """One solution plus the sameAs links used to derive it.
+
+    ``trace_id`` correlates the row with the ``federation.query.execute``
+    trace that produced it (None when tracing was off) — the hook that lets
+    per-answer feedback be joined back to the query's audit trail.
+    """
 
     bindings: Solution
     links_used: frozenset[Link] = frozenset()
+    trace_id: str | None = None
 
     def extend(self, bindings: Solution, extra_links: frozenset[Link] = frozenset()) -> "ProvenancedSolution":
         return ProvenancedSolution(bindings, self.links_used | extra_links)
@@ -36,9 +42,17 @@ class ProvenancedSolution:
 class FederatedResult:
     """Rows of a federated SELECT, each carrying its link provenance."""
 
-    def __init__(self, variables: list[Var], rows: list[ProvenancedSolution]):
+    def __init__(
+        self,
+        variables: list[Var],
+        rows: list[ProvenancedSolution],
+        trace_id: str | None = None,
+    ):
         self.variables = variables
         self.rows = rows
+        #: Trace id of the executing ``federation.query.execute`` span,
+        #: or None when tracing was disabled.
+        self.trace_id = trace_id
 
     def __len__(self) -> int:
         return len(self.rows)

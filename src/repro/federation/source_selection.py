@@ -11,9 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro import obs
+from repro.obs import trace
 from repro.errors import FederationError
 from repro.federation.endpoint import Endpoint
-from repro.sparql.ast import BGP, TriplePattern, get_position
+from repro.sparql.ast import BGP, TriplePattern, Var, get_position
 
 
 @dataclass(frozen=True)
@@ -59,6 +60,18 @@ def select_sources(bgp: BGP, endpoints: list[Endpoint]) -> list[SourceAssignment
                 f"[ALEX-W110] no endpoint ({names}) can answer pattern: "
                 f"{pattern}{location}; the federated query could only return "
                 "an empty result — check the predicate IRI for typos"
+            )
+        tracer = trace.active()
+        if tracer is not None:
+            tracer.event(
+                "federation.source.select",
+                pattern=str(pattern),
+                selected=[ep.name for ep in relevant],
+                probed=len(endpoints),
+                exclusive=len(relevant) == 1,
+                rationale="predicate-membership probe"
+                if not isinstance(pattern.predicate, Var)
+                else "variable predicate: every non-empty endpoint",
             )
         assignments.append(SourceAssignment(pattern, relevant))
     return assignments

@@ -44,6 +44,8 @@ from repro.obs.instruments import (
 )
 from repro.obs.registry import SNAPSHOT_VERSION, Registry, counter_total, load_snapshot
 from repro.obs.spans import Span, SpanAggregate
+from repro.obs import trace
+from repro.obs.trace import TRACE_SCHEMA, Tracer
 
 __all__ = [
     "Counter",
@@ -55,7 +57,9 @@ __all__ = [
     "SNAPSHOT_VERSION",
     "Span",
     "SpanAggregate",
+    "TRACE_SCHEMA",
     "Timer",
+    "Tracer",
     "counter",
     "counter_total",
     "dump_json",
@@ -73,6 +77,7 @@ __all__ = [
     "snapshot",
     "span",
     "timer",
+    "trace",
     "use_registry",
 ]
 
@@ -156,8 +161,8 @@ def merge(snap: dict, extra_labels: dict | None = None) -> None:
     _default_registry.merge(snap, extra_labels)
 
 
-def render() -> str:
-    return _default_registry.render()
+def render(top: int | None = None) -> str:
+    return _default_registry.render(top=top)
 
 
 def dump_json(path: str) -> None:

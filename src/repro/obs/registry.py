@@ -30,13 +30,20 @@ from repro.obs.instruments import (
     labels_to_pairs,
 )
 from repro.obs.spans import Span, SpanAggregate
+from repro.obs.trace import Tracer
 
 #: Version stamped into every snapshot; bump on schema changes.
 SNAPSHOT_VERSION = 1
 
 
 class Registry:
-    """A namespace of typed instruments plus span aggregates."""
+    """A namespace of typed instruments plus span aggregates.
+
+    A registry may additionally carry a :class:`~repro.obs.trace.Tracer`
+    (``self.tracer``, installed via :func:`repro.obs.trace.install`); its
+    buffered events travel in snapshots under the optional ``events`` key
+    and fold across :meth:`merge` like every other section.
+    """
 
     def __init__(self, name: str = "default"):
         self.name = name
@@ -44,6 +51,7 @@ class Registry:
         self._instruments: dict[tuple, Counter | Gauge | Histogram] = {}
         self._spans: dict[str, SpanAggregate] = {}
         self._local = threading.local()
+        self.tracer: Tracer | None = None
 
     # ------------------------------------------------------------------ #
     # Instrument creation (get-or-create)
@@ -122,7 +130,7 @@ class Registry:
             {"counter": counters, "gauge": gauges, "histogram": histograms}[
                 instrument.kind
             ].append(instrument.snapshot())
-        return {
+        snapshot = {
             "format_version": SNAPSHOT_VERSION,
             "registry": self.name,
             "counters": counters,
@@ -130,6 +138,9 @@ class Registry:
             "histograms": histograms,
             "spans": [self._spans[path].snapshot() for path in sorted(self._spans)],
         }
+        if self.tracer is not None and (len(self.tracer) or self.tracer.dropped):
+            snapshot["events"] = self.tracer.payload()
+        return snapshot
 
     def merge(self, snapshot: dict, extra_labels: dict | None = None) -> None:
         """Fold a snapshot (e.g. from a worker process) into this registry.
@@ -169,9 +180,24 @@ class Registry:
                 )
         for entry in snapshot.get("spans", ()):
             self._record_span(entry["path"], entry["total_seconds"], entry["count"])
+        events = snapshot.get("events")
+        if events is not None:
+            if self.tracer is None:
+                # A holder tracer: keeps the merged events exportable without
+                # turning on local recording in a registry that never traced.
+                self.tracer = Tracer(enabled=False)
+            self.tracer.absorb(events)
 
-    def render(self) -> str:
-        """Human-readable text dump (the body of ``repro stats``)."""
+    def render(self, top: int | None = None) -> str:
+        """Human-readable text dump (the body of ``repro stats``).
+
+        Span aggregates are sorted by total time **descending** so the hot
+        paths lead; ``top`` limits every section to its N largest entries
+        (counters/gauges by value, histograms by count, spans by total
+        time), noting how many entries were elided.
+        """
+        if top is not None and top < 1:
+            raise ObsError(f"render top must be >= 1, got {top}")
         snapshot = self.snapshot()
         lines = [f"== obs registry {self.name!r} =="]
 
@@ -181,23 +207,47 @@ class Registry:
             inner = ",".join(f"{key}={value}" for key, value in sorted(labels.items()))
             return "{" + inner + "}"
 
-        if snapshot["counters"]:
+        def clip(entries: list, key) -> list:
+            if top is None or len(entries) <= top:
+                return entries
+            return sorted(entries, key=key)[:top]
+
+        counters = clip(snapshot["counters"], key=lambda e: (-e["value"], e["name"]))
+        gauges = clip(snapshot["gauges"], key=lambda e: (-e["value"], e["name"]))
+        histograms = clip(snapshot["histograms"], key=lambda e: (-e["count"], e["name"]))
+        spans = sorted(
+            snapshot["spans"], key=lambda e: (-e["total_seconds"], e["path"])
+        )
+        if top is not None:
+            spans = spans[:top]
+
+        def elided(section: str, shown: list) -> str | None:
+            hidden = len(snapshot[section]) - len(shown)
+            return f"  ... ({hidden} more)" if hidden > 0 else None
+
+        if counters:
             lines.append("counters:")
-            for entry in snapshot["counters"]:
+            for entry in counters:
                 lines.append(
                     f"  {entry['name'] + label_suffix(entry['labels']):<52} "
                     f"{entry['value']:>12g}"
                 )
-        if snapshot["gauges"]:
+            more = elided("counters", counters)
+            if more:
+                lines.append(more)
+        if gauges:
             lines.append("gauges:")
-            for entry in snapshot["gauges"]:
+            for entry in gauges:
                 lines.append(
                     f"  {entry['name'] + label_suffix(entry['labels']):<52} "
                     f"{entry['value']:>12g}"
                 )
-        if snapshot["histograms"]:
+            more = elided("gauges", gauges)
+            if more:
+                lines.append(more)
+        if histograms:
             lines.append("histograms:")
-            for entry in snapshot["histograms"]:
+            for entry in histograms:
                 mean = entry["sum"] / entry["count"] if entry["count"] else 0.0
                 low = "-" if entry["min"] is None else f"{entry['min']:.6g}"
                 high = "-" if entry["max"] is None else f"{entry['max']:.6g}"
@@ -206,15 +256,25 @@ class Registry:
                     f"n={entry['count']} sum={entry['sum']:.6g} mean={mean:.6g} "
                     f"min={low} max={high}"
                 )
-        if snapshot["spans"]:
-            lines.append("spans:")
-            for entry in snapshot["spans"]:
-                depth = entry["path"].count("/")
-                name = entry["path"].rsplit("/", 1)[-1]
+            more = elided("histograms", histograms)
+            if more:
+                lines.append(more)
+        if spans:
+            lines.append("spans (by total time):")
+            for entry in spans:
                 lines.append(
-                    f"  {'  ' * depth + name:<52} "
+                    f"  {entry['path']:<52} "
                     f"n={entry['count']} total={entry['total_seconds']:.3f}s"
                 )
+            more = elided("spans", spans)
+            if more:
+                lines.append(more)
+        if "events" in snapshot:
+            events = snapshot["events"]
+            lines.append(
+                f"trace events: {len(events['records'])} buffered"
+                + (f", {events['dropped']} dropped" if events["dropped"] else "")
+            )
         if len(lines) == 1:
             lines.append("(no instruments recorded)")
         return "\n".join(lines)
@@ -225,10 +285,11 @@ class Registry:
             json.dump(self.snapshot(), handle, indent=1, sort_keys=True)
 
     def reset(self) -> None:
-        """Drop every instrument and span aggregate (tests, fresh runs)."""
+        """Drop every instrument, span aggregate, and tracer (tests, fresh runs)."""
         with self._lock:
             self._instruments.clear()
             self._spans.clear()
+            self.tracer = None
 
     def __repr__(self):
         return (

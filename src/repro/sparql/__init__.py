@@ -15,12 +15,14 @@ from repro.sparql.ast import (
     Var,
 )
 from repro.sparql.eval import (
+    EvalObserver,
     QueryResult,
     evaluate_ask,
     evaluate_construct,
     evaluate_select,
     query,
 )
+from repro.sparql.explain import PLAN_SCHEMA, PlanNode, QueryPlan, explain
 from repro.sparql.parser import parse_query
 
 __all__ = [
@@ -30,9 +32,13 @@ __all__ = [
     "CODES",
     "ConstructQuery",
     "Diagnostic",
+    "EvalObserver",
     "Filter",
     "GroupGraphPattern",
     "OptionalPattern",
+    "PLAN_SCHEMA",
+    "PlanNode",
+    "QueryPlan",
     "QueryResult",
     "SelectQuery",
     "TriplePattern",
@@ -43,6 +49,7 @@ __all__ = [
     "evaluate_ask",
     "evaluate_construct",
     "evaluate_select",
+    "explain",
     "parse_query",
     "query",
 ]

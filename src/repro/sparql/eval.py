@@ -42,6 +42,29 @@ from repro.sparql.parser import parse_query
 
 Solution = dict[Var, Term]
 
+
+class EvalObserver:
+    """Hook protocol for per-operator instrumentation (EXPLAIN ANALYZE).
+
+    The default evaluator never constructs one; :mod:`repro.sparql.explain`
+    implements it to meter rows in/out and wall time per operator. Methods
+    must preserve semantics exactly — they wrap stages, never change them.
+    """
+
+    def pattern_stage(
+        self, graph: Graph, pattern: "TriplePattern", stream: Iterator[Solution]
+    ) -> Iterator[Solution]:
+        raise NotImplementedError
+
+    def filter_stage(
+        self, graph: Graph, filters: "list[Expr]", solutions: list[Solution]
+    ) -> list[Solution]:
+        raise NotImplementedError
+
+    def modifier(self, op: str, rows_in: int, rows_out: int, seconds: float) -> None:
+        raise NotImplementedError
+
+
 #: Sentinel raised internally when a FILTER expression has an error —
 #: per SPARQL semantics an erroring FILTER eliminates the solution.
 class _ExpressionError(Exception):
@@ -109,7 +132,11 @@ def match_pattern(
 
 
 def eval_bgp(
-    graph: Graph, bgp: BGP, solutions: Iterable[Solution], optimize: bool = True
+    graph: Graph,
+    bgp: BGP,
+    solutions: Iterable[Solution],
+    optimize: bool = True,
+    observer: "EvalObserver | None" = None,
 ) -> Iterator[Solution]:
     if optimize and len(bgp.patterns) > 1:
         from repro.sparql.optimizer import reorder_bgp
@@ -117,7 +144,10 @@ def eval_bgp(
         bgp = reorder_bgp(graph, bgp)
     streams: Iterator[Solution] = iter(solutions)
     for pattern in bgp.patterns:
-        streams = match_pattern(graph, pattern, streams)
+        if observer is not None:
+            streams = observer.pattern_stage(graph, pattern, streams)
+        else:
+            streams = match_pattern(graph, pattern, streams)
     return streams
 
 
@@ -134,22 +164,30 @@ def _join_compatible(left: Solution, right: Solution) -> Solution | None:
 
 
 def eval_group(
-    graph: Graph, group: GroupGraphPattern, solutions: Iterable[Solution] | None = None
+    graph: Graph,
+    group: GroupGraphPattern,
+    solutions: Iterable[Solution] | None = None,
+    observer: "EvalObserver | None" = None,
 ) -> list[Solution]:
-    """Evaluate a group pattern, returning materialized solutions."""
+    """Evaluate a group pattern, returning materialized solutions.
+
+    ``observer`` (see :mod:`repro.sparql.explain`) receives each pattern
+    and filter stage for per-operator instrumentation; ``None`` — the
+    default everywhere — keeps evaluation on the unobserved path.
+    """
     current: list[Solution] = list(solutions) if solutions is not None else [{}]
     filters: list[Expr] = []
     for child in group.children:
         if isinstance(child, BGP):
-            current = list(eval_bgp(graph, child, current))
+            current = list(eval_bgp(graph, child, current, observer=observer))
         elif isinstance(child, Filter):
             filters.append(child.expression)
         elif isinstance(child, GroupGraphPattern):
-            current = eval_group(graph, child, current)
+            current = eval_group(graph, child, current, observer=observer)
         elif isinstance(child, OptionalPattern):
             next_solutions: list[Solution] = []
             for solution in current:
-                extensions = eval_group(graph, child.pattern, [solution])
+                extensions = eval_group(graph, child.pattern, [solution], observer=observer)
                 if extensions:
                     next_solutions.extend(extensions)
                 else:
@@ -159,7 +197,9 @@ def eval_group(
             next_solutions = []
             for solution in current:
                 for alternative in child.alternatives:
-                    next_solutions.extend(eval_group(graph, alternative, [solution]))
+                    next_solutions.extend(
+                        eval_group(graph, alternative, [solution], observer=observer)
+                    )
             current = next_solutions
         elif isinstance(child, Bind):
             next_solutions = []
@@ -193,11 +233,14 @@ def eval_group(
         else:
             raise QueryEvaluationError(f"unknown pattern node: {type(child).__name__}")
     if filters:
-        current = [
-            solution
-            for solution in current
-            if all(_filter_passes(expr, solution, graph) for expr in filters)
-        ]
+        if observer is not None:
+            current = observer.filter_stage(graph, filters, current)
+        else:
+            current = [
+                solution
+                for solution in current
+                if all(_filter_passes(expr, solution, graph) for expr in filters)
+            ]
     return current
 
 
@@ -471,38 +514,67 @@ def _order_key_for(value) -> tuple:
     return (5, "", str(value))
 
 
-def evaluate_select(graph: Graph, query: SelectQuery) -> QueryResult:
-    solutions = eval_group(graph, query.where)
+def _observed_stage(observer, op: str, rows_in: int, stage: Callable[[], list]):
+    """Run one solution-modifier stage, reporting rows/time to the observer."""
+    if observer is None:
+        return stage()
+    import time as _time
+
+    started = _time.perf_counter()
+    out = stage()
+    observer.modifier(op, rows_in, len(out), _time.perf_counter() - started)
+    return out
+
+
+def evaluate_select(
+    graph: Graph, query: SelectQuery, observer: EvalObserver | None = None
+) -> QueryResult:
+    solutions = eval_group(graph, query.where, observer=observer)
     if solutions:
         obs.inc("sparql.solutions.produced", len(solutions))
     projected = query.projected()
 
     if query.is_aggregated:
-        rows = _aggregate_rows(query, solutions)
+        rows = _observed_stage(
+            observer, "aggregate", len(solutions), lambda: _aggregate_rows(query, solutions)
+        )
     else:
-        rows = [{var: sol[var] for var in projected if var in sol} for sol in solutions]
+        rows = _observed_stage(
+            observer, "project", len(solutions),
+            lambda: [{var: sol[var] for var in projected if var in sol} for sol in solutions],
+        )
     if query.distinct:
-        seen: set[tuple] = set()
-        unique: list[Solution] = []
-        for row in rows:
-            key = tuple(sorted(((v.name, t.n3()) for v, t in row.items())))
-            if key not in seen:
-                seen.add(key)
-                unique.append(row)
-        rows = unique
-    for condition in reversed(query.order_by):
-        def key(row: Solution, cond: OrderCondition = condition):
-            try:
-                value = eval_expression(cond.expression, row)
-            except _ExpressionError:
-                value = None
-            return _order_key_for(value)
+        def deduplicate() -> list[Solution]:
+            seen: set[tuple] = set()
+            unique: list[Solution] = []
+            for row in rows:
+                key = tuple(sorted(((v.name, t.n3()) for v, t in row.items())))
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(row)
+            return unique
 
-        rows.sort(key=key, reverse=condition.descending)
-    if query.offset:
-        rows = rows[query.offset:]
-    if query.limit is not None:
-        rows = rows[: query.limit]
+        rows = _observed_stage(observer, "distinct", len(rows), deduplicate)
+    if query.order_by:
+        def order() -> list[Solution]:
+            for condition in reversed(query.order_by):
+                def key(row: Solution, cond: OrderCondition = condition):
+                    try:
+                        value = eval_expression(cond.expression, row)
+                    except _ExpressionError:
+                        value = None
+                    return _order_key_for(value)
+
+                rows.sort(key=key, reverse=condition.descending)
+            return rows
+
+        rows = _observed_stage(observer, "order", len(rows), order)
+    if query.offset or query.limit is not None:
+        def slice_rows() -> list[Solution]:
+            out = rows[query.offset:] if query.offset else rows
+            return out[: query.limit] if query.limit is not None else out
+
+        rows = _observed_stage(observer, "slice", len(rows), slice_rows)
     return QueryResult(projected, rows)
 
 
@@ -521,11 +593,13 @@ def _aggregate_rows(query: SelectQuery, solutions: list[Solution]) -> list[Solut
     return rows
 
 
-def evaluate_ask(graph: Graph, query: AskQuery) -> bool:
-    return bool(eval_group(graph, query.where))
+def evaluate_ask(
+    graph: Graph, query: AskQuery, observer: EvalObserver | None = None
+) -> bool:
+    return bool(eval_group(graph, query.where, observer=observer))
 
 
-def evaluate_construct(graph: Graph, query) -> Graph:
+def evaluate_construct(graph: Graph, query, observer: EvalObserver | None = None) -> Graph:
     """Instantiate the CONSTRUCT template once per solution.
 
     Template triples with an unbound variable, or whose instantiation would
@@ -536,7 +610,7 @@ def evaluate_construct(graph: Graph, query) -> Graph:
     from repro.rdf.triples import Triple
 
     out = Graph(name="constructed")
-    solutions = eval_group(graph, query.where)
+    solutions = eval_group(graph, query.where, observer=observer)
     for solution in solutions:
         for pattern in query.template:
             terms = []
@@ -556,7 +630,7 @@ def evaluate_construct(graph: Graph, query) -> Graph:
     return out
 
 
-def query(graph: Graph, text: str, strict: bool = False) -> "QueryResult | bool | Graph":
+def query(graph: Graph, text: str, strict: bool = False, profile: bool = False):
     """Parse and evaluate SPARQL ``text`` against ``graph``.
 
     Returns a :class:`QueryResult` for SELECT, a bool for ASK, or a
@@ -567,6 +641,12 @@ def query(graph: Graph, text: str, strict: bool = False) -> "QueryResult | bool 
     :class:`~repro.errors.QueryAnalysisError` when any error-level
     diagnostic is found, instead of evaluating a query that can only
     return wrong or empty answers.  Default behaviour is unchanged.
+
+    ``profile=True`` executes under per-operator instrumentation (EXPLAIN
+    ANALYZE, :mod:`repro.sparql.explain`) and returns a ``(result, plan)``
+    pair instead of the bare result; the plan carries rows in/out, wall
+    time, and join strategy per operator, and — when a tracer is installed
+    — emits ``sparql.operator.eval`` trace events.
     """
     from repro.sparql.ast import ConstructQuery
 
@@ -577,6 +657,11 @@ def query(graph: Graph, text: str, strict: bool = False) -> "QueryResult | bool 
             from repro.sparql.analysis import check_query
 
             check_query(parsed, graph=graph)
+        if profile:
+            from repro.sparql.explain import explain
+
+            plan = explain(graph, parsed, analyze=True)
+            return plan.result, plan
         if isinstance(parsed, SelectQuery):
             return evaluate_select(graph, parsed)
         if isinstance(parsed, ConstructQuery):

@@ -298,3 +298,118 @@ class TestRunAndFigures:
         code, _, err = run_cli(capsys, "figures", "fig99")
         assert code == 2
         assert "unknown figure" in err
+
+
+class TestExplain:
+    @pytest.fixture()
+    def generated(self, capsys, tmp_path):
+        run_cli(capsys, "datasets", "generate", "opencyc_nba_nytimes", "--out", str(tmp_path))
+        return str(tmp_path / "opencyc_nba_nytimes_left.nt")
+
+    QUERY = "SELECT ?s ?o WHERE { ?s ?p ?o } LIMIT 3"
+
+    def test_static_explain(self, capsys, generated):
+        code, out, _ = run_cli(capsys, "explain", generated, self.QUERY)
+        assert code == 0
+        assert out.startswith("EXPLAIN\n")
+        assert "pattern" in out and "est=" in out
+        assert "rows=" not in out
+
+    def test_analyze_prints_rows_and_total(self, capsys, generated):
+        code, out, _ = run_cli(capsys, "explain", generated, self.QUERY, "--analyze")
+        assert code == 0
+        assert out.startswith("EXPLAIN ANALYZE\n")
+        assert "rows=" in out and "time=" in out
+        assert "total:" in out
+
+    def test_json_format(self, capsys, generated):
+        import json
+
+        code, out, _ = run_cli(capsys, "explain", generated, self.QUERY, "--format", "json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["schema"] == "repro-plan/1"
+        assert payload["analyzed"] is False
+
+    def test_query_from_file(self, capsys, generated, tmp_path):
+        query_file = tmp_path / "q.rq"
+        query_file.write_text(self.QUERY)
+        code, out, _ = run_cli(capsys, "explain", generated, "@" + str(query_file))
+        assert code == 0
+        assert "EXPLAIN" in out
+
+    def test_missing_data_file(self, capsys):
+        code, _, err = run_cli(capsys, "explain", "/nope/x.nt", self.QUERY)
+        assert code == 1
+        assert "error" in err
+
+
+class TestTraceCli:
+    @pytest.fixture()
+    def trace_file(self, capsys, tmp_path):
+        run_cli(capsys, "datasets", "generate", "opencyc_nba_nytimes", "--out", str(tmp_path))
+        data = str(tmp_path / "opencyc_nba_nytimes_left.nt")
+        out_path = str(tmp_path / "trace.jsonl")
+        code, out, err = run_cli(
+            capsys, "explain", data, "SELECT ?s WHERE { ?s ?p ?o } LIMIT 3",
+            "--analyze", "--trace-out", out_path,
+        )
+        assert code == 0
+        assert "wrote" in err
+        return out_path
+
+    def test_trace_out_round_trips(self, trace_file):
+        from repro.obs.trace import load_jsonl
+
+        payload = load_jsonl(trace_file)
+        names = {record["name"] for record in payload["records"]}
+        assert "sparql.query.explain" in names
+        assert "sparql.operator.eval" in names
+
+    def test_trace_show(self, capsys, trace_file):
+        code, out, _ = run_cli(capsys, "trace", "show", trace_file)
+        assert code == 0
+        assert "trace " in out
+        assert "sparql.query.explain" in out
+
+    def test_trace_show_unknown_prefix(self, capsys, trace_file):
+        code, out, _ = run_cli(capsys, "trace", "show", trace_file, "--trace", "zzzz")
+        assert code == 0
+        assert "no trace matching" in out
+
+    def test_trace_summary(self, capsys, trace_file):
+        code, out, _ = run_cli(capsys, "trace", "summary", trace_file)
+        assert code == 0
+        assert "events by type:" in out
+        assert "slowest spans" in out
+
+    def test_trace_rejects_non_trace_file(self, capsys, tmp_path):
+        junk = tmp_path / "junk.jsonl"
+        junk.write_text('{"schema": "nope"}\n')
+        code, _, err = run_cli(capsys, "trace", "summary", str(junk))
+        assert code == 1
+        assert "error" in err
+
+
+class TestStatsAndRunTracing:
+    def test_stats_top_limits_sections(self, capsys, tmp_path):
+        snapshot = str(tmp_path / "snap.json")
+        code, _, _ = run_cli(capsys, "stats", "--episodes", "1", "--json", snapshot)
+        assert code == 0
+        code, out, _ = run_cli(capsys, "stats", "--from", snapshot, "--top", "2")
+        assert code == 0
+        assert "more)" in out  # sections got clipped
+
+    def test_run_trace_out(self, capsys, tmp_path):
+        from repro.obs.trace import load_jsonl
+
+        out_path = str(tmp_path / "run-trace.jsonl")
+        code, out, _ = run_cli(
+            capsys, "run", "fig4d", "--max-episodes", "3", "--trace-out", out_path
+        )
+        assert code == 0
+        assert f"wrote {out_path}" in out
+        payload = load_jsonl(out_path)
+        names = {record["name"] for record in payload["records"]}
+        assert "alex.episode.run" in names
+        assert "alex.feature.select" in names

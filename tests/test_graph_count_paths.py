@@ -1,0 +1,97 @@
+"""Parity tests for Graph.count's indexed fast paths (satellite of the tracing PR).
+
+``Graph.count`` answers (s, p), (p,), and (p, o) lookups straight from the
+SPO/POS indexes instead of iterating matches. These property tests pin each
+fast path to the generic ``triples()`` scan, and check that
+``optimizer.estimate_cardinality`` — the main consumer — reports numbers
+consistent with those counts.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Literal, URIRef
+from repro.rdf.triples import Triple
+from repro.sparql.ast import TriplePattern, Var
+from repro.sparql.optimizer import estimate_cardinality
+
+# Small alphabets on purpose: collisions are what exercise the index paths.
+local = st.text(alphabet="abc", min_size=1, max_size=2)
+uris = st.builds(lambda name: URIRef("http://x/" + name), local)
+literals = st.builds(Literal, st.integers(0, 3))
+objects = st.one_of(uris, literals)
+triples = st.builds(Triple, uris, uris, objects)
+triple_lists = st.lists(triples, max_size=40)
+
+
+def brute_count(graph, subject=None, predicate=None, object=None):
+    return sum(1 for _ in graph.triples(subject, predicate, object))
+
+
+class TestCountFastPaths:
+    @given(triple_lists, uris, objects)
+    def test_bound_po_matches_generic_scan(self, items, p, o):
+        graph = Graph(triples=items)
+        assert graph.count(predicate=p, object=o) == brute_count(graph, predicate=p, object=o)
+
+    @given(triple_lists, uris, uris)
+    def test_bound_sp_matches_generic_scan(self, items, s, p):
+        graph = Graph(triples=items)
+        assert graph.count(s, p) == brute_count(graph, subject=s, predicate=p)
+
+    @given(triple_lists, uris)
+    def test_bound_p_matches_generic_scan(self, items, p):
+        graph = Graph(triples=items)
+        assert graph.count(predicate=p) == brute_count(graph, predicate=p)
+
+    @given(triple_lists)
+    @settings(max_examples=30)
+    def test_every_stored_triple_counted_by_each_path(self, items):
+        graph = Graph(triples=items)
+        for t in set(items):
+            assert graph.count(t.subject, t.predicate) >= 1
+            assert graph.count(predicate=t.predicate) >= 1
+            assert graph.count(predicate=t.predicate, object=t.object) >= 1
+
+    @given(triple_lists, uris, objects)
+    @settings(max_examples=30)
+    def test_po_count_survives_removal(self, items, p, o):
+        graph = Graph(triples=items)
+        for t in list(set(items))[: len(set(items)) // 2]:
+            graph.remove(t)
+        assert graph.count(predicate=p, object=o) == brute_count(graph, predicate=p, object=o)
+
+
+class TestEstimateCardinalityUsesCounts:
+    @given(triple_lists, uris, objects)
+    def test_bound_po_estimate_is_exact_count(self, items, p, o):
+        graph = Graph(triples=items)
+        pattern = TriplePattern(Var("s"), p, o)
+        estimate = estimate_cardinality(graph, pattern, set())
+        assert estimate == float(graph.count(predicate=p, object=o))
+
+    @given(triple_lists, uris, uris)
+    def test_bound_sp_estimate_is_exact_count(self, items, s, p):
+        graph = Graph(triples=items)
+        pattern = TriplePattern(s, p, Var("o"))
+        estimate = estimate_cardinality(graph, pattern, set())
+        assert estimate == float(graph.count(s, p))
+
+    @given(triple_lists, uris)
+    def test_bound_p_estimate_is_exact_count(self, items, p):
+        graph = Graph(triples=items)
+        pattern = TriplePattern(Var("s"), p, Var("o"))
+        estimate = estimate_cardinality(graph, pattern, set())
+        # the free-variable fallthrough clamps at 1.0 even for absent predicates
+        assert estimate == max(1.0, float(graph.count(predicate=p)))
+
+    @given(triple_lists, uris)
+    @settings(max_examples=30)
+    def test_bound_var_object_discounts_but_stays_positive(self, items, p):
+        graph = Graph(triples=items)
+        pattern = TriplePattern(Var("s"), p, Var("o"))
+        free = estimate_cardinality(graph, pattern, set())
+        narrowed = estimate_cardinality(graph, pattern, {Var("o")})
+        assert narrowed <= free
+        assert narrowed >= 1.0

@@ -1,0 +1,198 @@
+"""Tests for SPARQL EXPLAIN / EXPLAIN ANALYZE (repro.sparql.explain)."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import trace
+from repro.rdf import turtle
+from repro.rdf.terms import Literal
+from repro.sparql import PLAN_SCHEMA, QueryPlan, Var, explain, query
+
+
+@pytest.fixture()
+def graph():
+    return turtle.load(
+        """
+        @prefix ex: <http://x/> .
+        @prefix foaf: <http://xmlns.com/foaf/0.1/> .
+        ex:lebron a foaf:Person ; foaf:name "LeBron James" ;
+                  ex:birthYear 1984 ; ex:team ex:heat .
+        ex:durant a foaf:Person ; foaf:name "Kevin Durant" ; ex:birthYear 1988 .
+        ex:curry a foaf:Person ; foaf:name "Stephen Curry" ; ex:birthYear 1988 .
+        ex:heat foaf:name "Miami Heat" .
+        """
+    )
+
+
+PREFIXES = "PREFIX ex: <http://x/> PREFIX foaf: <http://xmlns.com/foaf/0.1/> "
+SELECT = (
+    PREFIXES
+    + "SELECT ?name WHERE { ?p a foaf:Person ; foaf:name ?name ; ex:birthYear ?y "
+    + "FILTER (?y >= 1988) } ORDER BY ?name LIMIT 2"
+)
+
+
+class TestStaticExplain:
+    def test_plan_tree_shape(self, graph):
+        plan = explain(graph, SELECT)
+        assert isinstance(plan, QueryPlan)
+        assert not plan.analyzed
+        assert plan.result is None
+        ops = [node.op for node in plan.operators()]
+        # modifiers stack on top, patterns at the bottom
+        assert ops[0] == "slice"
+        assert "order" in ops and "project" in ops
+        assert ops.count("pattern") == 3
+        assert "filter" in ops
+
+    def test_patterns_carry_estimates_and_strategy(self, graph):
+        plan = explain(graph, SELECT)
+        patterns = [node for node in plan.operators() if node.op == "pattern"]
+        assert all(node.estimate is not None and node.estimate >= 1.0 for node in patterns)
+        assert all(node.strategy == "index-nested-loop" for node in patterns)
+        assert all(not node.executed for node in patterns)
+
+    def test_render_tree_connectors(self, graph):
+        text = explain(graph, SELECT).render()
+        assert text.startswith("EXPLAIN\n")
+        assert "`- " in text
+        assert "est=" in text
+        assert "total:" not in text  # static plans report no timing
+
+    def test_path_pattern_strategy(self, graph):
+        plan = explain(graph, PREFIXES + "SELECT ?n WHERE { ?p ex:team/foaf:name ?n }")
+        (pattern,) = [node for node in plan.operators() if node.op == "pattern"]
+        assert pattern.strategy == "path-scan"
+
+    def test_static_explain_never_executes(self, graph):
+        before = len(graph)
+        explain(graph, PREFIXES + "SELECT ?s WHERE { ?s ?p ?o }")
+        assert len(graph) == before
+
+
+class TestExplainAnalyze:
+    def test_rows_and_timings_filled(self, graph):
+        plan = explain(graph, SELECT, analyze=True)
+        assert plan.analyzed
+        assert plan.seconds is not None and plan.seconds >= 0.0
+        patterns = [node for node in plan.operators() if node.op == "pattern"]
+        assert all(node.executed for node in patterns)
+        assert sum(node.rows_out for node in patterns) > 0
+        filters = [node for node in plan.operators() if node.op == "filter"]
+        assert filters and filters[0].executed
+        assert filters[0].rows_in >= filters[0].rows_out
+
+    def test_result_matches_plain_query(self, graph):
+        plan = explain(graph, SELECT, analyze=True)
+        plain = query(graph, SELECT)
+        assert [dict(row) for row in plan.result] == [dict(row) for row in plain]
+
+    def test_render_includes_rows_and_total(self, graph):
+        text = explain(graph, SELECT, analyze=True).render()
+        assert text.startswith("EXPLAIN ANALYZE\n")
+        assert "rows=" in text and "time=" in text
+        assert "total:" in text
+
+    def test_modifier_rows_flow(self, graph):
+        plan = explain(graph, SELECT, analyze=True)
+        by_op = {node.op: node for node in plan.operators()}
+        assert by_op["project"].executed
+        # LIMIT 2 truncates: slice emits no more rows than it received
+        assert by_op["slice"].rows_out <= by_op["slice"].rows_in
+        assert by_op["slice"].rows_out == len(plan.result)
+
+    def test_ask_and_construct(self, graph):
+        ask = explain(graph, PREFIXES + "ASK { ex:lebron a foaf:Person }", analyze=True)
+        assert ask.result is True
+        assert ask.root.op == "ask"
+        construct = explain(
+            graph,
+            PREFIXES + "CONSTRUCT { ?p ex:called ?n } WHERE { ?p foaf:name ?n }",
+            analyze=True,
+        )
+        assert construct.root.op == "construct"
+        assert len(construct.result) == 4
+
+    def test_aggregate_plan(self, graph):
+        plan = explain(
+            graph,
+            PREFIXES + "SELECT ?y (COUNT(?p) AS ?n) WHERE { ?p ex:birthYear ?y } GROUP BY ?y",
+            analyze=True,
+        )
+        by_op = {node.op: node for node in plan.operators()}
+        assert "aggregate" in by_op and by_op["aggregate"].executed
+        assert sorted(int(str(row[Var("n")])) for row in plan.result) == [1, 2]
+
+
+class TestToDict:
+    def test_schema_and_json_round_trip(self, graph):
+        plan = explain(graph, SELECT, analyze=True)
+        payload = plan.to_dict()
+        assert payload["schema"] == PLAN_SCHEMA
+        assert payload["analyzed"] is True
+        assert "seconds" in payload
+        assert json.loads(json.dumps(payload)) == payload
+        root = payload["root"]
+        assert root["op"] == "slice"
+        assert "children" in root
+
+    def test_static_dict_omits_runtime_fields(self, graph):
+        payload = explain(graph, SELECT).to_dict()
+        assert payload["analyzed"] is False
+        assert "seconds" not in payload
+        assert "rows_in" not in payload["root"]
+
+
+class TestProfileKeyword:
+    def test_query_profile_returns_result_and_plan(self, graph):
+        result, plan = query(graph, SELECT, profile=True)
+        assert isinstance(plan, QueryPlan)
+        assert plan.analyzed
+        assert [dict(row) for row in result] == [dict(row) for row in query(graph, SELECT)]
+
+    def test_query_without_profile_unchanged(self, graph):
+        result = query(graph, SELECT)
+        assert not isinstance(result, tuple)
+
+
+class TestTraceIntegration:
+    def test_operator_events_emitted_under_explain_span(self, graph):
+        with obs.use_registry(obs.Registry("t")):
+            tracer = trace.install(seed=0)
+            plan = explain(graph, SELECT, analyze=True)
+            records = tracer.records()
+        spans = [r for r in records if r["kind"] == "span"]
+        assert [s["name"] for s in spans] == ["sparql.query.explain"]
+        assert plan.trace_id == spans[0]["trace"]
+        events = [r for r in records if r["name"] == "sparql.operator.eval"]
+        executed = [n for n in plan.operators() if n.executed]
+        assert len(events) == len(executed)
+        assert all(e["trace"] == plan.trace_id for e in events)
+        pattern_events = [e for e in events if e["attrs"]["op"] == "pattern"]
+        assert all(e["attrs"]["strategy"] == "index-nested-loop" for e in pattern_events)
+        assert all("rows_out" in e["attrs"] for e in events)
+
+    def test_no_tracer_leaves_trace_id_none(self, graph):
+        with obs.use_registry(obs.Registry("t")):
+            plan = explain(graph, SELECT, analyze=True)
+        assert plan.trace_id is None
+        assert "trace:" not in plan.render()
+
+    def test_analyze_result_identical_with_and_without_tracer(self, graph):
+        with obs.use_registry(obs.Registry("t")):
+            bare = explain(graph, SELECT, analyze=True)
+        with obs.use_registry(obs.Registry("t")):
+            trace.install(seed=0)
+            traced = explain(graph, SELECT, analyze=True)
+        assert [dict(r) for r in bare.result] == [dict(r) for r in traced.result]
+        assert [n.rows_out for n in bare.operators()] == [
+            n.rows_out for n in traced.operators()
+        ]
+
+
+class TestErrors:
+    def test_unexplainable_query_type_rejected(self, graph):
+        with pytest.raises(TypeError):
+            explain(graph, 42)

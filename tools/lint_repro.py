@@ -23,6 +23,12 @@ cannot know, checked statically over Python ``ast``:
   must be registered in a module-level ``CODES`` table (the stable code
   registries of ``repro.sparql.analysis`` and ``repro.rdf.validate``), so
   no analyzer can emit an unregistered code.
+* **R007** — metric and trace-event names must follow the dotted-lowercase
+  ``subsystem.noun.verb`` convention: 2–4 ``[a-z][a-z0-9_]*`` segments for
+  ``obs.inc/observe/counter/...`` metric names and ``trace``/``tracer``
+  event and span names; ``obs.span(...)`` hierarchical spans are
+  single-segment. Checked on literal first arguments only, so dynamic
+  names stay possible but the common case is kept consistent.
 
 Usage: ``python tools/lint_repro.py [root]`` — exits non-zero when any
 invariant is violated, printing ``path:line: CODE message`` per finding.
@@ -50,6 +56,20 @@ ALEX_CODE_RE = re.compile(r"ALEX-[A-Z]\d{3}")
 #: would still be shared across calls — flagged by R005).
 MUTABLE_FACTORIES = {"list", "dict", "set", "defaultdict", "Counter", "OrderedDict"}
 
+#: R007: dotted lowercase name, 2-4 segments (``alex.links.discovered``).
+DOTTED_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*){1,3}$")
+
+#: R007: hierarchical obs.span names are single-segment (``episode``).
+SPAN_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+#: obs functions taking a metric name as first argument.
+OBS_METRIC_FUNCS = {
+    "inc", "observe", "set_gauge", "counter", "gauge", "histogram", "timer",
+}
+
+#: trace/tracer methods taking an event or span name as first argument.
+TRACE_NAME_FUNCS = {"event", "span"}
+
 
 class Finding:
     __slots__ = ("path", "line", "code", "message")
@@ -75,6 +95,44 @@ def _is_obs_attr(node: ast.AST, name: str) -> bool:
             or (isinstance(node.value, ast.Attribute) and node.value.attr == "obs")
         )
     )
+
+
+def _receiver_name(node: ast.AST) -> str | None:
+    """The identifier a method was called on: ``x.f()`` -> "x",
+    ``a.b.f()`` -> "b", else None."""
+    if isinstance(node, ast.Attribute):
+        if isinstance(node.value, ast.Name):
+            return node.value.id
+        if isinstance(node.value, ast.Attribute):
+            return node.value.attr
+    return None
+
+
+def _observability_name_call(node: ast.Call) -> tuple[str, str, int] | None:
+    """R007: recognise calls declaring a metric/span/event name literal.
+
+    Returns ``(rule, name, lineno)`` where rule is "metric" (dotted 2-4
+    segments), "obs-span" (single segment), or None when the call is not a
+    name-declaring observability call or its first argument is not a string
+    literal (dynamic names are out of scope).
+    """
+    if not isinstance(node.func, ast.Attribute) or not node.args:
+        return None
+    first = node.args[0]
+    if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+        return None
+    attr = node.func.attr
+    receiver = _receiver_name(node.func)
+    if receiver == "obs":
+        if attr == "span":
+            return ("obs-span", first.value, first.lineno)
+        if attr in OBS_METRIC_FUNCS:
+            return ("metric", first.value, first.lineno)
+        return None
+    # trace module / Tracer instance / SpanHandle: dotted event & span names
+    if attr in TRACE_NAME_FUNCS and receiver in ("trace", "tracer", "span"):
+        return ("metric", first.value, first.lineno)
+    return None
 
 
 def _is_mutable_default(node: ast.AST) -> bool:
@@ -178,6 +236,23 @@ def check_file(path: str, rel: str, registered_codes: set[str] | None = None) ->
                         rel, default.lineno, "R005",
                         "mutable default argument; the instance is shared "
                         "across calls — default to None and create inside",
+                    ))
+        # R007: observability names follow the dotted naming convention
+        if isinstance(node, ast.Call):
+            name_call = _observability_name_call(node)
+            if name_call is not None:
+                rule, name, line = name_call
+                if rule == "obs-span" and not SPAN_NAME_RE.match(name):
+                    findings.append(Finding(
+                        rel, line, "R007",
+                        f"obs.span name {name!r} must be a single lowercase "
+                        "segment (hierarchy comes from nesting)",
+                    ))
+                elif rule == "metric" and not DOTTED_NAME_RE.match(name):
+                    findings.append(Finding(
+                        rel, line, "R007",
+                        f"observability name {name!r} must be dotted lowercase "
+                        "subsystem.noun.verb (2-4 segments)",
                     ))
         # R006: only registered ALEX-* diagnostic codes in library code
         if (
