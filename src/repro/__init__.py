@@ -51,6 +51,7 @@ from repro.rdf import (
     DataDiagnostic,
     Graph,
     Literal,
+    TermDictionary,
     Triple,
     URIRef,
     validate_dataset,
@@ -58,9 +59,17 @@ from repro.rdf import (
     validate_links,
 )
 from repro.obs import trace
-from repro.sparql import Diagnostic, QueryPlan, analyze_query, explain, parse_query
+from repro.sparql import (
+    Diagnostic,
+    PreparedQuery,
+    QueryPlan,
+    analyze_query,
+    explain,
+    parse_query,
+    prepare,
+)
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AlexConfig",
@@ -80,11 +89,13 @@ __all__ = [
     "Literal",
     "NoisyOracle",
     "PartitionedAlex",
+    "PreparedQuery",
     "QualityTracker",
     "QueryAnalysisError",
     "QueryFeedbackSession",
     "QueryPlan",
     "ReproError",
+    "TermDictionary",
     "Triple",
     "URIRef",
     "__version__",
@@ -97,6 +108,7 @@ __all__ = [
     "obs",
     "paris_links",
     "parse_query",
+    "prepare",
     "quality_curve_table",
     "run_partitions_parallel",
     "trace",

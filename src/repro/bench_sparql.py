@@ -1,0 +1,265 @@
+"""Benchmark harness for the SPARQL engine.
+
+Times the dictionary-encoded hash-join executor against the preserved
+pre-1.6 reference evaluator (:mod:`repro.sparql.reference`) on seeded
+synthetic social graphs, across four query classes — join-heavy BGPs,
+OPTIONAL-heavy left joins, aggregation, and property paths — proving
+result parity (identical solution multisets) on every measured query, and
+emits a machine-readable record file (``BENCH_sparql.json``) so the
+speedup is tracked in-repo rather than asserted in prose.
+
+Three modes per query:
+
+* ``reference`` — the pre-1.6 term-space nested-loop evaluator;
+* ``engine`` — the ID-space executor, fresh parse each run;
+* ``prepared`` — the ID-space executor through a reused
+  :class:`~repro.sparql.prepared.PreparedQuery` (cached plan + memoized
+  join order), the production path.
+
+This module is a library: it never prints. ``repro bench --suite sparql``
+renders :func:`render_report` and writes the JSON. Wall-clock numbers are
+environment-dependent by nature, so CI only checks parity and schema —
+the committed ``BENCH_sparql.json`` documents a reference machine (see
+``docs/performance.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import random
+import time
+from collections import Counter
+from typing import Any
+
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Literal, URIRef, XSD_INTEGER
+from repro.rdf.triples import Triple
+from repro.sparql.prepared import PreparedQuery
+from repro.sparql.reference import ref_query
+
+#: Schema identifier of the emitted payload (shared with BENCH_space.json).
+BENCH_FORMAT = "repro-bench/1"
+
+#: Default output file, at the repo root by convention.
+DEFAULT_OUT = "BENCH_sparql.json"
+
+EX = "http://bench.example.org/"
+PREFIX = f"PREFIX ex: <{EX}> "
+
+#: Graph sizes (number of people), smallest first. The headline speedup is
+#: measured on the last (largest) one; ``--quick`` keeps only the first.
+GRAPH_SIZES: tuple[int, ...] = (50, 150, 400)
+
+#: Best-of-N timing repeats per (query, mode).
+REPEATS = 3
+
+#: (class, name, query text) — every class the acceptance gate tracks.
+QUERIES: tuple[tuple[str, str, str], ...] = (
+    (
+        "join",
+        "two-hop",
+        "SELECT ?a ?c WHERE { ?a ex:knows ?b . ?b ex:knows ?c }",
+    ),
+    (
+        "join",
+        "distinct-two-hop",
+        "SELECT DISTINCT ?a ?c WHERE { ?a ex:knows ?b . ?b ex:knows ?c }",
+    ),
+    (
+        "join",
+        "triangle-team",
+        "SELECT ?a ?b WHERE { ?a ex:knows ?b . ?a ex:team ?t . ?b ex:team ?t }",
+    ),
+    (
+        "join",
+        "triangle-closure",
+        "SELECT ?a ?b WHERE { ?a ex:knows ?b . ?b ex:knows ?c . ?c ex:knows ?a }",
+    ),
+    (
+        "join",
+        "three-hop-named",
+        "SELECT ?a ?n WHERE { ?a ex:knows ?b . ?b ex:knows ?c . ?c ex:name ?n }",
+    ),
+    (
+        "optional",
+        "two-optionals",
+        "SELECT ?a ?n ?g WHERE { ?a ex:knows ?b "
+        "OPTIONAL { ?a ex:name ?n } OPTIONAL { ?a ex:age ?g } }",
+    ),
+    (
+        "optional",
+        "optional-join",
+        "SELECT ?a ?n WHERE { ?a ex:knows ?b OPTIONAL { ?b ex:knows ?c . ?c ex:name ?n } }",
+    ),
+    (
+        "aggregate",
+        "degree-per-team",
+        "SELECT ?t (COUNT(?a) AS ?n) WHERE { ?a ex:team ?t . ?a ex:knows ?b } "
+        "GROUP BY ?t ORDER BY ?t",
+    ),
+    (
+        "path",
+        "reachable",
+        f"SELECT ?x WHERE {{ <{EX}p0> ex:knows+ ?x }}",
+    ),
+)
+
+
+def build_graph(people: int, seed: int = 17) -> Graph:
+    """A seeded synthetic social graph: knows/name/age/team edges."""
+    rng = random.Random(seed)
+    graph = Graph(name=f"bench-{people}")
+    teams = [URIRef(EX + f"team{i}") for i in range(max(3, people // 25))]
+    nodes = [URIRef(EX + f"p{i}") for i in range(people)]
+    knows = URIRef(EX + "knows")
+    name = URIRef(EX + "name")
+    age = URIRef(EX + "age")
+    team = URIRef(EX + "team")
+    for i, node in enumerate(nodes):
+        if rng.random() < 0.9:
+            graph.add(Triple(node, name, Literal(f"Person {i}")))
+        if rng.random() < 0.8:
+            graph.add(
+                Triple(node, age, Literal(str(rng.randint(18, 70)), datatype=XSD_INTEGER))
+            )
+        graph.add(Triple(node, team, rng.choice(teams)))
+        for _ in range(rng.randint(1, 6)):
+            graph.add(Triple(node, knows, rng.choice(nodes)))
+    return graph
+
+
+def _canonical(result) -> Counter:
+    """Solution multiset, independent of row and variable order."""
+    return Counter(
+        tuple(sorted((v.name, t.n3()) for v, t in row.items())) for row in result.rows
+    )
+
+
+def _best_of(runs: int, action) -> tuple[float, Any]:
+    best = None
+    value = None
+    for _ in range(runs):
+        start = time.perf_counter()
+        value = action()
+        wall = time.perf_counter() - start
+        if best is None or wall < best:
+            best = wall
+    return best, value
+
+
+def run_bench(quick: bool = False, repeats: int = REPEATS) -> dict[str, Any]:
+    """Run the SPARQL benchmark and return the payload.
+
+    Every (graph, query) pair is evaluated by all three modes; the
+    reference and engine results are parity-checked as multisets on every
+    run. ``payload["speedup"]`` is the total reference/engine wall-time
+    ratio over the *join* class on the largest graph — the number the
+    acceptance gate tracks.
+    """
+    sizes = GRAPH_SIZES[:1] if quick else GRAPH_SIZES
+    records: list[dict[str, Any]] = []
+    mismatches = 0
+    checked = 0
+    join_reference = 0.0
+    join_engine = 0.0
+    for people in sizes:
+        graph = build_graph(people)
+        largest = people == sizes[-1]
+        for klass, name, text in QUERIES:
+            full = PREFIX + text
+            prepared = PreparedQuery(full)  # bypass the global cache on purpose
+            ref_wall, ref_result = _best_of(repeats, lambda: ref_query(graph, full))
+            engine_wall, engine_result = _best_of(
+                repeats, lambda: PreparedQuery(full).execute(graph)
+            )
+            prepared_wall, prepared_result = _best_of(
+                repeats, lambda: prepared.execute(graph)
+            )
+            checked += 1
+            if _canonical(ref_result) != _canonical(engine_result):
+                mismatches += 1
+            if _canonical(ref_result) != _canonical(prepared_result):
+                mismatches += 1
+            if largest and klass == "join":
+                join_reference += ref_wall
+                join_engine += engine_wall
+            records.append(
+                {
+                    "op": "sparql.query",
+                    "class": klass,
+                    "query": name,
+                    "people": people,
+                    "triples": len(graph),
+                    "rows": len(ref_result.rows),
+                    "reference_seconds": round(ref_wall, 6),
+                    "engine_seconds": round(engine_wall, 6),
+                    "prepared_seconds": round(prepared_wall, 6),
+                    "speedup": round(ref_wall / engine_wall, 2)
+                    if engine_wall > 0
+                    else None,
+                }
+            )
+    speedup = (
+        round(join_reference / join_engine, 2) if join_engine > 0 else None
+    )
+    return {
+        "format": BENCH_FORMAT,
+        "suite": "sparql",
+        "created_unix": int(time.time()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "quick": quick,
+        "repeats": repeats,
+        "parity": {"checked": checked, "ok": mismatches == 0, "mismatches": mismatches},
+        "speedup": speedup,
+        "records": records,
+    }
+
+
+def write_payload(payload: dict[str, Any], path: str = DEFAULT_OUT) -> None:
+    """Write the payload as stable, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def render_report(payload: dict[str, Any]) -> str:
+    """Human-readable table of a :func:`run_bench` payload."""
+    lines = [
+        f"sparql engine bench (python {payload['python']}, "
+        f"best of {payload['repeats']})",
+        f"{'class':<10} {'query':<16} {'people':>6} {'rows':>7} "
+        f"{'ref s':>9} {'engine s':>9} {'prep s':>9} {'speedup':>8}",
+    ]
+    for record in payload["records"]:
+        speedup = record["speedup"]
+        lines.append(
+            f"{record['class']:<10} {record['query']:<16} {record['people']:>6} "
+            f"{record['rows']:>7} {record['reference_seconds']:>9.4f} "
+            f"{record['engine_seconds']:>9.4f} {record['prepared_seconds']:>9.4f} "
+            f"{(f'{speedup}x' if speedup is not None else '-'):>8}"
+        )
+    parity = payload["parity"]
+    lines.append(
+        f"parity: {'OK' if parity['ok'] else 'FAILED'} "
+        f"({parity['checked']} queries checked, {parity['mismatches']} mismatches)"
+    )
+    if payload["speedup"] is not None:
+        lines.append(
+            f"speedup (join class, largest graph, reference vs engine): "
+            f"{payload['speedup']}x"
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "BENCH_FORMAT",
+    "DEFAULT_OUT",
+    "GRAPH_SIZES",
+    "QUERIES",
+    "build_graph",
+    "render_report",
+    "run_bench",
+    "write_payload",
+]

@@ -10,7 +10,7 @@ Subcommands::
     repro lint-query 'SELECT ...'            # static analysis (ALEX-* codes)
     repro lint-data DATA.nt [RIGHT.nt]       # RDF graph & link-set validation
     repro run SCENARIO                       # run one experiment scenario
-    repro bench                              # time naive vs fast space builds
+    repro bench [--suite space|sparql|all]   # parity-checked benchmarks
     repro figures all | FIGURE               # regenerate paper figures
     repro stats                              # exercise the stack, print obs metrics
     repro trace show|summary FILE.jsonl      # replay an exported trace
@@ -194,18 +194,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = subparsers.add_parser(
         "bench",
-        help="benchmark feature-space construction (naive vs fast paths), "
-        "prove parity, and write BENCH_space.json",
+        help="benchmark a subsystem against its reference implementation, "
+        "prove parity, and write BENCH_<suite>.json",
+    )
+    bench.add_argument(
+        "--suite", choices=("space", "sparql", "all"), default="space",
+        help="space = feature-space construction (naive vs fast), "
+        "sparql = query engine (hash-join vs pre-1.6 reference); default: space",
     )
     bench.add_argument("--out", default=None, metavar="PATH",
-                       help="output JSON path (default: BENCH_space.json)")
+                       help="output JSON path (single suite only; "
+                       "default: BENCH_space.json / BENCH_sparql.json)")
     bench.add_argument("--quick", action="store_true",
                        help="smallest bundle only — the CI smoke configuration")
     bench.add_argument("--workers", type=int, default=0,
-                       help="also time a multi-process build with this many workers")
+                       help="space suite: also time a multi-process build "
+                       "with this many workers")
     bench.add_argument(
         "--min-speedup", type=float, default=0.0,
-        help="exit non-zero unless the largest-bundle speedup reaches this factor",
+        help="exit non-zero unless every run suite's headline speedup "
+        "reaches this factor",
     )
 
     figures = subparsers.add_parser("figures", help="regenerate paper figures")
@@ -558,24 +566,37 @@ _FIGURES = {
 }
 
 
-def _cmd_bench(out: str | None, quick: bool, workers: int, min_speedup: float) -> int:
-    from repro.bench import DEFAULT_OUT, render_report, run_bench, write_payload
+def _cmd_bench(
+    suite: str, out: str | None, quick: bool, workers: int, min_speedup: float
+) -> int:
+    from repro import bench, bench_sparql
 
-    payload = run_bench(quick=quick, workers=workers)
-    path = out if out is not None else DEFAULT_OUT
-    write_payload(payload, path)
-    print(render_report(payload))
-    print(f"wrote {path}")
-    if not payload["parity"]["ok"]:
-        print("error: fast/naive parity check failed", file=sys.stderr)
-        return 1
-    if min_speedup > 0 and (payload["speedup"] or 0.0) < min_speedup:
-        print(
-            f"error: speedup {payload['speedup']}x below required {min_speedup}x",
-            file=sys.stderr,
-        )
-        return 1
-    return 0
+    suites = ("space", "sparql") if suite == "all" else (suite,)
+    if out is not None and len(suites) > 1:
+        print("error: --out requires a single --suite", file=sys.stderr)
+        return 2
+    failed = False
+    for name in suites:
+        module = bench if name == "space" else bench_sparql
+        if name == "space":
+            payload = module.run_bench(quick=quick, workers=workers)
+        else:
+            payload = module.run_bench(quick=quick)
+        path = out if out is not None else module.DEFAULT_OUT
+        module.write_payload(payload, path)
+        print(module.render_report(payload))
+        print(f"wrote {path}")
+        if not payload["parity"]["ok"]:
+            print(f"error: {name} suite parity check failed", file=sys.stderr)
+            failed = True
+        if min_speedup > 0 and (payload["speedup"] or 0.0) < min_speedup:
+            print(
+                f"error: {name} speedup {payload['speedup']}x below "
+                f"required {min_speedup}x",
+                file=sys.stderr,
+            )
+            failed = True
+    return 1 if failed else 0
 
 
 def _cmd_figures(figure: str) -> int:
@@ -636,7 +657,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                 top=args.top, trace_out=args.trace_out,
             )
         if args.command == "bench":
-            return _cmd_bench(args.out, args.quick, args.workers, args.min_speedup)
+            return _cmd_bench(
+                args.suite, args.out, args.quick, args.workers, args.min_speedup
+            )
         if args.command == "figures":
             return _cmd_figures(args.figure)
         if args.command == "report":

@@ -18,8 +18,8 @@ from repro.rdf.graph import Graph
 from repro.rdf.terms import Term
 from repro.rdf.triples import Triple
 from repro.sparql.ast import SelectQuery, TriplePattern, Var
-from repro.sparql.eval import QueryResult, Solution, evaluate_select, match_pattern
-from repro.sparql.parser import parse_query
+from repro.sparql.eval import QueryResult, Solution, match_pattern
+from repro.sparql.prepared import prepare
 
 
 class Endpoint:
@@ -84,10 +84,10 @@ class Endpoint:
     def select(self, query_text: str) -> QueryResult:
         """Run a full SELECT locally (used by examples and tests)."""
         self._record_request("select")
-        parsed = parse_query(query_text)
-        if not isinstance(parsed, SelectQuery):
+        prepared = prepare(query_text)
+        if not isinstance(prepared.plan, SelectQuery):
             raise TypeError("Endpoint.select requires a SELECT query")
-        return evaluate_select(self.graph, parsed)
+        return prepared.execute(self.graph)
 
     def contains(self, triple: Triple) -> bool:
         self._record_request("contains")

@@ -49,7 +49,7 @@ from repro.sparql.eval import (
     eval_expression,
     match_pattern,
 )
-from repro.sparql.parser import parse_query
+from repro.sparql.prepared import prepare
 
 
 class FederatedEngine:
@@ -84,8 +84,9 @@ class FederatedEngine:
     # ------------------------------------------------------------------ #
 
     def select(self, query_text: str) -> FederatedResult:
-        """Parse and execute a federated SELECT query."""
-        parsed = parse_query(query_text)
+        """Parse (through the shared plan cache) and execute a federated
+        SELECT query."""
+        parsed = prepare(query_text).plan
         if not isinstance(parsed, SelectQuery):
             raise FederationError("federated execution supports SELECT queries only")
         return self.execute(parsed)

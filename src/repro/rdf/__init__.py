@@ -1,6 +1,7 @@
 """RDF substrate: terms, triples, graphs, namespaces, and serializations."""
 
 from repro.rdf.dataset import Dataset, Quad
+from repro.rdf.dictionary import TermDictionary
 from repro.rdf.entity import Entity, entities_of
 from repro.rdf.graph import Graph
 from repro.rdf.namespaces import (
@@ -50,6 +51,7 @@ __all__ = [
     "RDFS_LABEL",
     "SKOS",
     "Term",
+    "TermDictionary",
     "Triple",
     "URIRef",
     "check_graph",

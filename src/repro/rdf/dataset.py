@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator, NamedTuple
 
 from repro.errors import RDFError
+from repro.rdf.dictionary import TermDictionary
 from repro.rdf.graph import Graph
 from repro.rdf.terms import URIRef
 from repro.rdf.triples import Object, Predicate, Subject, Triple
@@ -36,8 +37,16 @@ class Dataset:
 
     def __init__(self, name: str = ""):
         self.name = name
-        self.default = Graph(name="default")
+        # one shared term dictionary across all member graphs, so IDs are
+        # comparable dataset-wide (cross-graph joins, as_endpoints)
+        self._dict = TermDictionary()
+        self.default = Graph(name="default", dictionary=self._dict)
         self._named: dict[URIRef, Graph] = {}
+
+    @property
+    def dictionary(self) -> TermDictionary:
+        """The dictionary shared by every graph in this dataset."""
+        return self._dict
 
     # -- graph management ------------------------------------------------ #
 
@@ -49,7 +58,7 @@ class Dataset:
             raise RDFError(f"graph names must be URIRefs, got {type(name).__name__}")
         graph = self._named.get(name)
         if graph is None:
-            graph = Graph(name=name.value)
+            graph = Graph(name=name.value, dictionary=self._dict)
             self._named[name] = graph
         return graph
 

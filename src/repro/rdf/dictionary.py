@@ -1,0 +1,121 @@
+"""Dictionary encoding of RDF terms: term <-> integer ID interning.
+
+A :class:`TermDictionary` assigns each distinct term a small non-negative
+integer the first time it is seen and answers both directions of the
+mapping in O(1). :class:`~repro.rdf.graph.Graph` interns every term at
+load time and keeps its SPO/POS/OSP indexes purely over these IDs, so
+joins, dedup, and set probes compare machine ints instead of hashing term
+objects — the classic dictionary-encoded triple-store layout.
+
+IDs are dense (0, 1, 2, ...) in first-seen order and *stable across
+persistence*: :meth:`to_dict` serializes terms in ID order and
+:meth:`from_dict` reassigns the identical IDs, so any structure that
+stores raw IDs (the graph indexes, or an advanced caller using
+:meth:`Graph.triples_ids`) round-trips unchanged.
+
+The dictionary is append-only by design — terms are never removed, even
+when the last triple mentioning them is. That keeps IDs stable for the
+lifetime of a graph (and any shared :class:`~repro.rdf.dataset.Dataset`)
+at the cost of a little memory on heavily-mutated graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import RDFError
+from repro.rdf.terms import BNode, Literal, Term, URIRef
+
+#: Versioned format tag on :meth:`TermDictionary.to_dict` payloads.
+DICTIONARY_FORMAT = "repro-dictionary/1"
+
+
+class TermDictionary:
+    """A bidirectional, append-only term <-> int interning table."""
+
+    __slots__ = ("_terms", "_ids")
+
+    def __init__(self) -> None:
+        self._terms: list[Term] = []  # ID -> term
+        self._ids: dict[Term, int] = {}  # term -> ID
+
+    def encode(self, term: Term) -> int:
+        """The ID for ``term``, interning it on first sight."""
+        term_id = self._ids.get(term)
+        if term_id is None:
+            if not isinstance(term, Term):
+                raise RDFError(
+                    f"only RDF terms can be interned, got {type(term).__name__}"
+                )
+            term_id = len(self._terms)
+            self._terms.append(term)
+            self._ids[term] = term_id
+        return term_id
+
+    def lookup(self, term: Term) -> int | None:
+        """The ID for ``term`` if already interned, else None (no interning)."""
+        return self._ids.get(term)
+
+    def decode(self, term_id: int) -> Term:
+        """The term for ``term_id``; raises on unknown IDs."""
+        try:
+            return self._terms[term_id]
+        except IndexError:
+            raise RDFError(f"unknown term id {term_id}") from None
+
+    def terms(self) -> Iterator[Term]:
+        """All interned terms in ID order."""
+        return iter(self._terms)
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __contains__(self, term: Term) -> bool:
+        return term in self._ids
+
+    def __repr__(self):
+        return f"<TermDictionary {len(self._terms)} terms>"
+
+    # ------------------------------------------------------------------ #
+    # Persistence — IDs are stable across a to_dict/from_dict round trip
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict:
+        """JSON-serializable payload; term order encodes the IDs."""
+        return {
+            "format": DICTIONARY_FORMAT,
+            "terms": [_term_to_json(term) for term in self._terms],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TermDictionary":
+        """Rebuild a dictionary, reassigning the exact serialized IDs."""
+        if payload.get("format") != DICTIONARY_FORMAT:
+            raise RDFError(
+                f"unsupported dictionary format: {payload.get('format')!r}"
+            )
+        dictionary = cls()
+        for entry in payload["terms"]:
+            dictionary.encode(_term_from_json(entry))
+        return dictionary
+
+
+def _term_to_json(term: Term) -> list:
+    if isinstance(term, URIRef):
+        return ["u", term.value]
+    if isinstance(term, BNode):
+        return ["b", term.id]
+    if isinstance(term, Literal):
+        return ["l", term.lexical, term.datatype, term.language]
+    raise RDFError(f"cannot serialize term of type {type(term).__name__}")
+
+
+def _term_from_json(entry: list) -> Term:
+    kind = entry[0]
+    if kind == "u":
+        return URIRef(entry[1])
+    if kind == "b":
+        return BNode(entry[1])
+    if kind == "l":
+        return Literal(entry[1], datatype=entry[2], language=entry[3])
+    raise RDFError(f"unknown serialized term kind {kind!r}")

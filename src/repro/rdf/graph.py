@@ -1,24 +1,35 @@
-"""An in-memory, indexed RDF triple store.
+"""An in-memory, dictionary-encoded, indexed RDF triple store.
 
-:class:`Graph` maintains three nested-dict indexes (SPO, POS, OSP) so any
+Every term is interned to an integer ID on entry
+(:class:`~repro.rdf.dictionary.TermDictionary`), and :class:`Graph`
+maintains three nested-dict indexes (SPO, POS, OSP) *over those IDs* so any
 triple pattern — with any combination of bound and wildcard positions — is
-answered by direct index lookups rather than scans. This is the substrate
-under the SPARQL evaluator, the federation endpoints, PARIS, and the feature
-space builder.
+answered by direct int-keyed index lookups rather than scans. This is the
+substrate under the SPARQL evaluator (which joins directly in ID space),
+the federation endpoints, PARIS, and the feature space builder.
+
+The encoding boundary is explicit: the public API speaks
+:class:`~repro.rdf.terms.Term` objects in and out, while
+:meth:`Graph.triples_ids` and the read-only :attr:`Graph.dictionary`
+accessor expose the raw ID layer for advanced callers (the SPARQL hash-join
+executor, and eventually features/blocking). The contract is documented in
+``docs/architecture.md``.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Iterable, Iterator
 
 from repro.errors import RDFError
-from repro.rdf.terms import BNode, Literal, Term, URIRef
+from repro.rdf.dictionary import TermDictionary
 from repro.rdf.triples import Object, Predicate, Subject, Triple
+
+#: Versioned format tag on :meth:`Graph.to_dict` payloads.
+GRAPH_FORMAT = "repro-graph/1"
 
 
 class Graph:
-    """A set of RDF triples with full pattern-match indexing.
+    """A set of RDF triples with full pattern-match indexing over term IDs.
 
     The three indexes cover all eight bound/unbound pattern shapes:
 
@@ -27,90 +38,73 @@ class Graph:
     ========  ==========================
     s p o     SPO (membership probe)
     s p ?     SPO
-    s ? o     SPO then filter on o
+    s ? o     OSP
     s ? ?     SPO
     ? p o     POS
     ? p ?     POS
     ? ? o     OSP
     ? ? ?     iterate SPO
     ========  ==========================
+
+    ``dictionary`` lets several graphs share one interning table (a
+    :class:`~repro.rdf.dataset.Dataset` passes the same dictionary to all
+    its member graphs so IDs are comparable across them).
     """
 
-    def __init__(self, name: str = "", triples: Iterable[Triple] | None = None):
+    def __init__(
+        self,
+        name: str = "",
+        triples: Iterable[Triple] | None = None,
+        dictionary: TermDictionary | None = None,
+    ):
         self.name = name
-        self._spo: dict[Subject, dict[Predicate, set[Object]]] = defaultdict(
-            lambda: defaultdict(set)
-        )
-        self._pos: dict[Predicate, dict[Object, set[Subject]]] = defaultdict(
-            lambda: defaultdict(set)
-        )
-        self._osp: dict[Object, dict[Subject, set[Predicate]]] = defaultdict(
-            lambda: defaultdict(set)
-        )
+        self._dict = dictionary if dictionary is not None else TermDictionary()
+        self._spo: dict[int, dict[int, set[int]]] = {}
+        self._pos: dict[int, dict[int, set[int]]] = {}
+        self._osp: dict[int, dict[int, set[int]]] = {}
         self._size = 0
+        self._version = 0
         if triples is not None:
             self.add_all(triples)
 
     # ------------------------------------------------------------------ #
-    # Mutation
+    # Encoding boundary
     # ------------------------------------------------------------------ #
 
-    def add(self, triple: Triple) -> bool:
-        """Add a triple. Returns True if the triple was new."""
-        s, p, o = Triple.create(*triple)
-        if o in self._spo[s][p]:
-            return False
-        self._spo[s][p].add(o)
-        self._pos[p][o].add(s)
-        self._osp[o][s].add(p)
-        self._size += 1
-        return True
+    @property
+    def dictionary(self) -> TermDictionary:
+        """The graph's term dictionary (treat as read-only).
 
-    def add_all(self, triples: Iterable[Triple]) -> int:
-        """Add many triples; returns how many were new."""
-        return sum(1 for t in triples if self.add(t))
+        Callers may :meth:`~repro.rdf.dictionary.TermDictionary.decode` /
+        :meth:`~repro.rdf.dictionary.TermDictionary.lookup` freely;
+        interning new terms through it is harmless (the dictionary is
+        append-only) but does not add any triples.
+        """
+        return self._dict
 
-    def remove(self, triple: Triple) -> bool:
-        """Remove a triple. Returns True if it was present."""
-        s, p, o = triple
-        if s not in self._spo or p not in self._spo[s] or o not in self._spo[s][p]:
-            return False
-        self._spo[s][p].discard(o)
-        if not self._spo[s][p]:
-            del self._spo[s][p]
-            if not self._spo[s]:
-                del self._spo[s]
-        self._pos[p][o].discard(s)
-        if not self._pos[p][o]:
-            del self._pos[p][o]
-            if not self._pos[p]:
-                del self._pos[p]
-        self._osp[o][s].discard(p)
-        if not self._osp[o][s]:
-            del self._osp[o][s]
-            if not self._osp[o]:
-                del self._osp[o]
-        self._size -= 1
-        return True
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter; bumps on every successful add/remove.
 
-    def clear(self) -> None:
-        self._spo.clear()
-        self._pos.clear()
-        self._osp.clear()
-        self._size = 0
+        Cached query artifacts (join orders, endpoint capabilities) key on
+        this to detect staleness without hashing the graph.
+        """
+        return self._version
 
-    # ------------------------------------------------------------------ #
-    # Pattern matching
-    # ------------------------------------------------------------------ #
-
-    def triples(
+    def triples_ids(
         self,
-        subject: Subject | None = None,
-        predicate: Predicate | None = None,
-        object: Object | None = None,
-    ) -> Iterator[Triple]:
-        """Yield all triples matching the pattern; ``None`` is a wildcard."""
-        s, p, o = subject, predicate, object
+        subject_id: int | None = None,
+        predicate_id: int | None = None,
+        object_id: int | None = None,
+    ) -> Iterator[tuple[int, int, int]]:
+        """Pattern-match directly in ID space; ``None`` is a wildcard.
+
+        Yields ``(subject_id, predicate_id, object_id)`` tuples. IDs come
+        from :attr:`dictionary`; an ID the graph has never stored simply
+        matches nothing. This is the advanced-caller fast path — the
+        SPARQL executor builds its hash joins on it.
+        """
+        s, p, o = subject_id, predicate_id, object_id
         if s is not None:
             by_pred = self._spo.get(s)
             if by_pred is None:
@@ -121,18 +115,21 @@ class Graph:
                     return
                 if o is not None:
                     if o in objects:
-                        yield Triple(s, p, o)
+                        yield (s, p, o)
                     return
                 for obj in objects:
-                    yield Triple(s, p, obj)
+                    yield (s, p, obj)
+                return
+            if o is not None:
+                by_subj = self._osp.get(o)
+                if by_subj is None:
+                    return
+                for pred in by_subj.get(s, ()):
+                    yield (s, pred, o)
                 return
             for pred, objects in by_pred.items():
-                if o is not None:
-                    if o in objects:
-                        yield Triple(s, pred, o)
-                else:
-                    for obj in objects:
-                        yield Triple(s, pred, obj)
+                for obj in objects:
+                    yield (s, pred, obj)
             return
         if p is not None:
             by_obj = self._pos.get(p)
@@ -140,11 +137,11 @@ class Graph:
                 return
             if o is not None:
                 for subj in by_obj.get(o, ()):
-                    yield Triple(subj, p, o)
+                    yield (subj, p, o)
                 return
             for obj, subjects in by_obj.items():
                 for subj in subjects:
-                    yield Triple(subj, p, obj)
+                    yield (subj, p, obj)
             return
         if o is not None:
             by_subj = self._osp.get(o)
@@ -152,12 +149,145 @@ class Graph:
                 return
             for subj, preds in by_subj.items():
                 for pred in preds:
-                    yield Triple(subj, pred, o)
+                    yield (subj, pred, o)
             return
         for subj, by_pred in self._spo.items():
             for pred, objects in by_pred.items():
                 for obj in objects:
-                    yield Triple(subj, pred, obj)
+                    yield (subj, pred, obj)
+
+    def count_ids(
+        self,
+        subject_id: int | None = None,
+        predicate_id: int | None = None,
+        object_id: int | None = None,
+    ) -> int:
+        """Count ID-space matches; cheap (index sizes) for every shape."""
+        s, p, o = subject_id, predicate_id, object_id
+        if s is None and p is None and o is None:
+            return self._size
+        if s is not None:
+            by_pred = self._spo.get(s)
+            if by_pred is None:
+                return 0
+            if p is not None:
+                objects = by_pred.get(p)
+                if objects is None:
+                    return 0
+                if o is not None:
+                    return 1 if o in objects else 0
+                return len(objects)
+            if o is not None:
+                return len(self._osp.get(o, {}).get(s, ()))
+            return sum(len(objects) for objects in by_pred.values())
+        if p is not None:
+            by_obj = self._pos.get(p)
+            if by_obj is None:
+                return 0
+            if o is not None:
+                return len(by_obj.get(o, ()))
+            return sum(len(subjects) for subjects in by_obj.values())
+        by_subj = self._osp.get(o, {})
+        return sum(len(preds) for preds in by_subj.values())
+
+    def _encode_pattern(self, term) -> int | None:
+        """Pattern position -> ID, or -1 when the term is absent (no match).
+
+        ``None`` stays ``None`` (wildcard). Uses :meth:`TermDictionary.lookup`
+        so read-side pattern matching never grows the dictionary.
+        """
+        if term is None:
+            return None
+        term_id = self._dict.lookup(term)
+        return -1 if term_id is None else term_id
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def add(self, triple: Triple) -> bool:
+        """Add a triple. Returns True if the triple was new."""
+        s, p, o = Triple.create(*triple)
+        encode = self._dict.encode
+        si, pi, oi = encode(s), encode(p), encode(o)
+        objects = self._spo.setdefault(si, {}).setdefault(pi, set())
+        if oi in objects:
+            return False
+        objects.add(oi)
+        self._pos.setdefault(pi, {}).setdefault(oi, set()).add(si)
+        self._osp.setdefault(oi, {}).setdefault(si, set()).add(pi)
+        self._size += 1
+        self._version += 1
+        return True
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Add many triples; returns how many were new."""
+        return sum(1 for t in triples if self.add(t))
+
+    def remove(self, triple: Triple) -> bool:
+        """Remove a triple. Returns True if it was present.
+
+        The terms stay interned — IDs are stable for the graph's lifetime.
+        """
+        s, p, o = triple
+        lookup = self._dict.lookup
+        si, pi, oi = lookup(s), lookup(p), lookup(o)
+        if si is None or pi is None or oi is None:
+            return False
+        by_pred = self._spo.get(si)
+        if by_pred is None or pi not in by_pred or oi not in by_pred[pi]:
+            return False
+        by_pred[pi].discard(oi)
+        if not by_pred[pi]:
+            del by_pred[pi]
+            if not by_pred:
+                del self._spo[si]
+        self._pos[pi][oi].discard(si)
+        if not self._pos[pi][oi]:
+            del self._pos[pi][oi]
+            if not self._pos[pi]:
+                del self._pos[pi]
+        self._osp[oi][si].discard(pi)
+        if not self._osp[oi][si]:
+            del self._osp[oi][si]
+            if not self._osp[oi]:
+                del self._osp[oi]
+        self._size -= 1
+        self._version += 1
+        return True
+
+    def clear(self) -> None:
+        """Drop all triples (the dictionary, possibly shared, is kept)."""
+        self._spo.clear()
+        self._pos.clear()
+        self._osp.clear()
+        self._size = 0
+        self._version += 1
+
+    # ------------------------------------------------------------------ #
+    # Pattern matching (term-object boundary)
+    # ------------------------------------------------------------------ #
+
+    def triples(
+        self,
+        subject: Subject | None = None,
+        predicate: Predicate | None = None,
+        object: Object | None = None,
+    ) -> Iterator[Triple]:
+        """Yield all triples matching the pattern; ``None`` is a wildcard."""
+        si = self._encode_pattern(subject)
+        pi = self._encode_pattern(predicate)
+        oi = self._encode_pattern(object)
+        if -1 in (si, pi, oi):  # a constant the graph has never seen
+            return
+        decode = self._dict.decode
+        for s_id, p_id, o_id in self.triples_ids(si, pi, oi):
+            # reuse the caller's term objects for bound positions
+            yield Triple(
+                subject if subject is not None else decode(s_id),
+                predicate if predicate is not None else decode(p_id),
+                object if object is not None else decode(o_id),
+            )
 
     def count(
         self,
@@ -165,67 +295,92 @@ class Graph:
         predicate: Predicate | None = None,
         object: Object | None = None,
     ) -> int:
-        """Count matches without materializing triples where possible."""
-        if subject is None and predicate is None and object is None:
-            return self._size
-        if subject is not None and predicate is not None and object is None:
-            return len(self._spo.get(subject, {}).get(predicate, ()))
-        if predicate is not None and subject is None and object is None:
-            by_obj = self._pos.get(predicate, {})
-            return sum(len(subjects) for subjects in by_obj.values())
-        if predicate is not None and object is not None and subject is None:
-            return len(self._pos.get(predicate, {}).get(object, ()))
-        return sum(1 for _ in self.triples(subject, predicate, object))
+        """Count matches without materializing triples."""
+        si = self._encode_pattern(subject)
+        pi = self._encode_pattern(predicate)
+        oi = self._encode_pattern(object)
+        if -1 in (si, pi, oi):
+            return 0
+        return self.count_ids(si, pi, oi)
 
     # ------------------------------------------------------------------ #
     # Convenience accessors
     # ------------------------------------------------------------------ #
 
     def subjects(self, predicate: Predicate | None = None, object: Object | None = None) -> Iterator[Subject]:
-        if predicate is not None and object is not None:
-            yield from self._pos.get(predicate, {}).get(object, ())
+        pi = self._encode_pattern(predicate)
+        oi = self._encode_pattern(object)
+        if -1 in (pi, oi):
             return
-        seen: set[Subject] = set()
-        for triple in self.triples(None, predicate, object):
-            if triple.subject not in seen:
-                seen.add(triple.subject)
-                yield triple.subject
+        decode = self._dict.decode
+        if pi is not None and oi is not None:
+            for si in self._pos.get(pi, {}).get(oi, ()):
+                yield decode(si)
+            return
+        seen: set[int] = set()
+        for si, _, _ in self.triples_ids(None, pi, oi):
+            if si not in seen:
+                seen.add(si)
+                yield decode(si)
 
     def predicates(self, subject: Subject | None = None, object: Object | None = None) -> Iterator[Predicate]:
-        if subject is None and object is None:
-            yield from self._pos.keys()
+        si = self._encode_pattern(subject)
+        oi = self._encode_pattern(object)
+        if -1 in (si, oi):
             return
-        seen: set[Predicate] = set()
-        for triple in self.triples(subject, None, object):
-            if triple.predicate not in seen:
-                seen.add(triple.predicate)
-                yield triple.predicate
+        decode = self._dict.decode
+        if si is None and oi is None:
+            for pi in self._pos.keys():
+                yield decode(pi)
+            return
+        seen: set[int] = set()
+        for _, pi, _ in self.triples_ids(si, None, oi):
+            if pi not in seen:
+                seen.add(pi)
+                yield decode(pi)
 
     def objects(self, subject: Subject | None = None, predicate: Predicate | None = None) -> Iterator[Object]:
-        if subject is not None and predicate is not None:
-            yield from self._spo.get(subject, {}).get(predicate, ())
+        si = self._encode_pattern(subject)
+        pi = self._encode_pattern(predicate)
+        if -1 in (si, pi):
             return
-        seen: set[Object] = set()
-        for triple in self.triples(subject, predicate, None):
-            if triple.object not in seen:
-                seen.add(triple.object)
-                yield triple.object
+        decode = self._dict.decode
+        if si is not None and pi is not None:
+            for oi in self._spo.get(si, {}).get(pi, ()):
+                yield decode(oi)
+            return
+        seen: set[int] = set()
+        for _, _, oi in self.triples_ids(si, pi, None):
+            if oi not in seen:
+                seen.add(oi)
+                yield decode(oi)
 
     def value(self, subject: Subject, predicate: Predicate) -> Object | None:
         """One arbitrary object for (subject, predicate), or None."""
-        for obj in self._spo.get(subject, {}).get(predicate, ()):
-            return obj
+        si = self._encode_pattern(subject)
+        pi = self._encode_pattern(predicate)
+        if -1 in (si, pi):
+            return None
+        for oi in self._spo.get(si, {}).get(pi, ()):
+            return self._dict.decode(oi)
         return None
 
     def predicate_objects(self, subject: Subject) -> Iterator[tuple[Predicate, Object]]:
         """All (predicate, object) pairs for a subject — the entity's attributes."""
-        for pred, objects in self._spo.get(subject, {}).items():
-            for obj in objects:
-                yield pred, obj
+        si = self._encode_pattern(subject)
+        if si == -1:
+            return
+        decode = self._dict.decode
+        for pi, objects in self._spo.get(si, {}).items():
+            predicate = decode(pi)
+            for oi in objects:
+                yield predicate, decode(oi)
 
     def entities(self) -> Iterator[Subject]:
         """All distinct subjects in the graph."""
-        yield from self._spo.keys()
+        decode = self._dict.decode
+        for si in self._spo.keys():
+            yield decode(si)
 
     # ------------------------------------------------------------------ #
     # Set-like protocol
@@ -233,7 +388,11 @@ class Graph:
 
     def __contains__(self, triple: Triple) -> bool:
         s, p, o = triple
-        return o in self._spo.get(s, {}).get(p, ())
+        lookup = self._dict.lookup
+        si, pi, oi = lookup(s), lookup(p), lookup(o)
+        if si is None or pi is None or oi is None:
+            return False
+        return oi in self._spo.get(si, {}).get(pi, ())
 
     def __len__(self) -> int:
         return self._size
@@ -245,7 +404,19 @@ class Graph:
         return self._size > 0
 
     def copy(self, name: str | None = None) -> "Graph":
-        return Graph(name=name if name is not None else self.name, triples=self.triples())
+        """A shallow structural copy sharing the term dictionary.
+
+        Sharing keeps IDs comparable between the copy and the original
+        (both append-only, so neither can invalidate the other).
+        """
+        out = Graph(
+            name=name if name is not None else self.name, dictionary=self._dict
+        )
+        out._spo = {s: {p: set(o) for p, o in by_pred.items()} for s, by_pred in self._spo.items()}
+        out._pos = {p: {o: set(s) for o, s in by_obj.items()} for p, by_obj in self._pos.items()}
+        out._osp = {o: {s: set(p) for s, p in by_subj.items()} for o, by_subj in self._osp.items()}
+        out._size = self._size
+        return out
 
     def __or__(self, other: "Graph") -> "Graph":
         """Union of two graphs as a new graph."""
@@ -258,3 +429,36 @@ class Graph:
     def __repr__(self):
         label = f" {self.name!r}" if self.name else ""
         return f"<Graph{label} with {self._size} triples>"
+
+    # ------------------------------------------------------------------ #
+    # Persistence — term IDs survive the round trip
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict:
+        """JSON-serializable payload: the dictionary plus ID triples."""
+        return {
+            "format": GRAPH_FORMAT,
+            "name": self.name,
+            "dictionary": self._dict.to_dict(),
+            "triples": sorted(self.triples_ids()),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Graph":
+        """Rebuild a graph; every term keeps its serialized ID."""
+        if payload.get("format") != GRAPH_FORMAT:
+            raise RDFError(f"unsupported graph format: {payload.get('format')!r}")
+        dictionary = TermDictionary.from_dict(payload["dictionary"])
+        graph = cls(name=payload.get("name", ""), dictionary=dictionary)
+        known = len(dictionary)
+        for si, pi, oi in payload["triples"]:
+            if not (0 <= si < known and 0 <= pi < known and 0 <= oi < known):
+                raise RDFError(f"triple references unknown term id: {(si, pi, oi)}")
+            objects = graph._spo.setdefault(si, {}).setdefault(pi, set())
+            if oi in objects:
+                continue
+            objects.add(oi)
+            graph._pos.setdefault(pi, {}).setdefault(oi, set()).add(si)
+            graph._osp.setdefault(oi, {}).setdefault(si, set()).add(pi)
+            graph._size += 1
+        return graph

@@ -4,6 +4,12 @@ Terms are immutable, hashable values. A :class:`Literal` carries an optional
 datatype URI and language tag, and exposes :meth:`Literal.to_python` which
 converts the lexical form to a native Python value according to the XSD
 datatype (used by the similarity layer and by SPARQL FILTER evaluation).
+
+Immutability plus value-based hashing is what makes terms *internable*:
+:class:`~repro.rdf.dictionary.TermDictionary` maps each distinct term to a
+dense integer ID, and :class:`~repro.rdf.graph.Graph` stores and joins
+those IDs instead of term objects. Equal terms always intern to the same
+ID, so ID equality and term equality coincide everywhere downstream.
 """
 
 from __future__ import annotations

@@ -24,6 +24,7 @@ from repro.sparql.eval import (
 )
 from repro.sparql.explain import PLAN_SCHEMA, PlanNode, QueryPlan, explain
 from repro.sparql.parser import parse_query
+from repro.sparql.prepared import PreparedQuery, clear_plan_cache, prepare
 
 __all__ = [
     "Aggregate",
@@ -38,6 +39,7 @@ __all__ = [
     "OptionalPattern",
     "PLAN_SCHEMA",
     "PlanNode",
+    "PreparedQuery",
     "QueryPlan",
     "QueryResult",
     "SelectQuery",
@@ -46,10 +48,12 @@ __all__ = [
     "Var",
     "analyze_query",
     "check_query",
+    "clear_plan_cache",
     "evaluate_ask",
     "evaluate_construct",
     "evaluate_select",
     "explain",
     "parse_query",
+    "prepare",
     "query",
 ]

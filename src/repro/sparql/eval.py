@@ -1,20 +1,52 @@
 """Evaluation of the SPARQL subset against a :class:`~repro.rdf.graph.Graph`.
 
-Solutions are immutable-by-convention dicts mapping :class:`Var` to RDF
-terms. BGPs evaluate by left-to-right index nested-loop joins, substituting
-bindings into each successive pattern — simple, predictable, and fast enough
-on the indexed store for this library's scale.
+Since v1.6 the evaluator runs **in ID space**: the graph interns every term
+to an integer (:mod:`repro.rdf.dictionary`), and BGP execution joins
+compact ID tuples — one slot per variable in a shared
+:class:`_Layout` — against the graph's int-keyed indexes. Each pattern
+stage picks a strategy adaptively:
+
+* ``index-nested-loop`` — few input rows: probe the indexes once per row
+  with that row's bindings substituted (the classic bound join);
+* ``hash-join`` — many input rows: enumerate the pattern's matches once
+  with only its constants bound, bucket them by the shared (join)
+  variables, then probe each input row against the hash table.
+
+Terms are decoded back to :class:`~repro.rdf.terms.Term` objects only at
+the boundaries that need them: FILTER/BIND expression evaluation, ORDER
+BY keys, aggregation, and the final projection. Query-produced terms that
+the graph has never seen (BIND results, VALUES constants) intern into a
+per-query overlay with *negative* IDs, so equality still works and the
+graph's dictionary is never mutated by a read.
+
+The stable entry points are :func:`repro.sparql.prepare` /
+:class:`~repro.sparql.prepared.PreparedQuery` and the thin
+:func:`query` wrapper. ``evaluate_select`` / ``evaluate_ask`` /
+``evaluate_construct`` remain as deprecated shims. Solutions crossing the
+public API are still dicts mapping :class:`Var` to terms.
 """
 
 from __future__ import annotations
 
+import operator
 import re
+import time
+import warnings
+import weakref
 from typing import Callable, Iterable, Iterator
 
 from repro import obs
 from repro.errors import QueryEvaluationError
+from repro.rdf.dictionary import TermDictionary
 from repro.rdf.graph import Graph
-from repro.rdf.terms import Literal, Term, URIRef, XSD_BOOLEAN
+from repro.rdf.terms import (
+    Literal,
+    Term,
+    URIRef,
+    XSD_BOOLEAN,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+)
 from repro.sparql.ast import (
     AskQuery,
     BGP,
@@ -38,27 +70,47 @@ from repro.sparql.ast import (
     Var,
     VarExpr,
 )
-from repro.sparql.parser import parse_query
+from repro.sparql.paths import PathExpr, eval_path
 
 Solution = dict[Var, Term]
+
+#: Input-row threshold above which a pattern stage switches from per-row
+#: index probes to a build-once hash join.
+HASH_JOIN_MIN_ROWS = 8
+
+#: Guard against degenerate hash builds: the build-side scan (the pattern's
+#: matches with only constants bound) may be at most this many triples per
+#: input row, otherwise nested-loop probing is cheaper.
+HASH_JOIN_SCAN_FACTOR = 64
 
 
 class EvalObserver:
     """Hook protocol for per-operator instrumentation (EXPLAIN ANALYZE).
 
     The default evaluator never constructs one; :mod:`repro.sparql.explain`
-    implements it to meter rows in/out and wall time per operator. Methods
-    must preserve semantics exactly — they wrap stages, never change them.
+    implements it to meter rows in/out, wall time, and join strategy per
+    operator. Hooks are pure listeners — they never change semantics.
+
+    .. versionchanged:: 1.6
+       The streaming ``pattern_stage`` / ``filter_stage`` wrappers of the
+       nested-loop evaluator were replaced by the post-hoc
+       :meth:`pattern_profile` / :meth:`filter_profile` callbacks, matching
+       the materialized ID-space pipeline.
     """
 
-    def pattern_stage(
-        self, graph: Graph, pattern: "TriplePattern", stream: Iterator[Solution]
-    ) -> Iterator[Solution]:
+    def pattern_profile(
+        self,
+        pattern: TriplePattern,
+        strategy: str,
+        rows_in: int,
+        rows_out: int,
+        seconds: float,
+    ) -> None:
         raise NotImplementedError
 
-    def filter_stage(
-        self, graph: Graph, filters: "list[Expr]", solutions: list[Solution]
-    ) -> list[Solution]:
+    def filter_profile(
+        self, expression: Expr, rows_in: int, rows_out: int, seconds: float
+    ) -> None:
         raise NotImplementedError
 
     def modifier(self, op: str, rows_in: int, rows_out: int, seconds: float) -> None:
@@ -72,7 +124,650 @@ class _ExpressionError(Exception):
 
 
 # --------------------------------------------------------------------- #
-# Pattern matching
+# ID-space machinery: codec, slot layout, row helpers
+# --------------------------------------------------------------------- #
+
+
+class _Codec:
+    """Per-query term<->ID codec over the graph's dictionary.
+
+    Graph terms keep their non-negative dictionary IDs. Terms produced by
+    the query itself (BIND results, VALUES constants, caller bindings) that
+    the graph has never interned get *negative* overlay IDs, so equal terms
+    always share one ID, probing the graph with them naturally matches
+    nothing, and the graph's dictionary is never grown by a read.
+    """
+
+    __slots__ = ("base", "_local_ids", "_local_terms")
+
+    def __init__(self, base: TermDictionary):
+        self.base = base
+        self._local_ids: dict[Term, int] = {}
+        self._local_terms: list[Term] = []
+
+    def encode(self, term: Term) -> int:
+        term_id = self.base.lookup(term)
+        if term_id is not None:
+            return term_id
+        term_id = self._local_ids.get(term)
+        if term_id is None:
+            self._local_terms.append(term)
+            term_id = -len(self._local_terms)
+            self._local_ids[term] = term_id
+        return term_id
+
+    def decode(self, term_id: int) -> Term:
+        if term_id >= 0:
+            return self.base.decode(term_id)
+        return self._local_terms[-term_id - 1]
+
+
+class _Layout:
+    """Shared variable-slot layout: maps row keys to tuple positions.
+
+    Keys are :class:`Var` objects plus internal sentinels (e.g. OPTIONAL
+    origin markers). Rows are plain tuples, allowed to be *shorter* than
+    the layout — missing tail slots read as unbound, so extending a row
+    never copies unrelated columns eagerly.
+    """
+
+    __slots__ = ("keys", "index")
+
+    def __init__(self) -> None:
+        self.keys: list = []
+        self.index: dict = {}
+
+    def slot(self, key) -> int:
+        position = self.index.get(key)
+        if position is None:
+            position = len(self.keys)
+            self.index[key] = position
+            self.keys.append(key)
+        return position
+
+
+def _row_get(row: tuple, slot: int):
+    return row[slot] if slot < len(row) else None
+
+
+def _row_set(row: tuple, slot: int, value) -> tuple:
+    width = len(row)
+    if slot < width:
+        return row[:slot] + (value,) + row[slot + 1:]
+    return row + (None,) * (slot - width) + (value,)
+
+
+def _encode_solution(codec: _Codec, layout: _Layout, solution: Solution) -> tuple:
+    if not solution:
+        return ()
+    assignments = [
+        (layout.slot(var), codec.encode(term)) for var, term in solution.items()
+    ]
+    width = max(slot for slot, _ in assignments) + 1
+    row = [None] * width
+    for slot, value in assignments:
+        row[slot] = value
+    return tuple(row)
+
+
+def _decode_row(
+    codec: _Codec, layout: _Layout, row: tuple, variables: Iterable[Var] | None = None
+) -> Solution:
+    """Row -> solution dict; sentinel (non-Var) slots are skipped.
+
+    ``variables`` restricts decoding to the named variables (the
+    expression/aggregation fast path); None decodes every bound Var slot.
+    """
+    solution: Solution = {}
+    if variables is None:
+        keys = layout.keys
+        for index, value in enumerate(row):
+            if value is not None:
+                key = keys[index]
+                if type(key) is Var:
+                    solution[key] = codec.decode(value)
+        return solution
+    index_of = layout.index
+    width = len(row)
+    for var in variables:
+        slot = index_of.get(var)
+        if slot is not None and slot < width:
+            value = row[slot]
+            if value is not None:
+                solution[var] = codec.decode(value)
+    return solution
+
+
+def _expr_vars(expr: Expr) -> set[Var] | None:
+    """Variables an expression reads, or None when it needs the full row
+    (EXISTS re-evaluates a whole group under the current bindings)."""
+    if isinstance(expr, TermExpr):
+        return set()
+    if isinstance(expr, VarExpr):
+        return {expr.var}
+    if isinstance(expr, Not):
+        return _expr_vars(expr.operand)
+    if isinstance(expr, (BooleanOp, Comparison)):
+        left = _expr_vars(expr.left)
+        right = _expr_vars(expr.right)
+        if left is None or right is None:
+            return None
+        return left | right
+    if isinstance(expr, FunctionCall):
+        out: set[Var] = set()
+        for arg in expr.args:
+            sub = _expr_vars(arg)
+            if sub is None:
+                return None
+            out |= sub
+        return out
+    return None  # ExistsExpr and anything unknown: decode everything
+
+
+def _bound_vars(layout: _Layout, rows: list[tuple]) -> set[Var]:
+    """Variables bound in (a sample of) the incoming rows.
+
+    Seeds the optimizer's join-order search for nested BGPs: a variable
+    the enclosing group has already bound makes patterns mentioning it
+    selective probes. Sampling the first few rows is exact for the common
+    homogeneous case and merely a heuristic after UNIONs — ordering never
+    affects results, only speed.
+    """
+    if not rows:
+        return set()
+    sample = rows[:8]
+    bound: set[Var] = set()
+    for key, slot in layout.index.items():
+        if type(key) is Var and all(
+            slot < len(row) and row[slot] is not None for row in sample
+        ):
+            bound.add(key)
+    return bound
+
+
+class _BGPOrderMemo:
+    """Per-prepared-query cache of optimizer join orders.
+
+    Keyed by BGP node identity plus the bound-variable context, and
+    validated against the target graph's
+    :attr:`~repro.rdf.graph.Graph.version`, so a repeated
+    ``PreparedQuery.execute`` on an unchanged graph skips
+    :func:`~repro.sparql.optimizer.reorder_bgp` entirely.
+    """
+
+    __slots__ = ("_orders",)
+
+    def __init__(self) -> None:
+        self._orders: dict[int, tuple] = {}
+
+    def ordered(self, graph: Graph, bgp: BGP, bound: set[Var]) -> BGP:
+        from repro.sparql.optimizer import reorder_bgp
+
+        key = id(bgp)
+        entry = self._orders.get(key)
+        if entry is not None:
+            graph_ref, version, bound_key, ordered = entry
+            if (
+                graph_ref() is graph
+                and version == graph.version
+                and bound_key == bound
+            ):
+                return ordered
+        ordered = reorder_bgp(graph, bgp, bound)
+        self._orders[key] = (weakref.ref(graph), graph.version, set(bound), ordered)
+        return ordered
+
+
+# --------------------------------------------------------------------- #
+# Pattern stages (ID space)
+# --------------------------------------------------------------------- #
+
+
+def _eval_path_pattern(
+    graph: Graph, codec: _Codec, pattern: TriplePattern, layout: _Layout, rows: list[tuple]
+) -> list[tuple]:
+    """Property-path stage: per-row term-space BFS via :func:`eval_path`."""
+    s_var = isinstance(pattern.subject, Var)
+    o_var = isinstance(pattern.object, Var)
+    s_slot = layout.slot(pattern.subject) if s_var else -1
+    o_slot = layout.slot(pattern.object) if o_var else -1
+    out: list[tuple] = []
+    for row in rows:
+        if s_var:
+            s_id = _row_get(row, s_slot)
+            s = codec.decode(s_id) if s_id is not None else None
+        else:
+            s = pattern.subject
+        if o_var:
+            o_id = _row_get(row, o_slot)
+            o = codec.decode(o_id) if o_id is not None else None
+        else:
+            o = pattern.object
+        for source, target in eval_path(graph, pattern.predicate, s, o):
+            extended = row
+            if s_var:
+                value = codec.encode(source)
+                current = _row_get(extended, s_slot)
+                if current is None:
+                    extended = _row_set(extended, s_slot, value)
+                elif current != value:
+                    continue
+            if o_var:
+                value = codec.encode(target)
+                current = _row_get(extended, o_slot)
+                if current is None:
+                    extended = _row_set(extended, o_slot, value)
+                elif current != value:
+                    continue
+            out.append(extended)
+    return out
+
+
+def _eval_pattern_ids(
+    graph: Graph, codec: _Codec, pattern: TriplePattern, layout: _Layout, rows: list[tuple]
+) -> tuple[list[tuple], str]:
+    """One BGP pattern stage over ID rows; returns (rows, strategy used)."""
+    obs.inc("sparql.patterns.matched")
+    if isinstance(pattern.predicate, PathExpr):
+        return _eval_path_pattern(graph, codec, pattern, layout, rows), "path-scan"
+
+    # Classify positions: (is_var, slot-or-const-id) per s/p/o.
+    spec: list[tuple[bool, int]] = []
+    var_slots: list[int] = []
+    for position in (pattern.subject, pattern.predicate, pattern.object):
+        if isinstance(position, Var):
+            slot = layout.slot(position)
+            spec.append((True, slot))
+            if slot not in var_slots:
+                var_slots.append(slot)
+        else:
+            term_id = graph.dictionary.lookup(position)
+            if term_id is None:
+                return [], "index-nested-loop"  # constant the graph never saw
+            spec.append((False, term_id))
+
+    if not var_slots:  # fully-constant pattern: a membership probe
+        probe = tuple(value for _, value in spec)
+        exists = next(graph.triples_ids(*probe), None) is not None
+        return (list(rows) if exists else []), "index-nested-loop"
+
+    const_probe = tuple(None if is_var else value for is_var, value in spec)
+    out: list[tuple] = []
+    strategy = "index-nested-loop"
+
+    # Rows may differ in which pattern variables they bind (e.g. after a
+    # UNION); each bound-mask group joins independently. Masks are small
+    # bitmask ints (a pattern has at most three variables) rather than
+    # tuples — this grouping runs once per input row.
+    groups: dict[int, list[tuple]] = {}
+    for row in rows:
+        width = len(row)
+        mask = 0
+        bit = 1
+        for slot in var_slots:
+            if slot < width and row[slot] is not None:
+                mask |= bit
+            bit <<= 1
+        bucket = groups.get(mask)
+        if bucket is None:
+            groups[mask] = bucket = []
+        bucket.append(row)
+
+    for mask, group in groups.items():
+        bound = {slot for index, slot in enumerate(var_slots) if mask & (1 << index)}
+        # positions contributing to the join key / to new bindings
+        key_positions = [
+            index for index, (is_var, slot) in enumerate(spec) if is_var and slot in bound
+        ]
+        free_positions = [
+            (index, slot)
+            for index, (is_var, slot) in enumerate(spec)
+            if is_var and slot not in bound
+        ]
+        free_slots: list[int] = []
+        for _, slot in free_positions:
+            if slot not in free_slots:
+                free_slots.append(slot)
+
+        use_hash = False
+        if len(group) >= HASH_JOIN_MIN_ROWS:
+            if not key_positions:
+                use_hash = True  # cross product: always enumerate once
+            else:
+                scan = graph.count_ids(*const_probe)
+                use_hash = scan <= HASH_JOIN_SCAN_FACTOR * len(group)
+
+        if use_hash:
+            strategy = "hash-join"
+            _hash_join_group(
+                graph, group, spec, const_probe, key_positions, free_positions, free_slots, out
+            )
+        else:
+            _nested_loop_group(graph, group, spec, free_positions, free_slots, out)
+    return out, strategy
+
+
+def _bind_free(row: tuple, match: tuple, free_positions, free_slots) -> tuple | None:
+    """Extend ``row`` with a match's values for the free slots (None when a
+    repeated variable disagrees with itself within the match)."""
+    if not free_slots:
+        return row  # pattern acted as a pure existence filter
+    values: dict[int, int] = {}
+    for index, slot in free_positions:
+        value = match[index]
+        previous = values.get(slot)
+        if previous is None:
+            values[slot] = value
+        elif previous != value:
+            return None
+    width = max(len(row), max(free_slots) + 1)
+    extended = list(row) + [None] * (width - len(row))
+    for slot, value in values.items():
+        extended[slot] = value
+    return tuple(extended)
+
+
+def _nested_loop_group(
+    graph: Graph, group: list[tuple], spec, free_positions, free_slots, out: list[tuple]
+) -> None:
+    """Per-row index probes with the row's bindings substituted; results
+    are appended to ``out``."""
+    triples_ids = graph.triples_ids
+    append = out.append
+    if not free_positions:
+        # existence filter: every position is bound, so each probe is a
+        # fully-constant membership test and the row passes unchanged
+        for row in group:
+            width = len(row)
+            probe = [
+                (row[value] if value < width else None) if is_var else value
+                for is_var, value in spec
+            ]
+            if next(triples_ids(*probe), None) is not None:
+                append(row)
+        return
+    if len(free_positions) == 1:
+        # fast path for the dominant shape — the pattern introduces exactly
+        # one new variable, and a new variable's slot usually sits right at
+        # the end of the row, so extending is a plain tuple append
+        position, slot = free_positions[0]
+        for row in group:
+            width = len(row)
+            probe = [
+                (row[value] if value < width else None) if is_var else value
+                for is_var, value in spec
+            ]
+            if slot == width:
+                for match in triples_ids(*probe):
+                    append(row + (match[position],))
+            else:
+                for match in triples_ids(*probe):
+                    append(_row_set(row, slot, match[position]))
+        return
+    for row in group:
+        width = len(row)
+        probe = [
+            (row[value] if value < width else None) if is_var else value
+            for is_var, value in spec
+        ]
+        for match in triples_ids(*probe):
+            extended = _bind_free(row, match, free_positions, free_slots)
+            if extended is not None:
+                append(extended)
+
+
+def _hash_join_group(
+    graph: Graph, group: list[tuple], spec, const_probe, key_positions, free_positions,
+    free_slots, out: list[tuple]
+) -> None:
+    """Build-once hash join: bucket pattern matches by the join key, then
+    probe every input row against the table; results are appended to
+    ``out``."""
+    append = out.append
+    if len(key_positions) == 1 and len(free_positions) == 1:
+        # fast path for the dominant shape — one join variable, one new
+        # variable: scalar keys, scalar bucket values, tuple-append output
+        key_position = key_positions[0]
+        free_position, free_slot = free_positions[0]
+        scalar_table: dict[int, list[int]] = {}
+        for match in graph.triples_ids(*const_probe):
+            value = match[key_position]
+            bucket = scalar_table.get(value)
+            if bucket is None:
+                scalar_table[value] = [match[free_position]]
+            else:
+                bucket.append(match[free_position])
+        if not scalar_table:
+            return
+        key_slot = spec[key_position][1]
+        table_get = scalar_table.get
+        for row in group:
+            width = len(row)
+            hits = table_get(row[key_slot] if key_slot < width else None)
+            if hits is None:
+                continue
+            if free_slot == width:
+                for value in hits:
+                    append(row + (value,))
+            else:
+                for value in hits:
+                    append(_row_set(row, free_slot, value))
+        return
+    table: dict[tuple, list[tuple]] = {}
+    free_width = (max(free_slots) + 1) if free_slots else 0
+    for match in graph.triples_ids(*const_probe):
+        values: dict[int, int] = {}
+        consistent = True
+        for index, slot in free_positions:
+            value = match[index]
+            previous = values.get(slot)
+            if previous is None:
+                values[slot] = value
+            elif previous != value:
+                consistent = False
+                break
+        if not consistent:
+            continue
+        key = tuple(match[index] for index in key_positions)
+        table.setdefault(key, []).append(
+            tuple(values[slot] for slot in free_slots)
+        )
+    if not table:
+        return
+    key_slots = [spec[index][1] for index in key_positions]
+    table_get = table.get
+    if not free_slots:
+        # existence (semi-)join: the pattern binds nothing new, so a row
+        # passes through unchanged, once per matching triple
+        for row in group:
+            width = len(row)
+            key = tuple(
+                (row[slot] if slot < width else None) for slot in key_slots
+            )
+            hits = table_get(key)
+            if hits is not None:
+                for _ in hits:
+                    append(row)
+        return
+    for row in group:
+        width = len(row)
+        key = tuple((row[slot] if slot < width else None) for slot in key_slots)
+        hits = table_get(key)
+        if hits is None:
+            continue
+        padded = max(width, free_width)
+        base = list(row) + [None] * (padded - width)
+        for values in hits:
+            extended = base.copy()
+            for slot, value in zip(free_slots, values):
+                extended[slot] = value
+            append(tuple(extended))
+
+
+# --------------------------------------------------------------------- #
+# Group evaluation (ID space)
+# --------------------------------------------------------------------- #
+
+
+def _eval_group_ids(
+    graph: Graph,
+    codec: _Codec,
+    group: GroupGraphPattern,
+    layout: _Layout,
+    rows: list[tuple],
+    observer: EvalObserver | None = None,
+    memo: _BGPOrderMemo | None = None,
+) -> list[tuple]:
+    filters: list[Expr] = []
+    for child in group.children:
+        if isinstance(child, BGP):
+            bgp = child
+            if len(bgp.patterns) > 1:
+                seed = _bound_vars(layout, rows)
+                if memo is not None:
+                    bgp = memo.ordered(graph, bgp, seed)
+                else:
+                    from repro.sparql.optimizer import reorder_bgp
+
+                    bgp = reorder_bgp(graph, bgp, seed)
+            for pattern in bgp.patterns:
+                rows_in = len(rows)
+                started = time.perf_counter()
+                rows, strategy = _eval_pattern_ids(graph, codec, pattern, layout, rows)
+                if observer is not None:
+                    observer.pattern_profile(
+                        pattern, strategy, rows_in, len(rows),
+                        time.perf_counter() - started,
+                    )
+        elif isinstance(child, Filter):
+            filters.append(child.expression)
+        elif isinstance(child, GroupGraphPattern):
+            rows = _eval_group_ids(graph, codec, child, layout, rows, observer, memo)
+        elif isinstance(child, OptionalPattern):
+            if rows:
+                rows = _eval_optional(graph, codec, child, layout, rows, observer, memo)
+        elif isinstance(child, UnionPattern):
+            next_rows: list[tuple] = []
+            for alternative in child.alternatives:
+                next_rows.extend(
+                    _eval_group_ids(
+                        graph, codec, alternative, layout, list(rows), observer, memo
+                    )
+                )
+            rows = next_rows
+        elif isinstance(child, Bind):
+            rows = _eval_bind(graph, codec, child, layout, rows)
+        elif isinstance(child, ValuesClause):
+            rows = _eval_values(codec, child, layout, rows)
+        else:
+            raise QueryEvaluationError(f"unknown pattern node: {type(child).__name__}")
+    if filters:
+        pairs = [(row, _decode_row(codec, layout, row)) for row in rows]
+        if observer is not None:
+            # one pass per FILTER so each gets its own rows in/out; the
+            # conjunction is order-independent (an erroring filter is
+            # False), so per-filter sequencing preserves `all(...)`.
+            for expression in filters:
+                rows_in = len(pairs)
+                started = time.perf_counter()
+                pairs = [
+                    (row, solution)
+                    for row, solution in pairs
+                    if _filter_passes(expression, solution, graph)
+                ]
+                observer.filter_profile(
+                    expression, rows_in, len(pairs), time.perf_counter() - started
+                )
+        else:
+            pairs = [
+                (row, solution)
+                for row, solution in pairs
+                if all(_filter_passes(expr, solution, graph) for expr in filters)
+            ]
+        rows = [row for row, _ in pairs]
+    return rows
+
+
+def _eval_optional(
+    graph: Graph,
+    codec: _Codec,
+    child: OptionalPattern,
+    layout: _Layout,
+    rows: list[tuple],
+    observer: EvalObserver | None,
+    memo: _BGPOrderMemo | None,
+) -> list[tuple]:
+    """Batched left outer join: tag every input row with its position in a
+    sentinel slot, evaluate the optional group over the whole batch once,
+    then route extensions back to their origin rows (unmatched rows pass
+    through unchanged — and untagged)."""
+    origin_slot = layout.slot(object())  # fresh sentinel key, never a Var
+    seeded = [_row_set(row, origin_slot, index) for index, row in enumerate(rows)]
+    matched = _eval_group_ids(graph, codec, child.pattern, layout, seeded, observer, memo)
+    by_origin: dict[int, list[tuple]] = {}
+    for row in matched:
+        by_origin.setdefault(row[origin_slot], []).append(row)
+    out: list[tuple] = []
+    for index, row in enumerate(rows):
+        extensions = by_origin.get(index)
+        if extensions:
+            out.extend(extensions)
+        else:
+            out.append(row)
+    return out
+
+
+def _eval_bind(
+    graph: Graph, codec: _Codec, child: Bind, layout: _Layout, rows: list[tuple]
+) -> list[tuple]:
+    slot = layout.slot(child.var)
+    needed = _expr_vars(child.expression)
+    out: list[tuple] = []
+    for row in rows:
+        if _row_get(row, slot) is not None:
+            raise QueryEvaluationError(
+                f"BIND would rebind already-bound variable {child.var}"
+            )
+        solution = _decode_row(codec, layout, row, needed)
+        try:
+            value = eval_expression(child.expression, solution, graph)
+        except _ExpressionError:
+            value = None  # an erroring BIND leaves the var unbound
+        if value is not None:
+            row = _row_set(row, slot, codec.encode(_as_term(value)))
+        out.append(row)
+    return out
+
+
+def _eval_values(
+    codec: _Codec, child: ValuesClause, layout: _Layout, rows: list[tuple]
+) -> list[tuple]:
+    slots = [layout.slot(var) for var in child.variables]
+    encoded = [
+        tuple(codec.encode(term) if term is not None else None for term in vrow)
+        for vrow in child.rows
+    ]
+    out: list[tuple] = []
+    for row in rows:
+        for vrow in encoded:
+            extended = row
+            compatible = True
+            for slot, value in zip(slots, vrow):
+                if value is None:  # UNDEF leaves the variable free
+                    continue
+                current = _row_get(extended, slot)
+                if current is None:
+                    extended = _row_set(extended, slot, value)
+                elif current != value:
+                    compatible = False
+                    break
+            if compatible:
+                out.append(extended)
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Term-space compatibility surface (federation endpoints, EXISTS)
 # --------------------------------------------------------------------- #
 
 
@@ -86,9 +781,12 @@ def _resolve(term: PatternTerm, solution: Solution) -> Term | None:
 def match_pattern(
     graph: Graph, pattern: TriplePattern, solutions: Iterable[Solution]
 ) -> Iterator[Solution]:
-    """Extend each incoming solution with all graph matches of ``pattern``."""
-    from repro.sparql.paths import PathExpr, eval_path
+    """Extend each incoming solution with all graph matches of ``pattern``.
 
+    The term-dict streaming surface used by federation endpoints (bound
+    joins arrive as solution dicts over the wire); probes run against the
+    ID indexes internally.
+    """
     obs.inc("sparql.patterns.matched")
     if isinstance(pattern.predicate, PathExpr):
         for solution in solutions:
@@ -108,19 +806,38 @@ def match_pattern(
                 if ok:
                     yield extended
         return
+    dictionary = graph.dictionary
+    positions = (pattern.subject, pattern.predicate, pattern.object)
+    consts: list[int | None] = []
+    for position in positions:
+        if isinstance(position, Var):
+            consts.append(None)
+        else:
+            term_id = dictionary.lookup(position)
+            if term_id is None:
+                return  # a constant the graph has never interned
+            consts.append(term_id)
+    decode = dictionary.decode
     for solution in solutions:
-        s = _resolve(pattern.subject, solution)
-        p = _resolve(pattern.predicate, solution)
-        o = _resolve(pattern.object, solution)
-        for triple in graph.triples(s, p, o):
+        probe = list(consts)
+        known = True
+        for index, position in enumerate(positions):
+            if probe[index] is None:
+                bound = solution.get(position)
+                if bound is not None:
+                    bound_id = dictionary.lookup(bound)
+                    if bound_id is None:
+                        known = False
+                        break
+                    probe[index] = bound_id
+        if not known:
+            continue
+        for match in graph.triples_ids(*probe):
             extended = dict(solution)
             ok = True
-            for position, value in (
-                (pattern.subject, triple.subject),
-                (pattern.predicate, triple.predicate),
-                (pattern.object, triple.object),
-            ):
+            for index, position in enumerate(positions):
                 if isinstance(position, Var):
+                    value = decode(match[index])
                     bound = extended.get(position)
                     if bound is None:
                         extended[position] = value
@@ -136,18 +853,15 @@ def eval_bgp(
     bgp: BGP,
     solutions: Iterable[Solution],
     optimize: bool = True,
-    observer: "EvalObserver | None" = None,
 ) -> Iterator[Solution]:
+    """Join a BGP over solution dicts (term-space compatibility surface)."""
     if optimize and len(bgp.patterns) > 1:
         from repro.sparql.optimizer import reorder_bgp
 
         bgp = reorder_bgp(graph, bgp)
     streams: Iterator[Solution] = iter(solutions)
     for pattern in bgp.patterns:
-        if observer is not None:
-            streams = observer.pattern_stage(graph, pattern, streams)
-        else:
-            streams = match_pattern(graph, pattern, streams)
+        streams = match_pattern(graph, pattern, streams)
     return streams
 
 
@@ -167,81 +881,23 @@ def eval_group(
     graph: Graph,
     group: GroupGraphPattern,
     solutions: Iterable[Solution] | None = None,
-    observer: "EvalObserver | None" = None,
+    observer: EvalObserver | None = None,
 ) -> list[Solution]:
-    """Evaluate a group pattern, returning materialized solutions.
+    """Evaluate a group pattern over solution dicts.
 
-    ``observer`` (see :mod:`repro.sparql.explain`) receives each pattern
-    and filter stage for per-operator instrumentation; ``None`` — the
-    default everywhere — keeps evaluation on the unobserved path.
+    A thin boundary over the ID-space engine: encode, join, decode.
+    ``observer`` (see :mod:`repro.sparql.explain`) receives per-operator
+    profiles; ``None`` — the default everywhere — keeps evaluation on the
+    unobserved path.
     """
-    current: list[Solution] = list(solutions) if solutions is not None else [{}]
-    filters: list[Expr] = []
-    for child in group.children:
-        if isinstance(child, BGP):
-            current = list(eval_bgp(graph, child, current, observer=observer))
-        elif isinstance(child, Filter):
-            filters.append(child.expression)
-        elif isinstance(child, GroupGraphPattern):
-            current = eval_group(graph, child, current, observer=observer)
-        elif isinstance(child, OptionalPattern):
-            next_solutions: list[Solution] = []
-            for solution in current:
-                extensions = eval_group(graph, child.pattern, [solution], observer=observer)
-                if extensions:
-                    next_solutions.extend(extensions)
-                else:
-                    next_solutions.append(solution)
-            current = next_solutions
-        elif isinstance(child, UnionPattern):
-            next_solutions = []
-            for solution in current:
-                for alternative in child.alternatives:
-                    next_solutions.extend(
-                        eval_group(graph, alternative, [solution], observer=observer)
-                    )
-            current = next_solutions
-        elif isinstance(child, Bind):
-            next_solutions = []
-            for solution in current:
-                if child.var in solution:
-                    raise QueryEvaluationError(
-                        f"BIND would rebind already-bound variable {child.var}"
-                    )
-                extended = dict(solution)
-                try:
-                    value = eval_expression(child.expression, solution, graph)
-                except _ExpressionError:
-                    value = None  # an erroring BIND leaves the var unbound
-                if value is not None:
-                    extended[child.var] = _as_term(value)
-                next_solutions.append(extended)
-            current = next_solutions
-        elif isinstance(child, ValuesClause):
-            next_solutions = []
-            for solution in current:
-                for row in child.rows:
-                    row_solution = {
-                        var: term
-                        for var, term in zip(child.variables, row)
-                        if term is not None
-                    }
-                    merged = _join_compatible(solution, row_solution)
-                    if merged is not None:
-                        next_solutions.append(merged)
-            current = next_solutions
-        else:
-            raise QueryEvaluationError(f"unknown pattern node: {type(child).__name__}")
-    if filters:
-        if observer is not None:
-            current = observer.filter_stage(graph, filters, current)
-        else:
-            current = [
-                solution
-                for solution in current
-                if all(_filter_passes(expr, solution, graph) for expr in filters)
-            ]
-    return current
+    codec = _Codec(graph.dictionary)
+    layout = _Layout()
+    if solutions is None:
+        rows: list[tuple] = [()]
+    else:
+        rows = [_encode_solution(codec, layout, solution) for solution in solutions]
+    rows = _eval_group_ids(graph, codec, group, layout, rows, observer)
+    return [_decode_row(codec, layout, row) for row in rows]
 
 
 def _as_term(value) -> Term:
@@ -251,9 +907,9 @@ def _as_term(value) -> Term:
     if isinstance(value, bool):
         return Literal("true" if value else "false", datatype=XSD_BOOLEAN)
     if isinstance(value, int):
-        return Literal(str(value), datatype="http://www.w3.org/2001/XMLSchema#integer")
+        return Literal(str(value), datatype=XSD_INTEGER)
     if isinstance(value, float):
-        return Literal(repr(value), datatype="http://www.w3.org/2001/XMLSchema#double")
+        return Literal(repr(value), datatype=XSD_DOUBLE)
     if isinstance(value, str):
         return Literal(value)
     raise QueryEvaluationError(f"cannot convert {type(value).__name__} to an RDF term")
@@ -518,31 +1174,127 @@ def _observed_stage(observer, op: str, rows_in: int, stage: Callable[[], list]):
     """Run one solution-modifier stage, reporting rows/time to the observer."""
     if observer is None:
         return stage()
-    import time as _time
-
-    started = _time.perf_counter()
+    started = time.perf_counter()
     out = stage()
-    observer.modifier(op, rows_in, len(out), _time.perf_counter() - started)
+    observer.modifier(op, rows_in, len(out), time.perf_counter() - started)
     return out
 
 
-def evaluate_select(
-    graph: Graph, query: SelectQuery, observer: EvalObserver | None = None
+# --------------------------------------------------------------------- #
+# Query execution pipelines (internal; PreparedQuery is the public door)
+# --------------------------------------------------------------------- #
+
+
+def _initial_rows(
+    codec: _Codec, layout: _Layout, bindings: Solution | None
+) -> list[tuple]:
+    if not bindings:
+        return [()]
+    normalized: Solution = {}
+    for key, term in bindings.items():
+        var = Var(key.lstrip("?")) if isinstance(key, str) else key
+        normalized[var] = term
+    return [_encode_solution(codec, layout, normalized)]
+
+
+def _execute_select(
+    graph: Graph,
+    query: SelectQuery,
+    observer: EvalObserver | None = None,
+    bindings: Solution | None = None,
+    memo: _BGPOrderMemo | None = None,
 ) -> QueryResult:
-    solutions = eval_group(graph, query.where, observer=observer)
-    if solutions:
-        obs.inc("sparql.solutions.produced", len(solutions))
+    codec = _Codec(graph.dictionary)
+    layout = _Layout()
+    id_rows = _initial_rows(codec, layout, bindings)
+    id_rows = _eval_group_ids(graph, codec, query.where, layout, id_rows, observer, memo)
+    if id_rows:
+        obs.inc("sparql.solutions.produced", len(id_rows))
     projected = query.projected()
 
     if query.is_aggregated:
         rows = _observed_stage(
-            observer, "aggregate", len(solutions), lambda: _aggregate_rows(query, solutions)
+            observer,
+            "aggregate",
+            len(id_rows),
+            lambda: _aggregate_rows_ids(query, codec, layout, id_rows),
         )
-    else:
+        return QueryResult(projected, _finalize_term_rows(query, rows, observer))
+
+    slots = [layout.index.get(var) for var in projected]
+
+    def project() -> list[tuple]:
+        out = []
+        if all(slot is not None for slot in slots):
+            # fast path: every projected variable has a slot, and joins
+            # usually produce full-width rows, so a C-level itemgetter
+            # covers the common case
+            min_width = max(slots) + 1
+            getter = (
+                operator.itemgetter(*slots)
+                if len(slots) > 1
+                else (lambda row, _slot=slots[0]: (row[_slot],))
+            )
+            for row in id_rows:
+                if len(row) >= min_width:
+                    out.append(getter(row))
+                else:
+                    width = len(row)
+                    out.append(
+                        tuple(row[slot] if slot < width else None for slot in slots)
+                    )
+            return out
+        for row in id_rows:
+            width = len(row)
+            out.append(
+                tuple(
+                    row[slot] if (slot is not None and slot < width) else None
+                    for slot in slots
+                )
+            )
+        return out
+
+    projected_rows = _observed_stage(observer, "project", len(id_rows), project)
+
+    if query.distinct:
+        def deduplicate() -> list[tuple]:
+            # interning makes ID equality coincide with term equality, so
+            # the projected ID tuple is a complete dedup key
+            seen: set[tuple] = set()
+            unique: list[tuple] = []
+            for row in projected_rows:
+                if row not in seen:
+                    seen.add(row)
+                    unique.append(row)
+            return unique
+
+        projected_rows = _observed_stage(
+            observer, "distinct", len(projected_rows), deduplicate
+        )
+
+    def to_solution(id_row: tuple) -> Solution:
+        return {
+            var: codec.decode(value)
+            for var, value in zip(projected, id_row)
+            if value is not None
+        }
+
+    if query.order_by:
+        rows = [to_solution(row) for row in projected_rows]
         rows = _observed_stage(
-            observer, "project", len(solutions),
-            lambda: [{var: sol[var] for var in projected if var in sol} for sol in solutions],
+            observer, "order", len(rows), lambda: _order_rows(query, rows)
         )
+        rows = _slice_rows(query, rows, observer)
+        return QueryResult(projected, rows)
+
+    projected_rows = _slice_rows(query, projected_rows, observer)
+    return QueryResult(projected, [to_solution(row) for row in projected_rows])
+
+
+def _finalize_term_rows(
+    query: SelectQuery, rows: list[Solution], observer: EvalObserver | None
+) -> list[Solution]:
+    """DISTINCT / ORDER / slice over term-space rows (the aggregate path)."""
     if query.distinct:
         def deduplicate() -> list[Solution]:
             seen: set[tuple] = set()
@@ -556,26 +1308,34 @@ def evaluate_select(
 
         rows = _observed_stage(observer, "distinct", len(rows), deduplicate)
     if query.order_by:
-        def order() -> list[Solution]:
-            for condition in reversed(query.order_by):
-                def key(row: Solution, cond: OrderCondition = condition):
-                    try:
-                        value = eval_expression(cond.expression, row)
-                    except _ExpressionError:
-                        value = None
-                    return _order_key_for(value)
+        rows = _observed_stage(
+            observer, "order", len(rows), lambda: _order_rows(query, rows)
+        )
+    return _slice_rows(query, rows, observer)
 
-                rows.sort(key=key, reverse=condition.descending)
-            return rows
 
-        rows = _observed_stage(observer, "order", len(rows), order)
-    if query.offset or query.limit is not None:
-        def slice_rows() -> list[Solution]:
-            out = rows[query.offset:] if query.offset else rows
-            return out[: query.limit] if query.limit is not None else out
+def _order_rows(query: SelectQuery, rows: list[Solution]) -> list[Solution]:
+    for condition in reversed(query.order_by):
+        def key(row: Solution, cond: OrderCondition = condition):
+            try:
+                value = eval_expression(cond.expression, row)
+            except _ExpressionError:
+                value = None
+            return _order_key_for(value)
 
-        rows = _observed_stage(observer, "slice", len(rows), slice_rows)
-    return QueryResult(projected, rows)
+        rows.sort(key=key, reverse=condition.descending)
+    return rows
+
+
+def _slice_rows(query: SelectQuery, rows: list, observer: EvalObserver | None) -> list:
+    if not query.offset and query.limit is None:
+        return rows
+
+    def slice_rows() -> list:
+        out = rows[query.offset:] if query.offset else rows
+        return out[: query.limit] if query.limit is not None else out
+
+    return _observed_stage(observer, "slice", len(rows), slice_rows)
 
 
 def _aggregate_rows(query: SelectQuery, solutions: list[Solution]) -> list[Solution]:
@@ -593,25 +1353,93 @@ def _aggregate_rows(query: SelectQuery, solutions: list[Solution]) -> list[Solut
     return rows
 
 
-def evaluate_ask(
-    graph: Graph, query: AskQuery, observer: EvalObserver | None = None
+def _aggregate_rows_ids(
+    query: SelectQuery, codec: _Codec, layout: _Layout, id_rows: list[tuple]
+) -> list[Solution]:
+    """ID-space GROUP BY: group on raw ID tuples (interning makes ID
+    equality coincide with the n3-keyed grouping of
+    :func:`~repro.sparql.aggregates.group_solutions`), decoding members
+    only for the variables the aggregates actually read."""
+    from repro.sparql.aggregates import evaluate_aggregate
+
+    aggregate_vars = {
+        aggregate.var for aggregate in query.aggregates if aggregate.var is not None
+    }
+    slots = [layout.index.get(var) for var in query.group_by]
+    groups: dict[tuple, list[Solution]] = {}
+    order: list[tuple] = []
+    if not query.group_by:
+        # aggregate-only SELECT: the whole input is one (possibly empty) group
+        groups[()] = [_decode_row(codec, layout, row, aggregate_vars) for row in id_rows]
+        order.append(())
+    else:
+        for row in id_rows:
+            width = len(row)
+            key = tuple(
+                row[slot] if (slot is not None and slot < width) else None
+                for slot in slots
+            )
+            members = groups.get(key)
+            if members is None:
+                groups[key] = members = []
+                order.append(key)
+            members.append(_decode_row(codec, layout, row, aggregate_vars))
+    rows: list[Solution] = []
+    for key in order:
+        row_out: Solution = {
+            var: codec.decode(value)
+            for var, value in zip(query.group_by, key)
+            if value is not None
+        }
+        for aggregate in query.aggregates:
+            value = evaluate_aggregate(aggregate, groups[key])
+            if value is not None:
+                row_out[aggregate.alias] = value
+        rows.append(row_out)
+    return rows
+
+
+def _execute_ask(
+    graph: Graph,
+    query: AskQuery,
+    observer: EvalObserver | None = None,
+    bindings: Solution | None = None,
+    memo: _BGPOrderMemo | None = None,
 ) -> bool:
-    return bool(eval_group(graph, query.where, observer=observer))
+    codec = _Codec(graph.dictionary)
+    layout = _Layout()
+    rows = _initial_rows(codec, layout, bindings)
+    return bool(_eval_group_ids(graph, codec, query.where, layout, rows, observer, memo))
 
 
-def evaluate_construct(graph: Graph, query, observer: EvalObserver | None = None) -> Graph:
+def _execute_construct(
+    graph: Graph,
+    query,
+    observer: EvalObserver | None = None,
+    bindings: Solution | None = None,
+    memo: _BGPOrderMemo | None = None,
+) -> Graph:
     """Instantiate the CONSTRUCT template once per solution.
 
     Template triples with an unbound variable, or whose instantiation would
     be ill-typed (e.g. a literal in subject position), are skipped for that
     solution — SPARQL's standard behaviour.
     """
-    from repro.rdf.terms import Literal as _Literal
     from repro.rdf.triples import Triple
 
     out = Graph(name="constructed")
-    solutions = eval_group(graph, query.where, observer=observer)
-    for solution in solutions:
+    codec = _Codec(graph.dictionary)
+    layout = _Layout()
+    rows = _initial_rows(codec, layout, bindings)
+    rows = _eval_group_ids(graph, codec, query.where, layout, rows, observer, memo)
+    template_vars = {
+        position
+        for pattern in query.template
+        for position in (pattern.subject, pattern.predicate, pattern.object)
+        if isinstance(position, Var)
+    }
+    for row in rows:
+        solution = _decode_row(codec, layout, row, template_vars)
         for pattern in query.template:
             terms = []
             ok = True
@@ -624,23 +1452,62 @@ def evaluate_construct(graph: Graph, query, observer: EvalObserver | None = None
             if not ok:
                 continue
             subject, predicate, obj = terms
-            if isinstance(subject, _Literal) or not isinstance(predicate, URIRef):
+            if isinstance(subject, Literal) or not isinstance(predicate, URIRef):
                 continue
             out.add(Triple(subject, predicate, obj))
     return out
 
 
+# --------------------------------------------------------------------- #
+# Deprecated direct entry points (pre-1.6); use prepare()/query()
+# --------------------------------------------------------------------- #
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def evaluate_select(
+    graph: Graph, query: SelectQuery, observer: EvalObserver | None = None
+) -> QueryResult:
+    """Deprecated alias of ``prepare(...).execute(graph)`` for SELECT ASTs."""
+    _deprecated("evaluate_select()", "repro.sparql.prepare(text).execute(graph)")
+    return _execute_select(graph, query, observer=observer)
+
+
+def evaluate_ask(
+    graph: Graph, query: AskQuery, observer: EvalObserver | None = None
+) -> bool:
+    """Deprecated alias of ``prepare(...).execute(graph)`` for ASK ASTs."""
+    _deprecated("evaluate_ask()", "repro.sparql.prepare(text).execute(graph)")
+    return _execute_ask(graph, query, observer=observer)
+
+
+def evaluate_construct(graph: Graph, query, observer: EvalObserver | None = None) -> Graph:
+    """Deprecated alias of ``prepare(...).execute(graph)`` for CONSTRUCT ASTs."""
+    _deprecated("evaluate_construct()", "repro.sparql.prepare(text).execute(graph)")
+    return _execute_construct(graph, query, observer=observer)
+
+
 def query(graph: Graph, text: str, strict: bool = False, profile: bool = False):
     """Parse and evaluate SPARQL ``text`` against ``graph``.
+
+    A thin wrapper over :func:`repro.sparql.prepare` — parsing goes through
+    the bounded plan cache (``sparql.plan_cache.{hits,misses}``), so
+    repeated production queries skip the parser entirely.
 
     Returns a :class:`QueryResult` for SELECT, a bool for ASK, or a
     :class:`~repro.rdf.graph.Graph` for CONSTRUCT.
 
-    ``strict=True`` runs :func:`repro.sparql.analysis.analyze_query` on the
-    parsed query first and raises
-    :class:`~repro.errors.QueryAnalysisError` when any error-level
+    ``strict=True`` runs :func:`repro.sparql.analysis.check_query` on the
+    parsed query (with graph statistics available to the analyzer) and
+    raises :class:`~repro.errors.QueryAnalysisError` when any error-level
     diagnostic is found, instead of evaluating a query that can only
-    return wrong or empty answers.  Default behaviour is unchanged.
+    return wrong or empty answers.
 
     ``profile=True`` executes under per-operator instrumentation (EXPLAIN
     ANALYZE, :mod:`repro.sparql.explain`) and returns a ``(result, plan)``
@@ -648,22 +1515,18 @@ def query(graph: Graph, text: str, strict: bool = False, profile: bool = False):
     time, and join strategy per operator, and — when a tracer is installed
     — emits ``sparql.operator.eval`` trace events.
     """
-    from repro.sparql.ast import ConstructQuery
+    from repro.sparql.prepared import prepare
 
     obs.inc("sparql.queries")
     with obs.timer("sparql.query.seconds"):
-        parsed = parse_query(text)
+        prepared = prepare(text)
         if strict:
             from repro.sparql.analysis import check_query
 
-            check_query(parsed, graph=graph)
+            check_query(prepared.plan, graph=graph)
         if profile:
             from repro.sparql.explain import explain
 
-            plan = explain(graph, parsed, analyze=True)
+            plan = explain(graph, prepared.plan, analyze=True)
             return plan.result, plan
-        if isinstance(parsed, SelectQuery):
-            return evaluate_select(graph, parsed)
-        if isinstance(parsed, ConstructQuery):
-            return evaluate_construct(graph, parsed)
-        return evaluate_ask(graph, parsed)
+        return prepared.execute(graph)

@@ -13,10 +13,12 @@ installed (:mod:`repro.obs.trace`), attaches one ``sparql.operator.eval``
 trace event per operator inside a ``sparql.query.explain`` span, so query
 profiles land in the same audit trail as engine decisions.
 
-Timing semantics: pattern operators pipeline (index nested-loop joins pull
-lazily), so a pattern's ``time`` is *inclusive* of the upstream stages it
-pulls from — read the innermost slow operator as the hot one, exactly like
-a pipelined EXPLAIN ANALYZE.
+Timing semantics: since v1.6 the evaluator materializes each pattern
+stage (adaptively as a hash join or an index nested-loop batch), so a
+pattern's ``time`` is *exclusive* — the wall time of that stage alone —
+and its ``strategy`` annotation reports the join algorithm the executor
+actually chose (``hash-join`` / ``index-nested-loop`` / ``path-scan``),
+which on large inputs can differ from the static plan's guess.
 
 Surfaced as ``repro explain`` (text/JSON, ``--analyze``, ``--trace-out``)
 and as ``sparql.query(..., profile=True)``.
@@ -54,12 +56,9 @@ from repro.sparql.ast import (
 )
 from repro.sparql.eval import (
     EvalObserver,
-    Solution,
-    _filter_passes,
-    evaluate_ask,
-    evaluate_construct,
-    evaluate_select,
-    match_pattern,
+    _execute_ask,
+    _execute_construct,
+    _execute_select,
 )
 from repro.sparql.optimizer import estimate_cardinality, reorder_bgp
 from repro.sparql.parser import parse_query
@@ -314,7 +313,9 @@ class _PlanBuilder:
         return node
 
     def _bgp(self, bgp: BGP, bound: set[Var]) -> PlanNode:
-        ordered = reorder_bgp(self.graph, bgp) if len(bgp.patterns) > 1 else bgp
+        # seed the join-order search with the variables the enclosing group
+        # has already bound, matching what the evaluator does at run time
+        ordered = reorder_bgp(self.graph, bgp, bound) if len(bgp.patterns) > 1 else bgp
         reordered = ordered.patterns != bgp.patterns
         node = PlanNode(
             "bgp",
@@ -344,11 +345,13 @@ class _PlanBuilder:
 
 
 class _Meter(EvalObserver):
-    """Routes evaluator stage callbacks onto the prepared plan nodes.
+    """Routes evaluator profile callbacks onto the prepared plan nodes.
 
-    Nested groups (OPTIONAL / UNION branches) are re-evaluated once per
-    outer solution, so stats *accumulate* across calls — the node reports
-    the operator's total work, as EXPLAIN ANALYZE loops do.
+    UNION alternatives share their pattern objects across branches and a
+    group may execute more than once, so stats *accumulate* across calls —
+    the node reports the operator's total work, as EXPLAIN ANALYZE loops
+    do. A pattern node's ``strategy`` is overwritten with the strategy the
+    executor actually picked.
     """
 
     def __init__(self, builder: _PlanBuilder):
@@ -366,50 +369,29 @@ class _Meter(EvalObserver):
             )
         return node
 
-    def pattern_stage(
-        self, graph: Graph, pattern: TriplePattern, stream: Iterator[Solution]
-    ) -> Iterator[Solution]:
+    def pattern_profile(
+        self,
+        pattern: TriplePattern,
+        strategy: str,
+        rows_in: int,
+        rows_out: int,
+        seconds: float,
+    ) -> None:
         node = self._node(id(pattern), "pattern", str(pattern))
         node.executed = True
+        node.strategy = strategy
+        node.rows_in += rows_in
+        node.rows_out += rows_out
+        node.seconds += seconds
 
-        def metered() -> Iterator[Solution]:
-            def counted_in() -> Iterator[Solution]:
-                for solution in stream:
-                    node.rows_in += 1
-                    yield solution
-
-            inner = match_pattern(graph, pattern, counted_in())
-            while True:
-                started = time.perf_counter()
-                try:
-                    item = next(inner)
-                except StopIteration:
-                    node.seconds += time.perf_counter() - started
-                    return
-                node.seconds += time.perf_counter() - started
-                node.rows_out += 1
-                yield item
-
-        return metered()
-
-    def filter_stage(
-        self, graph: Graph, filters: list[Expr], solutions: list[Solution]
-    ) -> list[Solution]:
-        # One pass per FILTER so each gets its own rows in/out; the
-        # conjunction is order-independent (an erroring filter is False),
-        # so per-filter sequencing preserves `all(...)` semantics exactly.
-        current = solutions
-        for expr in filters:
-            node = self._node(id(expr), "filter", render_expr(expr))
-            node.executed = True
-            node.rows_in += len(current)
-            started = time.perf_counter()
-            current = [
-                solution for solution in current if _filter_passes(expr, solution, graph)
-            ]
-            node.seconds += time.perf_counter() - started
-            node.rows_out += len(current)
-        return current
+    def filter_profile(
+        self, expression: Expr, rows_in: int, rows_out: int, seconds: float
+    ) -> None:
+        node = self._node(id(expression), "filter", render_expr(expression))
+        node.executed = True
+        node.rows_in += rows_in
+        node.rows_out += rows_out
+        node.seconds += seconds
 
     def modifier(self, op: str, rows_in: int, rows_out: int, seconds: float) -> None:
         node = self._builder.modifiers.get(op)
@@ -448,11 +430,11 @@ def explain(graph: Graph, query, analyze: bool = False) -> QueryPlan:
     ) as span:
         started = time.perf_counter()
         if isinstance(parsed, SelectQuery):
-            plan.result = evaluate_select(graph, parsed, observer=meter)
+            plan.result = _execute_select(graph, parsed, observer=meter)
         elif isinstance(parsed, ConstructQuery):
-            plan.result = evaluate_construct(graph, parsed, observer=meter)
+            plan.result = _execute_construct(graph, parsed, observer=meter)
         else:
-            plan.result = evaluate_ask(graph, parsed, observer=meter)
+            plan.result = _execute_ask(graph, parsed, observer=meter)
         plan.seconds = time.perf_counter() - started
         plan.trace_id = span.trace_id
         tracer = trace.active()

@@ -68,13 +68,20 @@ def estimate_cardinality(graph: Graph, pattern: TriplePattern, bound_vars: set[V
     return max(1.0, base * discount)
 
 
-def reorder_bgp(graph: Graph, bgp: BGP) -> BGP:
-    """Greedy selectivity-first, connectivity-preserving pattern order."""
+def reorder_bgp(graph: Graph, bgp: BGP, bound: set[Var] | None = None) -> BGP:
+    """Greedy selectivity-first, connectivity-preserving pattern order.
+
+    ``bound`` seeds the set of variables already bound *before* this BGP
+    runs — variables from the enclosing group when the BGP sits inside an
+    OPTIONAL or a nested group. Seeding matters: a pattern sharing a bound
+    variable is a selective probe, not a scan, and treating it as unbound
+    can order a cross product first.
+    """
     remaining = list(bgp.patterns)
     if len(remaining) <= 1:
         return BGP(list(remaining))
     ordered: list[TriplePattern] = []
-    bound: set[Var] = set()
+    bound = set(bound) if bound else set()
     while remaining:
         connected = [p for p in remaining if p.variables() & bound] if bound else remaining
         pool = connected if connected else remaining

@@ -1,0 +1,131 @@
+"""Prepared queries: parse once, execute many times.
+
+:func:`prepare` is the front door of the SPARQL engine since v1.6. It
+parses query text into a :class:`PreparedQuery` — an immutable handle
+bundling the parsed plan with a per-query join-order memo — through a
+bounded LRU cache keyed by the exact query text, so hot production
+queries skip the parser (and, on an unchanged graph, the join-order
+search) entirely. Cache traffic is observable as
+``sparql.plan_cache.hits`` / ``sparql.plan_cache.misses``.
+
+    prepared = prepare("SELECT ?name WHERE { ?p <.../name> ?name }")
+    result = prepared.execute(graph)
+    result = prepared.execute(other_graph, bindings={"p": alice})
+    print(prepared.explain(graph).render())
+
+The cache stores parse products only — never graph data — so one
+prepared query is valid against any graph. Entries are invalidated
+purely by capacity (least-recently-used first); query text is the whole
+key, so two textually different spellings of the same query cache
+independently.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro import obs
+from repro.errors import QueryEvaluationError
+from repro.rdf.graph import Graph
+from repro.sparql.ast import AskQuery, ConstructQuery, SelectQuery
+from repro.sparql.eval import (
+    QueryResult,
+    Solution,
+    _BGPOrderMemo,
+    _execute_ask,
+    _execute_construct,
+    _execute_select,
+)
+from repro.sparql.parser import parse_query
+
+#: Maximum number of parsed plans kept in the process-wide LRU cache.
+PLAN_CACHE_SIZE = 128
+
+_cache_lock = threading.Lock()
+_plan_cache: OrderedDict[str, "PreparedQuery"] = OrderedDict()
+
+
+class PreparedQuery:
+    """A parsed, reusable SPARQL query bound to no particular graph.
+
+    Obtain instances from :func:`prepare` (direct construction skips the
+    plan cache). The :attr:`plan` is the parsed algebra tree —
+    :class:`~repro.sparql.ast.SelectQuery`, AskQuery, or ConstructQuery —
+    shared by every execution; per-(graph, BGP) join orders are memoized
+    on the side and revalidated against the graph's
+    :attr:`~repro.rdf.graph.Graph.version`.
+    """
+
+    __slots__ = ("text", "plan", "_memo")
+
+    def __init__(self, text: str):
+        self.text = text
+        self.plan = parse_query(text)
+        self._memo = _BGPOrderMemo()
+
+    def execute(
+        self, graph: Graph, bindings: Solution | dict[str, object] | None = None
+    ) -> QueryResult | bool | Graph:
+        """Run against ``graph``: a :class:`QueryResult` for SELECT, a bool
+        for ASK, a :class:`~repro.rdf.graph.Graph` for CONSTRUCT.
+
+        ``bindings`` pre-binds variables (keys are :class:`Var` objects or
+        bare/``?``-prefixed names) before the WHERE clause evaluates —
+        the parameterized-query idiom.
+        """
+        plan = self.plan
+        if isinstance(plan, SelectQuery):
+            return _execute_select(graph, plan, bindings=bindings, memo=self._memo)
+        if isinstance(plan, AskQuery):
+            return _execute_ask(graph, plan, bindings=bindings, memo=self._memo)
+        if isinstance(plan, ConstructQuery):
+            return _execute_construct(graph, plan, bindings=bindings, memo=self._memo)
+        raise QueryEvaluationError(
+            f"cannot execute query of type {type(plan).__name__}"
+        )
+
+    def explain(self, graph: Graph, analyze: bool = False):
+        """The optimized :class:`~repro.sparql.explain.QueryPlan` for this
+        query over ``graph`` (``analyze=True`` executes and profiles it)."""
+        from repro.sparql.explain import explain
+
+        return explain(graph, self.plan, analyze=analyze)
+
+    def __repr__(self):
+        return f"<PreparedQuery {type(self.plan).__name__} {self.text[:40]!r}>"
+
+
+def prepare(text: str) -> PreparedQuery:
+    """Parse ``text`` through the bounded plan cache.
+
+    Repeated calls with identical text return the *same*
+    :class:`PreparedQuery` (and bump ``sparql.plan_cache.hits``); misses
+    parse, insert, and evict the least-recently-used entry beyond
+    :data:`PLAN_CACHE_SIZE`.
+    """
+    with _cache_lock:
+        cached = _plan_cache.get(text)
+        if cached is not None:
+            _plan_cache.move_to_end(text)
+            obs.inc("sparql.plan_cache.hits")
+            return cached
+    obs.inc("sparql.plan_cache.misses")
+    prepared = PreparedQuery(text)  # parse outside the lock
+    with _cache_lock:
+        _plan_cache[text] = prepared
+        _plan_cache.move_to_end(text)
+        while len(_plan_cache) > PLAN_CACHE_SIZE:
+            _plan_cache.popitem(last=False)
+    return prepared
+
+
+def clear_plan_cache() -> int:
+    """Drop every cached plan; returns how many were evicted (tests)."""
+    with _cache_lock:
+        count = len(_plan_cache)
+        _plan_cache.clear()
+    return count
+
+
+__all__ = ["PLAN_CACHE_SIZE", "PreparedQuery", "clear_plan_cache", "prepare"]

@@ -1,11 +1,13 @@
-"""Property-based tests for the graph store and N-Triples round-trips."""
+"""Property-based tests for the graph store, its term dictionary, and
+N-Triples round-trips."""
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.rdf import ntriples
+from repro.rdf.dictionary import TermDictionary
 from repro.rdf.graph import Graph
-from repro.rdf.terms import Literal, URIRef
+from repro.rdf.terms import BNode, Literal, URIRef
 from repro.rdf.triples import Triple
 
 local = st.text(
@@ -74,3 +76,62 @@ class TestGraphProperties:
             assert graph.count(predicate=t.predicate) == len(
                 list(graph.triples(predicate=t.predicate))
             )
+
+
+# every term kind the dictionary must round-trip: URIs, blank nodes, and
+# literals that are plain, typed, or language-tagged
+bnodes = st.builds(
+    BNode, st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789_", min_size=1, max_size=8)
+)
+tagged_literals = st.builds(lambda s, tag: Literal(s, language=tag), literal_text,
+                            st.sampled_from(["en", "de", "en-GB"]))
+all_terms = st.one_of(uris, bnodes, literals, tagged_literals)
+
+
+class TestTermDictionaryProperties:
+    @given(st.lists(all_terms, max_size=40))
+    def test_encode_decode_round_trip(self, terms):
+        dictionary = TermDictionary()
+        ids = [dictionary.encode(term) for term in terms]
+        for term, term_id in zip(terms, ids):
+            assert dictionary.decode(term_id) == term
+            assert dictionary.lookup(term) == term_id
+            assert term in dictionary
+
+    @given(st.lists(all_terms, max_size=40))
+    def test_equal_terms_share_one_id(self, terms):
+        dictionary = TermDictionary()
+        ids = {term: dictionary.encode(term) for term in terms}
+        for term in terms:
+            assert dictionary.encode(term) == ids[term]
+        assert len(dictionary) == len(set(terms))
+
+    @given(st.lists(all_terms, max_size=40))
+    def test_ids_are_dense_in_first_seen_order(self, terms):
+        dictionary = TermDictionary()
+        seen: list = []
+        for term in terms:
+            term_id = dictionary.encode(term)
+            if term not in seen:
+                assert term_id == len(seen)
+                seen.append(term)
+        assert list(dictionary.terms()) == seen
+
+    @given(st.lists(all_terms, max_size=40))
+    def test_persistence_preserves_ids(self, terms):
+        dictionary = TermDictionary()
+        for term in terms:
+            dictionary.encode(term)
+        restored = TermDictionary.from_dict(dictionary.to_dict())
+        assert len(restored) == len(dictionary)
+        for term in terms:
+            assert restored.lookup(term) == dictionary.lookup(term)
+
+    @given(triple_lists)
+    def test_graph_persistence_preserves_id_triples(self, items):
+        graph = Graph(triples=items)
+        restored = Graph.from_dict(graph.to_dict())
+        assert set(restored.triples_ids()) == set(graph.triples_ids())
+        assert set(restored.triples()) == set(graph.triples())
+        for term in graph.dictionary.terms():
+            assert restored.dictionary.lookup(term) == graph.dictionary.lookup(term)
