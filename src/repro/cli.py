@@ -131,6 +131,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="shorthand for --fail-on warning",
     )
 
+    lint_code = subparsers.add_parser(
+        "lint-code",
+        help="run the code-level contract analyzer (ALEX-C* + repo invariants) "
+             "over the codebase",
+    )
+    lint_code.add_argument(
+        "paths", nargs="*",
+        help="files or directories to analyze (default: src tools benchmarks)",
+    )
+    lint_code.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format",
+    )
+    lint_code.add_argument(
+        "--fail-on", choices=("error", "warning", "info"), default="error",
+        help="exit non-zero when a non-baselined finding at or above this "
+             "severity exists",
+    )
+    lint_code.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline JSON suppressing accepted findings (default: "
+             "tools/repro_analyzer/baseline.json; 'none' disables)",
+    )
+    lint_code.add_argument(
+        "--check-baseline", action="store_true",
+        help="validate the baseline file (format + registered codes) and exit",
+    )
+    lint_code.add_argument(
+        "--rules", default="repo,encoding,rng,mutation,cost",
+        help="comma-separated rule families to run",
+    )
+    lint_code.add_argument(
+        "--writers", default=None, metavar="FILE",
+        help="write the mutation-safety writer inventory (writers.json) here",
+    )
+
     describe = subparsers.add_parser("describe", help="print statistics of an N-Triples file")
     describe.add_argument("data", help="dataset (N-Triples)")
 
@@ -348,10 +384,11 @@ def _cmd_trace(
 
 def _render_diagnostics(diagnostics, output_format: str, fail_on: str) -> int:
     """Print diagnostics (text or JSON) and compute the exit code against
-    the ``--fail-on`` severity threshold."""
+    the ``--fail-on`` severity threshold (shared across the lint commands
+    via :func:`repro.diagnostics.severity_exit_code`)."""
     import json
 
-    from repro.diagnostics import SEVERITY_RANK
+    from repro.diagnostics import severity_exit_code
 
     if output_format == "json":
         print(json.dumps([d.to_dict() for d in diagnostics], indent=2))
@@ -362,9 +399,15 @@ def _render_diagnostics(diagnostics, output_format: str, fail_on: str) -> int:
         warnings = sum(1 for d in diagnostics if d.severity == "warning")
         infos = len(diagnostics) - errors - warnings
         print(f"{errors} error(s), {warnings} warning(s), {infos} info(s)")
-    threshold = SEVERITY_RANK[fail_on]
-    failing = any(SEVERITY_RANK[d.severity] <= threshold for d in diagnostics)
-    return 1 if failing else 0
+    return severity_exit_code((d.severity for d in diagnostics), fail_on)
+
+
+def _count_lint_run(tool: str) -> None:
+    """``lint.runs{tool=...}`` — one counter, emitted consistently by all
+    three lint commands (query/data/code)."""
+    from repro import obs
+
+    obs.inc("lint.runs", tool=tool)
 
 
 def _cmd_lint_query(
@@ -373,6 +416,7 @@ def _cmd_lint_query(
     """Statically analyze a query; exit 1 at/above the --fail-on severity."""
     from repro.sparql import analyze_query
 
+    _count_lint_run("query")
     if sparql.startswith("@"):
         with open(sparql[1:], "r", encoding="utf-8") as handle:
             sparql = handle.read()
@@ -416,6 +460,7 @@ def _cmd_lint_data(
     from repro.rdf.dataset import Dataset
     from repro.rdf.validate import validate_dataset, validate_graph, validate_links
 
+    _count_lint_run("data")
     if strict and fail_on == "error":
         fail_on = "warning"
     if len(data_paths) > 2:
@@ -437,6 +482,104 @@ def _cmd_lint_data(
         right = graphs[1] if len(graphs) > 1 else left
         diagnostics.extend(validate_links(links, left=left, right=right, theta=theta))
     return _render_diagnostics(diagnostics, output_format, fail_on)
+
+
+def _import_analyzer():
+    """Import :mod:`repro_analyzer` (the code-level analyzer under
+    ``tools/``); falls back to inserting the repo's ``tools`` directory on
+    ``sys.path`` for source checkouts run via ``PYTHONPATH=src``."""
+    try:
+        import repro_analyzer
+    except ImportError:
+        repo_root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+        tools_dir = os.path.join(repo_root, "tools")
+        if not os.path.isdir(os.path.join(tools_dir, "repro_analyzer")):
+            raise ReproError(
+                "repro_analyzer not importable and no tools/repro_analyzer "
+                "directory next to the package; install or PYTHONPATH the "
+                "analyzer to use lint-code"
+            ) from None
+        sys.path.insert(0, tools_dir)
+        import repro_analyzer
+    return repro_analyzer
+
+
+def _cmd_lint_code(
+    paths: list[str],
+    output_format: str,
+    fail_on: str,
+    baseline: str | None,
+    check_baseline: bool,
+    rules: str,
+    writers_out: str | None,
+) -> int:
+    """Run the code-level contract analyzer (ALEX-C* + migrated R00x) over
+    ``paths``; exit 1 at/above --fail-on after baseline suppression, 2 on
+    baseline/usage errors."""
+    import json
+
+    from repro.diagnostics import severity_exit_code
+
+    analyzer = _import_analyzer()
+    from repro_analyzer.baseline import BaselineError
+    from repro_analyzer.cli import default_baseline_path, repo_root_default
+
+    _count_lint_run("code")
+    root = repo_root_default()
+    if not paths:
+        paths = [p for p in ("src", "tools", "benchmarks")
+                 if os.path.isdir(os.path.join(root, p))]
+    families = tuple(f.strip() for f in rules.split(",") if f.strip())
+
+    if baseline is None and os.path.isfile(default_baseline_path()):
+        baseline = default_baseline_path()
+    if baseline == "none":
+        baseline = None
+
+    registered = analyzer.collect_registered_codes(root)
+    entries = []
+    if baseline is not None:
+        try:
+            entries = analyzer.load_baseline(baseline)
+        except (OSError, BaselineError) as error:
+            print(f"baseline error: {error}", file=sys.stderr)
+            return 2
+        problems = analyzer.validate_codes(entries, registered | set(analyzer.all_rule_codes()))
+        if problems:
+            for problem in problems:
+                print(f"baseline error: {problem}", file=sys.stderr)
+            return 2
+        if check_baseline:
+            print(f"baseline OK: {len(entries)} bucket(s), codes all registered")
+            return 0
+    elif check_baseline:
+        print("baseline error: no baseline file found", file=sys.stderr)
+        return 2
+
+    try:
+        result = analyzer.analyze_paths(
+            paths, root, families=families, registered_codes=registered
+        )
+    except (FileNotFoundError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if writers_out:
+        with open(writers_out, "w", encoding="utf-8") as handle:
+            json.dump(result.writer_inventory, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    surviving, suppressed, stale = analyzer.apply_baseline(result.findings, entries)
+    for warning in stale:
+        print(f"note: {warning}", file=sys.stderr)
+
+    if output_format == "json":
+        print(analyzer.render_json(surviving, suppressed))
+    elif output_format == "sarif":
+        print(analyzer.render_sarif(surviving, analyzer.all_rule_codes(families)))
+    else:
+        print(analyzer.render_text(surviving, suppressed))
+    return severity_exit_code((f.severity for f in surviving), fail_on)
 
 
 def _cmd_describe(data_path: str) -> int:
@@ -643,6 +786,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "lint-data":
             return _cmd_lint_data(
                 args.data, args.links, args.theta, args.format, args.fail_on, args.strict
+            )
+        if args.command == "lint-code":
+            return _cmd_lint_code(
+                args.paths, args.format, args.fail_on, args.baseline,
+                args.check_baseline, args.rules, args.writers,
             )
         if args.command == "describe":
             return _cmd_describe(args.data)

@@ -18,7 +18,7 @@ any ``ALEX-*`` string literal in library code must name a registered code.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, NamedTuple
+from typing import Iterable, Mapping, NamedTuple
 
 from repro.errors import ReproError
 
@@ -101,6 +101,19 @@ def register_codes(codes: Mapping[str, tuple[str, str]], analyzer: str) -> None:
         _REGISTRY[code] = entry
 
 
+def meets_threshold(severity: str, threshold: str) -> bool:
+    """True when ``severity`` is at or above (at least as severe as)
+    ``threshold``. Raises ``KeyError`` on unknown severities."""
+    return SEVERITY_RANK[severity] <= SEVERITY_RANK[threshold]
+
+
+def severity_exit_code(severities: Iterable[str], fail_on: str) -> int:
+    """The shared ``--fail-on`` exit-code policy of the lint CLIs
+    (``lint-query``/``lint-data``/``lint-code``): 1 when any finding sits
+    at or above the ``fail_on`` threshold, else 0."""
+    return 1 if any(meets_threshold(severity, fail_on) for severity in severities) else 0
+
+
 def all_codes() -> dict[str, CodeEntry]:
     """A copy of the full registry (all analyzers)."""
     return dict(_REGISTRY)
@@ -131,6 +144,8 @@ __all__ = [
     "all_codes",
     "code_info",
     "is_registered",
+    "meets_threshold",
     "register_codes",
+    "severity_exit_code",
     "severity_of",
 ]

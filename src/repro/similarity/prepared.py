@@ -215,7 +215,7 @@ def flush_similarity_stats() -> None:
         obs.inc("similarity.cache.misses", _stats["attr_misses"], layer="attribute")
     if _stats["skipped"]:
         obs.inc("similarity.prefilter.skipped", _stats["skipped"])
-    for key in _stats:
+    for key in list(_stats):
         _stats[key] = 0
 
 

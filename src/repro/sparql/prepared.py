@@ -113,8 +113,16 @@ def prepare(text: str) -> PreparedQuery:
     obs.inc("sparql.plan_cache.misses")
     prepared = PreparedQuery(text)  # parse outside the lock
     with _cache_lock:
+        # Re-check under the lock: another thread may have parsed and
+        # inserted the same text while we were parsing. Keeping the first
+        # insertion (instead of overwriting) preserves the "same text ->
+        # same PreparedQuery object" guarantee under concurrency, so the
+        # join-order memo is shared rather than split across duplicates.
+        raced = _plan_cache.get(text)
+        if raced is not None:
+            _plan_cache.move_to_end(text)
+            return raced
         _plan_cache[text] = prepared
-        _plan_cache.move_to_end(text)
         while len(_plan_cache) > PLAN_CACHE_SIZE:
             _plan_cache.popitem(last=False)
     return prepared

@@ -1,0 +1,10 @@
+"""Test-suite path setup: make ``repro_analyzer`` (which lives under
+``tools/`` so it can run without the repro package) importable from tests
+run with ``PYTHONPATH=src``."""
+
+import os
+import sys
+
+_TOOLS_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "tools")
+if _TOOLS_DIR not in sys.path:
+    sys.path.insert(0, _TOOLS_DIR)

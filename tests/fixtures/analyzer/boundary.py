@@ -1,0 +1,10 @@
+"""The fixture config's sanctioned encoding/decoding boundary module:
+identical dictionary calls to encoding_bad.py, legal here."""
+
+
+def encode_at_boundary(dictionary, term):
+    return dictionary.encode(term)
+
+
+def decode_at_boundary(dictionary, term_id):
+    return dictionary.decode(term_id)

@@ -1,0 +1,24 @@
+"""C1 violations: one each of ALEX-C001, ALEX-C002, ALEX-C003.
+
+This module is NOT in the fixture config's encode/decode boundary, so the
+dictionary calls below are contract violations.
+"""
+
+
+def URIRef(value):
+    return ("uri", value)
+
+
+def term_into_id_api(graph):
+    # ALEX-C001: a term constructor result flows into the ID-keyed API.
+    return list(graph.triples_ids(URIRef("http://example.org/s"), None, None))
+
+
+def encode_on_read_path(dictionary, term):
+    # ALEX-C002: encode interns — this grows the dictionary on a read.
+    return dictionary.encode(term)
+
+
+def decode_mid_pipeline(dictionary, term_id):
+    # ALEX-C003: decode away from the sanctioned boundary module.
+    return dictionary.decode(term_id)

@@ -1,0 +1,16 @@
+"""C1 clean twin: the compliant spellings of encoding_bad.py."""
+
+
+def id_into_id_api(graph, subject_id):
+    # IDs (ints) into the ID-keyed API: fine.
+    return list(graph.triples_ids(subject_id, None, None))
+
+
+def lookup_on_read_path(dictionary, term):
+    # lookup never interns — the sanctioned read-path probe.
+    return dictionary.lookup(term)
+
+
+def stay_in_id_space(rows):
+    # no decode at all: the pipeline stays in ID space.
+    return [row[0] for row in rows]

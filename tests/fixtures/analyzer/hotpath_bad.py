@@ -1,0 +1,15 @@
+"""C4 violations: one each of ALEX-C030, ALEX-C031, ALEX-C032 inside the
+fixture config's hot function ``join_kernel``."""
+
+
+def join_kernel(left_rows, right_index, codec, obs):
+    out = []
+    for row in left_rows:
+        # ALEX-C030: per-row term materialisation inside the scan loop.
+        term = codec.decode(row[0])
+        # ALEX-C031: per-row metric emission inside the scan loop.
+        obs.inc("join.rows.scanned")
+        for match in right_index.get(row[0], ()):
+            # ALEX-C032: per-output-row allocation at loop depth 2.
+            out.append(dict(base=row, match=match, term=term))
+    return out

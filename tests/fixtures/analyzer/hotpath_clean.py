@@ -1,0 +1,18 @@
+"""C4 clean twin: ID-space kernel, guarded instrumentation, post-loop
+emission — the sanctioned spellings of hotpath_bad.py."""
+
+
+def join_kernel(left_rows, right_index, codec, obs, tracer=None):
+    out = []
+    scanned = 0
+    for row in left_rows:
+        scanned += 1
+        if tracer is not None:
+            # guarded: off-by-default instrumentation may pay per-row cost.
+            tracer.event("join.row.scanned", row=row[0])
+        for match in right_index.get(row[0], ()):
+            out.append((row, match))
+    # decode once at the boundary, emit once after the loop.
+    terms = [codec.decode(row[0]) for row, _ in out]
+    obs.inc("join.rows.scanned", scanned)
+    return out, terms

@@ -1,0 +1,15 @@
+"""C3 violations: cross-module ALEX-C020 poke and ALEX-C021
+iterate-while-mutating."""
+
+
+def poke_foreign_index(store, key, value):
+    # ALEX-C020 (cross-module): _index is owned by store.py; writing it
+    # from here bypasses the designated writer API.
+    store._index[key] = value
+
+
+def drop_expired(index, is_expired):
+    # ALEX-C021: pop() mutates the dict a for-loop is iterating live.
+    for key in index:
+        if is_expired(key):
+            index.pop(key)

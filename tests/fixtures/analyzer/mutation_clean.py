@@ -1,0 +1,13 @@
+"""C3 clean twin: designated writer API + snapshot before mutating."""
+
+
+def add_through_writer(store, key, value):
+    # route the write through the owner's designated writer.
+    store.add(key, value)
+
+
+def drop_expired(index, is_expired):
+    # snapshot with list() first: safe to mutate during the walk.
+    for key in list(index):
+        if is_expired(key):
+            index.pop(key)

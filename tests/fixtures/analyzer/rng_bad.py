@@ -1,0 +1,24 @@
+"""C2 violations: one each of ALEX-C010, ALEX-C011, ALEX-C012."""
+
+import random
+
+
+def pick_global(items):
+    # ALEX-C010: module-level random.* draws from the interpreter-global
+    # stream — any import can advance it and break seeded parity.
+    return random.choice(items)
+
+
+def leak_tracer_stream(tracer):
+    # ALEX-C011: the tracer RNG is private to the obs package.
+    return tracer._rng.random()
+
+
+class Component:
+    def __init__(self, seed):
+        self.rng = random.Random(seed)
+
+    def reseed(self, seed):
+        # ALEX-C012: re-seeding outside a sanctioned constructor restarts
+        # the stream mid-run.
+        self.rng.seed(seed)

@@ -1,0 +1,13 @@
+"""C2 clean twin: instance RNG seeded once in the constructor."""
+
+import random
+
+
+class Component:
+    def __init__(self, seed):
+        # constructing (not drawing from) the global module is sanctioned
+        # — random.Random(seed) builds an independent stream.
+        self.rng = random.Random(seed)
+
+    def pick(self, items):
+        return self.rng.choice(items)

@@ -1,0 +1,25 @@
+"""The fixture config's shared-state owner module: ``_index`` belongs
+here, and ``Store``'s designated writers are ``__init__``/``add``.
+
+``rebuild`` mutates instance state without being designated — the ALEX-C020
+writer-inventory violation lives in the owner module itself.
+"""
+
+
+class Store:
+    def __init__(self):
+        self._index = {}
+        self.size = 0
+
+    def add(self, key, value):
+        self._index[key] = value
+        self.size += 1
+
+    def get(self, key):
+        return self._index.get(key)
+
+    def rebuild(self, pairs):
+        # ALEX-C020 (writer inventory): mutates _index/size but is not in
+        # the designated writer set of the fixture config.
+        self._index = dict(pairs)
+        self.size = len(self._index)

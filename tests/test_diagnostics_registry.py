@@ -4,13 +4,16 @@ from pathlib import Path
 
 import pytest
 
+import repro_analyzer  # registers the ALEX-C* code-analyzer table
 from repro.diagnostics import (
     SEVERITIES,
     SEVERITY_RANK,
     all_codes,
     code_info,
     is_registered,
+    meets_threshold,
     register_codes,
+    severity_exit_code,
     severity_of,
 )
 from repro.errors import ReproError
@@ -24,8 +27,10 @@ class TestRegistryContents:
     def test_codes_unique_across_analyzers(self):
         sparql_codes = set(sparql_analysis.CODES)
         rdf_codes = set(rdf_validate.CODES)
+        analyzer_codes = set(repro_analyzer.CODES)
         assert not sparql_codes & rdf_codes
-        assert set(all_codes()) == sparql_codes | rdf_codes
+        assert not analyzer_codes & (sparql_codes | rdf_codes)
+        assert set(all_codes()) == sparql_codes | rdf_codes | analyzer_codes
 
     def test_registered_severities_match_code_tables(self):
         for code, (severity, summary) in sparql_analysis.CODES.items():
@@ -36,6 +41,9 @@ class TestRegistryContents:
         for code, (severity, _summary) in rdf_validate.CODES.items():
             assert code_info(code).severity == severity
             assert code_info(code).analyzer == "rdf.validate"
+        for code, (severity, _summary) in repro_analyzer.CODES.items():
+            assert code_info(code).severity == severity
+            assert code_info(code).analyzer == "repro_analyzer"
 
     def test_every_code_documented(self):
         text = DOCS.read_text(encoding="utf-8")
@@ -77,3 +85,20 @@ class TestSeverities:
     def test_severity_of(self):
         assert severity_of("ALEX-D101") == "error"
         assert severity_of("ALEX-D301") == "warning"
+        assert severity_of("ALEX-C001") == "error"
+        assert severity_of("ALEX-C032") == "info"
+
+    def test_meets_threshold(self):
+        assert meets_threshold("error", "error")
+        assert meets_threshold("error", "info")
+        assert not meets_threshold("info", "error")
+        assert not meets_threshold("info", "warning")
+        with pytest.raises(KeyError):
+            meets_threshold("fatal", "error")
+
+    def test_severity_exit_code_is_the_shared_fail_on_policy(self):
+        assert severity_exit_code([], "error") == 0
+        assert severity_exit_code(["info", "warning"], "error") == 0
+        assert severity_exit_code(["info", "error"], "error") == 1
+        assert severity_exit_code(["warning"], "warning") == 1
+        assert severity_exit_code(["info"], "info") == 1

@@ -1,0 +1,133 @@
+"""Plan-cache concurrency: the writer-inventory claim that the plan cache
+is the only cross-thread-safe mutable singleton rests on these guarantees:
+
+* the cache never exceeds ``PLAN_CACHE_SIZE`` no matter how many threads
+  insert concurrently;
+* every ``prepare()`` call counts exactly one ``sparql.plan_cache.hits``
+  or ``.misses`` sample — the two counters are coherent with call volume;
+* same text -> same ``PreparedQuery`` object even when many threads race
+  the parse (the second lock re-checks instead of overwriting, so a
+  racing parse is discarded, never handed out — no duplicate-compilation
+  split of the join-order memo).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.sparql.prepared import (
+    PLAN_CACHE_SIZE,
+    clear_plan_cache,
+    prepare,
+)
+
+QUERY_TEMPLATE = (
+    "SELECT ?s ?o WHERE {{ ?s <http://example.org/p{index}> ?o }}"
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+def _counter_total(snapshot: dict, name: str) -> int:
+    return sum(
+        int(entry["value"])
+        for entry in snapshot.get("counters", [])
+        if entry["name"] == name
+    )
+
+
+def _hammer(texts: list[str], threads: int, rounds: int):
+    """Call prepare() from ``threads`` threads, each walking every text
+    ``rounds`` times (staggered start), collecting per-text results."""
+    results: list[list] = [[] for _ in range(threads)]
+    barrier = threading.Barrier(threads)
+    errors: list[BaseException] = []
+
+    def worker(slot: int) -> None:
+        try:
+            barrier.wait()
+            for round_index in range(rounds):
+                # stagger so threads collide on different texts each round
+                for offset in range(len(texts)):
+                    text = texts[(slot + round_index + offset) % len(texts)]
+                    results[slot].append((text, prepare(text)))
+        except BaseException as error:  # pragma: no cover - failure path
+            errors.append(error)
+
+    pool = [threading.Thread(target=worker, args=(slot,)) for slot in range(threads)]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    assert not errors, f"worker raised: {errors[0]!r}"
+    return [entry for slot in results for entry in slot]
+
+
+def test_same_text_yields_same_object_under_race():
+    """No duplicate compilation survives: every thread gets the identical
+    PreparedQuery instance per text (fewer texts than the cache bound, so
+    eviction cannot split identity)."""
+    texts = [QUERY_TEMPLATE.format(index=i) for i in range(8)]
+    calls = _hammer(texts, threads=8, rounds=5)
+    by_text: dict[str, set[int]] = {}
+    for text, prepared in calls:
+        by_text.setdefault(text, set()).add(id(prepared))
+    assert set(by_text) == set(texts)
+    for text, identities in by_text.items():
+        assert len(identities) == 1, (
+            f"{len(identities)} distinct PreparedQuery objects handed out "
+            f"for {text!r} — duplicate compilation race"
+        )
+
+
+def test_cache_size_bound_holds_under_concurrent_inserts():
+    """More distinct texts than PLAN_CACHE_SIZE, inserted from many
+    threads: the LRU bound must hold at the end (and the cache must still
+    serve objects)."""
+    from repro.sparql import prepared as module
+
+    texts = [QUERY_TEMPLATE.format(index=i) for i in range(PLAN_CACHE_SIZE + 40)]
+    _hammer(texts, threads=6, rounds=2)
+    with module._cache_lock:
+        size = len(module._plan_cache)
+    assert size <= PLAN_CACHE_SIZE
+    assert size > 0
+
+
+def test_hit_miss_counters_are_coherent_with_call_volume():
+    """hits + misses == number of prepare() calls, misses >= distinct
+    texts (each text parses at least once), and with a single thread the
+    counts are exact."""
+    texts = [QUERY_TEMPLATE.format(index=i) for i in range(6)]
+    threads, rounds = 5, 4
+    with obs.use_registry() as registry:
+        calls = _hammer(texts, threads=threads, rounds=rounds)
+        snapshot = registry.snapshot()
+    hits = _counter_total(snapshot, "sparql.plan_cache.hits")
+    misses = _counter_total(snapshot, "sparql.plan_cache.misses")
+    assert len(calls) == threads * rounds * len(texts)
+    assert hits + misses == len(calls)
+    assert misses >= len(texts)
+    # a racing thread may count a miss yet receive the winner's object, so
+    # misses can exceed the distinct-text count — but never the thread
+    # fan-out worst case of everyone missing the first round
+    assert misses <= threads * len(texts)
+
+
+def test_hit_miss_counters_exact_single_threaded():
+    texts = [QUERY_TEMPLATE.format(index=i) for i in range(4)]
+    with obs.use_registry() as registry:
+        for _ in range(3):
+            for text in texts:
+                prepare(text)
+        snapshot = registry.snapshot()
+    assert _counter_total(snapshot, "sparql.plan_cache.misses") == len(texts)
+    assert _counter_total(snapshot, "sparql.plan_cache.hits") == 2 * len(texts)

@@ -1,349 +1,38 @@
 #!/usr/bin/env python
-"""Repo-invariant linter for the repro codebase (runs in CI).
+"""DEPRECATED: thin wrapper over ``repro_analyzer`` (repo-invariant rules).
 
-Complements ruff with project-specific invariants that generic linters
-cannot know, checked statically over Python ``ast``:
+The regex-grade linter that lived here was replaced by the multi-pass
+AST/dataflow analyzer in ``tools/repro_analyzer/``. This wrapper keeps the
+historical invocation (``python tools/lint_repro.py [root]``, exit 0/1,
+one ``path:line: CODE message`` per finding) working for one release by
+running the analyzer with only the migrated R001-R007 family enabled.
 
-* **R001** — no ``print`` calls inside ``src/repro`` outside the CLI
-  modules (``cli.py``, ``__main__.py``). Library code reports through
-  return values, exceptions, and ``repro.obs``; only the CLI talks to
-  stdout.
-* **R002** — no direct mutation of the global obs registry outside
-  ``src/repro/obs``: no references to ``_default_registry`` and no calls
-  to ``obs.set_registry`` / ``obs.reset``. Library code must use
-  ``obs.use_registry()`` scoping so instrumentation composes.
-* **R003** — every name in a module's ``__all__`` must be defined or
-  imported in that module (the public facade must not advertise names
-  that do not exist).
-* **R004** — no bare ``except:`` anywhere in ``src``, ``tools``, or
-  ``benchmarks`` (it swallows ``KeyboardInterrupt``/``SystemExit``).
-* **R005** — no mutable default arguments (``[]``, ``{}``, ``set()``, ...)
-  in library code under ``src/repro``; the default is shared across calls.
-* **R006** — every ``ALEX-*`` diagnostic code string used in library code
-  must be registered in a module-level ``CODES`` table (the stable code
-  registries of ``repro.sparql.analysis`` and ``repro.rdf.validate``), so
-  no analyzer can emit an unregistered code.
-* **R007** — metric and trace-event names must follow the dotted-lowercase
-  ``subsystem.noun.verb`` convention: 2–4 ``[a-z][a-z0-9_]*`` segments for
-  ``obs.inc/observe/counter/...`` metric names and ``trace``/``tracer``
-  event and span names; ``obs.span(...)`` hierarchical spans are
-  single-segment. Checked on literal first arguments only, so dynamic
-  names stay possible but the common case is kept consistent.
+Use instead:
 
-Usage: ``python tools/lint_repro.py [root]`` — exits non-zero when any
-invariant is violated, printing ``path:line: CODE message`` per finding.
+* ``python -m repro_analyzer --rules repo`` — same check, richer output;
+* ``repro lint-code`` — the full contract analyzer (ALEX-C* + R00x) with
+  baseline, JSON/SARIF output, and the writer inventory.
+
+Rule docs (R001-R007) now live in :mod:`repro_analyzer.rules_repo` and
+``docs/diagnostics.md``.
 """
 
 from __future__ import annotations
 
-import ast
 import os
-import re
 import sys
 
-#: Modules inside src/repro that are allowed to print: the CLI surface.
-PRINT_ALLOWED = {"cli.py", "__main__.py"}
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-#: obs-internal modules allowed to touch the default registry directly.
-OBS_DIR = os.path.join("src", "repro", "obs")
-
-FORBIDDEN_OBS_CALLS = {"set_registry", "reset"}
-
-#: Diagnostic code shape: ALEX-<letter><3 digits> (R006).
-ALEX_CODE_RE = re.compile(r"ALEX-[A-Z]\d{3}")
-
-#: Call names whose result is a fresh mutable container (allowed as default
-#: would still be shared across calls — flagged by R005).
-MUTABLE_FACTORIES = {"list", "dict", "set", "defaultdict", "Counter", "OrderedDict"}
-
-#: R007: dotted lowercase name, 2-4 segments (``alex.links.discovered``).
-DOTTED_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*){1,3}$")
-
-#: R007: hierarchical obs.span names are single-segment (``episode``).
-SPAN_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
-
-#: obs functions taking a metric name as first argument.
-OBS_METRIC_FUNCS = {
-    "inc", "observe", "set_gauge", "counter", "gauge", "histogram", "timer",
-}
-
-#: trace/tracer methods taking an event or span name as first argument.
-TRACE_NAME_FUNCS = {"event", "span"}
-
-
-class Finding:
-    __slots__ = ("path", "line", "code", "message")
-
-    def __init__(self, path: str, line: int, code: str, message: str):
-        self.path = path
-        self.line = line
-        self.code = code
-        self.message = message
-
-    def __str__(self):
-        return f"{self.path}:{self.line}: {self.code} {self.message}"
-
-
-def _is_obs_attr(node: ast.AST, name: str) -> bool:
-    """Matches ``obs.<name>`` / ``repro.obs.<name>`` attribute access."""
-    return (
-        isinstance(node, ast.Attribute)
-        and node.attr == name
-        and isinstance(node.value, (ast.Name, ast.Attribute))
-        and (
-            (isinstance(node.value, ast.Name) and node.value.id == "obs")
-            or (isinstance(node.value, ast.Attribute) and node.value.attr == "obs")
-        )
-    )
-
-
-def _receiver_name(node: ast.AST) -> str | None:
-    """The identifier a method was called on: ``x.f()`` -> "x",
-    ``a.b.f()`` -> "b", else None."""
-    if isinstance(node, ast.Attribute):
-        if isinstance(node.value, ast.Name):
-            return node.value.id
-        if isinstance(node.value, ast.Attribute):
-            return node.value.attr
-    return None
-
-
-def _observability_name_call(node: ast.Call) -> tuple[str, str, int] | None:
-    """R007: recognise calls declaring a metric/span/event name literal.
-
-    Returns ``(rule, name, lineno)`` where rule is "metric" (dotted 2-4
-    segments), "obs-span" (single segment), or None when the call is not a
-    name-declaring observability call or its first argument is not a string
-    literal (dynamic names are out of scope).
-    """
-    if not isinstance(node.func, ast.Attribute) or not node.args:
-        return None
-    first = node.args[0]
-    if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
-        return None
-    attr = node.func.attr
-    receiver = _receiver_name(node.func)
-    if receiver == "obs":
-        if attr == "span":
-            return ("obs-span", first.value, first.lineno)
-        if attr in OBS_METRIC_FUNCS:
-            return ("metric", first.value, first.lineno)
-        return None
-    # trace module / Tracer instance / SpanHandle: dotted event & span names
-    if attr in TRACE_NAME_FUNCS and receiver in ("trace", "tracer", "span"):
-        return ("metric", first.value, first.lineno)
-    return None
-
-
-def _is_mutable_default(node: ast.AST) -> bool:
-    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
-        return True
-    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
-        return node.func.id in MUTABLE_FACTORIES
-    return False
-
-
-def collect_registered_codes(root: str) -> set[str]:
-    """String keys of every module-level ``CODES = {...}`` dict in src/repro.
-
-    This is the static mirror of ``repro.diagnostics``: each analyzer
-    registers a literal ``CODES`` table, so parsing those tables recovers
-    the full registry without importing the package.
-    """
-    codes: set[str] = set()
-    base = os.path.join(root, "src", "repro")
-    for dirpath, dirnames, filenames in os.walk(base):
-        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
-        for filename in filenames:
-            if not filename.endswith(".py"):
-                continue
-            with open(os.path.join(dirpath, filename), "r", encoding="utf-8") as handle:
-                try:
-                    tree = ast.parse(handle.read())
-                except SyntaxError:
-                    continue  # reported as R000 by check_file
-            for node in tree.body:
-                if not isinstance(node, (ast.Assign, ast.AnnAssign)):
-                    continue
-                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
-                if not any(isinstance(t, ast.Name) and t.id == "CODES" for t in targets):
-                    continue
-                if isinstance(node.value, ast.Dict):
-                    for key in node.value.keys:
-                        if isinstance(key, ast.Constant) and isinstance(key.value, str):
-                            codes.add(key.value)
-    return codes
-
-
-def check_file(path: str, rel: str, registered_codes: set[str] | None = None) -> list[Finding]:
-    with open(path, "r", encoding="utf-8") as handle:
-        source = handle.read()
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as error:
-        return [Finding(rel, error.lineno or 0, "R000", f"syntax error: {error.msg}")]
-
-    findings: list[Finding] = []
-    in_repro = rel.replace(os.sep, "/").startswith("src/repro/")
-    in_obs = rel.replace(os.sep, "/").startswith(OBS_DIR.replace(os.sep, "/"))
-    basename = os.path.basename(path)
-
-    for node in ast.walk(tree):
-        # R001: print() in library code
-        if (
-            in_repro
-            and basename not in PRINT_ALLOWED
-            and isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Name)
-            and node.func.id == "print"
-        ):
-            findings.append(Finding(
-                rel, node.lineno, "R001",
-                "print() in library code; return values, raise, or use repro.obs",
-            ))
-        # R002: poking the global obs registry
-        if in_repro and not in_obs:
-            if isinstance(node, (ast.Attribute, ast.Name)):
-                name = node.attr if isinstance(node, ast.Attribute) else node.id
-                if name == "_default_registry":
-                    findings.append(Finding(
-                        rel, node.lineno, "R002",
-                        "direct access to obs._default_registry; use "
-                        "obs.get_registry()/obs.use_registry()",
-                    ))
-            if isinstance(node, ast.Call):
-                for forbidden in FORBIDDEN_OBS_CALLS:
-                    if _is_obs_attr(node.func, forbidden):
-                        findings.append(Finding(
-                            rel, node.lineno, "R002",
-                            f"obs.{forbidden}() mutates the global registry; "
-                            "use obs.use_registry() scoping",
-                        ))
-        # R004: bare except
-        if isinstance(node, ast.ExceptHandler) and node.type is None:
-            findings.append(Finding(
-                rel, node.lineno, "R004",
-                "bare 'except:'; catch a specific exception (or Exception)",
-            ))
-        # R005: mutable default arguments in library code
-        if in_repro and isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
-            arguments = node.args
-            for default in list(arguments.defaults) + [
-                d for d in arguments.kw_defaults if d is not None
-            ]:
-                if _is_mutable_default(default):
-                    findings.append(Finding(
-                        rel, default.lineno, "R005",
-                        "mutable default argument; the instance is shared "
-                        "across calls — default to None and create inside",
-                    ))
-        # R007: observability names follow the dotted naming convention
-        if isinstance(node, ast.Call):
-            name_call = _observability_name_call(node)
-            if name_call is not None:
-                rule, name, line = name_call
-                if rule == "obs-span" and not SPAN_NAME_RE.match(name):
-                    findings.append(Finding(
-                        rel, line, "R007",
-                        f"obs.span name {name!r} must be a single lowercase "
-                        "segment (hierarchy comes from nesting)",
-                    ))
-                elif rule == "metric" and not DOTTED_NAME_RE.match(name):
-                    findings.append(Finding(
-                        rel, line, "R007",
-                        f"observability name {name!r} must be dotted lowercase "
-                        "subsystem.noun.verb (2-4 segments)",
-                    ))
-        # R006: only registered ALEX-* diagnostic codes in library code
-        if (
-            in_repro
-            and registered_codes is not None
-            and isinstance(node, ast.Constant)
-            and isinstance(node.value, str)
-        ):
-            for code in ALEX_CODE_RE.findall(node.value):
-                if code not in registered_codes:
-                    findings.append(Finding(
-                        rel, node.lineno, "R006",
-                        f"diagnostic code {code} is not registered in any "
-                        "module-level CODES table",
-                    ))
-
-    findings.extend(check_all_exports(tree, rel))
-    return findings
-
-
-def _imported_and_defined_names(tree: ast.Module) -> set[str]:
-    names: set[str] = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                names.add((alias.asname or alias.name).split(".")[0])
-        elif isinstance(node, ast.ImportFrom):
-            for alias in node.names:
-                names.add(alias.asname or alias.name)
-        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-            names.add(node.name)
-        elif isinstance(node, ast.Assign):
-            for target in node.targets:
-                if isinstance(target, ast.Name):
-                    names.add(target.id)
-        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
-            names.add(node.target.id)
-    return names
-
-
-def check_all_exports(tree: ast.Module, rel: str) -> list[Finding]:
-    """R003: ``__all__`` entries must name something that exists."""
-    exported: list[tuple[str, int]] = []
-    for node in tree.body:
-        if isinstance(node, ast.Assign):
-            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
-            if "__all__" in targets and isinstance(node.value, (ast.List, ast.Tuple)):
-                for element in node.value.elts:
-                    if isinstance(element, ast.Constant) and isinstance(element.value, str):
-                        exported.append((element.value, element.lineno))
-    if not exported:
-        return []
-    available = _imported_and_defined_names(tree) | {"__version__"}
-    return [
-        Finding(rel, line, "R003", f"__all__ exports {name!r} but the module "
-                "neither defines nor imports it")
-        for name, line in exported
-        if name not in available
-    ]
-
-
-def lint(root: str) -> list[Finding]:
-    registered_codes = collect_registered_codes(root)
-    findings: list[Finding] = []
-    for top in ("src", "tools", "benchmarks"):
-        base = os.path.join(root, top)
-        if not os.path.isdir(base):
-            continue
-        for dirpath, dirnames, filenames in os.walk(base):
-            dirnames[:] = [d for d in dirnames if d != "__pycache__"]
-            for filename in sorted(filenames):
-                if not filename.endswith(".py"):
-                    continue
-                path = os.path.join(dirpath, filename)
-                rel = os.path.relpath(path, root)
-                findings.extend(check_file(path, rel, registered_codes))
-    findings.sort(key=lambda f: (f.path, f.line, f.code))
-    return findings
+from repro_analyzer.cli import main as analyzer_main  # noqa: E402
 
 
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    root = argv[0] if argv else os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    findings = lint(root)
-    for finding in findings:
-        print(finding)
-    if findings:
-        print(f"{len(findings)} invariant violation(s)")
-        return 1
-    print("repo invariants OK")
-    return 0
+    forwarded = ["--rules", "repo", "--baseline", "none"]
+    if argv:
+        forwarded += ["--root", argv[0]]
+    return analyzer_main(forwarded)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,156 @@
+"""Baseline suppression: pre-existing findings don't block CI, new ones do.
+
+The committed baseline (``tools/repro_analyzer/baseline.json``) buckets
+accepted findings by ``(path, code)`` with a count and a human
+justification. During a run each bucket absorbs up to ``count`` matching
+findings; anything beyond the count — a *regression* — survives and can
+fail the build. Buckets are line-free on purpose: unrelated edits move
+line numbers constantly, and a baseline that churns on every edit teaches
+people to regenerate it blindly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from .model import CodeFinding
+
+BASELINE_FORMAT = "repro-analyzer-baseline/1"
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed or references unknown codes."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    path: str
+    code: str
+    count: int
+    justification: str
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "code": self.code,
+            "count": self.count,
+            "justification": self.justification,
+        }
+
+
+def parse_baseline(data: object) -> list[BaselineEntry]:
+    """Validate the decoded JSON shape and return its entries."""
+    if not isinstance(data, dict):
+        raise BaselineError("baseline must be a JSON object")
+    if data.get("format") != BASELINE_FORMAT:
+        raise BaselineError(
+            f"unknown baseline format {data.get('format')!r} "
+            f"(expected {BASELINE_FORMAT!r})"
+        )
+    raw_entries = data.get("entries")
+    if not isinstance(raw_entries, list):
+        raise BaselineError("baseline 'entries' must be a list")
+    entries: list[BaselineEntry] = []
+    seen: set[tuple[str, str]] = set()
+    for index, raw in enumerate(raw_entries):
+        if not isinstance(raw, dict):
+            raise BaselineError(f"entries[{index}] must be an object")
+        try:
+            path = raw["path"]
+            code = raw["code"]
+            count = raw["count"]
+            justification = raw["justification"]
+        except KeyError as missing:
+            raise BaselineError(
+                f"entries[{index}] missing required key {missing.args[0]!r}"
+            ) from None
+        if not isinstance(path, str) or not isinstance(code, str):
+            raise BaselineError(f"entries[{index}] path/code must be strings")
+        if not isinstance(count, int) or count < 1:
+            raise BaselineError(f"entries[{index}] count must be a positive int")
+        if not isinstance(justification, str) or not justification.strip():
+            raise BaselineError(
+                f"entries[{index}] needs a non-empty justification — the "
+                "baseline records *why* a finding is accepted"
+            )
+        if (path, code) in seen:
+            raise BaselineError(
+                f"entries[{index}] duplicates bucket ({path}, {code}); "
+                "merge the counts"
+            )
+        seen.add((path, code))
+        entries.append(BaselineEntry(path, code, count, justification))
+    return entries
+
+
+def load_baseline(path: str) -> list[BaselineEntry]:
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise BaselineError(f"baseline is not valid JSON: {error}") from None
+    return parse_baseline(data)
+
+
+def validate_codes(entries: list[BaselineEntry], registered: set[str]) -> list[str]:
+    """Problems with codes the baseline references (empty when clean)."""
+    return [
+        f"baseline references unregistered code {entry.code} for {entry.path}"
+        for entry in entries
+        if entry.code not in registered
+    ]
+
+
+def apply_baseline(
+    findings: list[CodeFinding], entries: list[BaselineEntry]
+) -> tuple[list[CodeFinding], int, list[str]]:
+    """Split findings into (surviving, suppressed_count, stale_buckets).
+
+    Each ``(path, code)`` bucket absorbs up to ``count`` findings in
+    position order. ``stale_buckets`` names buckets whose budget was not
+    fully used — a sign the underlying finding was fixed and the baseline
+    entry should be shrunk or removed.
+    """
+    budgets: dict[tuple[str, str], int] = {
+        (entry.path, entry.code): entry.count for entry in entries
+    }
+    used: dict[tuple[str, str], int] = {key: 0 for key in budgets}
+    surviving: list[CodeFinding] = []
+    suppressed = 0
+    for finding in sorted(findings, key=CodeFinding.sort_key):
+        key = (finding.path, finding.code)
+        if key in budgets and used[key] < budgets[key]:
+            used[key] += 1
+            suppressed += 1
+        else:
+            surviving.append(finding)
+    stale = [
+        f"baseline bucket ({path}, {code}) allows {budgets[(path, code)]} "
+        f"finding(s) but only {used[(path, code)]} occurred — shrink or remove it"
+        for (path, code) in sorted(budgets)
+        if used[(path, code)] < budgets[(path, code)]
+    ]
+    return surviving, suppressed, stale
+
+
+def generate_baseline(findings: list[CodeFinding],
+                      justification: str = "TODO: justify or fix") -> dict:
+    """A baseline document accepting every current finding (for bootstrap;
+    justifications must then be written by hand)."""
+    buckets: dict[tuple[str, str], int] = {}
+    for finding in findings:
+        key = (finding.path, finding.code)
+        buckets[key] = buckets.get(key, 0) + 1
+    return {
+        "format": BASELINE_FORMAT,
+        "entries": [
+            {
+                "path": path,
+                "code": code,
+                "count": count,
+                "justification": justification,
+            }
+            for (path, code), count in sorted(buckets.items())
+        ],
+    }

@@ -1,0 +1,174 @@
+"""Standalone command-line entry point for the code analyzer.
+
+``python -m repro_analyzer [paths...]`` — the same engine `repro
+lint-code` wraps, runnable without ``PYTHONPATH=src`` (CI's repo-invariant
+job) and with the rule families, output format, and baseline all
+selectable. Exit status: 0 clean (after baseline), 1 findings at or above
+``--fail-on``, 2 usage/baseline errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from .baseline import (
+    BaselineError,
+    apply_baseline,
+    generate_baseline,
+    load_baseline,
+    validate_codes,
+)
+from .driver import (
+    DEFAULT_FAMILIES,
+    all_rule_codes,
+    analyze_paths,
+    collect_registered_codes,
+)
+from .model import SEVERITIES, AnalyzerConfig, meets_threshold
+from .output import render_json, render_sarif, render_text
+
+
+def repo_root_default() -> str:
+    """The repository root: two levels above this package."""
+    return os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro_analyzer",
+        description="AST/dataflow contract analyzer for the repro codebase "
+                    "(ALEX-C* contract passes + migrated R00x repo invariants)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories to analyze (default: src tools benchmarks)",
+    )
+    parser.add_argument(
+        "--root", default=None,
+        help="repository root for relative paths and CODES discovery",
+    )
+    parser.add_argument(
+        "--rules", default=",".join(DEFAULT_FAMILIES),
+        help="comma-separated rule families to run "
+             f"(default: {','.join(DEFAULT_FAMILIES)})",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--fail-on", choices=SEVERITIES, default="error",
+        help="exit non-zero when a non-baselined finding at or above this "
+             "severity exists (default: error)",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="baseline JSON suppressing accepted findings "
+             "(default: <pkg>/baseline.json when it exists; 'none' disables)",
+    )
+    parser.add_argument(
+        "--check-baseline", action="store_true",
+        help="validate the baseline file (format + registered codes) and exit",
+    )
+    parser.add_argument(
+        "--write-baseline", default=None, metavar="PATH",
+        help="write a baseline accepting every current finding to PATH "
+             "(justifications must then be edited in)",
+    )
+    parser.add_argument(
+        "--writers", default=None, metavar="PATH",
+        help="write the mutation-safety writer inventory (writers.json) to PATH",
+    )
+    return parser
+
+
+def default_baseline_path() -> str:
+    return os.path.join(os.path.dirname(os.path.abspath(__file__)), "baseline.json")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    root = options.root or repo_root_default()
+    paths = options.paths or [
+        p for p in ("src", "tools", "benchmarks") if os.path.isdir(os.path.join(root, p))
+    ]
+    families = tuple(f.strip() for f in options.rules.split(",") if f.strip())
+
+    try:
+        registered = collect_registered_codes(root)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    baseline_path = options.baseline
+    if baseline_path is None and os.path.isfile(default_baseline_path()):
+        baseline_path = default_baseline_path()
+    if baseline_path == "none":
+        baseline_path = None
+
+    entries = []
+    if baseline_path is not None:
+        try:
+            entries = load_baseline(baseline_path)
+        except (OSError, BaselineError) as error:
+            print(f"baseline error: {error}", file=sys.stderr)
+            return 2
+        problems = validate_codes(entries, registered | set(all_rule_codes()))
+        if problems:
+            for problem in problems:
+                print(f"baseline error: {problem}", file=sys.stderr)
+            return 2
+        if options.check_baseline:
+            print(f"baseline OK: {len(entries)} bucket(s), codes all registered")
+            return 0
+    elif options.check_baseline:
+        print("baseline error: no baseline file found", file=sys.stderr)
+        return 2
+
+    try:
+        result = analyze_paths(
+            paths, root, config=AnalyzerConfig(), families=families,
+            registered_codes=registered,
+        )
+    except (FileNotFoundError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if options.write_baseline:
+        document = generate_baseline(result.findings)
+        with open(options.write_baseline, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(
+            f"wrote baseline with {len(document['entries'])} bucket(s) to "
+            f"{options.write_baseline}; edit in the justifications"
+        )
+        return 0
+
+    if options.writers:
+        with open(options.writers, "w", encoding="utf-8") as handle:
+            json.dump(result.writer_inventory, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    surviving, suppressed, stale = apply_baseline(result.findings, entries)
+    for warning in stale:
+        print(f"note: {warning}", file=sys.stderr)
+
+    if options.format == "json":
+        print(render_json(surviving, suppressed))
+    elif options.format == "sarif":
+        print(render_sarif(surviving, all_rule_codes(families)))
+    else:
+        print(render_text(surviving, suppressed))
+
+    failing = [f for f in surviving if meets_threshold(f.severity, options.fail_on)]
+    return 1 if failing else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,205 @@
+"""Lightweight per-function dataflow facts used by the contract passes.
+
+This is intentionally a *may*-analysis over names, not a real abstract
+interpreter: a variable is considered term-typed once any assignment binds
+it to a term constructor result, a decode result, or a term-annotated
+parameter. That is the right polarity for contract checks — false negatives
+on exotic flows are acceptable, false positives on re-bound names are not,
+so facts are only consulted where the rule also sees corroborating shape
+(e.g. a term-typed name flowing into an ID-keyed call).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .model import ModuleContext
+
+
+def call_func_name(node: ast.Call) -> str | None:
+    """Bare name of the called function: ``f(...)`` -> "f",
+    ``a.b.f(...)`` -> "f"."""
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def receiver_tail(node: ast.AST) -> str | None:
+    """Innermost receiver identifier of an attribute access:
+    ``x.f`` -> "x", ``a.b.f`` -> "b", ``self._dict.f`` -> "_dict"."""
+    if isinstance(node, ast.Attribute):
+        if isinstance(node.value, ast.Name):
+            return node.value.id
+        if isinstance(node.value, ast.Attribute):
+            return node.value.attr
+    return None
+
+
+def dotted_parts(node: ast.AST) -> list[str]:
+    """Flatten ``a.b.c`` to ["a", "b", "c"]; empty for non-name chains."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return []
+
+
+def annotation_name(node: ast.AST | None) -> str | None:
+    """Terminal identifier of an annotation: ``URIRef`` -> "URIRef",
+    ``terms.Literal`` -> "Literal", ``"Term"`` -> "Term" (string form),
+    ``Optional[Term]`` -> "Term"."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.split(".")[-1].split("[")[-1].rstrip("]") or None
+    if isinstance(node, ast.Subscript):
+        # Optional[Term] / list[Term]: the contained type is what flows.
+        return annotation_name(node.slice)
+    return None
+
+
+#: Receiver tails that denote a term dictionary (``dictionary.decode``,
+#: ``self._dict.encode``, ``graph._dict.decode``, ``base.decode`` via the
+#: codec's captured base dictionary).
+DICTIONARY_RECEIVERS = frozenset({"dictionary", "_dict", "term_dictionary", "termdict"})
+
+
+def is_dictionary_method(node: ast.AST, method: str,
+                         extra_receivers: Iterable[str] = ()) -> bool:
+    """Matches ``<dict-like>.{method}`` attribute chains.
+
+    Receiver names are matched by tail identifier so ``self._dict.encode``
+    and ``graph.dictionary.decode`` both qualify; a bare ``text.encode()``
+    (str.encode) never does because "text" is not a dictionary-shaped name.
+    """
+    if not (isinstance(node, ast.Attribute) and node.attr == method):
+        return False
+    tail = receiver_tail(node)
+    return tail is not None and (
+        tail in DICTIONARY_RECEIVERS or tail in set(extra_receivers)
+    )
+
+
+class FunctionFacts:
+    """Name-level facts for one function body.
+
+    * ``term_vars`` — names that may hold RDF term objects (assigned from a
+      term constructor, a ``.decode(...)`` call, or declared with a
+      term-typed annotation).
+    * ``decode_aliases`` / ``encode_aliases`` — local names bound to a
+      dictionary's bound method (``decode = dictionary.decode``), so rules
+      can see through the common hot-loop aliasing idiom.
+    * ``dict_aliases`` — local names bound to a dictionary object itself
+      (``d = graph.dictionary()`` / ``d = self._dict``).
+    """
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef,
+                 term_constructors: Iterable[str],
+                 term_annotations: Iterable[str]):
+        self.func = func
+        constructors = set(term_constructors)
+        annotations = set(term_annotations)
+        self.term_vars: set[str] = set()
+        self.decode_aliases: set[str] = set()
+        self.encode_aliases: set[str] = set()
+        self.dict_aliases: set[str] = set()
+
+        args = func.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if annotation_name(arg.annotation) in annotations:
+                self.term_vars.add(arg.arg)
+
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                names = [t.id for t in node.targets if isinstance(t, ast.Name)]
+                self._record(names, node.value, constructors)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                if annotation_name(node.annotation) in annotations:
+                    self.term_vars.add(node.target.id)
+                if node.value is not None:
+                    self._record([node.target.id], node.value, constructors)
+
+    def _record(self, names: list[str], value: ast.AST, constructors: set[str]) -> None:
+        if not names:
+            return
+        if isinstance(value, ast.Call):
+            func_name = call_func_name(value)
+            if func_name in constructors:
+                self.term_vars.update(names)
+            elif func_name == "decode" and isinstance(value.func, ast.Attribute):
+                if is_dictionary_method(value.func, "decode", self.dict_aliases):
+                    self.term_vars.update(names)
+            elif func_name in ("dictionary", "term_dictionary"):
+                self.dict_aliases.update(names)
+        elif isinstance(value, ast.Attribute):
+            # decode = dictionary.decode  /  encode = self._dict.encode
+            if is_dictionary_method(value, "decode", self.dict_aliases):
+                self.decode_aliases.update(names)
+            elif is_dictionary_method(value, "encode", self.dict_aliases):
+                self.encode_aliases.update(names)
+            elif value.attr in ("_dict", "dictionary") or (
+                receiver_tail(value) in DICTIONARY_RECEIVERS
+            ):
+                self.dict_aliases.update(names)
+        elif isinstance(value, ast.Name) and value.id in self.term_vars:
+            self.term_vars.update(names)
+
+
+def guard_names_of_test(test: ast.AST) -> set[str]:
+    """Names a conditional test establishes as non-None/truthy.
+
+    Recognises ``x is not None``, ``x``, ``x and y``, and the parenthesised
+    combinations rules care about. Used to exempt deliberately-guarded
+    instrumentation blocks from the hot-path cost lints.
+    """
+    names: set[str] = set()
+    if isinstance(test, ast.Name):
+        names.add(test.id)
+    elif isinstance(test, ast.Compare):
+        if (
+            len(test.ops) == 1
+            and isinstance(test.ops[0], ast.IsNot)
+            and isinstance(test.left, ast.Name)
+            and isinstance(test.comparators[0], ast.Constant)
+            and test.comparators[0].value is None
+        ):
+            names.add(test.left.id)
+    elif isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        for value in test.values:
+            names.update(guard_names_of_test(value))
+    elif isinstance(test, ast.Attribute):
+        tail = receiver_tail(test)
+        if tail is not None:
+            names.add(test.attr)
+    return names
+
+
+def is_cost_guarded(module: ModuleContext, node: ast.AST,
+                    guard_names: Iterable[str]) -> bool:
+    """True when ``node`` sits inside the *body* of an ``if`` whose test
+    proves one of ``guard_names`` non-None (``if tracer is not None: ...``).
+
+    Such blocks are off-by-default instrumentation the engine pays for only
+    when explicitly enabled, so the cost lints skip them.
+    """
+    wanted = set(guard_names)
+    child = node
+    for ancestor in module.ancestors(node):
+        if isinstance(ancestor, ast.If) and child in getattr(ancestor, "body", []):
+            if guard_names_of_test(ancestor.test) & wanted:
+                return True
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            break
+        child = ancestor
+    return False

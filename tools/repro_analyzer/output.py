@@ -1,0 +1,106 @@
+"""Finding renderers: text, JSON, and SARIF 2.1.0.
+
+SARIF output is the minimal subset GitHub code scanning ingests: one run,
+one driver with the full rule table, one result per finding with a
+physical location. Severities map error->error, warning->warning,
+info->note.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .model import CodeFinding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+_SARIF_LEVEL = {"error": "error", "warning": "warning", "info": "note"}
+
+
+def render_text(findings: list[CodeFinding], suppressed: int = 0) -> str:
+    lines = [finding.format() for finding in findings]
+    if findings:
+        lines.append(f"{len(findings)} finding(s)")
+    else:
+        lines.append("no findings")
+    if suppressed:
+        lines.append(f"({suppressed} baselined finding(s) suppressed)")
+    return "\n".join(lines)
+
+
+def render_json(findings: list[CodeFinding], suppressed: int = 0) -> str:
+    return json.dumps(
+        {
+            "findings": [finding.to_dict() for finding in findings],
+            "suppressed": suppressed,
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def render_sarif(
+    findings: list[CodeFinding],
+    rules: dict[str, tuple[str, str]],
+    tool_name: str = "repro-analyzer",
+    tool_version: str = "1.0.0",
+) -> str:
+    """SARIF document with the complete rule table and one result per
+    finding; rules the run never fired stay in the table so dashboards can
+    show them as passing."""
+    rule_ids = sorted(rules)
+    rule_index = {code: index for index, code in enumerate(rule_ids)}
+    sarif_rules = [
+        {
+            "id": code,
+            "shortDescription": {"text": rules[code][1]},
+            "defaultConfiguration": {"level": _SARIF_LEVEL[rules[code][0]]},
+            "helpUri": f"https://example.invalid/docs/diagnostics.md#{code.lower()}",
+        }
+        for code in rule_ids
+    ]
+    results = []
+    for finding in findings:
+        message = finding.message
+        if finding.hint:
+            message += f" (hint: {finding.hint})"
+        results.append({
+            "ruleId": finding.code,
+            "ruleIndex": rule_index.get(finding.code, -1),
+            "level": _SARIF_LEVEL.get(finding.severity, "note"),
+            "message": {"text": message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": max(finding.column, 1),
+                        },
+                    }
+                }
+            ],
+        })
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "version": tool_version,
+                        "informationUri": "https://example.invalid/docs/diagnostics.md",
+                        "rules": sarif_rules,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

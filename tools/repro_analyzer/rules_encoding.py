@@ -1,0 +1,167 @@
+"""C1 — the encoding-boundary contract (ALEX-C001/C002/C003).
+
+PR 6 dictionary-encoded the triple store: the SPO/POS/OSP indexes and the
+join kernels speak integer IDs, and terms exist as objects only at the
+edges (parsing on the way in, projection/ordering/aggregation/filter
+evaluation on the way out). Three things can silently break that:
+
+* a Term/URIRef/Literal flowing into an ID-keyed API (``triples_ids``,
+  ``count_ids``) — ints and terms never compare equal, so the call
+  "works" and matches nothing (ALEX-C001);
+* ``dictionary.encode()`` on a read path — encode interns, so a lookup
+  phrased as encode *grows the dictionary* as a side effect of a query
+  (ALEX-C002);
+* ``dictionary.decode()`` sprinkled mid-pipeline — decode is the
+  boundary-crossing; doing it away from the sanctioned boundary modules
+  re-materialises term objects inside ID-space code (ALEX-C003).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .dataflow import (
+    FunctionFacts,
+    call_func_name,
+    is_dictionary_method,
+    receiver_tail,
+)
+from .model import AnalysisContext, CodeFinding, ModuleContext, Pass
+
+
+class EncodingBoundaryPass(Pass):
+    name = "encoding-boundary"
+    codes = {
+        "ALEX-C001": (
+            "error",
+            "term object passed to an ID-keyed API (triples_ids/count_ids take ints)",
+        ),
+        "ALEX-C002": (
+            "error",
+            "dictionary.encode() outside the encoding boundary grows the "
+            "dictionary on a read path",
+        ),
+        "ALEX-C003": (
+            "warning",
+            "dictionary.decode() outside the decoding boundary materialises "
+            "terms mid-pipeline",
+        ),
+    }
+
+    def run(self, module: ModuleContext, ctx: AnalysisContext) -> Iterable[CodeFinding]:
+        config = ctx.config
+        if not config.in_library(module.rel):
+            return []
+        in_encode_boundary = config.matches(module.rel, config.encode_boundary)
+        in_decode_boundary = config.matches(module.rel, config.decode_boundary)
+
+        findings: list[CodeFinding] = []
+        facts_cache: dict[ast.AST, FunctionFacts] = {}
+
+        def facts_for(node: ast.AST) -> FunctionFacts | None:
+            func = module.enclosing_function(node)
+            if func is None:
+                return None
+            if func not in facts_cache:
+                facts_cache[func] = FunctionFacts(
+                    func, config.term_constructors, config.term_annotations
+                )
+            return facts_cache[func]
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func_name = call_func_name(node)
+
+            # -- C001: terms flowing into ID-keyed APIs ------------------
+            if func_name in config.id_api_names:
+                facts = facts_for(node)
+                for arg in node.args:
+                    reason = self._term_valued(arg, facts, config)
+                    if reason is not None:
+                        findings.append(self.finding(
+                            module, arg, "ALEX-C001",
+                            f"{reason} passed to ID-keyed {func_name}(); "
+                            "IDs are ints — encode at the boundary and pass the ID",
+                            hint="use dictionary.lookup()/graph ID helpers at the "
+                                 "call boundary, not term objects",
+                        ))
+
+            # -- C002/C003: dictionary encode/decode off-boundary --------
+            if isinstance(node.func, ast.Attribute):
+                facts = facts_for(node)
+                dict_aliases = facts.dict_aliases if facts is not None else ()
+                if (
+                    not in_encode_boundary
+                    and node.func.attr == "encode"
+                    and is_dictionary_method(node.func, "encode", dict_aliases)
+                ):
+                    findings.append(self.finding(
+                        module, node, "ALEX-C002",
+                        "dictionary.encode() outside the encoding boundary "
+                        f"({', '.join(config.encode_boundary)}): encode interns, "
+                        "so this grows the dictionary on what should be a read path",
+                        hint="use dictionary.lookup() (returns None for unknown "
+                             "terms) or route writes through Graph.add",
+                    ))
+                if not in_decode_boundary and node.func.attr == "decode":
+                    is_decode = is_dictionary_method(node.func, "decode", dict_aliases)
+                    if is_decode:
+                        findings.append(self.finding(
+                            module, node, "ALEX-C003",
+                            "dictionary.decode() outside the decoding boundary "
+                            f"({', '.join(config.decode_boundary)}): terms should "
+                            "materialise only at projection/ordering/aggregation/"
+                            "filter boundaries",
+                            hint="keep the pipeline in ID space and decode at the "
+                                 "sanctioned boundary module",
+                        ))
+
+            # -- C003 via alias: decode = dictionary.decode; decode(x) ---
+            if (
+                not in_decode_boundary
+                and isinstance(node.func, ast.Name)
+            ):
+                facts = facts_for(node)
+                if facts is not None and node.func.id in facts.decode_aliases:
+                    findings.append(self.finding(
+                        module, node, "ALEX-C003",
+                        f"{node.func.id}() aliases dictionary.decode outside the "
+                        "decoding boundary",
+                        hint="keep the pipeline in ID space and decode at the "
+                             "sanctioned boundary module",
+                    ))
+                if (
+                    not in_encode_boundary
+                    and facts is not None
+                    and node.func.id in facts.encode_aliases
+                ):
+                    findings.append(self.finding(
+                        module, node, "ALEX-C002",
+                        f"{node.func.id}() aliases dictionary.encode outside the "
+                        "encoding boundary: encode interns on a read path",
+                        hint="use dictionary.lookup() or route writes through "
+                             "Graph.add",
+                    ))
+
+        return findings
+
+    def _term_valued(self, arg: ast.AST, facts: FunctionFacts | None,
+                     config) -> str | None:
+        """Why ``arg`` looks term-valued (message fragment), or None."""
+        if isinstance(arg, ast.Call):
+            name = call_func_name(arg)
+            if name in config.term_constructors:
+                return f"{name}(...) term constructor"
+            if name == "decode" and isinstance(arg.func, ast.Attribute):
+                aliases = facts.dict_aliases if facts is not None else ()
+                if is_dictionary_method(arg.func, "decode", aliases):
+                    return "decoded term"
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return "string literal (a term value, not an ID)"
+        if isinstance(arg, ast.Name) and facts is not None and arg.id in facts.term_vars:
+            return f"term-typed variable {arg.id!r}"
+        if isinstance(arg, ast.Starred):
+            return self._term_valued(arg.value, facts, config)
+        return None

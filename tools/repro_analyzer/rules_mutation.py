@@ -1,0 +1,308 @@
+"""C3 — mutation-safety inventory (ALEX-C020/C021) and ``writers.json``.
+
+The ROADMAP's next tentpole (ALEX-as-a-service with a single-writer
+feedback queue) needs a reliable answer to "which code paths mutate shared
+engine/graph state?". This pass computes that answer instead of trusting
+convention:
+
+* every method of an inventoried class (``Graph``, ``TermDictionary``,
+  ``LinkSet``, ``AlexEngine``) that mutates instance state is classified;
+  mutating methods outside the *designated writer* set are flagged
+  (ALEX-C020), and the full classification is emitted as a
+  machine-readable inventory (``writers.json``) for the service layer to
+  check its queue routing against;
+* mutations of owned shared attributes (``_spo``/``_pos``/``_osp``,
+  ``_links``, the plan cache, ...) from outside their owning module are
+  flagged with the same code — encapsulation violations are exactly the
+  mutations a single-writer queue cannot see;
+* iterating a graph/link index while mutating it in the loop body is
+  flagged (ALEX-C021) unless the iterable is snapshotted first
+  (``list(...)``/``tuple(...)``/``sorted(...)``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .model import AnalysisContext, CodeFinding, ModuleContext, Pass
+
+#: Receiver methods that mutate a container in place (C021 body scan).
+CONTAINER_MUTATORS = frozenset({
+    "add", "add_all", "append", "clear", "discard", "extend", "insert",
+    "pop", "popitem", "remove", "setdefault", "update",
+})
+
+#: Iterable wrappers that snapshot before iteration (safe to mutate under).
+SNAPSHOT_WRAPPERS = frozenset({"list", "tuple", "sorted", "set", "frozenset"})
+
+
+def _unparse(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on valid trees
+        return ""
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``self.X`` -> "X", else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("self", "cls")
+    ):
+        return node.attr
+    return None
+
+
+class MutationSafetyPass(Pass):
+    name = "mutation-safety"
+    codes = {
+        "ALEX-C020": (
+            "error",
+            "shared engine/graph state mutated by a non-designated writer",
+        ),
+        "ALEX-C021": (
+            "error",
+            "iteration over a graph/link index while mutating it in the loop body",
+        ),
+    }
+
+    def run(self, module: ModuleContext, ctx: AnalysisContext) -> Iterable[CodeFinding]:
+        config = ctx.config
+        if not config.in_library(module.rel):
+            return []
+        findings: list[CodeFinding] = []
+        findings.extend(self._check_shared_attribute_owners(module, ctx))
+        findings.extend(self._inventory_writer_classes(module, ctx))
+        findings.extend(self._check_iterate_while_mutating(module, ctx))
+        return findings
+
+    # -- C020a: owned shared attributes touched cross-module -------------
+
+    def _check_shared_attribute_owners(
+        self, module: ModuleContext, ctx: AnalysisContext
+    ) -> list[CodeFinding]:
+        config = ctx.config
+        findings: list[CodeFinding] = []
+        for node in ast.walk(module.tree):
+            for attr_node, attr, how in self._mutations_in(node, config):
+                owner = config.shared_state_owners.get(attr)
+                if owner is None or module.rel.endswith(owner):
+                    continue
+                # `self._x` is instance-own state (same attribute *name* as
+                # an owned one is a coincidence, e.g. FeatureSpace._by_left
+                # vs LinkSet._by_left) and is covered by the designated
+                # writer inventory; the cross-module rule is about poking
+                # *foreign* objects' private state.
+                if self._receiver_is_self(attr_node):
+                    continue
+                findings.append(self.finding(
+                    module, attr_node, "ALEX-C020",
+                    f"{how} of shared attribute {attr!r} outside its owning "
+                    f"module ({owner}); route the mutation through the owner's "
+                    "designated writer API",
+                    hint="shared-state writers are inventoried in writers.json; "
+                         "cross-module pokes bypass the single-writer contract",
+                ))
+        return findings
+
+    @staticmethod
+    def _receiver_is_self(anchor: ast.AST) -> bool:
+        """True when the mutated attribute hangs off ``self``/``cls``:
+        ``self._x = ...``, ``self._x[k] = ...``, ``self._x.update(...)``."""
+        node = anchor
+        if isinstance(node, ast.Call):
+            node = node.func  # mutator call: anchor is the Call itself
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Attribute):
+            node = node.value  # <recv>.<attr>.mutator — the owned attr access
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        return (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in ("self", "cls")
+        )
+
+    def _mutations_in(self, node: ast.AST, config):
+        """Yield ``(anchor, attribute_name, description)`` for mutations of
+        ``<anything>.<attr>`` performed by ``node`` (one statement/expr)."""
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Attribute):
+                    yield target, target.attr, "assignment"
+                elif isinstance(target, ast.Subscript) and isinstance(
+                    target.value, ast.Attribute
+                ):
+                    yield target, target.value.attr, "item assignment"
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Attribute):
+                    yield target, target.attr, "deletion"
+                elif isinstance(target, ast.Subscript) and isinstance(
+                    target.value, ast.Attribute
+                ):
+                    yield target, target.value.attr, "item deletion"
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in config.mutator_methods and isinstance(
+                node.func.value, ast.Attribute
+            ):
+                yield node, node.func.value.attr, f"{node.func.attr}() call"
+
+    # -- C020b: writer-class methods outside the designated set -----------
+
+    def _inventory_writer_classes(
+        self, module: ModuleContext, ctx: AnalysisContext
+    ) -> list[CodeFinding]:
+        config = ctx.config
+        findings: list[CodeFinding] = []
+        for class_node in module.tree.body:
+            if not isinstance(class_node, ast.ClassDef):
+                continue
+            designated = config.designated_writers.get(class_node.name)
+            if designated is None:
+                continue
+            state = self._init_state_attrs(class_node)
+            writers: dict[str, list[str]] = {}
+            for method in class_node.body:
+                if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                mutated = self._self_mutations(method, state, config)
+                if not mutated:
+                    continue
+                writers[method.name] = sorted(mutated)
+                if method.name not in designated:
+                    findings.append(self.finding(
+                        module, method, "ALEX-C020",
+                        f"{class_node.name}.{method.name} mutates instance state "
+                        f"({', '.join(sorted(mutated))}) but is not a designated "
+                        "writer",
+                        hint="add it to the designated-writer set (and "
+                             "writers.json) deliberately, or route the mutation "
+                             "through an existing writer",
+                    ))
+            ctx.writer_inventory[class_node.name] = {
+                "module": module.rel,
+                "designated": sorted(designated),
+                "writers": {name: attrs for name, attrs in sorted(writers.items())},
+            }
+        return findings
+
+    @staticmethod
+    def _init_state_attrs(class_node: ast.ClassDef) -> set[str]:
+        """Instance attributes assigned in ``__init__`` — the state surface."""
+        attrs: set[str] = set()
+        for method in class_node.body:
+            if isinstance(method, ast.FunctionDef) and method.name == "__init__":
+                for node in ast.walk(method):
+                    if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                        targets = (
+                            node.targets if isinstance(node, ast.Assign) else [node.target]
+                        )
+                        for target in targets:
+                            attr = _self_attr(target)
+                            if attr is not None:
+                                attrs.add(attr)
+        return attrs
+
+    def _self_mutations(self, method: ast.AST, state: set[str], config) -> set[str]:
+        """State attributes ``method`` mutates through ``self``."""
+        mutated: set[str] = set()
+        for node in ast.walk(method):
+            if isinstance(node, (ast.Assign, ast.AugAssign)) or (
+                isinstance(node, ast.AnnAssign) and node.value is not None
+            ):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    attr = _self_attr(target)
+                    if attr is not None and attr in state:
+                        mutated.add(attr)
+                    elif isinstance(target, ast.Subscript):
+                        attr = _self_attr(target.value)
+                        if attr is not None and attr in state:
+                            mutated.add(attr)
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    anchor = target.value if isinstance(target, ast.Subscript) else target
+                    attr = _self_attr(anchor)
+                    if attr is not None and attr in state:
+                        mutated.add(attr)
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr in config.mutator_methods:
+                    attr = _self_attr(node.func.value)
+                    if attr is not None and attr in state:
+                        mutated.add(attr)
+        return mutated
+
+    # -- C021: iterate-while-mutating -------------------------------------
+
+    def _check_iterate_while_mutating(
+        self, module: ModuleContext, ctx: AnalysisContext
+    ) -> list[CodeFinding]:
+        findings: list[CodeFinding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            subject = self._iteration_subject(node.iter)
+            if subject is None:
+                continue
+            key = _unparse(subject)
+            if not key:
+                continue
+            for inner in ast.walk(node):
+                if inner is node.iter or self._within(module, inner, node.iter):
+                    continue
+                mutation = self._mutates_key(inner, key)
+                if mutation is not None:
+                    findings.append(self.finding(
+                        module, inner, "ALEX-C021",
+                        f"{mutation} mutates {key!r} while a for-loop is "
+                        "iterating it; dict/set iteration order is invalidated "
+                        "(RuntimeError on dict views)",
+                        hint=f"snapshot first: `for ... in list({key})` — or "
+                             "collect changes and apply after the loop",
+                    ))
+        return findings
+
+    @staticmethod
+    def _iteration_subject(iter_node: ast.AST) -> ast.AST | None:
+        """The live container a for-loop walks, or None when snapshotted.
+
+        ``for t in graph.triples(...)`` -> ``graph`` (generator over live
+        indexes); ``for k in self._spo`` -> ``self._spo``; ``for k in
+        list(self._spo)`` -> None (safe snapshot).
+        """
+        if isinstance(iter_node, ast.Call):
+            if (
+                isinstance(iter_node.func, ast.Name)
+                and iter_node.func.id in SNAPSHOT_WRAPPERS
+            ):
+                return None
+            if isinstance(iter_node.func, ast.Attribute):
+                # x.items()/x.keys()/x.values()/graph.triples() iterate x live.
+                return iter_node.func.value
+            return None
+        if isinstance(iter_node, (ast.Name, ast.Attribute, ast.Subscript)):
+            return iter_node
+        return None
+
+    @staticmethod
+    def _within(module: ModuleContext, node: ast.AST, container: ast.AST) -> bool:
+        return any(ancestor is container for ancestor in module.ancestors(node))
+
+    @staticmethod
+    def _mutates_key(node: ast.AST, key: str) -> str | None:
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in CONTAINER_MUTATORS and _unparse(node.func.value) == key:
+                return f"{node.func.attr}() call"
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Subscript) and _unparse(target.value) == key:
+                    return "item assignment"
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript) and _unparse(target.value) == key:
+                    return "item deletion"
+        return None

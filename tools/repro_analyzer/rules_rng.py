@@ -1,0 +1,172 @@
+"""C2 — RNG discipline (ALEX-C010/C011/C012).
+
+PR 5's tracing layer carries its own private RNG (``repro.obs.trace._rng``)
+for span-ID generation precisely so that enabling a tracer never perturbs
+the engine's seeded streams. The complementary engine-side contract is
+that every stochastic component draws from an instance RNG constructed
+once from ``config.seed``. Three code shapes break seeded-run parity:
+
+* calling the *module-level* ``random.*`` functions in library code —
+  that draws from the interpreter-global stream, which any import or
+  third-party call can advance (ALEX-C010);
+* touching the tracer's private ``_rng`` from outside the obs package —
+  the obs/engine seam exists so tracer draws and engine draws cannot
+  interleave (ALEX-C011);
+* re-seeding or re-constructing an engine RNG outside a sanctioned
+  constructor — a mid-run ``rng.seed(...)`` silently restarts the stream
+  and two runs with the same seed diverge from that point (ALEX-C012).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .dataflow import receiver_tail
+from .model import AnalysisContext, CodeFinding, ModuleContext, Pass
+
+#: random-module functions that draw from (or reset) the global stream.
+#: ``random.Random(...)`` constructs an independent instance and is fine.
+GLOBAL_RANDOM_DRAWS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "betavariate",
+    "expovariate", "triangular", "seed", "getrandbits", "vonmisesvariate",
+    "paretovariate", "weibullvariate", "lognormvariate", "gammavariate",
+    "binomialvariate",
+})
+
+#: Receiver names that denote an RNG instance (``self.rng.seed()``,
+#: ``rng.seed()``, ``engine.rng.seed()``).
+RNG_RECEIVER_TAILS = frozenset({"rng", "_rng", "random_state"})
+
+
+class RngDisciplinePass(Pass):
+    name = "rng-discipline"
+    codes = {
+        "ALEX-C010": (
+            "error",
+            "module-level random.* call in library code breaks seeded-run determinism",
+        ),
+        "ALEX-C011": (
+            "error",
+            "tracer RNG (_rng) referenced outside the obs package crosses the "
+            "obs/engine seam",
+        ),
+        "ALEX-C012": (
+            "error",
+            "engine RNG (re)seeded outside a sanctioned constructor",
+        ),
+    }
+
+    def run(self, module: ModuleContext, ctx: AnalysisContext) -> Iterable[CodeFinding]:
+        config = ctx.config
+        rel = module.rel
+        if not config.in_library(rel):
+            return []
+        in_obs = any(
+            rel.startswith(root + owner) or f"/{owner}" in rel
+            for root in config.library_roots
+            for owner in config.rng_owner_roots
+        )
+        sanctioned_module = config.matches(rel, config.rng_sanctioned_modules)
+
+        findings: list[CodeFinding] = []
+        for node in ast.walk(module.tree):
+            # -- C010: module-level random.* draws -----------------------
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "random"
+                and node.func.attr in GLOBAL_RANDOM_DRAWS
+            ):
+                findings.append(self.finding(
+                    module, node, "ALEX-C010",
+                    f"random.{node.func.attr}() draws from the interpreter-global "
+                    "stream; library code must use an instance RNG seeded from "
+                    "config.seed",
+                    hint="construct random.Random(seed) in the component's "
+                         "__init__ and draw from it",
+                ))
+
+            # -- C011: tracer RNG crossing the obs/engine seam -----------
+            if not in_obs:
+                name = None
+                if isinstance(node, ast.Attribute) and node.attr == "_rng":
+                    name = f"{receiver_tail(node) or '<expr>'}._rng"
+                elif isinstance(node, ast.Name) and node.id == "_rng":
+                    # `from repro.obs.trace import _rng` style leakage.
+                    name = "_rng"
+                if name is not None and not self._is_self_rng_definition(module, node):
+                    findings.append(self.finding(
+                        module, node, "ALEX-C011",
+                        f"{name} referenced outside the obs package; the tracer "
+                        "RNG is private so tracing never perturbs engine streams",
+                        hint="draw from the component's own rng, never the "
+                             "tracer's",
+                    ))
+
+            # -- C012: re-seeding outside sanctioned constructors --------
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if (
+                    node.func.attr == "seed"
+                    and receiver_tail(node.func) in RNG_RECEIVER_TAILS
+                    and not self._sanctioned(module, node, config, sanctioned_module)
+                ):
+                    findings.append(self.finding(
+                        module, node, "ALEX-C012",
+                        "rng.seed() outside a sanctioned constructor restarts "
+                        "the stream mid-run and breaks seeded parity",
+                        hint="seed exactly once, in __init__, from config.seed",
+                    ))
+            if isinstance(node, ast.Assign):
+                # X.rng = random.Random(...) outside __init__ re-constructs
+                # the stream; plain local `rng = random.Random(...)` in a
+                # helper is how sanctioned factories build them, so only
+                # attribute targets are flagged.
+                if self._is_rng_construction(node.value) and any(
+                    isinstance(t, ast.Attribute) and t.attr in RNG_RECEIVER_TAILS
+                    for t in node.targets
+                ):
+                    if not self._sanctioned(module, node, config, sanctioned_module):
+                        findings.append(self.finding(
+                            module, node, "ALEX-C012",
+                            "engine RNG re-constructed outside a sanctioned "
+                            "constructor; the stream restarts and seeded runs "
+                            "diverge",
+                            hint="construct the RNG in __init__ (or a sanctioned "
+                                 "persistence restore) only",
+                        ))
+        return findings
+
+    @staticmethod
+    def _is_rng_construction(value: ast.AST) -> bool:
+        if not isinstance(value, ast.Call):
+            return False
+        func = value.func
+        if isinstance(func, ast.Name) and func.id == "Random":
+            return True
+        return (
+            isinstance(func, ast.Attribute)
+            and func.attr == "Random"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "random"
+        )
+
+    def _sanctioned(self, module: ModuleContext, node: ast.AST, config,
+                    sanctioned_module: bool) -> bool:
+        if sanctioned_module:
+            return True
+        func = module.enclosing_function(node)
+        return func is not None and func.name in config.rng_sanctioned_functions
+
+    @staticmethod
+    def _is_self_rng_definition(module: ModuleContext, node: ast.AST) -> bool:
+        """``self._rng`` inside a class is that component's own RNG, not the
+        tracer's — only bare ``_rng`` names and foreign-receiver attribute
+        access cross the seam."""
+        return (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in ("self", "cls")
+        )
