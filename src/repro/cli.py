@@ -159,12 +159,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate the baseline file (format + registered codes) and exit",
     )
     lint_code.add_argument(
-        "--rules", default="repo,encoding,rng,mutation,cost",
+        "--rules", default="repo,encoding,rng,mutation,cost,concurrency",
         help="comma-separated rule families to run",
     )
     lint_code.add_argument(
         "--writers", default=None, metavar="FILE",
         help="write the mutation-safety writer inventory (writers.json) here",
+    )
+    lint_code.add_argument(
+        "--locks", default=None, metavar="FILE",
+        help="write the concurrency lock inventory (locks.json) here",
+    )
+    lint_code.add_argument(
+        "--changed", nargs="?", const="HEAD", default=None, metavar="GITREF",
+        help="analyze only Python files changed relative to GITREF (default "
+             "HEAD) plus untracked ones; mutually exclusive with explicit paths",
     )
 
     describe = subparsers.add_parser("describe", help="print statistics of an N-Triples file")
@@ -512,6 +521,8 @@ def _cmd_lint_code(
     check_baseline: bool,
     rules: str,
     writers_out: str | None,
+    locks_out: str | None = None,
+    changed: str | None = None,
 ) -> int:
     """Run the code-level contract analyzer (ALEX-C* + migrated R00x) over
     ``paths``; exit 1 at/above --fail-on after baseline suppression, 2 on
@@ -522,11 +533,28 @@ def _cmd_lint_code(
 
     analyzer = _import_analyzer()
     from repro_analyzer.baseline import BaselineError
-    from repro_analyzer.cli import default_baseline_path, repo_root_default
+    from repro_analyzer.cli import (
+        changed_python_files,
+        default_baseline_path,
+        repo_root_default,
+    )
 
     _count_lint_run("code")
     root = repo_root_default()
-    if not paths:
+    if changed is not None and paths:
+        print("error: --changed and explicit paths are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if changed is not None:
+        try:
+            paths = changed_python_files(root, changed)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if not paths:
+            print(f"no Python files changed vs {changed}; nothing to analyze")
+            return 0
+    elif not paths:
         paths = [p for p in ("src", "tools", "benchmarks")
                  if os.path.isdir(os.path.join(root, p))]
     families = tuple(f.strip() for f in rules.split(",") if f.strip())
@@ -567,6 +595,11 @@ def _cmd_lint_code(
     if writers_out:
         with open(writers_out, "w", encoding="utf-8") as handle:
             json.dump(result.writer_inventory, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    if locks_out:
+        with open(locks_out, "w", encoding="utf-8") as handle:
+            json.dump(result.lock_inventory, handle, indent=2, sort_keys=True)
             handle.write("\n")
 
     surviving, suppressed, stale = analyzer.apply_baseline(result.findings, entries)
@@ -791,6 +824,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_lint_code(
                 args.paths, args.format, args.fail_on, args.baseline,
                 args.check_baseline, args.rules, args.writers,
+                locks_out=args.locks, changed=args.changed,
             )
         if args.command == "describe":
             return _cmd_describe(args.data)

@@ -125,8 +125,15 @@ class Registry:
 
     def snapshot(self) -> dict:
         """The registry's state as a JSON-serializable dict (see module doc)."""
+        with self._lock:
+            # Copy under the lock: a concurrent get-or-create must not grow
+            # the dicts mid-iteration, and the tracer slot is read once so a
+            # racing uninstall() cannot null it between check and use.
+            instruments = sorted(self._instruments.items())
+            aggregates = [self._spans[path] for path in sorted(self._spans)]
+            tracer = self.tracer
         counters, gauges, histograms = [], [], []
-        for (_, _), instrument in sorted(self._instruments.items()):
+        for (_, _), instrument in instruments:
             {"counter": counters, "gauge": gauges, "histogram": histograms}[
                 instrument.kind
             ].append(instrument.snapshot())
@@ -136,10 +143,10 @@ class Registry:
             "counters": counters,
             "gauges": gauges,
             "histograms": histograms,
-            "spans": [self._spans[path].snapshot() for path in sorted(self._spans)],
+            "spans": [aggregate.snapshot() for aggregate in aggregates],
         }
-        if self.tracer is not None and (len(self.tracer) or self.tracer.dropped):
-            snapshot["events"] = self.tracer.payload()
+        if tracer is not None and (len(tracer) or tracer.dropped):
+            snapshot["events"] = tracer.payload()
         return snapshot
 
     def merge(self, snapshot: dict, extra_labels: dict | None = None) -> None:
@@ -182,11 +189,12 @@ class Registry:
             self._record_span(entry["path"], entry["total_seconds"], entry["count"])
         events = snapshot.get("events")
         if events is not None:
-            if self.tracer is None:
+            tracer = self.tracer
+            if tracer is None:
                 # A holder tracer: keeps the merged events exportable without
                 # turning on local recording in a registry that never traced.
-                self.tracer = Tracer(enabled=False)
-            self.tracer.absorb(events)
+                tracer = self.tracer = Tracer(enabled=False)
+            tracer.absorb(events)
 
     def render(self, top: int | None = None) -> str:
         """Human-readable text dump (the body of ``repro stats``).
@@ -289,12 +297,18 @@ class Registry:
         with self._lock:
             self._instruments.clear()
             self._spans.clear()
-            self.tracer = None
+        # The tracer slot is deliberately not lock-guarded state: it is
+        # published by trace.install()/uninstall() as an atomic reference
+        # assignment and read once into a local by every consumer (see
+        # snapshot/merge), so clearing it outside the lock is safe.
+        self.tracer = None
 
     def __repr__(self):
+        with self._lock:
+            instruments, span_paths = len(self._instruments), len(self._spans)
         return (
-            f"<Registry {self.name!r}: {len(self._instruments)} instruments, "
-            f"{len(self._spans)} span paths>"
+            f"<Registry {self.name!r}: {instruments} instruments, "
+            f"{span_paths} span paths>"
         )
 
 

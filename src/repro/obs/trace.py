@@ -303,23 +303,36 @@ class Tracer:
 
     def payload(self) -> dict:
         """The versioned dict embedded in registry snapshots (``events``)."""
-        return {"schema": TRACE_SCHEMA, "dropped": self.dropped, "records": self.records()}
+        with self._lock:
+            # One locked section so the dropped count stays coherent with
+            # the record list it was computed against (the lock is not
+            # reentrant — self.records() must not be called from here).
+            return {
+                "schema": TRACE_SCHEMA,
+                "dropped": self.dropped,
+                "records": self._records[self._start:],
+            }
 
     def absorb(self, payload: dict) -> None:
         """Fold an exported payload (e.g. a worker's) into this buffer."""
         if payload.get("schema") != TRACE_SCHEMA:
             raise ObsError(f"unsupported trace schema: {payload.get('schema')!r}")
-        self.dropped += int(payload.get("dropped", 0))
+        with self._lock:
+            self.dropped += int(payload.get("dropped", 0))
         for record in payload.get("records", ()):
             self._append(record)
 
     def write_jsonl(self, path: str) -> None:
         """Export as JSONL: one header line, then one record per line."""
-        write_jsonl(path, self.records(), dropped=self.dropped)
+        payload = self.payload()
+        write_jsonl(path, payload["records"], dropped=payload["dropped"])
 
     def __repr__(self):
         state = "enabled" if self.enabled else "holder"
-        return f"<Tracer {state}: {len(self)} records, {self.dropped} dropped>"
+        with self._lock:
+            count = len(self._records) - self._start
+            dropped = self.dropped
+        return f"<Tracer {state}: {count} records, {dropped} dropped>"
 
 
 # --------------------------------------------------------------------- #

@@ -108,8 +108,12 @@ def prepare(text: str) -> PreparedQuery:
         cached = _plan_cache.get(text)
         if cached is not None:
             _plan_cache.move_to_end(text)
-            obs.inc("sparql.plan_cache.hits")
-            return cached
+    if cached is not None:
+        # Counter updates happen outside the cache lock: obs.inc takes the
+        # registry's own lock on instrument creation, and the plan cache
+        # must never hold _cache_lock while acquiring a foreign lock.
+        obs.inc("sparql.plan_cache.hits")
+        return cached
     obs.inc("sparql.plan_cache.misses")
     prepared = PreparedQuery(text)  # parse outside the lock
     with _cache_lock:

@@ -1,0 +1,110 @@
+"""Deliberate concurrency-contract violations: one per ALEX-C04x/C05x rule.
+
+Line/column positions are pinned in tests/test_repro_analyzer_fixtures.py —
+keep edits append-only or re-pin the expectations.
+"""
+
+import threading
+import time
+
+_REGISTRY_LOCK = threading.Lock()
+_registry = {}
+
+
+def register(name, value):
+    with _REGISTRY_LOCK:
+        _registry[name] = value
+
+
+def peek(name):
+    # ALEX-C040: module-global guarded by _REGISTRY_LOCK, read lock-free.
+    return _registry.get(name)
+
+
+class Meter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+        self._samples = []
+
+    def add(self, value):
+        with self._lock:
+            self._count += 1
+            self._samples.append(value)
+
+    def read_fast(self):
+        # ALEX-C040: guarded attribute read outside the lock.
+        return self._count
+
+    def reset_fast(self):
+        # ALEX-C040: guarded attribute written outside the lock.
+        self._count = 0
+
+    def samples_view(self):
+        with self._lock:
+            # ALEX-C044: hands out the guarded list itself, not a copy.
+            return self._samples
+
+    def flush(self):
+        with self._lock:
+            # ALEX-C042: sleeps while holding the lock.
+            time.sleep(0.01)
+            self._samples.clear()
+
+
+class Ledger:
+    def __init__(self):
+        self._accounts_lock = threading.Lock()
+        self._audit_lock = threading.Lock()
+        self._balance = 0
+        self._entries = []
+
+    def credit(self, amount):
+        with self._accounts_lock:
+            self._balance += amount
+            # ALEX-C041: accounts -> audit here, audit -> accounts below.
+            with self._audit_lock:
+                self._entries.append(amount)
+
+    def audit_total(self):
+        with self._audit_lock:
+            with self._accounts_lock:
+                return self._balance + len(self._entries)
+
+
+def drain(lock, items):
+    # ALEX-C043: manual acquire with no try/finally release.
+    lock.acquire()
+    out = list(items)
+    items.clear()
+    lock.release()
+    return out
+
+
+async def poll_status(path):
+    # ALEX-C042: synchronous blocking I/O inside an async function.
+    return open(path).read()
+
+
+def transfer(source_lock, dest_lock, amount, sink):
+    with source_lock:
+        # ALEX-C042: blocking acquire of a second lock while holding one.
+        dest_lock.acquire()
+        try:
+            sink.append(amount)
+        finally:
+            dest_lock.release()
+
+
+class Journal:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = []
+
+    def append(self, entry):
+        with self._lock:
+            self._entries.append(entry)
+
+    def append_fast(self, entry):
+        # ALEX-C050: designated writer mutating without the owning lock.
+        self._entries.append(entry)

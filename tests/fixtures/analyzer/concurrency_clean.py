@@ -1,0 +1,102 @@
+"""Compliant twins for every concurrency rule in ``concurrency_bad.py``:
+the same shapes spelled correctly, proving each ALEX-C04x/C05x check stays
+silent on disciplined code (including lock-held private helpers, which the
+call-graph propagation must recognise)."""
+
+import threading
+
+_SAFE_REGISTRY_LOCK = threading.Lock()
+_safe_registry = {}
+
+
+def register_safely(name, value):
+    with _SAFE_REGISTRY_LOCK:
+        _safe_registry[name] = value
+
+
+def peek_safely(name):
+    with _SAFE_REGISTRY_LOCK:
+        return _safe_registry.get(name)
+
+
+class SafeMeter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+        self._samples = []
+
+    def add(self, value):
+        with self._lock:
+            self._note_locked(value)
+
+    def _note_locked(self, value):
+        # Only ever called with self._lock held (see add): the analyzer's
+        # call-graph propagation must keep these writes silent.
+        self._count += 1
+        self._samples.append(value)
+
+    def count(self):
+        with self._lock:
+            return self._count
+
+    def reset(self):
+        with self._lock:
+            self._count = 0
+
+    def samples(self):
+        with self._lock:
+            return list(self._samples)
+
+
+class SafeLedger:
+    def __init__(self):
+        self._accounts_lock = threading.Lock()
+        self._audit_lock = threading.Lock()
+        self._balance = 0
+        self._entries = []
+
+    def credit(self, amount):
+        with self._accounts_lock:
+            self._balance += amount
+            with self._audit_lock:
+                self._entries.append(amount)
+
+    def audit_total(self):
+        # Same accounts-before-audit order as credit: acyclic lock graph.
+        with self._accounts_lock:
+            with self._audit_lock:
+                return self._balance + len(self._entries)
+
+
+def drain_safely(lock, items):
+    lock.acquire()
+    try:
+        out = list(items)
+        items.clear()
+        return out
+    finally:
+        lock.release()
+
+
+async def poll_status_safely(path, read_async):
+    return await read_async(path)
+
+
+def transfer_safely(source_lock, dest_lock, amount, sink):
+    with source_lock:
+        with dest_lock:
+            sink.append(amount)
+
+
+class SafeJournal:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = []
+
+    def append(self, entry):
+        with self._lock:
+            self._entries.append(entry)
+
+    def entries(self):
+        with self._lock:
+            return tuple(self._entries)

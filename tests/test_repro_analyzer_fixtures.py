@@ -24,14 +24,18 @@ FIXTURE_CONFIG = AnalyzerConfig(
     decode_boundary=("analyzer/boundary.py",),
     rng_sanctioned_modules=(),
     shared_state_owners={"_index": "analyzer/store.py"},
-    designated_writers={"Store": ("__init__", "add")},
+    designated_writers={
+        "Store": ("__init__", "add"),
+        "Journal": ("__init__", "append", "append_fast"),
+        "SafeJournal": ("__init__", "append"),
+    },
     hot_paths={
         "analyzer/hotpath_bad.py": ("join_kernel",),
         "analyzer/hotpath_clean.py": ("join_kernel",),
     },
 )
 
-CONTRACT_FAMILIES = ("encoding", "rng", "mutation", "cost")
+CONTRACT_FAMILIES = ("encoding", "rng", "mutation", "cost", "concurrency")
 
 
 def _analyze(paths: list[str]):
@@ -61,6 +65,17 @@ EXPECTED = [
     (f"{FIXTURES}/hotpath_bad.py", "ALEX-C030", "warning", 9, 16),
     (f"{FIXTURES}/hotpath_bad.py", "ALEX-C031", "warning", 11, 9),
     (f"{FIXTURES}/hotpath_bad.py", "ALEX-C032", "info", 14, 24),
+    (f"{FIXTURES}/concurrency_bad.py", "ALEX-C040", "error", 21, 12),
+    (f"{FIXTURES}/concurrency_bad.py", "ALEX-C040", "error", 37, 16),
+    (f"{FIXTURES}/concurrency_bad.py", "ALEX-C040", "error", 41, 9),
+    (f"{FIXTURES}/concurrency_bad.py", "ALEX-C041", "error", 66, 13),
+    (f"{FIXTURES}/concurrency_bad.py", "ALEX-C041", "error", 71, 13),
+    (f"{FIXTURES}/concurrency_bad.py", "ALEX-C042", "warning", 51, 13),
+    (f"{FIXTURES}/concurrency_bad.py", "ALEX-C042", "warning", 86, 12),
+    (f"{FIXTURES}/concurrency_bad.py", "ALEX-C042", "warning", 92, 9),
+    (f"{FIXTURES}/concurrency_bad.py", "ALEX-C043", "error", 77, 5),
+    (f"{FIXTURES}/concurrency_bad.py", "ALEX-C044", "warning", 46, 13),
+    (f"{FIXTURES}/concurrency_bad.py", "ALEX-C050", "error", 110, 9),
 ]
 
 
@@ -96,7 +111,7 @@ def test_exactly_the_pinned_violations_and_nothing_else(all_findings):
 
 @pytest.mark.parametrize("clean", [
     "encoding_clean.py", "rng_clean.py", "mutation_clean.py",
-    "hotpath_clean.py", "boundary.py",
+    "hotpath_clean.py", "concurrency_clean.py", "boundary.py",
 ])
 def test_clean_twins_are_silent(clean):
     findings = _analyze([f"{FIXTURES}/{clean}"])
@@ -109,9 +124,35 @@ def test_writer_inventory_covers_the_fixture_store():
         families=("mutation",), registered_codes=set(),
     )
     inventory = result.writer_inventory
-    assert set(inventory) == {"Store"}
+    assert set(inventory) == {"Store", "Journal", "SafeJournal"}
     store = inventory["Store"]
     assert store["module"] == f"{FIXTURES}/store.py"
     assert store["designated"] == ["__init__", "add"]
     assert set(store["writers"]) == {"__init__", "add", "rebuild"}
     assert store["writers"]["rebuild"] == ["_index", "size"]
+
+
+def test_lock_inventory_covers_the_fixture_locks():
+    """The concurrency pass inventories every discovered lock: its kind,
+    the attributes it guards, and where it is acquired."""
+    result = analyze_paths(
+        [FIXTURES], REPO_ROOT, config=FIXTURE_CONFIG,
+        families=("concurrency",), registered_codes=set(),
+    )
+    inventory = result.lock_inventory
+    bad = f"{FIXTURES}/concurrency_bad.py"
+    assert f"{bad}::Meter" in inventory
+    assert f"{bad}::Ledger" in inventory
+    assert f"{bad}::<module>" in inventory
+    meter = inventory[f"{bad}::Meter"]["locks"]["_lock"]
+    assert meter["kind"] == "Lock"
+    assert meter["guards"] == ["_count", "_samples"]
+    assert "add" in meter["acquired_in"]
+    module = inventory[f"{bad}::<module>"]["locks"]["_REGISTRY_LOCK"]
+    assert module["guards"] == ["_registry"]
+    ledger = inventory[f"{bad}::Ledger"]["locks"]
+    assert set(ledger) == {"_accounts_lock", "_audit_lock"}
+    # the clean twin's helper-propagated guards are inventoried too
+    clean = f"{FIXTURES}/concurrency_clean.py"
+    safe_meter = inventory[f"{clean}::SafeMeter"]["locks"]["_lock"]
+    assert safe_meter["guards"] == ["_count", "_samples"]

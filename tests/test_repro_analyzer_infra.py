@@ -30,6 +30,7 @@ from repro_analyzer import (
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BASELINE_PATH = os.path.join(REPO_ROOT, "tools", "repro_analyzer", "baseline.json")
 WRITERS_PATH = os.path.join(REPO_ROOT, "tools", "repro_analyzer", "writers.json")
+LOCKS_PATH = os.path.join(REPO_ROOT, "tools", "repro_analyzer", "locks.json")
 
 
 def _finding(path="src/x.py", code="ALEX-C001", severity="error",
@@ -179,6 +180,44 @@ def test_committed_writer_inventory_matches_a_live_run():
     assert {"Graph", "TermDictionary", "LinkSet", "AlexEngine"} <= set(live)
 
 
+def test_committed_lock_inventory_matches_a_live_run():
+    with open(LOCKS_PATH, encoding="utf-8") as handle:
+        committed = json.load(handle)
+    live = _real_run().lock_inventory
+    assert committed == live, (
+        "tools/repro_analyzer/locks.json is stale — regenerate with "
+        "`repro lint-code src/repro --locks tools/repro_analyzer/locks.json`"
+    )
+    # the inventory must cover every lock-owning scope the service layer
+    # will sit on top of
+    assert {
+        "src/repro/obs/registry.py::Registry",
+        "src/repro/obs/trace.py::Tracer",
+        "src/repro/sparql/prepared.py::<module>",
+    } <= set(live)
+    registry = live["src/repro/obs/registry.py::Registry"]["locks"]["_lock"]
+    assert registry["guards"] == ["_instruments", "_spans"]
+
+
+def test_findings_and_inventories_are_deterministic():
+    """Two full runs produce byte-identical orderings — findings sort by
+    (path, line, column, code) and both inventories are sorted, so JSON
+    and SARIF output is reproducible for CI diffing."""
+    first, second = _real_run(), _real_run()
+    assert [f.format() for f in first.findings] == [
+        f.format() for f in second.findings
+    ]
+    assert first.findings == sorted(
+        first.findings, key=lambda f: (f.path, f.line, f.column, f.code)
+    )
+    assert json.dumps(first.lock_inventory, sort_keys=True) == json.dumps(
+        second.lock_inventory, sort_keys=True
+    )
+    assert json.dumps(first.writer_inventory, sort_keys=True) == json.dumps(
+        second.writer_inventory, sort_keys=True
+    )
+
+
 # -- output formats -----------------------------------------------------------
 
 
@@ -237,6 +276,46 @@ def test_repro_lint_code_cli_clean_against_baseline():
 
     assert main(["lint-code", "src/repro"]) == 0
     assert main(["lint-code", "--check-baseline"]) == 0
+
+
+def test_repro_lint_code_writes_lock_inventory(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "locks.json"
+    assert main(["lint-code", "src/repro", "--locks", str(out)]) == 0
+    capsys.readouterr()
+    with open(LOCKS_PATH, encoding="utf-8") as handle:
+        assert json.load(handle) == json.loads(out.read_text())
+
+
+def test_changed_mode_rejects_explicit_paths():
+    from repro_analyzer.cli import main as analyzer_main
+
+    assert analyzer_main(["src/repro", "--changed"]) == 2
+
+
+def test_changed_python_files_diffs_against_a_ref(tmp_path):
+    from repro_analyzer.cli import changed_python_files
+
+    def git(*args):
+        subprocess.run(
+            ("git", "-C", str(tmp_path)) + args, check=True,
+            capture_output=True,
+            env={**os.environ, "GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+                 "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t"},
+        )
+
+    git("init", "-q")
+    (tmp_path / "a.py").write_text("A = 1\n")
+    (tmp_path / "ignored.txt").write_text("not python\n")
+    git("add", "a.py", "ignored.txt")
+    git("commit", "-qm", "seed")
+    (tmp_path / "a.py").write_text("A = 2\n")
+    (tmp_path / "b.py").write_text("B = 1\n")
+    (tmp_path / "ignored.txt").write_text("still not python\n")
+    assert changed_python_files(str(tmp_path), "HEAD") == ["a.py", "b.py"]
+    with pytest.raises(ValueError, match="git"):
+        changed_python_files(str(tmp_path), "no-such-ref")
 
 
 def test_repro_lint_code_counts_runs():

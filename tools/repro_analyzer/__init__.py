@@ -17,6 +17,12 @@ could not enforce —
   no iteration-while-mutating of the SPO/POS/OSP indexes.
 * **C4 hot-path cost** (ALEX-C030..C032): no per-row decode/str/obs-event
   work inside the join and scoring kernels.
+* **C5 concurrency contracts** (ALEX-C040..C044, C050): lock-guarded
+  state is accessed under its lock (inventoried in ``locks.json``),
+  lock-acquisition order is globally consistent, nothing blocks while
+  holding a lock or inside ``async def``, manual ``acquire()`` pairs
+  with a try/finally ``release()``, and guarded mutable state never
+  escapes its lock.
 
 The historical repo invariants R001-R007 are migrated as the "repo" pass
 family; ``tools/lint_repro.py`` remains as a deprecation wrapper running
@@ -59,6 +65,7 @@ from .model import (
     meets_threshold,
 )
 from .output import render_json, render_sarif, render_text
+from .rules_concurrency import ConcurrencyContractsPass, LockOrderEdge
 
 #: Best-effort registration of the ALEX-C table into repro.diagnostics
 #: (no-op when the repro package is not importable — standalone CI mode).
@@ -75,7 +82,9 @@ __all__ = [
     "BaselineError",
     "CODES",
     "CodeFinding",
+    "ConcurrencyContractsPass",
     "DEFAULT_FAMILIES",
+    "LockOrderEdge",
     "ModuleContext",
     "PASS_FAMILIES",
     "Pass",

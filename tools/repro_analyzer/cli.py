@@ -82,7 +82,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--writers", default=None, metavar="PATH",
         help="write the mutation-safety writer inventory (writers.json) to PATH",
     )
+    parser.add_argument(
+        "--locks", default=None, metavar="PATH",
+        help="write the concurrency lock inventory (locks.json) to PATH",
+    )
+    parser.add_argument(
+        "--changed", nargs="?", const="HEAD", default=None, metavar="GITREF",
+        help="analyze only Python files changed relative to GITREF "
+             "(default HEAD) plus untracked ones; mutually exclusive with "
+             "explicit paths",
+    )
     return parser
+
+
+def changed_python_files(root: str, ref: str) -> list[str]:
+    """Repo-relative ``.py`` files changed vs ``ref`` plus untracked ones.
+
+    Runs ``git`` in ``root``; raises :class:`ValueError` when git fails
+    (not a repository, unknown ref). Paths that no longer exist on disk
+    (deletions) are filtered out, and the list is sorted so subset runs
+    are as deterministic as full runs.
+    """
+    import subprocess
+
+    def run(*args: str) -> list[str]:
+        proc = subprocess.run(
+            ("git", "-C", root) + args,
+            capture_output=True, text=True, check=False,
+        )
+        if proc.returncode != 0:
+            raise ValueError(
+                f"git {' '.join(args)} failed: {proc.stderr.strip() or proc.returncode}"
+            )
+        return [line for line in proc.stdout.splitlines() if line.strip()]
+
+    names = run("diff", "--name-only", ref, "--", "*.py")
+    names += run("ls-files", "--others", "--exclude-standard", "--", "*.py")
+    return sorted(
+        {name for name in names if os.path.isfile(os.path.join(root, name))}
+    )
 
 
 def default_baseline_path() -> str:
@@ -94,9 +132,22 @@ def main(argv: list[str] | None = None) -> int:
     options = parser.parse_args(argv)
 
     root = options.root or repo_root_default()
-    paths = options.paths or [
-        p for p in ("src", "tools", "benchmarks") if os.path.isdir(os.path.join(root, p))
-    ]
+    if options.changed is not None and options.paths:
+        print("error: --changed and explicit paths are mutually exclusive", file=sys.stderr)
+        return 2
+    if options.changed is not None:
+        try:
+            paths = changed_python_files(root, options.changed)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if not paths:
+            print(f"no Python files changed vs {options.changed}; nothing to analyze")
+            return 0
+    else:
+        paths = options.paths or [
+            p for p in ("src", "tools", "benchmarks") if os.path.isdir(os.path.join(root, p))
+        ]
     families = tuple(f.strip() for f in options.rules.split(",") if f.strip())
 
     try:
@@ -153,6 +204,11 @@ def main(argv: list[str] | None = None) -> int:
     if options.writers:
         with open(options.writers, "w", encoding="utf-8") as handle:
             json.dump(result.writer_inventory, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    if options.locks:
+        with open(options.locks, "w", encoding="utf-8") as handle:
+            json.dump(result.lock_inventory, handle, indent=2, sort_keys=True)
             handle.write("\n")
 
     surviving, suppressed, stale = apply_baseline(result.findings, entries)

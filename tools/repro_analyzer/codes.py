@@ -68,6 +68,31 @@ CODES: dict[str, tuple[str, str]] = {
         "info",
         "per-row container allocation at loop depth >= 2 in a hot function",
     ),
+    # -- C5: concurrency contracts --------------------------------------
+    "ALEX-C040": (
+        "error",
+        "lock-guarded attribute read or written outside its lock",
+    ),
+    "ALEX-C041": (
+        "error",
+        "inconsistent lock-acquisition order (potential deadlock cycle)",
+    ),
+    "ALEX-C042": (
+        "warning",
+        "blocking call while holding a lock or inside an async function",
+    ),
+    "ALEX-C043": (
+        "error",
+        "manual lock acquire() without a try/finally release",
+    ),
+    "ALEX-C044": (
+        "warning",
+        "locked method returns a reference to guarded mutable state",
+    ),
+    "ALEX-C050": (
+        "error",
+        "designated writer mutates guarded state without holding the owning lock",
+    ),
 }
 
 ANALYZER_NAME = "repro_analyzer"

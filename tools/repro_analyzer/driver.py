@@ -20,6 +20,7 @@ from .model import (
     ModuleContext,
     Pass,
 )
+from .rules_concurrency import ConcurrencyContractsPass
 from .rules_cost import HotPathCostPass
 from .rules_encoding import EncodingBoundaryPass
 from .rules_mutation import MutationSafetyPass
@@ -34,9 +35,10 @@ PASS_FAMILIES: dict[str, type[Pass]] = {
     "rng": RngDisciplinePass,
     "mutation": MutationSafetyPass,
     "cost": HotPathCostPass,
+    "concurrency": ConcurrencyContractsPass,
 }
 
-DEFAULT_FAMILIES = ("repo", "encoding", "rng", "mutation", "cost")
+DEFAULT_FAMILIES = ("repo", "encoding", "rng", "mutation", "cost", "concurrency")
 
 
 def build_passes(families: tuple[str, ...] = DEFAULT_FAMILIES) -> list[Pass]:
@@ -111,7 +113,9 @@ def iter_python_files(paths: list[str], root: str):
         elif os.path.isdir(base):
             candidates = []
             for dirpath, dirnames, filenames in os.walk(base):
-                dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+                # Sorted traversal keeps module order — and with it artifact
+                # and finding order — byte-stable across filesystems.
+                dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
                 candidates.extend(
                     os.path.join(dirpath, f) for f in sorted(filenames)
                     if f.endswith(".py")
@@ -129,6 +133,7 @@ def iter_python_files(paths: list[str], root: str):
 class AnalysisResult:
     findings: list[CodeFinding] = field(default_factory=list)
     writer_inventory: dict[str, dict] = field(default_factory=dict)
+    lock_inventory: dict[str, dict] = field(default_factory=dict)
     modules_scanned: int = 0
 
     @property
@@ -171,8 +176,14 @@ def analyze_paths(
         for pass_ in passes:
             result.findings.extend(pass_.run(module, ctx))
 
+    for pass_ in passes:
+        result.findings.extend(pass_.finalize(ctx))
+
     result.findings.sort(key=CodeFinding.sort_key)
     result.writer_inventory = {
         name: ctx.writer_inventory[name] for name in sorted(ctx.writer_inventory)
+    }
+    result.lock_inventory = {
+        key: ctx.lock_inventory[key] for key in sorted(ctx.lock_inventory)
     }
     return result

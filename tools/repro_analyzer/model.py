@@ -199,6 +199,27 @@ class AnalyzerConfig:
     #: instrumentation such as tracers and EXPLAIN observers).
     cost_guard_names: tuple[str, ...] = ("tracer", "observer")
 
+    #: Dotted call patterns the C042 check treats as blocking. Multi-part
+    #: entries match by attribute-chain suffix (``time.sleep`` matches
+    #: ``time.sleep(...)``); single-part entries match a bare name call
+    #: only (``open`` matches ``open(...)``, never ``zf.open(...)``).
+    blocking_calls: tuple[str, ...] = (
+        "time.sleep",
+        "open",
+        "input",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "urllib.request.urlopen",
+        "requests.get",
+        "requests.post",
+        "requests.request",
+    )
+
     def with_changes(self, **kwargs) -> "AnalyzerConfig":
         return replace(self, **kwargs)
 
@@ -284,6 +305,14 @@ class AnalysisContext:
         #: Mutation-safety inventory accumulated by the C3 pass:
         #: class -> {"module": rel, "designated": [...], "writers": {method: [attrs]}}.
         self.writer_inventory: dict[str, dict] = {}
+        #: Lock inventory accumulated by the C5 pass:
+        #: "rel::scope" -> {"module": rel, "scope": name, "locks": {...}}.
+        self.lock_inventory: dict[str, dict] = {}
+        #: Static lock graph accumulated by the C5 pass and resolved in its
+        #: ``finalize`` hook: one entry per cross-lock acquisition site.
+        self.lock_order_edges: list = []
+        #: Qualified lock id ("rel::scope.name") -> "Lock" | "RLock".
+        self.lock_kinds: dict[str, str] = {}
 
 
 class Pass:
@@ -301,6 +330,11 @@ class Pass:
 
     def run(self, module: ModuleContext, ctx: AnalysisContext) -> Iterable[CodeFinding]:
         raise NotImplementedError
+
+    def finalize(self, ctx: AnalysisContext) -> Iterable[CodeFinding]:
+        """Cross-module findings emitted once after every module ran (the
+        C041 lock-order cycle check is the only user today)."""
+        return []
 
     def finding(self, module: ModuleContext, node: ast.AST, code: str, message: str,
                 hint: str | None = None) -> CodeFinding:

@@ -1,0 +1,896 @@
+"""C5 — concurrency contracts (ALEX-C040..C044, C050) and ``locks.json``.
+
+The ROADMAP's ALEX-as-a-service tentpole puts a long-lived engine behind
+concurrent request handlers, so the locking discipline of the shared
+structures (the obs registry, the trace ring buffer, the SPARQL plan
+cache) stops being a convention and becomes a contract. This pass turns
+it into a checked one:
+
+* a **lock inventory** discovers every ``threading.Lock``/``RLock`` held
+  by a class (``self._lock = threading.Lock()``) or a module
+  (``_cache_lock = threading.Lock()``), infers which attributes each
+  lock *guards* from the mutations performed inside ``with <lock>:``
+  blocks, and is emitted as a committed artifact (``locks.json``) next
+  to ``writers.json``;
+* a lightweight **intra-module call graph** propagates "holds lock L"
+  through private helper calls: a ``_helper`` whose every call site
+  holds L is analyzed as entered with L held (greatest-fixpoint
+  intersection over call sites);
+* on top of that inventory, the checked contracts:
+
+  - **ALEX-C040** — a guarded attribute is read or written outside its
+    lock (``__init__`` is exempt: construction is single-threaded);
+  - **ALEX-C041** — two locks are acquired in opposite orders somewhere
+    in the analyzed tree (static lock graph; every acquisition edge on a
+    cycle is flagged as a potential deadlock, including re-acquiring a
+    non-reentrant ``Lock`` already held);
+  - **ALEX-C042** — a blocking call (``time.sleep``, I/O, a nested
+    ``.acquire()``) happens while a lock is held, or inside an
+    ``async def`` (where it stalls the event loop);
+  - **ALEX-C043** — a manual ``acquire()`` is not immediately followed
+    by ``try:`` ... ``finally: release()``, so an exception leaks the
+    lock;
+  - **ALEX-C044** — a method returns/yields a bare reference to guarded
+    *mutable* state (list/dict/set-valued), letting it escape its lock
+    even when the return itself runs locked;
+  - **ALEX-C050** — a *designated writer* (``writers.json``) of a
+    lock-owning class mutates guarded state without holding the lock —
+    the cross-check between the C3 mutation inventory and this tier.
+
+Heuristics are deliberately modest: attribute guards are inferred only
+for the module's own inventoried locks; lock-ish *names* (a parameter
+called ``lock``) participate only in the C042/C043 shape checks. Code
+that acquires manually and then blocks three statements later is out of
+scope — the with-statement is the only held-region tracker.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .dataflow import dotted_parts
+from .model import AnalysisContext, CodeFinding, ModuleContext, Pass, finding_at
+from .rules_mutation import CONTAINER_MUTATORS
+
+#: Constructors recognised as lock factories (bare or ``threading.``-qualified).
+LOCK_FACTORIES = frozenset({"Lock", "RLock"})
+
+#: Receiver methods that mutate a container in place, for guard inference
+#: (the C3 set plus the OrderedDict/deque verbs the lock modules use).
+CONCURRENCY_MUTATORS = CONTAINER_MUTATORS | {"move_to_end", "appendleft", "popleft"}
+
+#: Initializer shapes marking an attribute as mutable-container-valued (C044).
+MUTABLE_FACTORIES = frozenset({
+    "list", "dict", "set", "defaultdict", "OrderedDict", "deque", "Counter",
+    "bytearray",
+})
+
+#: Methods whose body is exempt from the C040/C050 access checks:
+#: construction is single-threaded by contract.
+CHECK_EXEMPT_METHODS = frozenset({"__init__", "__new__"})
+
+MODULE_SCOPE = "<module>"
+
+
+def _lock_factory_kind(value: ast.AST) -> str | None:
+    """``threading.Lock()`` / ``Lock()`` -> "Lock"; RLock likewise; else None."""
+    if not isinstance(value, ast.Call) or value.args or value.keywords:
+        return None
+    parts = dotted_parts(value.func)
+    if not parts or parts[-1] not in LOCK_FACTORIES:
+        return None
+    if len(parts) > 1 and parts[-2] != "threading":
+        return None
+    return parts[-1]
+
+
+def _is_mutable_initializer(value: ast.AST) -> bool:
+    if isinstance(value, (ast.List, ast.Dict, ast.Set,
+                          ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        parts = dotted_parts(value.func)
+        return bool(parts) and parts[-1] in MUTABLE_FACTORIES
+    return False
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("self", "cls")
+    ):
+        return node.attr
+    return None
+
+
+def _unparse(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on valid trees
+        return ""
+
+
+@dataclass
+class _Scope:
+    """One lock-owning candidate scope: a top-level class or the module."""
+
+    name: str                                  # class name or "<module>"
+    locks: dict[str, str] = field(default_factory=dict)   # lock name -> kind
+    mutable: set[str] = field(default_factory=set)        # container-valued attrs
+    guards: dict[str, set[str]] = field(default_factory=dict)  # attr -> lock tokens
+    acquired_in: dict[str, set[str]] = field(default_factory=dict)  # lock -> funcs
+
+
+@dataclass
+class _Access:
+    node: ast.AST
+    func: str                  # qualified function name ("Cls.meth" / "f")
+    scope: str                 # owning scope name of the accessed state
+    attr: str
+    is_write: bool
+    held: frozenset
+
+
+@dataclass
+class _Acquisition:
+    node: ast.AST
+    func: str
+    token: str                 # held-set token of the acquired lock
+    via: str                   # "with" | "acquire"
+    held: frozenset
+    in_async: bool
+
+
+@dataclass
+class _Blocking:
+    node: ast.AST
+    func: str
+    what: str
+    held: frozenset
+    in_async: bool
+
+
+@dataclass
+class _Escape:
+    node: ast.AST
+    func: str
+    scope: str
+    attr: str
+    verb: str                  # "returns" | "yields"
+
+
+@dataclass
+class LockOrderEdge:
+    """One acquisition of ``dst`` while ``src`` was held (C041 graph edge)."""
+
+    src: str                   # qualified lock id "rel::scope.name"
+    dst: str
+    rel: str
+    line: int
+    column: int
+    src_display: str
+    dst_display: str
+
+
+class ConcurrencyContractsPass(Pass):
+    name = "concurrency-contracts"
+    codes = {
+        "ALEX-C040": (
+            "error",
+            "lock-guarded attribute read or written outside its lock",
+        ),
+        "ALEX-C041": (
+            "error",
+            "inconsistent lock-acquisition order (potential deadlock cycle)",
+        ),
+        "ALEX-C042": (
+            "warning",
+            "blocking call while holding a lock or inside an async function",
+        ),
+        "ALEX-C043": (
+            "error",
+            "manual lock acquire() without a try/finally release",
+        ),
+        "ALEX-C044": (
+            "warning",
+            "locked method returns a reference to guarded mutable state",
+        ),
+        "ALEX-C050": (
+            "error",
+            "designated writer mutates guarded state without holding the owning lock",
+        ),
+    }
+
+    def run(self, module: ModuleContext, ctx: AnalysisContext) -> Iterable[CodeFinding]:
+        if not ctx.config.in_library(module.rel):
+            return []
+        scan = _ModuleScan(module, ctx.config)
+        scan.collect()
+        findings = scan.check()
+        scan.export(ctx)
+        return findings
+
+    # -- C041: resolved once, over the whole-run lock graph ----------------
+
+    def finalize(self, ctx: AnalysisContext) -> Iterable[CodeFinding]:
+        edges: list[LockOrderEdge] = ctx.lock_order_edges
+        adjacency: dict[str, set[str]] = {}
+        for edge in edges:
+            adjacency.setdefault(edge.src, set()).add(edge.dst)
+        findings = []
+        seen: set[tuple] = set()
+        for edge in edges:
+            if edge.src == edge.dst:
+                if ctx.lock_kinds.get(edge.src) == "RLock":
+                    continue  # re-entrant by design
+                message = (
+                    f"re-acquiring non-reentrant lock {edge.src_display} while "
+                    "it is already held on this path — guaranteed self-deadlock"
+                )
+                hint = "use threading.RLock, or restructure so the helper is " \
+                       "called with the lock already dropped"
+            elif self._reaches(adjacency, edge.dst, edge.src):
+                message = (
+                    f"acquires {edge.dst_display} while holding "
+                    f"{edge.src_display}, but the opposite order is taken "
+                    "elsewhere — a potential deadlock cycle"
+                )
+                hint = "pick one global acquisition order for these locks and " \
+                       "apply it on every path"
+            else:
+                continue
+            key = (edge.rel, edge.line, edge.column, edge.src, edge.dst)
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(CodeFinding(
+                path=edge.rel, line=edge.line, column=edge.column,
+                code="ALEX-C041", severity=self.codes["ALEX-C041"][0],
+                message=message, hint=hint,
+            ))
+        return findings
+
+    @staticmethod
+    def _reaches(adjacency: dict[str, set[str]], start: str, goal: str) -> bool:
+        stack, visited = [start], set()
+        while stack:
+            node = stack.pop()
+            if node == goal:
+                return True
+            if node in visited:
+                continue
+            visited.add(node)
+            stack.extend(adjacency.get(node, ()))
+        return False
+
+
+class _ModuleScan:
+    """All concurrency facts of one module, then the checks over them."""
+
+    def __init__(self, module: ModuleContext, config):
+        self.module = module
+        self.config = config
+        self.scopes: dict[str, _Scope] = {}
+        self.functions: dict[str, tuple[ast.AST, str]] = {}  # qual -> (node, scope)
+        self.call_sites: list[tuple[str, str, frozenset]] = []
+        self.entry_held: dict[str, frozenset] = {}
+        self.accesses: list[_Access] = []
+        self.acquisitions: list[_Acquisition] = []
+        self.blockings: list[_Blocking] = []
+        self.escapes: list[_Escape] = []
+        self.findings: list[CodeFinding] = []
+        self._severity = dict(ConcurrencyContractsPass.codes)
+
+    # ------------------------------------------------------------------ #
+    # Collection
+    # ------------------------------------------------------------------ #
+
+    def collect(self) -> None:
+        self._discover_scopes()
+        for qual, (func, scope_name) in self.functions.items():
+            self._scan_function(qual, func, scope_name)
+        self._solve_entry_held()
+        self._infer_guards()
+
+    def _discover_scopes(self) -> None:
+        tree = self.module.tree
+        module_scope = _Scope(MODULE_SCOPE)
+        for stmt in tree.body:
+            targets, value = self._assign_shape(stmt)
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                kind = _lock_factory_kind(value)
+                if kind is not None:
+                    module_scope.locks[target.id] = kind
+                elif _is_mutable_initializer(value):
+                    module_scope.mutable.add(target.id)
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[stmt.name] = (stmt, MODULE_SCOPE)
+        self.scopes[MODULE_SCOPE] = module_scope
+
+        for class_node in tree.body:
+            if not isinstance(class_node, ast.ClassDef):
+                continue
+            scope = _Scope(class_node.name)
+            for node in ast.walk(class_node):
+                targets, value = self._assign_shape(node)
+                for target in targets:
+                    attr = _self_attr(target)
+                    if attr is None:
+                        continue
+                    kind = _lock_factory_kind(value)
+                    if kind is not None:
+                        scope.locks[attr] = kind
+                    elif _is_mutable_initializer(value):
+                        scope.mutable.add(attr)
+            for method in class_node.body:
+                if isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    self.functions[f"{class_node.name}.{method.name}"] = (
+                        method, class_node.name
+                    )
+            self.scopes[class_node.name] = scope
+
+    @staticmethod
+    def _assign_shape(node: ast.AST) -> tuple[list[ast.AST], ast.AST | None]:
+        """Targets and value of a plain/annotated assignment, else ([], None)."""
+        if isinstance(node, ast.Assign):
+            return list(node.targets), node.value
+        if isinstance(node, ast.AnnAssign) and node.value is not None:
+            return [node.target], node.value
+        return [], None
+
+    # -- per-function scan -------------------------------------------------
+
+    def _scan_function(self, qual: str, func: ast.AST, scope_name: str) -> None:
+        state = _FuncState(
+            qual=qual,
+            scope=scope_name,
+            in_async=isinstance(func, ast.AsyncFunctionDef),
+            shadowed=self._shadowed_names(func),
+        )
+        for stmt in func.body:
+            self._walk(stmt, frozenset(), state)
+        self._check_manual_acquires(qual, func, scope_name)
+
+    @staticmethod
+    def _shadowed_names(func: ast.AST) -> frozenset[str]:
+        """Names that are function-local (params or bare assignments without
+        a ``global`` declaration) and therefore never alias module globals."""
+        declared_global: set[str] = set()
+        assigned: set[str] = set()
+        args = func.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            assigned.add(arg.arg)
+        if args.vararg:
+            assigned.add(args.vararg.arg)
+        if args.kwarg:
+            assigned.add(args.kwarg.arg)
+        for node in ast.walk(func):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                assigned.add(node.id)
+        return frozenset(assigned - declared_global)
+
+    def _walk(self, node: ast.AST, held: frozenset, state: "_FuncState") -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = []
+            for item in node.items:
+                self._walk(item.context_expr, held, state)
+                if item.optional_vars is not None:
+                    self._walk(item.optional_vars, held, state)
+                token = self._lock_token(item.context_expr, state)
+                if token is not None:
+                    acquired.append(token)
+            inner = held
+            for token in acquired:
+                self.acquisitions.append(_Acquisition(
+                    node=node, func=state.qual, token=token, via="with",
+                    held=inner, in_async=state.in_async,
+                ))
+                inner = inner | {token}
+            for stmt in node.body:
+                self._walk(stmt, inner, state)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # A nested definition runs later, possibly without the lock:
+            # analyze its body with nothing held and no entry propagation.
+            nested = _FuncState(
+                qual=f"{state.qual}.<nested>",
+                scope=state.scope,
+                in_async=isinstance(node, ast.AsyncFunctionDef),
+                shadowed=state.shadowed | self._shadowed_names(node)
+                if not isinstance(node, ast.Lambda) else state.shadowed,
+            )
+            body = node.body if not isinstance(node, ast.Lambda) else [node.body]
+            for child in body:
+                self._walk(child, frozenset(), nested)
+            return
+
+        self._classify(node, held, state)
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, held, state)
+
+    def _classify(self, node: ast.AST, held: frozenset, state: "_FuncState") -> None:
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Delete)):
+            self._classify_writes(node, held, state)
+        elif isinstance(node, ast.Call):
+            self._classify_call(node, held, state)
+        elif isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+            attr = _self_attr(node)
+            if (
+                attr is not None
+                and id(node) not in state.consumed
+                and state.scope != MODULE_SCOPE
+            ):
+                self.accesses.append(_Access(
+                    node=node, func=state.qual, scope=state.scope, attr=attr,
+                    is_write=False, held=held,
+                ))
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            if id(node) not in state.consumed and node.id not in state.shadowed:
+                self.accesses.append(_Access(
+                    node=node, func=state.qual, scope=MODULE_SCOPE, attr=node.id,
+                    is_write=False, held=held,
+                ))
+        elif isinstance(node, (ast.Return, ast.Yield)) and node.value is not None:
+            verb = "returns" if isinstance(node, ast.Return) else "yields"
+            attr = _self_attr(node.value)
+            if attr is not None and state.scope != MODULE_SCOPE:
+                self.escapes.append(_Escape(
+                    node=node, func=state.qual, scope=state.scope, attr=attr,
+                    verb=verb,
+                ))
+            elif (
+                isinstance(node.value, ast.Name)
+                and node.value.id not in state.shadowed
+            ):
+                self.escapes.append(_Escape(
+                    node=node, func=state.qual, scope=MODULE_SCOPE,
+                    attr=node.value.id, verb=verb,
+                ))
+
+    def _classify_writes(self, node: ast.AST, held: frozenset,
+                         state: "_FuncState") -> None:
+        if isinstance(node, ast.Delete):
+            targets = node.targets
+        else:
+            targets, value = self._assign_shape_aug(node)
+            if targets is None:
+                return
+        queue = list(targets)
+        while queue:
+            target = queue.pop()
+            if isinstance(target, (ast.Tuple, ast.List)):
+                queue.extend(target.elts)
+                continue
+            anchor = target
+            if isinstance(target, ast.Subscript):
+                anchor = target.value
+                state.consumed.add(id(anchor))
+            attr = _self_attr(anchor)
+            if attr is not None and state.scope != MODULE_SCOPE:
+                self.accesses.append(_Access(
+                    node=anchor, func=state.qual, scope=state.scope, attr=attr,
+                    is_write=True, held=held,
+                ))
+            elif isinstance(anchor, ast.Name):
+                bare = not isinstance(target, ast.Subscript)
+                if bare and anchor.id in state.shadowed:
+                    continue  # plain local assignment, not the global
+                if not bare and anchor.id in state.shadowed:
+                    continue
+                self.accesses.append(_Access(
+                    node=anchor, func=state.qual, scope=MODULE_SCOPE,
+                    attr=anchor.id, is_write=True, held=held,
+                ))
+
+    @staticmethod
+    def _assign_shape_aug(node: ast.AST):
+        if isinstance(node, ast.Assign):
+            return node.targets, node.value
+        if isinstance(node, ast.AugAssign):
+            return [node.target], node.value
+        if isinstance(node, ast.AnnAssign) and node.value is not None:
+            return [node.target], node.value
+        return None, None
+
+    def _classify_call(self, node: ast.Call, held: frozenset,
+                       state: "_FuncState") -> None:
+        func = node.func
+        # In-place mutator: <receiver>.append(...) and friends.
+        if isinstance(func, ast.Attribute) and func.attr in CONCURRENCY_MUTATORS:
+            receiver = func.value
+            attr = _self_attr(receiver)
+            if attr is not None and state.scope != MODULE_SCOPE:
+                state.consumed.add(id(receiver))
+                self.accesses.append(_Access(
+                    node=node, func=state.qual, scope=state.scope, attr=attr,
+                    is_write=True, held=held,
+                ))
+            elif isinstance(receiver, ast.Name) and receiver.id not in state.shadowed:
+                state.consumed.add(id(receiver))
+                self.accesses.append(_Access(
+                    node=node, func=state.qual, scope=MODULE_SCOPE,
+                    attr=receiver.id, is_write=True, held=held,
+                ))
+        # Manual acquire: records a lock-graph edge / nested-acquire C042.
+        if isinstance(func, ast.Attribute) and func.attr == "acquire":
+            token = self._lock_token(func.value, state)
+            if token is not None:
+                self.acquisitions.append(_Acquisition(
+                    node=node, func=state.qual, token=token, via="acquire",
+                    held=held, in_async=state.in_async,
+                ))
+        # Blocking-call table.
+        what = self._blocking_match(node)
+        if what is not None:
+            self.blockings.append(_Blocking(
+                node=node, func=state.qual, what=what, held=held,
+                in_async=state.in_async,
+            ))
+        # Intra-module call graph: self._helper() / bare helper().
+        callee = None
+        if isinstance(func, ast.Attribute):
+            recv_attr = _self_attr(func)
+            if recv_attr is not None and state.scope != MODULE_SCOPE:
+                callee = f"{state.scope}.{func.attr}"
+        elif isinstance(func, ast.Name) and func.id not in state.shadowed:
+            callee = func.id
+        if callee is not None and callee in self.functions:
+            self.call_sites.append((state.qual, callee, held))
+
+    def _blocking_match(self, node: ast.Call) -> str | None:
+        parts = dotted_parts(node.func)
+        if not parts:
+            return None
+        for entry in self.config.blocking_calls:
+            eparts = entry.split(".")
+            if len(eparts) == 1:
+                if parts == eparts:
+                    return entry
+            elif len(parts) >= len(eparts) and parts[-len(eparts):] == eparts:
+                return entry
+        return None
+
+    def _lock_token(self, expr: ast.AST, state: "_FuncState") -> str | None:
+        """Held-set token for a lock-valued expression, or None.
+
+        Inventoried locks get precise tokens ("<scope>:<name>"); anything
+        whose terminal identifier contains "lock" gets a heuristic token
+        that participates only in the C042/C043 shape checks.
+        """
+        attr = _self_attr(expr)
+        if attr is not None and state.scope != MODULE_SCOPE:
+            if attr in self.scopes[state.scope].locks:
+                return f"{state.scope}:{attr}"
+        if isinstance(expr, ast.Name):
+            if expr.id in self.scopes[MODULE_SCOPE].locks and (
+                expr.id not in state.shadowed
+            ):
+                return f"{MODULE_SCOPE}:{expr.id}"
+            if "lock" in expr.id.lower():
+                return f"?:{expr.id}"
+        if isinstance(expr, ast.Attribute) and "lock" in expr.attr.lower():
+            return f"?:{expr.attr}"
+        return None
+
+    # -- C043: manual acquire without try/finally --------------------------
+
+    def _check_manual_acquires(self, qual: str, func: ast.AST,
+                               scope_name: str) -> None:
+        state = _FuncState(qual=qual, scope=scope_name, in_async=False,
+                           shadowed=self._shadowed_names(func))
+        for body in self._statement_lists(func):
+            for index, stmt in enumerate(body):
+                receiver = self._acquire_receiver(stmt)
+                if receiver is None:
+                    continue
+                if self._lock_token(receiver, state) is None:
+                    continue
+                follower = body[index + 1] if index + 1 < len(body) else None
+                if isinstance(follower, ast.Try) and self._releases(
+                    follower, _unparse(receiver)
+                ):
+                    continue
+                source = _unparse(receiver)
+                self._emit(stmt, "ALEX-C043",
+                           f"{source}.acquire() is not followed by "
+                           "try/finally release; an exception on this path "
+                           "leaks the lock",
+                           hint=f"prefer `with {source}:`, or wrap the locked "
+                                "region in try/finally with "
+                                f"`{source}.release()` in the finally block")
+
+    @staticmethod
+    def _statement_lists(func: ast.AST):
+        for node in ast.walk(func):
+            for attr in ("body", "orelse", "finalbody"):
+                stmts = getattr(node, attr, None)
+                if isinstance(stmts, list) and stmts and isinstance(stmts[0], ast.stmt):
+                    yield stmts
+
+    @staticmethod
+    def _acquire_receiver(stmt: ast.AST) -> ast.AST | None:
+        value = None
+        if isinstance(stmt, ast.Expr):
+            value = stmt.value
+        elif isinstance(stmt, ast.Assign):
+            value = stmt.value
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "acquire"
+        ):
+            return value.func.value
+        return None
+
+    @staticmethod
+    def _releases(try_node: ast.Try, receiver_source: str) -> bool:
+        for stmt in try_node.finalbody:
+            if (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Call)
+                and isinstance(stmt.value.func, ast.Attribute)
+                and stmt.value.func.attr == "release"
+                and _unparse(stmt.value.func.value) == receiver_source
+            ):
+                return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Resolution
+    # ------------------------------------------------------------------ #
+
+    def _solve_entry_held(self) -> None:
+        universe = frozenset().union(
+            *(acq.held | {acq.token} for acq in self.acquisitions),
+            *(access.held for access in self.accesses),
+        ) if (self.acquisitions or self.accesses) else frozenset()
+        called = {callee for _, callee, _ in self.call_sites}
+        entry: dict[str, frozenset] = {}
+        for qual in self.functions:
+            bare = qual.rsplit(".", 1)[-1]
+            private = bare.startswith("_") and not bare.startswith("__")
+            entry[qual] = universe if private and qual in called else frozenset()
+        changed = True
+        while changed:
+            changed = False
+            for qual in entry:
+                if not entry[qual]:
+                    continue
+                sites = [
+                    held | entry.get(caller, frozenset())
+                    for caller, callee, held in self.call_sites
+                    if callee == qual
+                ]
+                if not sites:
+                    continue
+                narrowed = frozenset.intersection(*sites)
+                if narrowed != entry[qual]:
+                    entry[qual] = narrowed
+                    changed = True
+        self.entry_held = entry
+
+    def _effective(self, func: str, held: frozenset) -> frozenset:
+        return held | self.entry_held.get(func, frozenset())
+
+    def _infer_guards(self) -> None:
+        for access in self.accesses:
+            if not access.is_write:
+                continue
+            scope = self.scopes[access.scope]
+            if access.attr in scope.locks:
+                continue
+            for token in self._effective(access.func, access.held):
+                owner, _, name = token.partition(":")
+                if owner == access.scope and name in scope.locks:
+                    scope.guards.setdefault(access.attr, set()).add(token)
+        for acq in self.acquisitions:
+            owner, _, name = acq.token.partition(":")
+            if owner == "?":
+                continue
+            scope = self.scopes.get(owner)
+            if scope is not None and name in scope.locks:
+                scope.acquired_in.setdefault(name, set()).add(
+                    acq.func.rsplit(".", 1)[-1]
+                )
+
+    # ------------------------------------------------------------------ #
+    # Checks
+    # ------------------------------------------------------------------ #
+
+    def check(self) -> list[CodeFinding]:
+        self._check_guarded_access()
+        self._check_blocking()
+        self._check_acquisition_shapes()
+        self._check_escapes()
+        return self.findings
+
+    def _exempt(self, func: str) -> bool:
+        bare = func.rsplit(".", 1)[-1]
+        return bare in CHECK_EXEMPT_METHODS or func.endswith(".<nested>") and (
+            func.split(".")[-2] in CHECK_EXEMPT_METHODS
+        )
+
+    def _check_guarded_access(self) -> None:
+        designated = self.config.designated_writers
+        for access in self.accesses:
+            if self._exempt(access.func):
+                continue
+            scope = self.scopes[access.scope]
+            guards = scope.guards.get(access.attr)
+            if not guards:
+                continue
+            if self._effective(access.func, access.held) & guards:
+                continue
+            lock_names = ", ".join(sorted(
+                self._display(token) for token in guards
+            ))
+            owner_display = (
+                f"{access.scope}.{access.attr}" if access.scope != MODULE_SCOPE
+                else access.attr
+            )
+            if access.is_write:
+                writer_set = designated.get(access.scope, ())
+                bare = access.func.rsplit(".", 1)[-1]
+                if access.scope != MODULE_SCOPE and bare in writer_set:
+                    self._emit(access.node, "ALEX-C050",
+                               f"designated writer {access.func} mutates "
+                               f"guarded state {owner_display!r} without "
+                               f"holding {lock_names}",
+                               hint="the writers.json contract only holds if "
+                                    "every designated writer takes the owning "
+                                    "lock; wrap the mutation in "
+                                    f"`with {lock_names}:`")
+                    continue
+                verb = "written"
+            else:
+                verb = "read"
+            self._emit(access.node, "ALEX-C040",
+                       f"{owner_display!r} is guarded by {lock_names} "
+                       f"(see locks.json) but is {verb} here without it",
+                       hint=f"move the access inside `with {lock_names}:`, or "
+                            "snapshot the state under the lock first")
+
+    def _check_blocking(self) -> None:
+        for blocking in self.blockings:
+            effective = self._effective(blocking.func, blocking.held)
+            if effective:
+                locks = ", ".join(sorted(self._display(t) for t in effective))
+                self._emit(blocking.node, "ALEX-C042",
+                           f"blocking call {blocking.what}() while holding "
+                           f"{locks} stalls every other thread contending for "
+                           "the lock",
+                           hint="do the blocking work outside the locked "
+                                "region; hold locks only around state access")
+            elif blocking.in_async:
+                self._emit(blocking.node, "ALEX-C042",
+                           f"blocking call {blocking.what}() inside an async "
+                           "function stalls the event loop",
+                           hint="await an async equivalent or run it in a "
+                                "thread-pool executor")
+
+    def _check_acquisition_shapes(self) -> None:
+        for acq in self.acquisitions:
+            effective = self._effective(acq.func, acq.held)
+            if acq.via == "acquire" and effective:
+                locks = ", ".join(sorted(self._display(t) for t in effective))
+                self._emit(acq.node, "ALEX-C042",
+                           f"nested {self._display(acq.token)}.acquire() while "
+                           f"holding {locks} blocks with a lock held",
+                           hint="acquire both locks with `with a, b:` in one "
+                                "global order, or drop the outer lock first")
+            if acq.in_async and acq.via == "with":
+                self._emit(acq.node, "ALEX-C042",
+                           f"synchronous lock {self._display(acq.token)} "
+                           "acquired inside an async function blocks the "
+                           "event loop while contended",
+                           hint="use an asyncio.Lock in coroutine code")
+
+    def _check_escapes(self) -> None:
+        for escape in self.escapes:
+            if self._exempt(escape.func):
+                continue
+            scope = self.scopes[escape.scope]
+            if escape.attr not in scope.guards or escape.attr not in scope.mutable:
+                continue
+            locks = ", ".join(sorted(
+                self._display(t) for t in scope.guards[escape.attr]
+            ))
+            owner_display = (
+                f"{escape.scope}.{escape.attr}" if escape.scope != MODULE_SCOPE
+                else escape.attr
+            )
+            self._emit(escape.node, "ALEX-C044",
+                       f"{escape.func} {escape.verb} the guarded mutable "
+                       f"container {owner_display!r} itself; the reference "
+                       f"escapes {locks} and callers mutate or iterate it "
+                       "unlocked",
+                       hint="return a copy or an immutable snapshot "
+                            "(list(...), tuple(...), dict(...)) taken under "
+                            "the lock")
+
+    def _display(self, token: str) -> str:
+        owner, _, name = token.partition(":")
+        if owner == MODULE_SCOPE or owner == "?":
+            return name
+        return f"self.{name}" if owner in self.scopes else name
+
+    def _emit(self, node: ast.AST, code: str, message: str,
+              hint: str | None = None) -> None:
+        self.findings.append(finding_at(
+            node, self.module.rel, code, self._severity[code][0], message, hint,
+        ))
+
+    # ------------------------------------------------------------------ #
+    # Export: locks.json entries + the cross-module lock graph
+    # ------------------------------------------------------------------ #
+
+    def export(self, ctx: AnalysisContext) -> None:
+        rel = self.module.rel
+        for scope_name in sorted(self.scopes):
+            scope = self.scopes[scope_name]
+            if not scope.locks:
+                continue
+            inverted: dict[str, set[str]] = {name: set() for name in scope.locks}
+            for attr, tokens in scope.guards.items():
+                for token in tokens:
+                    _, _, name = token.partition(":")
+                    if name in inverted:
+                        inverted[name].add(attr)
+            ctx.lock_inventory[f"{rel}::{scope_name}"] = {
+                "module": rel,
+                "scope": scope_name,
+                "locks": {
+                    name: {
+                        "kind": scope.locks[name],
+                        "guards": sorted(inverted[name]),
+                        "acquired_in": sorted(scope.acquired_in.get(name, ())),
+                    }
+                    for name in sorted(scope.locks)
+                },
+            }
+            for name, kind in scope.locks.items():
+                ctx.lock_kinds[f"{rel}::{scope_name}.{name}"] = kind
+
+        for acq in self.acquisitions:
+            dst = self._qualify(acq.token)
+            if dst is None:
+                continue
+            for held_token in self._effective(acq.func, acq.held):
+                src = self._qualify(held_token)
+                if src is None:
+                    continue
+                ctx.lock_order_edges.append(LockOrderEdge(
+                    src=src, dst=dst, rel=rel,
+                    line=getattr(acq.node, "lineno", 0) or 0,
+                    column=(getattr(acq.node, "col_offset", 0) or 0) + 1,
+                    src_display=self._qualified_display(held_token),
+                    dst_display=self._qualified_display(acq.token),
+                ))
+
+    def _qualify(self, token: str) -> str | None:
+        owner, _, name = token.partition(":")
+        if owner == "?":
+            return None
+        return f"{self.module.rel}::{owner}.{name}"
+
+    def _qualified_display(self, token: str) -> str:
+        owner, _, name = token.partition(":")
+        if owner in ("?", MODULE_SCOPE):
+            return name
+        return f"{owner}.{name}"
+
+
+@dataclass
+class _FuncState:
+    qual: str
+    scope: str
+    in_async: bool
+    shadowed: frozenset[str]
+    consumed: set[int] = field(default_factory=set)
