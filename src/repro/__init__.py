@@ -31,8 +31,11 @@ from repro.core import (
     AlexConfig,
     AlexEngine,
     PartitionedAlex,
+    WorkerPool,
     build_space_parallel,
     run_partitions_parallel,
+    shared_pool,
+    shutdown_shared_pool,
 )
 from repro.datasets import load_pair
 from repro.errors import DataValidationError, QueryAnalysisError, ReproError
@@ -69,7 +72,7 @@ from repro.sparql import (
     prepare,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "AlexConfig",
@@ -98,6 +101,7 @@ __all__ = [
     "TermDictionary",
     "Triple",
     "URIRef",
+    "WorkerPool",
     "__version__",
     "analyze_query",
     "build_partitioned_spaces",
@@ -111,6 +115,8 @@ __all__ = [
     "prepare",
     "quality_curve_table",
     "run_partitions_parallel",
+    "shared_pool",
+    "shutdown_shared_pool",
     "trace",
     "validate_dataset",
     "validate_graph",

@@ -253,8 +253,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--quick", action="store_true",
                        help="smallest bundle only — the CI smoke configuration")
     bench.add_argument("--workers", type=int, default=0,
-                       help="space suite: also time a multi-process build "
-                       "with this many workers")
+                       help="space suite: also sweep multi-process builds on "
+                       "the persistent pool at workers in {2, 4, ..., N} "
+                       "(cold + steady-state timings, per-partition stats)")
     bench.add_argument(
         "--min-speedup", type=float, default=0.0,
         help="exit non-zero unless every run suite's headline speedup "

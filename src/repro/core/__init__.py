@@ -24,6 +24,7 @@ from repro.core.provenance import ExplorationLedger
 from repro.core.reporting import PolicyReport, policy_report, q_value_table
 from repro.core.state import ExplorationAction, StateAction, available_actions
 from repro.core.value import ActionValueTable
+from repro.core.workers import WorkerPool, shared_pool, shutdown_shared_pool
 
 __all__ = [
     "ActionValueTable",
@@ -40,6 +41,7 @@ __all__ = [
     "PartitionedAlex",
     "PolicyReport",
     "StateAction",
+    "WorkerPool",
     "available_actions",
     "build_space_parallel",
     "dump_engine",
@@ -53,4 +55,6 @@ __all__ = [
     "q_value_table",
     "run_partitions_parallel",
     "save_engine_file",
+    "shared_pool",
+    "shutdown_shared_pool",
 ]

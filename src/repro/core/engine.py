@@ -97,6 +97,32 @@ class AlexEngine:
         return link in self.candidates or link in self.space
 
     # ------------------------------------------------------------------ #
+    # Worker pool lifecycle
+    # ------------------------------------------------------------------ #
+
+    def pool(self):
+        """The persistent worker pool, sized per this engine's config.
+
+        Lazy: no worker process exists until the first partitioned task
+        batch runs. Repeated calls (and repeated builds) reuse the same
+        pool — workers spawn once per engine lifetime.
+        """
+        from repro.core.workers import shared_pool
+
+        return shared_pool(self.config.pool_workers, self.config.pool_idle_timeout)
+
+    def close(self) -> None:
+        """Release engine resources: shuts down the shared worker pool.
+
+        Idempotent. Call when the engine (and any partitioned execution it
+        drove) is finished, so test runs and services don't leak worker
+        processes; ``atexit`` covers the forgetful caller.
+        """
+        from repro.core.workers import shutdown_shared_pool
+
+        shutdown_shared_pool()
+
+    # ------------------------------------------------------------------ #
     # Pre-flight data validation
     # ------------------------------------------------------------------ #
 

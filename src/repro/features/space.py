@@ -26,7 +26,13 @@ from repro.links import Link
 from repro.rdf.entity import Entity, entities_of
 from repro.rdf.graph import Graph
 from repro.rdf.terms import URIRef
-from repro.similarity.prepared import PreparedEntity, flush_similarity_stats, prepare_entity
+from repro.similarity.prepared import (
+    PreparedEntity,
+    WireReader,
+    WireWriter,
+    flush_similarity_stats,
+    prepare_entity,
+)
 
 
 class FeatureSpace:
@@ -97,6 +103,7 @@ class FeatureSpace:
         theta: float,
         use_blocking: bool,
         fast: bool,
+        freeze: bool = True,
     ) -> "FeatureSpace":
         space = cls(theta)
         if use_blocking:
@@ -127,8 +134,11 @@ class FeatureSpace:
                 for left_entity, right_entity in pairs:
                     space.add_pair(left_entity, right_entity)
         space._total_pairs_considered = len(left_entities) * len(right_entities)
-        with obs.timer("space.build.freeze"):
-            space.freeze()
+        if freeze:
+            with obs.timer("space.build.freeze"):
+                space.freeze()
+        # freeze=False: a pool worker building one partition delta — the
+        # parent freezes the merged space once, so sorting here is waste
         return space
 
     def add_pair(self, left_entity: Entity, right_entity: Entity) -> FeatureSet | None:
@@ -295,3 +305,59 @@ def merge_spaces(spaces: Iterable[FeatureSpace]) -> FeatureSpace:
     merged._total_pairs_considered = sum(s.total_pairs_considered for s in spaces)
     merged.freeze()
     return merged
+
+
+# --------------------------------------------------------------------- #
+# Space deltas on the wire
+# --------------------------------------------------------------------- #
+
+
+def encode_space_delta(space: FeatureSpace) -> bytes:
+    """Dictionary-encode a partition's scored space for the trip home.
+
+    A pool worker returns its partition result in the same flat-array wire
+    format partitions arrive in (see :mod:`repro.similarity.prepared`):
+    every link endpoint and predicate ships as a dictionary ID, every score
+    as one f64 — scores survive the round trip bit-identically, which the
+    parity tests rely on. Works on unfrozen spaces; the parent merges the
+    decoded deltas and freezes once.
+    """
+    writer = WireWriter()
+    writer.floats.append(space.theta)
+    ints = writer.ints
+    total = space._total_pairs_considered
+    ints.append(total >> 32)
+    ints.append(total & 0xFFFFFFFF)
+    ints.append(len(space._feature_sets))
+    for link, feature_set in space._feature_sets.items():
+        ints.append(writer.term_id(link.left))
+        ints.append(writer.term_id(link.right))
+        ints.append(len(feature_set))
+        for (p1, p2), score in feature_set.items():
+            ints.append(writer.term_id(p1))
+            ints.append(writer.term_id(p2))
+            writer.floats.append(score)
+    return writer.to_bytes()
+
+
+def decode_space_delta(blob: bytes) -> FeatureSpace:
+    """Inverse of :func:`encode_space_delta`; the space comes back unfrozen
+    (feed it to :func:`merge_spaces`, which freezes the union)."""
+    reader = WireReader(blob)
+    theta = reader.read_float()
+    space = FeatureSpace(theta)
+    space._total_pairs_considered = (reader.read_int() << 32) | reader.read_int()
+    for _ in range(reader.read_int()):
+        left = reader.term(reader.read_int())
+        right = reader.term(reader.read_int())
+        link = Link(left, right)
+        features: dict[FeatureKey, float] = {}
+        for _ in range(reader.read_int()):
+            p1 = reader.term(reader.read_int())
+            p2 = reader.term(reader.read_int())
+            features[(p1, p2)] = reader.read_float()
+        feature_set = FeatureSet(features)
+        space._feature_sets[link] = feature_set
+        for key, score in feature_set.items():
+            space._index.setdefault(key, []).append((score, link))
+    return space

@@ -67,6 +67,7 @@ class FederatedEngine:
         links: LinkSet | None = None,
         group_exclusive: bool = True,
         strict: bool = False,
+        pool_workers: int | None = None,
     ):
         self.endpoints = list(endpoints)
         if not self.endpoints:
@@ -78,6 +79,14 @@ class FederatedEngine:
         #: :class:`~repro.errors.QueryAnalysisError` on error-level
         #: diagnostics. Default behaviour is unchanged.
         self.strict = strict
+        #: ``pool_workers`` ≥ 2 fans bound joins with many input solutions
+        #: out to the persistent worker pool (see
+        #: :mod:`repro.federation.parallel` for the parity contract);
+        #: ``None``/1 keeps execution fully in-process.
+        self.pool_workers = pool_workers
+        #: endpoint name → (graph version, wire blob); lets repeat queries
+        #: over an unchanged federation skip graph re-encoding.
+        self._wire_cache: dict[str, tuple[int, bytes]] = {}
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -233,59 +242,42 @@ class FederatedEngine:
     def _counterpart_choices(self, term: Term) -> list[tuple[Term, frozenset[Link]]]:
         """The term itself plus its sameAs counterparts, each with the link
         that justifies the substitution."""
-        choices: list[tuple[Term, frozenset[Link]]] = [(term, frozenset())]
-        if isinstance(term, URIRef):
-            # sorted: counterpart sets iterate in hash order, which varies
-            # per process and would make answer (and thus feedback) order
-            # nondeterministic
-            for right in sorted(self.links.by_left(term), key=str):
-                choices.append((right, frozenset({Link(term, right)})))
-            for left in sorted(self.links.by_right(term), key=str):
-                choices.append((left, frozenset({Link(left, term)})))
-        if len(choices) > 1:
-            obs.inc("federation.sameas.rewrites_attempted", len(choices) - 1)
-        return choices
+        return _counterpart_choices(self.links, term)
+
+    def _fanout_pool(self, solutions: list[ProvenancedSolution]):
+        """The worker pool to fan this join out on, or None for in-process."""
+        if self.pool_workers is None or self.pool_workers < 2:
+            return None
+        from repro.federation.parallel import FANOUT_MIN_SOLUTIONS
+
+        if len(solutions) < FANOUT_MIN_SOLUTIONS:
+            return None
+        from repro.core.workers import shared_pool
+
+        return shared_pool(self.pool_workers)
 
     def _bound_join(
         self, assignment: SourceAssignment, solutions: list[ProvenancedSolution]
     ) -> list[ProvenancedSolution]:
         pattern = assignment.pattern
         obs.observe("federation.bound_join.input_solutions", len(solutions))
-        out: list[ProvenancedSolution] = []
-        seen: set[tuple] = set()
-        for solution in solutions:
-            bound_subject = _resolve(pattern.subject, solution.bindings)
-            bound_object = _resolve(pattern.object, solution.bindings)
-            subject_choices = (
-                self._counterpart_choices(bound_subject)
-                if bound_subject is not None
-                else [(None, frozenset())]
-            )
-            object_choices = (
-                self._counterpart_choices(bound_object)
-                if bound_object is not None
-                else [(None, frozenset())]
-            )
-            for endpoint in assignment.endpoints:
-                for subject_term, subject_links in subject_choices:
-                    for object_term, object_links in object_choices:
-                        rewritten = _rewrite_pattern(pattern, subject_term, object_term)
-                        probe = _strip_bound_vars(rewritten, solution.bindings)
-                        for extension in endpoint.match(probe, [{}]):
-                            merged = dict(solution.bindings)
-                            merged.update(extension)
-                            links = solution.links_used | subject_links | object_links
-                            key = (
-                                tuple(sorted((v.name, t.n3()) for v, t in merged.items())),
-                                links,
-                            )
-                            if key not in seen:
-                                seen.add(key)
-                                if subject_links or object_links:
-                                    obs.inc("federation.sameas.rewrites_hit")
-                                out.append(ProvenancedSolution(merged, links))
-        return out
+        pool = self._fanout_pool(solutions)
+        if pool is not None:
+            from repro.federation.parallel import fan_out_bound_join
 
+            candidates = fan_out_bound_join(
+                [pattern], False, assignment.endpoints, self.links,
+                solutions, pool, self._wire_cache,
+            )
+        else:
+            candidates = (
+                found
+                for solution in solutions
+                for found in _iter_bound_join(pattern, assignment.endpoints, self.links, solution)
+            )
+        out: list[ProvenancedSolution] = []
+        _dedup_extend(out, candidates)
+        return out
 
     def _bound_join_group(
         self, group: list[SourceAssignment], solutions: list[ProvenancedSolution]
@@ -301,45 +293,137 @@ class FederatedEngine:
         endpoint = group[0].endpoints[0]
         patterns = [assignment.pattern for assignment in group]
         obs.observe("federation.bound_join.input_solutions", len(solutions))
+        pool = self._fanout_pool(solutions)
+        if pool is not None:
+            from repro.federation.parallel import fan_out_bound_join
+
+            candidates = fan_out_bound_join(
+                patterns, True, [endpoint], self.links,
+                solutions, pool, self._wire_cache,
+            )
+        else:
+            candidates = (
+                found
+                for solution in solutions
+                for found in _iter_bound_join_group(patterns, endpoint, self.links, solution)
+            )
         out: list[ProvenancedSolution] = []
-        seen: set[tuple] = set()
-        for solution in solutions:
-            # Every distinct pre-bound term in subject/object positions gets
-            # its list of counterpart choices.
-            bound_terms: list[Term] = []
-            for pattern in patterns:
-                for position in (pattern.subject, pattern.object):
-                    term = _resolve(position, solution.bindings)
-                    if term is not None and term not in bound_terms:
-                        bound_terms.append(term)
-            choice_lists = [self._counterpart_choices(term) for term in bound_terms]
-            for combination in _product(choice_lists):
-                substitution = {
-                    original: chosen
-                    for original, (chosen, _) in zip(bound_terms, combination)
-                }
-                links: frozenset[Link] = solution.links_used
-                rewrote = False
-                for _, choice_links in combination:
-                    links |= choice_links
-                    rewrote = rewrote or bool(choice_links)
-                rewritten = [
-                    _substitute_pattern(pattern, solution.bindings, substitution)
-                    for pattern in patterns
-                ]
-                for extension in endpoint.match_group(rewritten, [{}]):
+        _dedup_extend(out, candidates)
+        return out
+
+
+def _solution_key(bindings: Solution) -> tuple:
+    """Canonical dedup key for a merged binding set."""
+    return tuple(sorted((v.name, t.n3()) for v, t in bindings.items()))
+
+
+def _dedup_extend(out: list[ProvenancedSolution], candidates) -> None:
+    """Append each first-seen ``(bindings, links, rewrote)`` candidate as a
+    :class:`ProvenancedSolution`, counting accepted sameAs rewrites.
+
+    Shared by the in-process path (candidates stream straight from the
+    iterators below) and the fan-out gather (chunk-locally deduped
+    candidates arrive in chunk order, so first-seen here matches what the
+    sequential pass would have kept).
+    """
+    seen: set[tuple] = set()
+    for merged, links, rewrote in candidates:
+        key = (_solution_key(merged), links)
+        if key not in seen:
+            seen.add(key)
+            if rewrote:
+                obs.inc("federation.sameas.rewrites_hit")
+            out.append(ProvenancedSolution(merged, links))
+
+
+def _counterpart_choices(
+    links: LinkSet, term: Term
+) -> list[tuple[Term, frozenset[Link]]]:
+    """The term itself plus its sameAs counterparts, each with the link
+    that justifies the substitution. Module-level so pool workers share the
+    exact executor logic."""
+    choices: list[tuple[Term, frozenset[Link]]] = [(term, frozenset())]
+    if isinstance(term, URIRef):
+        # sorted: counterpart sets iterate in hash order, which varies
+        # per process and would make answer (and thus feedback) order
+        # nondeterministic
+        for right in sorted(links.by_left(term), key=str):
+            choices.append((right, frozenset({Link(term, right)})))
+        for left in sorted(links.by_right(term), key=str):
+            choices.append((left, frozenset({Link(left, term)})))
+    if len(choices) > 1:
+        obs.inc("federation.sameas.rewrites_attempted", len(choices) - 1)
+    return choices
+
+
+def _iter_bound_join(
+    pattern: TriplePattern,
+    endpoints: list[Endpoint],
+    links: LinkSet,
+    solution: ProvenancedSolution,
+):
+    """One solution's bound-join body: yield every ``(merged_bindings,
+    links_used, rewrote)`` candidate, pre-dedup. Runs identically in-process
+    and inside a pool worker."""
+    bound_subject = _resolve(pattern.subject, solution.bindings)
+    bound_object = _resolve(pattern.object, solution.bindings)
+    subject_choices = (
+        _counterpart_choices(links, bound_subject)
+        if bound_subject is not None
+        else [(None, frozenset())]
+    )
+    object_choices = (
+        _counterpart_choices(links, bound_object)
+        if bound_object is not None
+        else [(None, frozenset())]
+    )
+    for endpoint in endpoints:
+        for subject_term, subject_links in subject_choices:
+            for object_term, object_links in object_choices:
+                rewritten = _rewrite_pattern(pattern, subject_term, object_term)
+                probe = _strip_bound_vars(rewritten, solution.bindings)
+                for extension in endpoint.match(probe, [{}]):
                     merged = dict(solution.bindings)
                     merged.update(extension)
-                    key = (
-                        tuple(sorted((v.name, t.n3()) for v, t in merged.items())),
-                        links,
-                    )
-                    if key not in seen:
-                        seen.add(key)
-                        if rewrote:
-                            obs.inc("federation.sameas.rewrites_hit")
-                        out.append(ProvenancedSolution(merged, links))
-        return out
+                    used = solution.links_used | subject_links | object_links
+                    yield merged, used, bool(subject_links or object_links)
+
+
+def _iter_bound_join_group(
+    patterns: list[TriplePattern],
+    endpoint: Endpoint,
+    links: LinkSet,
+    solution: ProvenancedSolution,
+):
+    """One solution's exclusive-group body; same contract as
+    :func:`_iter_bound_join`."""
+    # Every distinct pre-bound term in subject/object positions gets
+    # its list of counterpart choices.
+    bound_terms: list[Term] = []
+    for pattern in patterns:
+        for position in (pattern.subject, pattern.object):
+            term = _resolve(position, solution.bindings)
+            if term is not None and term not in bound_terms:
+                bound_terms.append(term)
+    choice_lists = [_counterpart_choices(links, term) for term in bound_terms]
+    for combination in _product(choice_lists):
+        substitution = {
+            original: chosen
+            for original, (chosen, _) in zip(bound_terms, combination)
+        }
+        used: frozenset[Link] = solution.links_used
+        rewrote = False
+        for _, choice_links in combination:
+            used |= choice_links
+            rewrote = rewrote or bool(choice_links)
+        rewritten = [
+            _substitute_pattern(pattern, solution.bindings, substitution)
+            for pattern in patterns
+        ]
+        for extension in endpoint.match_group(rewritten, [{}]):
+            merged = dict(solution.bindings)
+            merged.update(extension)
+            yield merged, used, rewrote
 
 
 def _product(choice_lists: list[list]) -> Iterable[tuple]:
