@@ -72,7 +72,7 @@ from repro.sparql import (
     prepare,
 )
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "AlexConfig",

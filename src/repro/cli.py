@@ -13,6 +13,8 @@ Subcommands::
     repro bench [--suite space|sparql|all]   # parity-checked benchmarks
     repro figures all | FIGURE               # regenerate paper figures
     repro stats                              # exercise the stack, print obs metrics
+    repro health                             # engine/pool/cache health as JSON
+    repro slowlog                            # slowest queries and episodes
     repro trace show|summary FILE.jsonl      # replay an exported trace
 
 Every command writes human-readable text to stdout and exits non-zero on
@@ -22,8 +24,10 @@ error, so the tool composes in shell pipelines.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
+import time
 from typing import Sequence
 
 from repro.errors import ReproError
@@ -217,6 +221,66 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--trace-out", default=None, metavar="PATH",
         help="record the workload's trace events and export them as JSONL",
+    )
+    stats.add_argument(
+        "--watch", type=float, default=None, metavar="SECONDS",
+        help="re-render every SECONDS (Ctrl-C stops): with --from the file "
+        "is re-read each tick; without, the workload re-runs each tick and "
+        "the registry accumulates",
+    )
+    stats.add_argument(
+        "--iterations", type=int, default=None, metavar="M",
+        help="with --watch: stop after M renders instead of running forever",
+    )
+    stats.add_argument(
+        "--prom-out", default=None, metavar="PATH",
+        help="also write the final snapshot as Prometheus text exposition "
+        "(version 0.0.4)",
+    )
+    stats.add_argument(
+        "--report-out", default=None, metavar="PATH",
+        help="run the workload under a background Reporter appending "
+        "interval samples (repro-report/1 JSONL) to PATH",
+    )
+    stats.add_argument(
+        "--report-interval", type=float, default=0.5, metavar="S",
+        help="Reporter sampling interval for --report-out (default: 0.5s)",
+    )
+
+    health = subparsers.add_parser(
+        "health",
+        help="run the stats workload to warm the engine, then print its "
+        "health (pool, caches, trace ring, reporter, dictionaries) as JSON",
+    )
+    health.add_argument(
+        "--pair", default="dbpedia_nba_nytimes", help="dataset pair to exercise"
+    )
+    health.add_argument(
+        "--episodes", type=int, default=2, help="feedback episodes to run"
+    )
+
+    slowlog_cmd = subparsers.add_parser(
+        "slowlog",
+        help="run the stats workload with the slow-operation log (and "
+        "per-query accounting) enabled, then print the slowest operations",
+    )
+    slowlog_cmd.add_argument(
+        "--pair", default="dbpedia_nba_nytimes", help="dataset pair to exercise"
+    )
+    slowlog_cmd.add_argument(
+        "--episodes", type=int, default=2, help="feedback episodes to run"
+    )
+    slowlog_cmd.add_argument(
+        "--threshold", type=float, default=0.0, metavar="SECONDS",
+        help="record only operations at least this slow (default 0: all)",
+    )
+    slowlog_cmd.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="show only the N slowest entries",
+    )
+    slowlog_cmd.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also flush the repro-slowlog/1 payload here",
     )
 
     trace_cmd = subparsers.add_parser(
@@ -671,25 +735,17 @@ def _cmd_run(
     return 0
 
 
-def _cmd_stats(
+def _run_stats_workload(
     pair_key: str,
     episodes: int,
-    json_path: str | None,
-    from_file: str | None,
-    top: int | None = None,
-    trace_out: str | None = None,
-) -> int:
-    from repro import obs
-
-    if from_file is not None:
-        registry = obs.Registry(from_file)
-        registry.merge(obs.load_snapshot(from_file))
-        print(registry.render(top=top))
-        return 0
-
-    # A miniature end-to-end workload touching every instrumented subsystem:
-    # dataset → PARIS → θ-filtered space → feedback episodes → local SPARQL
-    # → federated SPARQL with sameAs rewriting.
+    report_interval: float = 0.0,
+    report_path: str | None = None,
+):
+    """The miniature end-to-end workload behind ``stats``/``health``/
+    ``slowlog``: dataset → PARIS → θ-filtered space → feedback episodes →
+    local SPARQL → federated SPARQL with sameAs rewriting. Returns the warm
+    ``(engine, pair)`` — the caller owns ``engine.close()``.
+    """
     from repro.core.config import AlexConfig
     from repro.core.engine import AlexEngine
     from repro.datasets import load_pair
@@ -699,15 +755,19 @@ def _cmd_stats(
     from repro.paris import paris_links
     from repro.sparql import query as run_query
 
-    tracer = None
-    if trace_out is not None:
-        from repro.obs import trace
-
-        tracer = trace.install(seed=0)
     pair = load_pair(pair_key)
     initial = paris_links(pair.left, pair.right, score_threshold=0.8)
     space = FeatureSpace.build(pair.left, pair.right)
-    engine = AlexEngine(space, initial, AlexConfig(episode_size=10, seed=7))
+    engine = AlexEngine(
+        space,
+        initial,
+        AlexConfig(
+            episode_size=10,
+            seed=7,
+            report_interval=report_interval,
+            report_path=report_path,
+        ),
+    )
     session = FeedbackSession(engine, GroundTruthOracle(pair.ground_truth), seed=7)
     session.run(episode_size=10, max_episodes=episodes)
 
@@ -717,17 +777,140 @@ def _cmd_stats(
         engine.candidates,
     )
     federation.select("SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 5")
+    return engine, pair
 
-    print(obs.render(top=top))
+
+def _render_metrics_file(path: str, top: int | None = None) -> str:
+    """Render an obs snapshot JSON *or* a repro-report/1 JSONL file."""
+    from repro import obs
+    from repro.obs import report as obs_report
+
+    with open(path, encoding="utf-8") as handle:
+        head = handle.readline()
+    try:
+        first = json.loads(head) if head.strip() else {}
+    except json.JSONDecodeError:
+        first = {}
+    if isinstance(first, dict) and first.get("schema") == obs_report.REPORT_SCHEMA:
+        loaded = obs_report.load_report(path)
+        samples = loaded["samples"]
+        if not samples:
+            return f"(report {path}: no samples yet)"
+        return obs_report.render_sample(samples[-1], top=top)
+    registry = obs.Registry(path)
+    registry.merge(obs.load_snapshot(path))
+    return registry.render(top=top)
+
+
+def _cmd_stats(
+    pair_key: str,
+    episodes: int,
+    json_path: str | None,
+    from_file: str | None,
+    top: int | None = None,
+    trace_out: str | None = None,
+    watch: float | None = None,
+    iterations: int | None = None,
+    prom_out: str | None = None,
+    report_out: str | None = None,
+    report_interval: float = 0.5,
+) -> int:
+    from repro import obs
+
+    if from_file is not None:
+        print(_render_metrics_file(from_file, top=top))
+        if watch is not None:
+            rendered = 1
+            try:
+                while iterations is None or rendered < iterations:
+                    time.sleep(watch)
+                    print()
+                    print(_render_metrics_file(from_file, top=top))
+                    rendered += 1
+            except KeyboardInterrupt:
+                pass
+        return 0
+
+    tracer = None
+    if trace_out is not None:
+        from repro.obs import trace
+
+        tracer = trace.install(seed=0)
+
+    rendered = 0
+    try:
+        while True:
+            engine, _ = _run_stats_workload(
+                pair_key,
+                episodes,
+                report_interval=report_interval if report_out is not None else 0.0,
+                report_path=report_out,
+            )
+            if report_out is not None:
+                # Let the reporter take at least two interval samples even
+                # when the workload itself outran the sampling interval.
+                time.sleep(report_interval * 2.2)
+            engine.close()
+            print(obs.render(top=top))
+            rendered += 1
+            if watch is None or (iterations is not None and rendered >= iterations):
+                break
+            time.sleep(watch)
+            print()
+    except KeyboardInterrupt:
+        pass
+
     if json_path is not None:
         obs.dump_json(json_path)
         print(f"wrote {json_path}")
+    if prom_out is not None:
+        exposition = obs.render_prometheus(obs.snapshot())
+        with open(prom_out, "w", encoding="utf-8") as handle:
+            handle.write(exposition)
+        samples = obs.validate_exposition(exposition)
+        print(f"wrote {prom_out} ({samples} samples)")
+    if report_out is not None:
+        print(f"wrote {report_out}")
     if tracer is not None:
         from repro.obs import trace
 
         tracer.write_jsonl(trace_out)
         print(f"wrote {trace_out} ({len(tracer)} trace records)")
         trace.uninstall()
+    return 0
+
+
+def _cmd_health(pair_key: str, episodes: int) -> int:
+    """Warm the engine with the stats workload, print health, exit non-zero
+    when degraded."""
+    engine, pair = _run_stats_workload(pair_key, episodes)
+    health = engine.health(graphs={"left": pair.left, "right": pair.right})
+    engine.close()
+    print(json.dumps(health, indent=2, sort_keys=True))
+    return 0 if health["status"] == "ok" else 1
+
+
+def _cmd_slowlog(
+    pair_key: str,
+    episodes: int,
+    threshold: float,
+    top: int | None,
+    json_out: str | None,
+) -> int:
+    from repro.obs import accounting, slowlog
+
+    slog = slowlog.configure(threshold=threshold)
+    accounting.enable()
+    try:
+        engine, _ = _run_stats_workload(pair_key, episodes)
+        engine.close()
+    finally:
+        accounting.disable()
+        slowlog.disable()
+    print(slog.render(top=top))
+    if json_out is not None:
+        slog.flush(json_out)
+        print(f"wrote {json_out}")
     return 0
 
 
@@ -838,6 +1021,15 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_stats(
                 args.pair, args.episodes, args.json, args.from_file,
                 top=args.top, trace_out=args.trace_out,
+                watch=args.watch, iterations=args.iterations,
+                prom_out=args.prom_out, report_out=args.report_out,
+                report_interval=args.report_interval,
+            )
+        if args.command == "health":
+            return _cmd_health(args.pair, args.episodes)
+        if args.command == "slowlog":
+            return _cmd_slowlog(
+                args.pair, args.episodes, args.threshold, args.top, args.json
             )
         if args.command == "bench":
             return _cmd_bench(

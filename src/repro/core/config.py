@@ -41,6 +41,13 @@ class AlexConfig:
     pool_workers: int = 0
     #: Seconds a quiet pool keeps its workers alive before shutting down.
     pool_idle_timeout: float = 300.0
+    #: Sampling interval (seconds) of the background telemetry
+    #: :class:`~repro.obs.Reporter`; 0 (default) disables reporting.
+    #: Both ``report_interval`` > 0 and ``report_path`` must be set for the
+    #: engine to start a reporter (lazily, on first feedback).
+    report_interval: float = 0.0
+    #: JSONL sink the reporter appends interval samples to; None disables.
+    report_path: str | None = None
 
     def __post_init__(self):
         if self.episode_size < 1:
@@ -73,6 +80,10 @@ class AlexConfig:
             raise ConfigError(f"pool_workers must be >= 0, got {self.pool_workers}")
         if self.pool_idle_timeout <= 0.0:
             raise ConfigError(f"pool_idle_timeout must be > 0, got {self.pool_idle_timeout}")
+        if self.report_interval < 0.0:
+            raise ConfigError(
+                f"report_interval must be >= 0, got {self.report_interval}"
+            )
 
     def replace(self, **changes) -> "AlexConfig":
         """A copy with some fields changed (dataclasses.replace wrapper)."""

@@ -312,6 +312,16 @@ def shared_pool(
     return pool
 
 
+def peek_shared_pool() -> WorkerPool | None:
+    """The shared pool if one has been created, without creating it.
+
+    Health probes use this: asking "is the pool alive?" must never spawn
+    worker processes as a side effect.
+    """
+    with _shared_lock:
+        return _shared
+
+
 def shutdown_shared_pool() -> None:
     """Tear down the shared pool (atexit hook and ``AlexEngine.close``)."""
     global _shared

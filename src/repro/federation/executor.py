@@ -19,10 +19,11 @@ feedback on ``row.links_used``.
 
 from __future__ import annotations
 
+import time
 from typing import Iterable
 
 from repro import obs
-from repro.obs import trace
+from repro.obs import accounting, slowlog, trace
 from repro.errors import FederationError
 from repro.federation.endpoint import Endpoint
 from repro.federation.provenance import FederatedResult, ProvenancedSolution
@@ -109,6 +110,16 @@ class FederatedEngine:
         executor → endpoint → engine event chain.
         """
         obs.inc("federation.queries")
+        slog = slowlog.active()
+        stats = None
+        requests_before = bytes_before = 0.0
+        started = 0.0
+        if accounting.enabled() or slog is not None:
+            stats = accounting.QueryStats("federated")
+            stats.plan_cache_hit = accounting.consume_plan_cache_note()
+            requests_before = sum(e.request_count for e in self.endpoints)
+            bytes_before = obs.counter_total(obs.snapshot(), "pool.bytes.shipped")
+            started = time.perf_counter()
         with obs.timer("federation.query.seconds"), trace.span(
             "federation.query.execute", endpoints=len(self.endpoints)
         ) as span:
@@ -116,30 +127,52 @@ class FederatedEngine:
                 from repro.sparql.analysis import check_query
 
                 check_query(query, endpoints=self.endpoints)
-            result = self._execute(query)
+            result = self._execute(query, stats=stats)
             if span.trace_id is not None:
                 result.trace_id = span.trace_id
                 for row in result.rows:
                     row.trace_id = span.trace_id
-            return result
+        if stats is not None:
+            stats.wall_seconds = time.perf_counter() - started
+            stats.rows_out = len(result)
+            stats.endpoint_requests = int(
+                sum(e.request_count for e in self.endpoints) - requests_before
+            )
+            stats.bytes_shipped = (
+                obs.counter_total(obs.snapshot(), "pool.bytes.shipped") - bytes_before
+            )
+            result.stats = stats
+            if slog is not None:
+                label = "SELECT " + " ".join(
+                    "?" + v.name for v in query.projected()
+                )
+                slog.record(
+                    "federated", label, stats.wall_seconds, detail=stats.to_dict()
+                )
+        return result
 
-    def _execute(self, query: SelectQuery) -> FederatedResult:
+    def _execute(
+        self, query: SelectQuery, stats: accounting.QueryStats | None = None
+    ) -> FederatedResult:
+        phase_started = time.perf_counter() if stats is not None else 0.0
         bgp, filters = self._flatten_where(query.where)
         ordered = _order_patterns(bgp.patterns)
         assignments = select_sources(BGP(ordered), self.endpoints)
+        if stats is not None:
+            stats.note_phase("source_select", time.perf_counter() - phase_started)
 
         solutions: list[ProvenancedSolution] = [ProvenancedSolution({})]
         if self.group_exclusive:
             for group in exclusive_groups(assignments):
                 if len(group) > 1:
-                    solutions = self._bound_join_group(group, solutions)
+                    solutions = self._bound_join_group(group, solutions, stats=stats)
                 else:
-                    solutions = self._bound_join(group[0], solutions)
+                    solutions = self._bound_join(group[0], solutions, stats=stats)
                 if not solutions:
                     break
         else:
             for assignment in assignments:
-                solutions = self._bound_join(assignment, solutions)
+                solutions = self._bound_join(assignment, solutions, stats=stats)
                 if not solutions:
                     break
 
@@ -257,10 +290,14 @@ class FederatedEngine:
         return shared_pool(self.pool_workers)
 
     def _bound_join(
-        self, assignment: SourceAssignment, solutions: list[ProvenancedSolution]
+        self,
+        assignment: SourceAssignment,
+        solutions: list[ProvenancedSolution],
+        stats: "accounting.QueryStats | None" = None,
     ) -> list[ProvenancedSolution]:
         pattern = assignment.pattern
         obs.observe("federation.bound_join.input_solutions", len(solutions))
+        join_started = time.perf_counter() if stats is not None else 0.0
         pool = self._fanout_pool(solutions)
         if pool is not None:
             from repro.federation.parallel import fan_out_bound_join
@@ -277,10 +314,18 @@ class FederatedEngine:
             )
         out: list[ProvenancedSolution] = []
         _dedup_extend(out, candidates)
+        if stats is not None:
+            seconds = time.perf_counter() - join_started
+            strategy = "bound-join-fanout" if pool is not None else "bound-join"
+            stats.note_strategy(strategy, len(solutions), len(out), seconds)
+            stats.note_phase("join", seconds)
         return out
 
     def _bound_join_group(
-        self, group: list[SourceAssignment], solutions: list[ProvenancedSolution]
+        self,
+        group: list[SourceAssignment],
+        solutions: list[ProvenancedSolution],
+        stats: "accounting.QueryStats | None" = None,
     ) -> list[ProvenancedSolution]:
         """Ship a whole exclusive group to its single endpoint at once.
 
@@ -293,6 +338,7 @@ class FederatedEngine:
         endpoint = group[0].endpoints[0]
         patterns = [assignment.pattern for assignment in group]
         obs.observe("federation.bound_join.input_solutions", len(solutions))
+        join_started = time.perf_counter() if stats is not None else 0.0
         pool = self._fanout_pool(solutions)
         if pool is not None:
             from repro.federation.parallel import fan_out_bound_join
@@ -309,6 +355,11 @@ class FederatedEngine:
             )
         out: list[ProvenancedSolution] = []
         _dedup_extend(out, candidates)
+        if stats is not None:
+            seconds = time.perf_counter() - join_started
+            strategy = "bound-join-fanout" if pool is not None else "bound-join-group"
+            stats.note_strategy(strategy, len(solutions), len(out), seconds)
+            stats.note_phase("join", seconds)
         return out
 
 

@@ -53,6 +53,9 @@ class FederatedResult:
         #: Trace id of the executing ``federation.query.execute`` span,
         #: or None when tracing was disabled.
         self.trace_id = trace_id
+        #: Per-query resource accounting (:class:`repro.obs.QueryStats`)
+        #: when accounting or the slowlog is enabled; None otherwise.
+        self.stats = None
 
     def __len__(self) -> int:
         return len(self.rows)

@@ -37,14 +37,20 @@ from contextlib import contextmanager
 from repro.obs.instruments import (
     DEFAULT_BOUNDARIES,
     DEFAULT_LATENCY_BOUNDARIES,
+    SNAPSHOT_QUANTILES,
     Counter,
     Gauge,
     Histogram,
     Timer,
+    quantile_from_buckets,
 )
 from repro.obs.registry import SNAPSHOT_VERSION, Registry, counter_total, load_snapshot
 from repro.obs.spans import Span, SpanAggregate
-from repro.obs import trace
+from repro.obs import accounting, slowlog, trace
+from repro.obs.accounting import QueryStats
+from repro.obs.export import render_prometheus, validate_exposition
+from repro.obs.report import REPORT_SCHEMA, Reporter, load_report
+from repro.obs.slowlog import SLOWLOG_SCHEMA, SlowLog
 from repro.obs.trace import TRACE_SCHEMA, Tracer
 
 __all__ = [
@@ -53,13 +59,20 @@ __all__ = [
     "DEFAULT_LATENCY_BOUNDARIES",
     "Gauge",
     "Histogram",
+    "QueryStats",
+    "REPORT_SCHEMA",
     "Registry",
+    "Reporter",
+    "SLOWLOG_SCHEMA",
+    "SNAPSHOT_QUANTILES",
     "SNAPSHOT_VERSION",
+    "SlowLog",
     "Span",
     "SpanAggregate",
     "TRACE_SCHEMA",
     "Timer",
     "Tracer",
+    "accounting",
     "counter",
     "counter_total",
     "dump_json",
@@ -67,18 +80,23 @@ __all__ = [
     "get_registry",
     "histogram",
     "inc",
+    "load_report",
     "load_snapshot",
     "merge",
     "observe",
+    "quantile_from_buckets",
     "render",
+    "render_prometheus",
     "reset",
     "set_gauge",
     "set_registry",
+    "slowlog",
     "snapshot",
     "span",
     "timer",
     "trace",
     "use_registry",
+    "validate_exposition",
 ]
 
 _default_registry = Registry("default")

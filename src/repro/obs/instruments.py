@@ -38,6 +38,60 @@ def labels_to_pairs(labels: dict[str, object]) -> LabelPairs:
     return tuple(sorted((key, str(value)) for key, value in labels.items()))
 
 
+#: The quantiles derived into every histogram snapshot (p50/p95/p99).
+SNAPSHOT_QUANTILES: tuple[tuple[str, float], ...] = (
+    ("p50", 0.50),
+    ("p95", 0.95),
+    ("p99", 0.99),
+)
+
+
+def quantile_from_buckets(
+    boundaries: tuple[float, ...] | list[float],
+    counts: list[int],
+    q: float,
+    minimum: float | None = None,
+    maximum: float | None = None,
+) -> float | None:
+    """Estimate the ``q``-quantile of a bucketed distribution.
+
+    Linear interpolation within the winning bucket (the Prometheus
+    ``histogram_quantile`` estimator), computed purely from the merged
+    bucket counts so the value is identical however partition snapshots
+    were merged (associativity). ``minimum``/``maximum`` clamp the
+    estimate to the observed range when known — the overflow bucket has
+    no upper bound, so the tracked max is its best edge.
+    """
+    total = sum(counts)
+    if total == 0 or not (0.0 <= q <= 1.0):
+        return None
+    target = q * total
+    cumulative = 0
+    for index, count in enumerate(counts):
+        if count == 0:
+            continue
+        cumulative += count
+        if cumulative < target:
+            continue
+        lower = boundaries[index - 1] if index > 0 else (
+            minimum if minimum is not None else 0.0
+        )
+        if index < len(boundaries):
+            upper = boundaries[index]
+        else:  # overflow bucket: open-ended upper bound
+            upper = maximum if maximum is not None else boundaries[-1]
+        if upper < lower:
+            upper = lower
+        inside = target - (cumulative - count)
+        value = lower + (upper - lower) * (inside / count)
+        if minimum is not None and value < minimum:
+            value = minimum
+        if maximum is not None and value > maximum:
+            value = maximum
+        return value
+    return maximum  # unreachable for q <= 1, kept for completeness
+
+
 class Counter:
     """A monotonically increasing count (events, items, requests)."""
 
@@ -130,8 +184,17 @@ class Histogram:
         """A context manager observing elapsed wall seconds into ``self``."""
         return Timer(self)
 
+    def quantile(self, q: float) -> float | None:
+        """The ``q``-quantile estimated from this histogram's buckets."""
+        return quantile_from_buckets(
+            self.boundaries, self.counts, q, minimum=self.min, maximum=self.max
+        )
+
     def snapshot(self) -> dict:
-        return {
+        # p50/p95/p99 are *derived* fields: Registry.merge ignores them and
+        # sums raw bucket counts, so merging partition snapshots in any
+        # order re-derives identical quantiles (associativity).
+        snapshot = {
             "name": self.name,
             "labels": dict(self.labels),
             "boundaries": list(self.boundaries),
@@ -141,6 +204,9 @@ class Histogram:
             "min": self.min,
             "max": self.max,
         }
+        for key, q in SNAPSHOT_QUANTILES:
+            snapshot[key] = self.quantile(q)
+        return snapshot
 
     def __repr__(self):
         return f"<Histogram {self.name} {dict(self.labels)} n={self.count} sum={self.sum:.6g}>"

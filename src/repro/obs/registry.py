@@ -23,6 +23,7 @@ from repro.errors import ObsError
 from repro.obs.instruments import (
     DEFAULT_BOUNDARIES,
     DEFAULT_LATENCY_BOUNDARIES,
+    SNAPSHOT_QUANTILES,
     Counter,
     Gauge,
     Histogram,
@@ -259,10 +260,16 @@ class Registry:
                 mean = entry["sum"] / entry["count"] if entry["count"] else 0.0
                 low = "-" if entry["min"] is None else f"{entry['min']:.6g}"
                 high = "-" if entry["max"] is None else f"{entry['max']:.6g}"
+                quantiles = " ".join(
+                    f"{key}={entry[key]:.6g}"
+                    for key, _ in SNAPSHOT_QUANTILES
+                    if entry.get(key) is not None
+                )
                 lines.append(
                     f"  {entry['name'] + label_suffix(entry['labels']):<52} "
                     f"n={entry['count']} sum={entry['sum']:.6g} mean={mean:.6g} "
                     f"min={low} max={high}"
+                    + (f" {quantiles}" if quantiles else "")
                 )
             more = elided("histograms", histograms)
             if more:

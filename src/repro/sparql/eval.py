@@ -117,6 +117,31 @@ class EvalObserver:
         raise NotImplementedError
 
 
+class _StatsObserver(EvalObserver):
+    """Routes evaluator profile callbacks into a
+    :class:`~repro.obs.accounting.QueryStats` ledger.
+
+    Constructed only when per-query accounting (or the slowlog) is active;
+    the default execution path never allocates one, keeping the off state
+    byte-identical to pre-accounting behaviour.
+    """
+
+    __slots__ = ("stats",)
+
+    def __init__(self, stats):
+        self.stats = stats
+
+    def pattern_profile(self, pattern, strategy, rows_in, rows_out, seconds):
+        self.stats.note_strategy(strategy, rows_in, rows_out, seconds)
+        self.stats.note_phase("match", seconds)
+
+    def filter_profile(self, expression, rows_in, rows_out, seconds):
+        self.stats.note_phase("filter", seconds)
+
+    def modifier(self, op, rows_in, rows_out, seconds):
+        self.stats.note_phase(op, seconds)
+
+
 #: Sentinel raised internally when a FILTER expression has an error —
 #: per SPARQL semantics an erroring FILTER eliminates the solution.
 class _ExpressionError(Exception):
@@ -160,6 +185,24 @@ class _Codec:
         if term_id >= 0:
             return self.base.decode(term_id)
         return self._local_terms[-term_id - 1]
+
+
+class _CountingCodec(_Codec):
+    """A codec that tallies decodes into a QueryStats ledger.
+
+    Substituted for :class:`_Codec` only when accounting is collecting, so
+    the default hot path keeps the base class's zero-overhead decode.
+    """
+
+    __slots__ = ("stats",)
+
+    def __init__(self, base: TermDictionary, stats):
+        super().__init__(base)
+        self.stats = stats
+
+    def decode(self, term_id: int) -> Term:
+        self.stats.decodes += 1
+        return _Codec.decode(self, term_id)
 
 
 class _Layout:
@@ -1130,6 +1173,9 @@ class QueryResult:
     def __init__(self, variables: list[Var], rows: list[Solution]):
         self.variables = variables
         self.rows = rows
+        #: Per-query resource accounting (:class:`repro.obs.QueryStats`)
+        #: when accounting or the slowlog is enabled; None otherwise.
+        self.stats = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -1197,14 +1243,28 @@ def _initial_rows(
     return [_encode_solution(codec, layout, normalized)]
 
 
+def _make_codec_observer(
+    graph: Graph, observer: EvalObserver | None, stats
+) -> tuple[_Codec, EvalObserver | None]:
+    """The (codec, observer) pair for one execution: plain when accounting
+    is off; decode-counting + stats-observing when a QueryStats collects."""
+    if stats is None:
+        return _Codec(graph.dictionary), observer
+    codec = _CountingCodec(graph.dictionary, stats)
+    if observer is None:
+        observer = _StatsObserver(stats)
+    return codec, observer
+
+
 def _execute_select(
     graph: Graph,
     query: SelectQuery,
     observer: EvalObserver | None = None,
     bindings: Solution | None = None,
     memo: _BGPOrderMemo | None = None,
+    stats=None,
 ) -> QueryResult:
-    codec = _Codec(graph.dictionary)
+    codec, observer = _make_codec_observer(graph, observer, stats)
     layout = _Layout()
     id_rows = _initial_rows(codec, layout, bindings)
     id_rows = _eval_group_ids(graph, codec, query.where, layout, id_rows, observer, memo)
@@ -1405,8 +1465,9 @@ def _execute_ask(
     observer: EvalObserver | None = None,
     bindings: Solution | None = None,
     memo: _BGPOrderMemo | None = None,
+    stats=None,
 ) -> bool:
-    codec = _Codec(graph.dictionary)
+    codec, observer = _make_codec_observer(graph, observer, stats)
     layout = _Layout()
     rows = _initial_rows(codec, layout, bindings)
     return bool(_eval_group_ids(graph, codec, query.where, layout, rows, observer, memo))
@@ -1418,6 +1479,7 @@ def _execute_construct(
     observer: EvalObserver | None = None,
     bindings: Solution | None = None,
     memo: _BGPOrderMemo | None = None,
+    stats=None,
 ) -> Graph:
     """Instantiate the CONSTRUCT template once per solution.
 
@@ -1428,7 +1490,7 @@ def _execute_construct(
     from repro.rdf.triples import Triple
 
     out = Graph(name="constructed")
-    codec = _Codec(graph.dictionary)
+    codec, observer = _make_codec_observer(graph, observer, stats)
     layout = _Layout()
     rows = _initial_rows(codec, layout, bindings)
     rows = _eval_group_ids(graph, codec, query.where, layout, rows, observer, memo)

@@ -23,10 +23,12 @@ independently.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 
 from repro import obs
 from repro.errors import QueryEvaluationError
+from repro.obs import accounting, slowlog
 from repro.rdf.graph import Graph
 from repro.sparql.ast import AskQuery, ConstructQuery, SelectQuery
 from repro.sparql.eval import (
@@ -75,15 +77,53 @@ class PreparedQuery:
         the parameterized-query idiom.
         """
         plan = self.plan
+        slog = slowlog.active()
+        if not (accounting.enabled() or slog is not None):
+            # Accounting off: the original, zero-overhead dispatch.
+            if isinstance(plan, SelectQuery):
+                return _execute_select(graph, plan, bindings=bindings, memo=self._memo)
+            if isinstance(plan, AskQuery):
+                return _execute_ask(graph, plan, bindings=bindings, memo=self._memo)
+            if isinstance(plan, ConstructQuery):
+                return _execute_construct(graph, plan, bindings=bindings, memo=self._memo)
+            raise QueryEvaluationError(
+                f"cannot execute query of type {type(plan).__name__}"
+            )
+
         if isinstance(plan, SelectQuery):
-            return _execute_select(graph, plan, bindings=bindings, memo=self._memo)
-        if isinstance(plan, AskQuery):
-            return _execute_ask(graph, plan, bindings=bindings, memo=self._memo)
-        if isinstance(plan, ConstructQuery):
-            return _execute_construct(graph, plan, bindings=bindings, memo=self._memo)
-        raise QueryEvaluationError(
-            f"cannot execute query of type {type(plan).__name__}"
-        )
+            kind = "select"
+        elif isinstance(plan, AskQuery):
+            kind = "ask"
+        elif isinstance(plan, ConstructQuery):
+            kind = "construct"
+        else:
+            raise QueryEvaluationError(
+                f"cannot execute query of type {type(plan).__name__}"
+            )
+        stats = accounting.QueryStats(kind)
+        stats.plan_cache_hit = accounting.consume_plan_cache_note()
+        started = time.perf_counter()
+        if kind == "select":
+            result = _execute_select(
+                graph, plan, bindings=bindings, memo=self._memo, stats=stats
+            )
+            stats.rows_out = len(result)
+        elif kind == "ask":
+            result = _execute_ask(
+                graph, plan, bindings=bindings, memo=self._memo, stats=stats
+            )
+            stats.rows_out = int(bool(result))
+        else:
+            result = _execute_construct(
+                graph, plan, bindings=bindings, memo=self._memo, stats=stats
+            )
+            stats.rows_out = len(result)
+        stats.wall_seconds = time.perf_counter() - started
+        if isinstance(result, QueryResult):
+            result.stats = stats
+        if slog is not None:
+            slog.record("query", self.text, stats.wall_seconds, detail=stats.to_dict())
+        return result
 
     def explain(self, graph: Graph, analyze: bool = False):
         """The optimized :class:`~repro.sparql.explain.QueryPlan` for this
@@ -113,8 +153,12 @@ def prepare(text: str) -> PreparedQuery:
         # registry's own lock on instrument creation, and the plan cache
         # must never hold _cache_lock while acquiring a foreign lock.
         obs.inc("sparql.plan_cache.hits")
+        if accounting.enabled():
+            accounting.note_plan_cache(True)
         return cached
     obs.inc("sparql.plan_cache.misses")
+    if accounting.enabled():
+        accounting.note_plan_cache(False)
     prepared = PreparedQuery(text)  # parse outside the lock
     with _cache_lock:
         # Re-check under the lock: another thread may have parsed and
@@ -140,4 +184,24 @@ def clear_plan_cache() -> int:
     return count
 
 
-__all__ = ["PLAN_CACHE_SIZE", "PreparedQuery", "clear_plan_cache", "prepare"]
+def plan_cache_info() -> dict:
+    """Occupancy and traffic of the plan cache (for ``engine.health()``)."""
+    with _cache_lock:
+        entries = len(_plan_cache)
+    # Counter reads happen outside _cache_lock (same lock discipline as
+    # the hit/miss bumps in prepare()).
+    return {
+        "entries": entries,
+        "capacity": PLAN_CACHE_SIZE,
+        "hits": obs.counter("sparql.plan_cache.hits").value,
+        "misses": obs.counter("sparql.plan_cache.misses").value,
+    }
+
+
+__all__ = [
+    "PLAN_CACHE_SIZE",
+    "PreparedQuery",
+    "clear_plan_cache",
+    "plan_cache_info",
+    "prepare",
+]

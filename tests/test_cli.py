@@ -1,5 +1,6 @@
 """Tests for the command-line interface."""
 
+import json
 import os
 
 import pytest
@@ -413,3 +414,87 @@ class TestStatsAndRunTracing:
         names = {record["name"] for record in payload["records"]}
         assert "alex.episode.run" in names
         assert "alex.feature.select" in names
+
+
+class TestHealthCli:
+    def test_health_prints_json_and_exits_zero(self, capsys):
+        code, out, _ = run_cli(capsys, "health", "--episodes", "1")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["status"] in ("ok", "degraded")
+        assert payload["engine"]["closed"] is False
+        assert "plan_cache" in payload["caches"]
+        assert "left" in payload["dictionaries"]
+
+
+class TestSlowlogCli:
+    def test_slowlog_renders_entries(self, capsys):
+        code, out, _ = run_cli(capsys, "slowlog", "--episodes", "1")
+        assert code == 0
+        assert "slowlog" in out
+        assert "episode" in out  # feedback episodes always record
+
+    def test_slowlog_json_flush(self, capsys, tmp_path):
+        target = str(tmp_path / "slow.json")
+        code, out, _ = run_cli(
+            capsys, "slowlog", "--episodes", "1", "--json", target
+        )
+        assert code == 0
+        payload = json.loads(open(target).read())
+        assert payload["schema"] == "repro-slowlog/1"
+        assert payload["entries"]
+
+    def test_slowlog_threshold_filters_everything(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "slowlog", "--episodes", "1", "--threshold", "3600"
+        )
+        assert code == 0
+        assert "no slow operations" in out
+
+
+class TestStatsExports:
+    def test_prom_out_writes_valid_exposition(self, capsys, tmp_path):
+        from repro.obs.export import validate_exposition
+
+        prom = str(tmp_path / "metrics.prom")
+        code, out, _ = run_cli(
+            capsys, "stats", "--episodes", "1", "--prom-out", prom
+        )
+        assert code == 0
+        text = open(prom).read()
+        assert validate_exposition(text) > 0
+        assert f"wrote {prom}" in out
+
+    def test_report_out_collects_interval_samples(self, capsys, tmp_path):
+        from repro.obs.report import load_report
+
+        report = str(tmp_path / "report.jsonl")
+        code, out, _ = run_cli(
+            capsys, "stats", "--episodes", "1",
+            "--report-out", report, "--report-interval", "0.05",
+        )
+        assert code == 0
+        loaded = load_report(report)
+        assert loaded["header"]["schema"] == "repro-report/1"
+        assert len(loaded["samples"]) >= 2
+        assert f"wrote {report}" in out
+
+    def test_stats_from_report_file(self, capsys, tmp_path):
+        report = str(tmp_path / "report.jsonl")
+        run_cli(
+            capsys, "stats", "--episodes", "1",
+            "--report-out", report, "--report-interval", "0.05",
+        )
+        code, out, _ = run_cli(capsys, "stats", "--from", report)
+        assert code == 0
+        assert "seq=" in out  # rendered the latest report sample
+
+    def test_watch_from_file_stops_after_iterations(self, capsys, tmp_path):
+        snapshot = str(tmp_path / "snap.json")
+        run_cli(capsys, "stats", "--episodes", "1", "--json", snapshot)
+        code, out, _ = run_cli(
+            capsys, "stats", "--from", snapshot,
+            "--watch", "0.01", "--iterations", "2",
+        )
+        assert code == 0
+        assert out.count("registry") >= 2  # two renders

@@ -225,3 +225,66 @@ class TestDefaultRegistry:
             assert obs.get_registry() is replacement
         finally:
             obs.set_registry(previous)
+
+
+class TestHistogramQuantiles:
+    def test_quantile_interpolates_within_bucket(self, registry):
+        from repro.obs.instruments import quantile_from_buckets
+
+        # 100 observations uniform in the single bucket (0, 10]:
+        value = quantile_from_buckets((10.0,), [100], 0.5, minimum=0.0, maximum=10.0)
+        assert value == pytest.approx(5.0)
+
+    def test_quantile_none_when_empty(self, registry):
+        histogram = registry.histogram("h")
+        assert histogram.quantile(0.5) is None
+
+    def test_quantile_clamped_to_observed_range(self, registry):
+        histogram = registry.histogram("h", boundaries=(1.0, 1000.0))
+        histogram.observe(2.0)
+        histogram.observe(3.0)
+        assert histogram.quantile(0.99) <= 3.0
+        assert histogram.quantile(0.01) >= 2.0
+
+    def test_snapshot_carries_p50_p95_p99(self, registry):
+        histogram = registry.histogram("h", boundaries=(1.0, 10.0))
+        for value in (0.5, 2.0, 5.0, 20.0):
+            histogram.observe(value)
+        (entry,) = registry.snapshot()["histograms"]
+        assert set(entry) >= {"p50", "p95", "p99"}
+        assert entry["p50"] <= entry["p95"] <= entry["p99"]
+
+    def test_render_shows_quantiles(self, registry):
+        registry.histogram("h").observe(3.0)
+        assert "p50=" in registry.render()
+
+    def test_merge_ignores_derived_quantiles_and_stays_associative(self):
+        """merge(merge(a, b), c) == merge(a, merge(b, c)) for histograms —
+        p50/p95/p99 are derived from raw buckets, never summed."""
+        import random
+
+        rng = random.Random(11)
+        parts = []
+        for _ in range(3):
+            part = Registry("part")
+            histogram = part.histogram("h.lat", boundaries=(1.0, 5.0, 25.0))
+            for _ in range(rng.randint(1, 30)):
+                histogram.observe(rng.uniform(0, 50))
+            parts.append(part.snapshot())
+
+        left = Registry("left")   # (a + b) + c
+        left.merge(parts[0])
+        left.merge(parts[1])
+        intermediate = left.snapshot()
+        rebuilt = Registry("merged")
+        rebuilt.merge(intermediate)
+        rebuilt.merge(parts[2])
+
+        right = Registry("merged")  # a + (b + c)
+        inner = Registry("inner")
+        inner.merge(parts[1])
+        inner.merge(parts[2])
+        right.merge(parts[0])
+        right.merge(inner.snapshot())
+
+        assert rebuilt.snapshot() == right.snapshot()
